@@ -1,0 +1,32 @@
+//! Criterion bench for E1: fault-free snapshot iteration cost vs set size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use weakset::prelude::*;
+use weakset_bench::scenarios::{populated_set, wan};
+use weakset_sim::time::SimDuration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e1_immutable_drain");
+    for n in [16usize, 64, 256] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut w = wan(1, 8, SimDuration::from_millis(5));
+                let set = populated_set(&mut w, n, SimDuration::from_millis(100));
+                let (got, end) = set.collect(&mut w.world, Semantics::Snapshot);
+                assert_eq!(end, IterStep::Done);
+                assert_eq!(got.len(), n);
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion bench for E2: snapshot iteration under partitions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use weakset::prelude::*;
+use weakset_bench::scenarios::{populated_set, wan};
+use weakset_sim::time::SimDuration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2_partitioned_drain");
+    for cut in [0usize, 2, 4] {
+        g.bench_with_input(BenchmarkId::from_parameter(cut), &cut, |b, &cut| {
+            b.iter(|| {
+                let mut w = wan(2, 8, SimDuration::from_millis(5));
+                let set = populated_set(&mut w, 64, SimDuration::from_millis(100));
+                if cut > 0 {
+                    let side: Vec<_> = w.servers[8 - cut..].to_vec();
+                    w.world.topology_mut().partition(&side);
+                }
+                let (_, end) = set.collect(&mut w.world, Semantics::Snapshot);
+                if cut == 0 {
+                    assert_eq!(end, IterStep::Done);
+                } else {
+                    assert!(matches!(end, IterStep::Failed(_)));
+                }
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench
+}
+criterion_main!(benches);

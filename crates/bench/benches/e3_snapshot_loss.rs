@@ -1,0 +1,39 @@
+//! Criterion bench for E3: snapshot iteration with concurrent churn.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use weakset::prelude::*;
+use weakset_bench::scenarios::{populated_set, schedule_churn_over, wan};
+use weakset_sim::time::SimDuration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e3_churned_snapshot");
+    for churn in [0usize, 8, 32] {
+        g.bench_with_input(BenchmarkId::from_parameter(churn), &churn, |b, &churn| {
+            b.iter(|| {
+                let mut w = wan(3, 4, SimDuration::from_millis(5));
+                let set = populated_set(&mut w, 40, SimDuration::from_millis(100));
+                if churn > 0 {
+                    let now = w.world.now();
+                    schedule_churn_over(
+                        &mut w, &set, now,
+                        SimDuration::from_millis(20),
+                        churn, 0.5, 40, churn as u64,
+                    );
+                }
+                let (_, end) = set.collect(&mut w.world, Semantics::Snapshot);
+                assert_eq!(end, IterStep::Done);
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion bench for E4: grow-only iteration racing a producer.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use weakset::prelude::*;
+use weakset_bench::scenarios::{populated_set, schedule_growth, wan};
+use weakset_sim::time::SimDuration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e4_growonly_race");
+    for interval_ms in [80u64, 10] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(interval_ms),
+            &interval_ms,
+            |b, &interval_ms| {
+                b.iter(|| {
+                    let mut w = wan(4, 4, SimDuration::from_millis(5));
+                    let set = populated_set(&mut w, 10, SimDuration::from_millis(100));
+                    let now = w.world.now();
+                    schedule_growth(&mut w, &set, now, SimDuration::from_millis(interval_ms), 60);
+                    let mut it = set.elements(Semantics::GrowOnly);
+                    let mut yields = 0;
+                    for _ in 0..80 {
+                        match it.next(&mut w.world) {
+                            IterStep::Yielded(_) => yields += 1,
+                            IterStep::Done => break,
+                            other => panic!("{other:?}"),
+                        }
+                    }
+                    assert!(yields >= 10);
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Criterion bench for E6: strict ls vs dynamic-set listing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use weakset::prelude::PrefetchConfig;
+use weakset_fs::prelude::*;
+use weakset_sim::latency::LatencyModel;
+use weakset_sim::time::SimDuration;
+use weakset_sim::topology::Topology;
+use weakset_sim::world::WorldConfig;
+use weakset_store::prelude::{StoreServer, StoreWorld};
+
+fn fs_world(n_files: usize) -> (StoreWorld, FileSystem) {
+    let mut topo = Topology::new();
+    let client = topo.add_node("client", 0);
+    let vols: Vec<_> = (0..8).map(|i| topo.add_node(format!("vol{i}"), i + 1)).collect();
+    let mut config = WorldConfig::seeded(6);
+    config.trace = false;
+    let mut world = StoreWorld::new(
+        config,
+        topo,
+        LatencyModel::Constant(SimDuration::from_millis(5)),
+    );
+    for &v in &vols {
+        world.install_service(v, Box::new(StoreServer::new()));
+    }
+    let mut fs = FileSystem::format(&mut world, client, vols[0], SimDuration::from_millis(500))
+        .expect("healthy");
+    flat_dir(&mut world, &mut fs, &FsPath::root(), n_files, 64, &vols).expect("healthy");
+    (world, fs)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e6_listing");
+    for n in [64usize] {
+        g.bench_with_input(BenchmarkId::new("ls", n), &n, |b, &n| {
+            b.iter(|| {
+                let (mut w, fs) = fs_world(n);
+                let listing = fs.ls(&mut w, &FsPath::root()).expect("healthy");
+                assert_eq!(listing.len(), n);
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("dynls_w16", n), &n, |b, &n| {
+            b.iter(|| {
+                let (mut w, fs) = fs_world(n);
+                let mut listing = fs
+                    .dynls(&mut w, &FsPath::root(), PrefetchConfig { window: 16, ..Default::default() })
+                    .expect("healthy");
+                let (entries, end) = listing.drain_available(&mut w);
+                assert_eq!(end, DynLsStep::Complete);
+                assert_eq!(entries.len(), n);
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion bench for E7: partial listings under partition.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use weakset::prelude::PrefetchConfig;
+use weakset_fs::prelude::*;
+use weakset_sim::latency::LatencyModel;
+use weakset_sim::time::SimDuration;
+use weakset_sim::topology::Topology;
+use weakset_sim::world::WorldConfig;
+use weakset_store::prelude::{StoreServer, StoreWorld};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e7_partial_listing");
+    for cut in [2usize, 4] {
+        g.bench_with_input(BenchmarkId::from_parameter(cut), &cut, |b, &cut| {
+            b.iter(|| {
+                let mut topo = Topology::new();
+                let client = topo.add_node("client", 0);
+                let vols: Vec<_> =
+                    (0..8).map(|i| topo.add_node(format!("vol{i}"), i + 1)).collect();
+                let mut config = WorldConfig::seeded(7);
+                config.trace = false;
+                let mut w = StoreWorld::new(
+                    config,
+                    topo,
+                    LatencyModel::Constant(SimDuration::from_millis(5)),
+                );
+                for &v in &vols {
+                    w.install_service(v, Box::new(StoreServer::new()));
+                }
+                let mut fs =
+                    FileSystem::format(&mut w, client, vols[0], SimDuration::from_millis(300))
+                        .expect("healthy");
+                flat_dir(&mut w, &mut fs, &FsPath::root(), 64, 64, &vols).expect("healthy");
+                let side: Vec<_> = vols[8 - cut..].to_vec();
+                w.topology_mut().partition(&side);
+                let mut listing = fs
+                    .dynls(&mut w, &FsPath::root(), PrefetchConfig::default())
+                    .expect("home reachable");
+                let (entries, _end) = listing.drain_available(&mut w);
+                assert_eq!(entries.len(), 64 * (8 - cut) / 8);
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion bench for E8: trace classification cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use weakset::prelude::*;
+use weakset_bench::scenarios::{populated_set, wan};
+use weakset_sim::time::SimDuration;
+use weakset_spec::taxonomy::classify_run;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("e8_classify_run", |b| {
+        // Record one computation, then measure pure classification.
+        let mut w = wan(8, 4, SimDuration::from_millis(5));
+        let set = populated_set(&mut w, 64, SimDuration::from_millis(100));
+        let mut it = set.elements_observed(Semantics::Optimistic);
+        loop {
+            match it.next(&mut w.world) {
+                IterStep::Yielded(_) => {}
+                IterStep::Done => break,
+                other => panic!("{other:?}"),
+            }
+        }
+        let comp = it.take_computation(&w.world).expect("observed");
+        b.iter(|| {
+            let run = comp.runs.first().expect("run");
+            std::hint::black_box(classify_run(&comp, run));
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench
+}
+criterion_main!(benches);

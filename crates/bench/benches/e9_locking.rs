@@ -1,0 +1,32 @@
+//! Criterion bench for E9: locked vs snapshot iteration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use weakset::prelude::*;
+use weakset_bench::scenarios::{populated_set, wan};
+use weakset_sim::time::SimDuration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e9_strong_vs_weak");
+    for (name, semantics) in [("locked", Semantics::Locked), ("snapshot", Semantics::Snapshot)] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &semantics, |b, &s| {
+            b.iter(|| {
+                let mut w = wan(9, 4, SimDuration::from_millis(5));
+                let set = populated_set(&mut w, 32, SimDuration::from_millis(100));
+                let (got, end) = set.collect(&mut w.world, s);
+                assert_eq!(end, IterStep::Done);
+                assert_eq!(got.len(), 32);
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench
+}
+criterion_main!(benches);

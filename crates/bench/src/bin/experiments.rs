@@ -1,0 +1,17 @@
+//! Regenerates every experiment table (or a named subset).
+
+use weakset_bench::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let ids: Vec<&str> = if args.is_empty() {
+        experiments::ALL.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    for id in ids {
+        for table in experiments::run(id) {
+            println!("{table}");
+        }
+    }
+}

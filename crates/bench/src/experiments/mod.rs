@@ -1,0 +1,41 @@
+//! The experiment suite: one module per figure-level experiment E1-E9
+//! (see DESIGN.md §4 for the index and EXPERIMENTS.md for results).
+//!
+//! Every experiment is a pure function of its seeds — rerunning
+//! `cargo run -p weakset-bench --bin experiments` regenerates the same
+//! tables.
+
+pub mod e1_immutable;
+pub mod e2_immutable_failures;
+pub mod e3_snapshot_loss;
+pub mod e4_growonly;
+pub mod e5_optimistic;
+pub mod e6_latency;
+pub mod e7_availability;
+pub mod e8_taxonomy;
+pub mod e9_locking;
+
+use crate::report::Table;
+
+/// Experiment ids, in paper order.
+pub const ALL: [&str; 9] = ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9"];
+
+/// Runs one experiment by id.
+///
+/// # Panics
+///
+/// Panics on an unknown id.
+pub fn run(id: &str) -> Vec<Table> {
+    match id {
+        "e1" => e1_immutable::run(),
+        "e2" => e2_immutable_failures::run(),
+        "e3" => e3_snapshot_loss::run(),
+        "e4" => e4_growonly::run(),
+        "e5" => e5_optimistic::run(),
+        "e6" => e6_latency::run(),
+        "e7" => e7_availability::run(),
+        "e8" => e8_taxonomy::run(),
+        "e9" => e9_locking::run(),
+        other => panic!("unknown experiment id {other:?} (expected one of {ALL:?})"),
+    }
+}

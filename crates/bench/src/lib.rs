@@ -1,0 +1,16 @@
+//! # weakset-bench
+//!
+//! The experiment harness for the weak-sets reproduction: nine
+//! deterministic experiments (E1-E9) mapping the paper's figures and
+//! claims to regenerable tables (see DESIGN.md §4 and EXPERIMENTS.md),
+//! plus Criterion micro-benchmarks under `benches/`.
+//!
+//! Run all tables with `cargo run -p weakset-bench --bin experiments`,
+//! or a subset with e.g. `... --bin experiments e5 e6`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod report;
+pub mod scenarios;

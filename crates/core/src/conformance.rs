@@ -1,0 +1,396 @@
+//! Recording iterator runs for conformance checking.
+//!
+//! A [`RunObserver`] watches one use of an `elements` iterator and builds
+//! the [`Computation`] that `weakset-spec`'s checker replays. It is an
+//! *omniscient monitor*: it reads the primary replica's version log
+//! directly (simulation-level access, not RPC) for ground-truth membership
+//! history, and samples per-element accessibility from the topology.
+//!
+//! # Linearization
+//!
+//! The paper models each invocation as atomic; the implementation is not.
+//! The observer therefore picks one *linearization point* per invocation —
+//! the membership version the implementation actually acted on
+//! ([`StepEvidence::members_version`], verified to be a real logged state)
+//! — and evaluates the spec's pre-state there. Accessibility is sampled
+//! from the topology at recording time and then corrected by *observed
+//! evidence*: an element whose fetch succeeded during the invocation was
+//! reachable ([`StepEvidence::confirmed_reachable`]); one whose fetch
+//! failed was not ([`StepEvidence::confirmed_unreachable`]). When the
+//! membership itself could not be read, nothing was accessible through the
+//! collection object ([`StepEvidence::membership_unreachable`]).
+//!
+//! A consequence worth knowing: if an implementation serves *stale*
+//! membership (e.g. optimistic `Any`-replica reads), its linearization
+//! points can run backwards in version order, and the recorded computation
+//! may then violate the figure's constraint — that is the monitor
+//! truthfully reporting that no atomic-invocation history explains the
+//! observed behaviour.
+
+use std::collections::BTreeMap;
+use weakset_sim::node::NodeId;
+use weakset_spec::prelude::{Computation, Outcome, Recorder, SetValue, State};
+use weakset_spec::value::ElemId;
+use weakset_store::collection::MemberEntry;
+use weakset_store::object::{CollectionId, ObjectId};
+use weakset_store::prelude::{StoreServer, StoreWorld};
+
+/// What one invocation observed, reported by the iterator implementation.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct StepEvidence {
+    /// The membership version this invocation acted on (its linearization
+    /// point). `None` means "the current primary state at recording time".
+    pub members_version: Option<u64>,
+    /// Elements proven reachable during the invocation (successful fetch).
+    pub confirmed_reachable: Vec<ObjectId>,
+    /// Elements proven unreachable during the invocation (failed fetch).
+    pub confirmed_unreachable: Vec<ObjectId>,
+    /// The membership list itself could not be read: the collection object
+    /// was inaccessible, so no element was accessible through it.
+    pub membership_unreachable: bool,
+}
+
+impl StepEvidence {
+    /// Evidence for an invocation that acted on membership version `v`.
+    pub fn at_version(v: u64) -> Self {
+        StepEvidence {
+            members_version: Some(v),
+            ..Default::default()
+        }
+    }
+}
+
+/// Observes one iterator run and produces a checkable [`Computation`].
+#[derive(Debug)]
+pub struct RunObserver {
+    recorder: Option<Recorder>,
+    coll: CollectionId,
+    home: NodeId,
+    client_node: NodeId,
+    seen_version: u64,
+    /// Lowest version an invocation may legitimately claim as its
+    /// linearization point: the primary's version when the previous
+    /// invocation finished. A claim below this (a stale replica read) is
+    /// clamped up, so the ensures clause — not a constraint artifact —
+    /// reports the staleness.
+    window_floor: u64,
+    /// Observation starts at the first recorded invocation; history from
+    /// before that (workload setup) is not part of the computation.
+    initialized: bool,
+    /// Homes of every element ever seen in the log (for accessibility
+    /// sampling).
+    homes: BTreeMap<ObjectId, NodeId>,
+    finished: Option<Computation>,
+}
+
+fn to_set(members: &[MemberEntry]) -> SetValue {
+    members.iter().map(|m| ElemId(m.elem.0)).collect()
+}
+
+impl RunObserver {
+    /// Starts observing a run of an iterator owned by a client on
+    /// `client_node` over the collection whose primary is `home`.
+    pub fn new(coll: CollectionId, home: NodeId, client_node: NodeId) -> Self {
+        RunObserver {
+            recorder: None,
+            coll,
+            home,
+            client_node,
+            seen_version: 0,
+            window_floor: 0,
+            initialized: false,
+            homes: BTreeMap::new(),
+            finished: None,
+        }
+    }
+
+    fn log_members(&mut self, world: &StoreWorld, version: u64) -> Option<Vec<MemberEntry>> {
+        let server = world.service::<StoreServer>(self.home)?;
+        let coll = server.collection(self.coll)?;
+        coll.log()
+            .iter()
+            .find(|mv| mv.version == version)
+            .map(|mv| mv.members.clone())
+    }
+
+    fn latest_version(&self, world: &StoreWorld) -> u64 {
+        world
+            .service::<StoreServer>(self.home)
+            .and_then(|s| s.collection(self.coll))
+            .map_or(0, |c| c.version())
+    }
+
+    fn learn_homes(&mut self, world: &StoreWorld) {
+        if let Some(coll) = world
+            .service::<StoreServer>(self.home)
+            .and_then(|s| s.collection(self.coll))
+        {
+            for mv in coll.log() {
+                for m in &mv.members {
+                    self.homes.insert(m.elem, m.home);
+                }
+            }
+        }
+    }
+
+    fn sample_accessible(&self, world: &StoreWorld, evidence: &StepEvidence) -> SetValue {
+        if evidence.membership_unreachable {
+            return SetValue::empty();
+        }
+        let topo = world.topology();
+        let mut acc: SetValue = self
+            .homes
+            .iter()
+            .filter(|&(_, &h)| topo.reachable(self.client_node, h))
+            .map(|(&e, _)| ElemId(e.0))
+            .collect();
+        for e in &evidence.confirmed_reachable {
+            acc.insert(ElemId(e.0));
+        }
+        for e in &evidence.confirmed_unreachable {
+            acc.remove(ElemId(e.0));
+        }
+        acc
+    }
+
+    /// Feeds all primary-log states in `(seen, upto]` to the recorder as
+    /// mutation states, returning the members at `upto`.
+    fn sync_to(&mut self, world: &StoreWorld, upto: u64) -> Vec<MemberEntry> {
+        self.learn_homes(world);
+        let mut members = Vec::new();
+        let from = self.seen_version;
+        for v in from..=upto {
+            if let Some(m) = self.log_members(world, v) {
+                if v > from || self.recorder.is_none() {
+                    let st = State {
+                        members: to_set(&m),
+                        // Accessibility of pure-mutation states is not
+                        // consulted by any ensures clause; approximate
+                        // with "all known homes reachable now".
+                        accessible: self.sample_accessible(world, &StepEvidence::default()),
+                    };
+                    match &mut self.recorder {
+                        Some(r) => {
+                            r.observe_state(st);
+                        }
+                        None => self.recorder = Some(Recorder::new(st)),
+                    }
+                }
+                members = m;
+            }
+        }
+        if upto > self.seen_version {
+            self.seen_version = upto;
+        }
+        members
+    }
+
+    /// Marks the start of an invocation: mutations already applied at this
+    /// instant must precede the invocation's linearization point. Iterator
+    /// implementations call this on entry to `next`.
+    pub fn mark_invocation_start(&mut self, world: &StoreWorld) {
+        let latest = self.latest_version(world);
+        if latest > self.window_floor {
+            self.window_floor = latest;
+        }
+    }
+
+    /// Records one completed invocation with its outcome and evidence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after [`RunObserver::finish`].
+    pub fn record_step(&mut self, world: &StoreWorld, outcome: Outcome, evidence: &StepEvidence) {
+        assert!(self.finished.is_none(), "observer already finished");
+        let claimed = evidence
+            .members_version
+            .unwrap_or_else(|| self.latest_version(world));
+        // The linearization point must fall inside this invocation's
+        // window; stale claims (including a stale *first* read, when the
+        // iterator marked its start) are clamped up to the window floor.
+        let version = claimed.max(self.window_floor);
+        if !self.initialized {
+            // Observation starts here; earlier history (workload setup)
+            // is outside the computation.
+            self.seen_version = version;
+            self.initialized = true;
+        }
+        let members = if version >= self.seen_version {
+            self.sync_to(world, version)
+        } else {
+            self.learn_homes(world);
+            self.log_members(world, version).unwrap_or_default()
+        };
+        let pre = State {
+            members: to_set(&members),
+            accessible: self.sample_accessible(world, evidence),
+        };
+        let rec = match &mut self.recorder {
+            Some(r) => r,
+            None => {
+                self.recorder = Some(Recorder::new(pre.clone()));
+                self.recorder.as_mut().expect("just installed")
+            }
+        };
+        if !rec.run_open() {
+            // First invocation: its linearization state is the run's
+            // first-state. Push it so begin_run anchors there.
+            rec.observe_state(pre.clone());
+            rec.begin_run();
+        } else {
+            rec.observe_state(pre.clone());
+        }
+        rec.record_invocation(pre, outcome);
+        // A terminal outcome closes the run; a later record_step then
+        // opens a fresh run in the SAME computation, so one observer can
+        // witness several uses of the iterator — needed to check the
+        // relaxed §3.1/§3.3 per-run constraints and the §3.2 advice to
+        // "run the iterator again and hope to catch discrepancies".
+        if outcome.is_terminal() {
+            rec.end_run();
+        }
+        self.window_floor = self.latest_version(world);
+    }
+
+    /// Ends observation, returning the recorded computation.
+    pub fn finish(mut self, world: &StoreWorld) -> Computation {
+        let latest = self.latest_version(world);
+        if self.initialized && latest > self.seen_version {
+            self.sync_to(world, latest);
+        }
+        match self.recorder.take() {
+            Some(r) => r.finish(),
+            None => Computation::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use weakset_sim::latency::LatencyModel;
+    use weakset_sim::time::SimDuration;
+    use weakset_sim::topology::Topology;
+    use weakset_sim::world::WorldConfig;
+    use weakset_spec::checker::{check_computation, Figure};
+    use weakset_store::prelude::{CollectionRef, StoreClient};
+
+    fn setup() -> (StoreWorld, NodeId, NodeId, CollectionRef, StoreClient) {
+        let mut t = Topology::new();
+        let client_node = t.add_node("client", 0);
+        let home = t.add_node("home", 1);
+        let mut w = StoreWorld::new(
+            WorldConfig::seeded(1),
+            t,
+            LatencyModel::Constant(SimDuration::from_millis(1)),
+        );
+        w.install_service(home, Box::new(StoreServer::new()));
+        let cref = CollectionRef::unreplicated(CollectionId(1), home);
+        let client = StoreClient::new(client_node, SimDuration::from_millis(50));
+        client.create_collection(&mut w, &cref).unwrap();
+        (w, client_node, home, cref, client)
+    }
+
+    fn entry(id: u64, home: NodeId) -> MemberEntry {
+        MemberEntry {
+            elem: ObjectId(id),
+            home,
+        }
+    }
+
+    #[test]
+    fn records_a_clean_run() {
+        let (mut w, cn, home, cref, client) = setup();
+        client.add_member(&mut w, &cref, entry(1, home)).unwrap();
+        client.add_member(&mut w, &cref, entry(2, home)).unwrap();
+        let mut obs = RunObserver::new(cref.id, home, cn);
+        // Simulate an iterator yielding 1 then 2 at version 2, then
+        // returning.
+        obs.record_step(&w, Outcome::Yielded(ElemId(1)), &StepEvidence::at_version(2));
+        obs.record_step(&w, Outcome::Yielded(ElemId(2)), &StepEvidence::at_version(2));
+        obs.record_step(&w, Outcome::Returned, &StepEvidence::at_version(2));
+        let comp = obs.finish(&w);
+        assert_eq!(comp.runs.len(), 1);
+        check_computation(Figure::Fig4, &comp).assert_ok();
+        check_computation(Figure::Fig5, &comp).assert_ok();
+        check_computation(Figure::Fig6, &comp).assert_ok();
+    }
+
+    #[test]
+    fn mutation_mid_run_is_in_the_history() {
+        let (mut w, cn, home, cref, client) = setup();
+        client.add_member(&mut w, &cref, entry(1, home)).unwrap();
+        let mut obs = RunObserver::new(cref.id, home, cn);
+        obs.record_step(&w, Outcome::Yielded(ElemId(1)), &StepEvidence::at_version(1));
+        // Growth between invocations.
+        client.add_member(&mut w, &cref, entry(2, home)).unwrap();
+        obs.record_step(&w, Outcome::Yielded(ElemId(2)), &StepEvidence::at_version(2));
+        obs.record_step(&w, Outcome::Returned, &StepEvidence::at_version(2));
+        let comp = obs.finish(&w);
+        // Grow-only constraint holds across the recorded history.
+        check_computation(Figure::Fig5, &comp).assert_ok();
+        // Figure 4 flags the yield of an element outside s_first.
+        assert!(!check_computation(Figure::Fig4, &comp).is_ok());
+    }
+
+    #[test]
+    fn accessibility_sampling_respects_partitions() {
+        let (mut w, cn, home, cref, client) = setup();
+        let far = w.topology_mut().add_node("far", 2);
+        w.install_service(far, Box::new(StoreServer::new()));
+        client.add_member(&mut w, &cref, entry(1, home)).unwrap();
+        client.add_member(&mut w, &cref, entry(2, far)).unwrap();
+        w.topology_mut().partition(&[far]);
+        let mut obs = RunObserver::new(cref.id, home, cn);
+        obs.record_step(&w, Outcome::Yielded(ElemId(1)), &StepEvidence::at_version(2));
+        // Failing now (elem 2 unreachable) conforms to Fig 4/5; the
+        // sampled accessibility shows 2 inaccessible.
+        obs.record_step(&w, Outcome::Failed, &StepEvidence::at_version(2));
+        let comp = obs.finish(&w);
+        check_computation(Figure::Fig4, &comp).assert_ok();
+        check_computation(Figure::Fig5, &comp).assert_ok();
+        // Fig 6 never fails.
+        assert!(!check_computation(Figure::Fig6, &comp).is_ok());
+    }
+
+    #[test]
+    fn evidence_overrides_sampling() {
+        let (mut w, cn, home, cref, client) = setup();
+        client.add_member(&mut w, &cref, entry(1, home)).unwrap();
+        let mut obs = RunObserver::new(cref.id, home, cn);
+        // Claim 1 was observed unreachable even though topology says
+        // reachable: a failure outcome then conforms.
+        let ev = StepEvidence {
+            members_version: Some(1),
+            confirmed_unreachable: vec![ObjectId(1)],
+            ..Default::default()
+        };
+        obs.record_step(&w, Outcome::Failed, &ev);
+        let comp = obs.finish(&w);
+        check_computation(Figure::Fig4, &comp).assert_ok();
+    }
+
+    #[test]
+    fn membership_unreachable_empties_accessibility() {
+        let (mut w, cn, home, cref, client) = setup();
+        client.add_member(&mut w, &cref, entry(1, home)).unwrap();
+        let mut obs = RunObserver::new(cref.id, home, cn);
+        let ev = StepEvidence {
+            members_version: Some(1),
+            membership_unreachable: true,
+            ..Default::default()
+        };
+        // Blocked with membership unreachable conforms to Fig 6.
+        obs.record_step(&w, Outcome::Blocked, &ev);
+        let comp = obs.finish(&w);
+        check_computation(Figure::Fig6, &comp).assert_ok();
+    }
+
+    #[test]
+    fn empty_observation_yields_empty_computation() {
+        let (w, cn, home, cref, _client) = setup();
+        let obs = RunObserver::new(cref.id, home, cn);
+        let comp = obs.finish(&w);
+        assert!(comp.runs.is_empty());
+    }
+}

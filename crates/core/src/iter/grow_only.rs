@@ -1,0 +1,332 @@
+//! Growing-only semantics (Figure 5): every invocation consults the
+//! *current* membership; failures are handled pessimistically.
+
+use super::{fetch_first_reachable, order_candidates, IterConfig, ObserverSlot};
+use crate::conformance::{RunObserver, StepEvidence};
+use crate::error::{Failure, IterStep};
+use std::collections::BTreeSet;
+use weakset_spec::prelude::Computation;
+use weakset_store::collection::MemberEntry;
+use weakset_store::object::ObjectId;
+use weakset_store::prelude::{CollectionRef, StoreClient, StoreWorld};
+
+/// The grow-only `elements` iterator.
+///
+/// Each invocation re-reads the membership, so additions made while
+/// iterating are picked up (the paper notes the set may grow faster than
+/// the iterator drains it, so termination is not guaranteed). The first
+/// unreachable situation — membership unreadable, or every unyielded
+/// member unreachable — fails the run immediately.
+///
+/// The grow-only *constraint* is the environment's obligation, not the
+/// iterator's: run this iterator against a set that shrinks and the
+/// conformance checker will flag the constraint, not the iterator.
+#[derive(Debug)]
+pub struct GrowElements {
+    client: StoreClient,
+    cref: CollectionRef,
+    config: IterConfig,
+    yielded: BTreeSet<ObjectId>,
+    terminated: bool,
+    guard_held: bool,
+    cache: Option<weakset_store::cache::ObjectCache>,
+    observer: ObserverSlot,
+}
+
+impl GrowElements {
+    /// Creates the iterator; nothing is read until the first `next`.
+    pub fn new(client: StoreClient, cref: CollectionRef, config: IterConfig) -> Self {
+        let cache = super::cache_from(&config);
+        GrowElements {
+            client,
+            cref,
+            config,
+            yielded: BTreeSet::new(),
+            terminated: false,
+            guard_held: false,
+            cache,
+            observer: ObserverSlot::default(),
+        }
+    }
+
+    /// Whether this run currently holds the §3.3 grow guard.
+    pub fn holds_guard(&self) -> bool {
+        self.guard_held
+    }
+
+    fn release_guard(&mut self, world: &mut StoreWorld) {
+        if self.guard_held {
+            // Best effort: an unreachable primary leaks the guard until
+            // the client reconnects, like §3.1's lock hazard.
+            let _ = self.client.release_grow_guard(world, &self.cref);
+            self.guard_held = false;
+        }
+    }
+
+    /// Attaches a conformance observer to this run.
+    pub fn observe(&mut self, observer: RunObserver) {
+        self.observer.attach(observer);
+    }
+
+    /// Finishes observation (if any) and returns the recorded computation.
+    pub fn take_computation(&mut self, world: &StoreWorld) -> Option<Computation> {
+        self.observer.take_computation(world)
+    }
+
+    /// Detaches the live observer for hand-off to another run (keeps the
+    /// computation growing across runs).
+    pub fn take_observer(&mut self) -> Option<RunObserver> {
+        self.observer.take_observer()
+    }
+
+    /// Hands the warm object cache to a subsequent run (the paper's
+    /// history-object-as-cache, persisted across uses of the iterator).
+    pub fn take_cache(&mut self) -> Option<weakset_store::cache::ObjectCache> {
+        self.cache.take()
+    }
+
+    /// Installs a (possibly pre-warmed) object cache.
+    pub fn set_cache(&mut self, cache: weakset_store::cache::ObjectCache) {
+        self.cache = Some(cache);
+    }
+
+    /// Elements yielded so far.
+    pub fn yielded(&self) -> &BTreeSet<ObjectId> {
+        &self.yielded
+    }
+
+    /// One invocation against the current membership.
+    pub fn next(&mut self, world: &mut StoreWorld) -> IterStep {
+        if self.terminated {
+            return IterStep::Done;
+        }
+        self.observer.mark_start(world);
+        if self.config.guard_growth && !self.guard_held {
+            match self.client.acquire_grow_guard(world, &self.cref) {
+                Ok(()) => self.guard_held = true,
+                Err(e) => {
+                    let step = IterStep::Failed(Failure::Store(e));
+                    self.terminated = true;
+                    let ev = StepEvidence {
+                        membership_unreachable: true,
+                        ..Default::default()
+                    };
+                    self.observer.record(world, &step, &ev);
+                    return step;
+                }
+            }
+        }
+        let read = match self
+            .client
+            .read_members(world, &self.cref, self.config.read_policy)
+        {
+            Ok(read) => read,
+            Err(e) => {
+                let step = IterStep::Failed(Failure::MembershipUnavailable(e));
+                self.terminated = true;
+                self.release_guard(world);
+                let ev = StepEvidence {
+                    membership_unreachable: true,
+                    ..Default::default()
+                };
+                self.observer.record(world, &step, &ev);
+                return step;
+            }
+        };
+        let mut candidates: Vec<MemberEntry> = read
+            .entries
+            .iter()
+            .filter(|m| !self.yielded.contains(&m.elem))
+            .copied()
+            .collect();
+        if candidates.is_empty() {
+            let step = IterStep::Done;
+            self.terminated = true;
+            self.release_guard(world);
+            self.observer
+                .record(world, &step, &StepEvidence::at_version(read.version));
+            return step;
+        }
+        order_candidates(world, self.client.node(), &mut candidates, self.config.fetch_order);
+        let (found, unreachable) = fetch_first_reachable(world, &self.client, &candidates, &mut self.cache);
+        match found {
+            Some(rec) => {
+                self.yielded.insert(rec.id);
+                let step = IterStep::Yielded(rec);
+                let ev = StepEvidence {
+                    members_version: Some(read.version),
+                    confirmed_reachable: step.elem().into_iter().collect(),
+                    confirmed_unreachable: unreachable,
+                    membership_unreachable: false,
+                };
+                self.observer.record(world, &step, &ev);
+                step
+            }
+            None => {
+                let step = IterStep::Failed(Failure::MembersUnreachable {
+                    remaining: candidates.len(),
+                });
+                self.terminated = true;
+                self.release_guard(world);
+                let ev = StepEvidence {
+                    members_version: Some(read.version),
+                    confirmed_unreachable: unreachable,
+                    ..Default::default()
+                };
+                self.observer.record(world, &step, &ev);
+                step
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conformance::RunObserver;
+    use weakset_sim::latency::LatencyModel;
+    use weakset_sim::time::SimDuration;
+    use weakset_sim::topology::Topology;
+    use weakset_sim::world::WorldConfig;
+    use weakset_spec::checker::{check_computation, Figure};
+    use weakset_store::object::{CollectionId, ObjectRecord};
+    use weakset_store::prelude::StoreServer;
+
+    fn setup(n: usize) -> (StoreWorld, StoreClient, CollectionRef, Vec<weakset_sim::node::NodeId>) {
+        let mut t = Topology::new();
+        let cn = t.add_node("client", 0);
+        let servers: Vec<_> = (0..n).map(|i| t.add_node(format!("s{i}"), i as u32 + 1)).collect();
+        let mut w = StoreWorld::new(
+            WorldConfig::seeded(13),
+            t,
+            LatencyModel::Constant(SimDuration::from_millis(1)),
+        );
+        for &s in &servers {
+            w.install_service(s, Box::new(StoreServer::new()));
+        }
+        let client = StoreClient::new(cn, SimDuration::from_millis(50));
+        let cref = CollectionRef::unreplicated(CollectionId(1), servers[0]);
+        client.create_collection(&mut w, &cref).unwrap();
+        (w, client, cref, servers)
+    }
+
+    fn add(w: &mut StoreWorld, client: &StoreClient, cref: &CollectionRef, id: u64, home: weakset_sim::node::NodeId) {
+        client
+            .put_object(w, home, ObjectRecord::new(ObjectId(id), format!("o{id}"), &b"x"[..]))
+            .unwrap();
+        client
+            .add_member(w, cref, MemberEntry { elem: ObjectId(id), home })
+            .unwrap();
+    }
+
+    #[test]
+    fn picks_up_concurrent_growth() {
+        let (mut w, client, cref, servers) = setup(1);
+        add(&mut w, &client, &cref, 1, servers[0]);
+        let mut it = GrowElements::new(client.clone(), cref.clone(), IterConfig::default());
+        it.observe(RunObserver::new(cref.id, cref.home, client.node()));
+        assert_eq!(it.next(&mut w).elem(), Some(ObjectId(1)));
+        // Growth between invocations — unlike the snapshot iterator, this
+        // one must yield the new member.
+        add(&mut w, &client, &cref, 2, servers[0]);
+        assert_eq!(it.next(&mut w).elem(), Some(ObjectId(2)));
+        assert_eq!(it.next(&mut w), IterStep::Done);
+        let comp = it.take_computation(&w).unwrap();
+        check_computation(Figure::Fig5, &comp).assert_ok();
+        check_computation(Figure::Fig6, &comp).assert_ok();
+    }
+
+    #[test]
+    fn fails_pessimistically_when_member_unreachable() {
+        let (mut w, client, cref, servers) = setup(2);
+        add(&mut w, &client, &cref, 1, servers[0]);
+        add(&mut w, &client, &cref, 2, servers[1]);
+        let mut it = GrowElements::new(client.clone(), cref.clone(), IterConfig::default());
+        it.observe(RunObserver::new(cref.id, cref.home, client.node()));
+        assert!(matches!(it.next(&mut w), IterStep::Yielded(_)));
+        w.topology_mut().partition(&[servers[1]]);
+        assert!(matches!(
+            it.next(&mut w),
+            IterStep::Failed(Failure::MembersUnreachable { .. })
+        ));
+        let comp = it.take_computation(&w).unwrap();
+        check_computation(Figure::Fig5, &comp).assert_ok();
+    }
+
+    #[test]
+    fn membership_read_failure_fails_run() {
+        let (mut w, client, cref, servers) = setup(1);
+        add(&mut w, &client, &cref, 1, servers[0]);
+        w.topology_mut().crash(servers[0]);
+        let mut it = GrowElements::new(client.clone(), cref.clone(), IterConfig::default());
+        it.observe(RunObserver::new(cref.id, cref.home, client.node()));
+        assert!(matches!(
+            it.next(&mut w),
+            IterStep::Failed(Failure::MembershipUnavailable(_))
+        ));
+        let comp = it.take_computation(&w).unwrap();
+        check_computation(Figure::Fig5, &comp).assert_ok();
+    }
+
+    #[test]
+    fn producer_outpaces_iterator_without_termination() {
+        let (mut w, client, cref, servers) = setup(1);
+        add(&mut w, &client, &cref, 1, servers[0]);
+        let mut it = GrowElements::new(client.clone(), cref.clone(), IterConfig::default());
+        // Producer adds one element per consumed element for 10 rounds:
+        // the iterator keeps yielding, never terminating.
+        let mut yields = 0;
+        for i in 0..10u64 {
+            match it.next(&mut w) {
+                IterStep::Yielded(_) => yields += 1,
+                other => panic!("unexpected {other:?}"),
+            }
+            add(&mut w, &client, &cref, i + 2, servers[0]);
+        }
+        assert_eq!(yields, 10);
+        // Once the producer stops, the iterator drains and terminates.
+        let mut done = false;
+        for _ in 0..5 {
+            if it.next(&mut w) == IterStep::Done {
+                done = true;
+                break;
+            }
+        }
+        assert!(done);
+    }
+
+    #[test]
+    fn empty_set_returns_immediately() {
+        let (mut w, client, cref, _servers) = setup(1);
+        let mut it = GrowElements::new(client.clone(), cref.clone(), IterConfig::default());
+        it.observe(RunObserver::new(cref.id, cref.home, client.node()));
+        assert_eq!(it.next(&mut w), IterStep::Done);
+        let comp = it.take_computation(&w).unwrap();
+        check_computation(Figure::Fig5, &comp).assert_ok();
+    }
+
+    #[test]
+    fn shrinking_set_breaks_constraint_not_iterator() {
+        let (mut w, client, cref, servers) = setup(1);
+        add(&mut w, &client, &cref, 1, servers[0]);
+        add(&mut w, &client, &cref, 2, servers[0]);
+        let mut it = GrowElements::new(client.clone(), cref.clone(), IterConfig {
+            fetch_order: super::super::FetchOrder::IdOrder,
+            ..Default::default()
+        });
+        it.observe(RunObserver::new(cref.id, cref.home, client.node()));
+        assert_eq!(it.next(&mut w).elem(), Some(ObjectId(1)));
+        // The environment violates grow-only by removing a member.
+        client.remove_member(&mut w, &cref, ObjectId(2)).unwrap();
+        assert_eq!(it.next(&mut w), IterStep::Done);
+        let comp = it.take_computation(&w).unwrap();
+        let conf = check_computation(Figure::Fig5, &comp);
+        assert!(!conf.is_ok());
+        assert!(conf
+            .violations
+            .iter()
+            .any(|v| matches!(v, weakset_spec::checker::Violation::Constraint(_))));
+        // Under Figure 6 (no constraint) the same run conforms.
+        check_computation(Figure::Fig6, &comp).assert_ok();
+    }
+}

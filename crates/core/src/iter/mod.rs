@@ -1,0 +1,242 @@
+//! The `elements` iterator implementations, one per design point.
+//!
+//! All four share the same skeleton: read the membership list (when their
+//! semantics says to), pick an unyielded member, fetch its object from its
+//! home node, and yield it. They differ exactly where the paper's figures
+//! differ — *which* membership state they consult and *what they do when a
+//! member is unreachable*.
+
+pub mod grow_only;
+pub mod optimistic;
+pub mod snapshot;
+
+use crate::conformance::RunObserver;
+use crate::error::IterStep;
+use serde::{Deserialize, Serialize};
+use weakset_sim::node::NodeId;
+use weakset_sim::time::SimDuration;
+use weakset_spec::prelude::Outcome;
+use weakset_spec::value::ElemId;
+use weakset_store::collection::MemberEntry;
+use weakset_store::object::ObjectId;
+use weakset_store::prelude::{ReadPolicy, StoreClient, StoreWorld};
+
+/// The order in which unyielded members are attempted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum FetchOrder {
+    /// Lowest estimated latency first ("fetching closer files first").
+    #[default]
+    ClosestFirst,
+    /// Ascending element id (deterministic, locality-blind baseline).
+    IdOrder,
+}
+
+/// Tunables shared by every iterator.
+#[derive(Clone, Debug, PartialEq)]
+pub struct IterConfig {
+    /// How membership reads pick replicas.
+    pub read_policy: ReadPolicy,
+    /// Candidate ordering for fetches.
+    pub fetch_order: FetchOrder,
+    /// Optimistic semantics: membership-read/fetch rounds attempted before
+    /// reporting [`IterStep::Blocked`].
+    pub block_attempts: usize,
+    /// Optimistic semantics: simulated pause between those rounds.
+    pub retry_interval: SimDuration,
+    /// Grow-only semantics: hold a §3.3 grow guard for the duration of
+    /// the run, so concurrent removals are deferred ("ghosts") and the
+    /// grow-only constraint holds even against churning writers.
+    pub guard_growth: bool,
+    /// Client-side object cache TTL. `Some(ttl)` lets iterators serve
+    /// member objects from copies fetched earlier (the paper's "cached
+    /// version ... is a way to implement a history object"): reruns get
+    /// cheaper and a locally-held copy counts as accessible. `None`
+    /// disables caching.
+    pub cache_ttl: Option<SimDuration>,
+}
+
+impl Default for IterConfig {
+    fn default() -> Self {
+        IterConfig {
+            read_policy: ReadPolicy::Primary,
+            fetch_order: FetchOrder::ClosestFirst,
+            block_attempts: 3,
+            retry_interval: SimDuration::from_millis(20),
+            guard_growth: false,
+            cache_ttl: None,
+        }
+    }
+}
+
+/// Builds the iterator-local cache an [`IterConfig`] asks for.
+pub(crate) fn cache_from(config: &IterConfig) -> Option<weakset_store::cache::ObjectCache> {
+    config
+        .cache_ttl
+        .map(weakset_store::cache::ObjectCache::new)
+}
+
+/// Orders fetch candidates per the configured [`FetchOrder`].
+pub(crate) fn order_candidates(
+    world: &StoreWorld,
+    client_node: NodeId,
+    candidates: &mut [MemberEntry],
+    order: FetchOrder,
+) {
+    match order {
+        FetchOrder::IdOrder => candidates.sort_by_key(|m| m.elem),
+        FetchOrder::ClosestFirst => {
+            candidates.sort_by_key(|m| (world.estimate_latency(client_node, m.home), m.elem));
+        }
+    }
+}
+
+/// Tries candidates in order until a fetch succeeds, consulting (and
+/// filling) the optional client-side cache. A cache hit counts as a
+/// successful access: the client holds a copy, so the element is
+/// accessible to it regardless of the network.
+///
+/// Returns the fetched record (if any) and the list of members proven
+/// unreachable along the way.
+pub(crate) fn fetch_first_reachable(
+    world: &mut StoreWorld,
+    client: &StoreClient,
+    candidates: &[MemberEntry],
+    cache: &mut Option<weakset_store::cache::ObjectCache>,
+) -> (Option<weakset_store::object::ObjectRecord>, Vec<ObjectId>) {
+    let mut unreachable = Vec::new();
+    for m in candidates {
+        if let Some(c) = cache.as_mut() {
+            let now = world.now();
+            if let Some(rec) = c.get(now, m.elem) {
+                return (Some(rec.clone()), unreachable);
+            }
+        }
+        match client.fetch_object(world, m.home, m.elem) {
+            Ok(rec) => {
+                if let Some(c) = cache.as_mut() {
+                    c.put(world.now(), rec.clone());
+                }
+                return (Some(rec), unreachable);
+            }
+            Err(_) => unreachable.push(m.elem),
+        }
+    }
+    (None, unreachable)
+}
+
+/// Converts an [`IterStep`] into the spec-level [`Outcome`].
+pub(crate) fn outcome_of(step: &IterStep) -> Outcome {
+    match step {
+        IterStep::Yielded(rec) => Outcome::Yielded(ElemId(rec.id.0)),
+        IterStep::Done => Outcome::Returned,
+        IterStep::Failed(_) => Outcome::Failed,
+        IterStep::Blocked => Outcome::Blocked,
+    }
+}
+
+/// Shared observer plumbing for iterator implementations.
+#[derive(Debug, Default)]
+pub(crate) struct ObserverSlot {
+    observer: Option<RunObserver>,
+    computation: Option<weakset_spec::prelude::Computation>,
+}
+
+impl ObserverSlot {
+    pub fn attach(&mut self, observer: RunObserver) {
+        self.observer = Some(observer);
+    }
+
+    /// Marks the start of an invocation (see
+    /// [`RunObserver::mark_invocation_start`]).
+    pub fn mark_start(&mut self, world: &StoreWorld) {
+        if let Some(obs) = &mut self.observer {
+            obs.mark_invocation_start(world);
+        }
+    }
+
+    pub fn record(
+        &mut self,
+        world: &StoreWorld,
+        step: &IterStep,
+        evidence: &crate::conformance::StepEvidence,
+    ) {
+        if let Some(obs) = &mut self.observer {
+            obs.record_step(world, outcome_of(step), evidence);
+        }
+    }
+
+    /// Finishes observation and returns the recorded computation.
+    pub fn take_computation(
+        &mut self,
+        world: &StoreWorld,
+    ) -> Option<weakset_spec::prelude::Computation> {
+        if let Some(obs) = self.observer.take() {
+            self.computation = Some(obs.finish(world));
+        }
+        self.computation.take()
+    }
+
+    /// Detaches the live observer so a *subsequent* iterator run can keep
+    /// recording into the same computation (multi-run checking).
+    pub fn take_observer(&mut self) -> Option<RunObserver> {
+        self.observer.take()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use weakset_sim::latency::LatencyModel;
+    use weakset_sim::topology::Topology;
+    use weakset_sim::world::WorldConfig;
+
+    #[test]
+    fn closest_first_orders_by_estimated_latency() {
+        let mut t = Topology::new();
+        let client = t.add_node("c", 0);
+        let near = t.add_node("near", 1);
+        let far = t.add_node("far", 9);
+        let w = StoreWorld::new(
+            WorldConfig::seeded(0),
+            t,
+            LatencyModel::SiteDistance {
+                base: SimDuration::from_millis(1),
+                per_hop: SimDuration::from_millis(5),
+            },
+        );
+        let mut cands = vec![
+            MemberEntry {
+                elem: ObjectId(1),
+                home: far,
+            },
+            MemberEntry {
+                elem: ObjectId(2),
+                home: near,
+            },
+        ];
+        order_candidates(&w, client, &mut cands, FetchOrder::ClosestFirst);
+        assert_eq!(cands[0].home, near);
+        order_candidates(&w, client, &mut cands, FetchOrder::IdOrder);
+        assert_eq!(cands[0].elem, ObjectId(1));
+    }
+
+    #[test]
+    fn default_config_is_sensible() {
+        let c = IterConfig::default();
+        assert_eq!(c.read_policy, ReadPolicy::Primary);
+        assert_eq!(c.fetch_order, FetchOrder::ClosestFirst);
+        assert!(c.block_attempts >= 1);
+    }
+
+    #[test]
+    fn outcome_mapping() {
+        assert_eq!(outcome_of(&IterStep::Done), Outcome::Returned);
+        assert_eq!(outcome_of(&IterStep::Blocked), Outcome::Blocked);
+        assert_eq!(
+            outcome_of(&IterStep::Failed(crate::error::Failure::MembersUnreachable {
+                remaining: 1
+            })),
+            Outcome::Failed
+        );
+    }
+}

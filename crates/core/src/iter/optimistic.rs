@@ -1,0 +1,316 @@
+//! Optimistic semantics (Figure 6): the weakest design point and the one
+//! the authors implemented as *dynamic sets*.
+
+use super::{fetch_first_reachable, order_candidates, IterConfig, ObserverSlot};
+use crate::conformance::{RunObserver, StepEvidence};
+use crate::error::IterStep;
+use std::collections::BTreeSet;
+use weakset_spec::prelude::Computation;
+use weakset_store::collection::MemberEntry;
+use weakset_store::object::ObjectId;
+use weakset_store::prelude::{CollectionRef, StoreClient, StoreWorld};
+
+/// The optimistic `elements` iterator.
+///
+/// Each invocation consults the current membership and yields any
+/// reachable unyielded member. It **never signals failure**: when nothing
+/// unyielded is reachable (or the membership itself cannot be read) it
+/// retries — sleeping [`IterConfig::retry_interval`] between rounds, up to
+/// [`IterConfig::block_attempts`] rounds — and then reports
+/// [`IterStep::Blocked`], "with the expectation that in a later invocation
+/// inaccessible objects will become accessible again" (§3). Calling `next`
+/// again resumes the wait.
+#[derive(Debug)]
+pub struct OptimisticElements {
+    client: StoreClient,
+    cref: CollectionRef,
+    config: IterConfig,
+    yielded: BTreeSet<ObjectId>,
+    terminated: bool,
+    cache: Option<weakset_store::cache::ObjectCache>,
+    observer: ObserverSlot,
+}
+
+impl OptimisticElements {
+    /// Creates the iterator; nothing is read until the first `next`.
+    pub fn new(client: StoreClient, cref: CollectionRef, config: IterConfig) -> Self {
+        let cache = super::cache_from(&config);
+        OptimisticElements {
+            client,
+            cref,
+            config,
+            yielded: BTreeSet::new(),
+            terminated: false,
+            cache,
+            observer: ObserverSlot::default(),
+        }
+    }
+
+    /// Attaches a conformance observer to this run.
+    pub fn observe(&mut self, observer: RunObserver) {
+        self.observer.attach(observer);
+    }
+
+    /// Finishes observation (if any) and returns the recorded computation.
+    pub fn take_computation(&mut self, world: &StoreWorld) -> Option<Computation> {
+        self.observer.take_computation(world)
+    }
+
+    /// Detaches the live observer for hand-off to another run (keeps the
+    /// computation growing across runs).
+    pub fn take_observer(&mut self) -> Option<RunObserver> {
+        self.observer.take_observer()
+    }
+
+    /// Hands the warm object cache to a subsequent run (the paper's
+    /// history-object-as-cache, persisted across uses of the iterator).
+    pub fn take_cache(&mut self) -> Option<weakset_store::cache::ObjectCache> {
+        self.cache.take()
+    }
+
+    /// Installs a (possibly pre-warmed) object cache.
+    pub fn set_cache(&mut self, cache: weakset_store::cache::ObjectCache) {
+        self.cache = Some(cache);
+    }
+
+    /// Elements yielded so far.
+    pub fn yielded(&self) -> &BTreeSet<ObjectId> {
+        &self.yielded
+    }
+
+    /// One invocation: yield, terminate, or — after exhausting this
+    /// invocation's retry budget — block. Never fails.
+    pub fn next(&mut self, world: &mut StoreWorld) -> IterStep {
+        if self.terminated {
+            return IterStep::Done;
+        }
+        self.observer.mark_start(world);
+        let mut last_version: Option<u64> = None;
+        let mut last_unreachable: Vec<ObjectId> = Vec::new();
+        let mut saw_membership = false;
+        for attempt in 0..self.config.block_attempts.max(1) {
+            if attempt > 0 {
+                world.sleep(self.config.retry_interval);
+            }
+            let read = match self
+                .client
+                .read_members(world, &self.cref, self.config.read_policy)
+            {
+                Ok(read) => read,
+                Err(_) => continue, // optimistic: maybe next round
+            };
+            saw_membership = true;
+            last_version = Some(read.version);
+            let mut candidates: Vec<MemberEntry> = read
+                .entries
+                .iter()
+                .filter(|m| !self.yielded.contains(&m.elem))
+                .copied()
+                .collect();
+            if candidates.is_empty() {
+                let step = IterStep::Done;
+                self.terminated = true;
+                self.observer
+                    .record(world, &step, &StepEvidence::at_version(read.version));
+                return step;
+            }
+            order_candidates(world, self.client.node(), &mut candidates, self.config.fetch_order);
+            let (found, unreachable) = fetch_first_reachable(world, &self.client, &candidates, &mut self.cache);
+            last_unreachable = unreachable;
+            if let Some(rec) = found {
+                self.yielded.insert(rec.id);
+                let step = IterStep::Yielded(rec);
+                let ev = StepEvidence {
+                    members_version: Some(read.version),
+                    confirmed_reachable: step.elem().into_iter().collect(),
+                    confirmed_unreachable: last_unreachable.clone(),
+                    membership_unreachable: false,
+                };
+                self.observer.record(world, &step, &ev);
+                return step;
+            }
+        }
+        let step = IterStep::Blocked;
+        let ev = StepEvidence {
+            members_version: last_version,
+            confirmed_unreachable: last_unreachable,
+            membership_unreachable: !saw_membership,
+            ..Default::default()
+        };
+        self.observer.record(world, &step, &ev);
+        step
+    }
+
+    /// Drives the iterator until it terminates or blocks `max_blocks`
+    /// consecutive times, sleeping `wait` between blocked invocations.
+    /// Returns the records yielded and the final step.
+    pub fn drain(
+        &mut self,
+        world: &mut StoreWorld,
+        max_blocks: usize,
+        wait: weakset_sim::time::SimDuration,
+    ) -> (Vec<weakset_store::object::ObjectRecord>, IterStep) {
+        let mut out = Vec::new();
+        let mut blocks = 0;
+        loop {
+            match self.next(world) {
+                IterStep::Yielded(rec) => {
+                    blocks = 0;
+                    out.push(rec);
+                }
+                IterStep::Blocked => {
+                    blocks += 1;
+                    if blocks >= max_blocks {
+                        return (out, IterStep::Blocked);
+                    }
+                    world.sleep(wait);
+                }
+                step @ IterStep::Done => return (out, step),
+                step @ IterStep::Failed(_) => return (out, step),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conformance::RunObserver;
+    use weakset_sim::fault::FaultPlan;
+    use weakset_sim::latency::LatencyModel;
+    use weakset_sim::time::{SimDuration, SimTime};
+    use weakset_sim::topology::Topology;
+    use weakset_sim::world::WorldConfig;
+    use weakset_spec::checker::{check_computation, Figure};
+    use weakset_spec::specs::fig6;
+    use weakset_store::object::{CollectionId, ObjectRecord};
+    use weakset_store::prelude::StoreServer;
+
+    fn setup(n: usize) -> (StoreWorld, StoreClient, CollectionRef, Vec<weakset_sim::node::NodeId>) {
+        let mut t = Topology::new();
+        let cn = t.add_node("client", 0);
+        let servers: Vec<_> = (0..n).map(|i| t.add_node(format!("s{i}"), i as u32 + 1)).collect();
+        let mut w = StoreWorld::new(
+            WorldConfig::seeded(17),
+            t,
+            LatencyModel::Constant(SimDuration::from_millis(1)),
+        );
+        for &s in &servers {
+            w.install_service(s, Box::new(StoreServer::new()));
+        }
+        let client = StoreClient::new(cn, SimDuration::from_millis(50));
+        let cref = CollectionRef::unreplicated(CollectionId(1), servers[0]);
+        client.create_collection(&mut w, &cref).unwrap();
+        (w, client, cref, servers)
+    }
+
+    fn add(w: &mut StoreWorld, client: &StoreClient, cref: &CollectionRef, id: u64, home: weakset_sim::node::NodeId) {
+        client
+            .put_object(w, home, ObjectRecord::new(ObjectId(id), format!("o{id}"), &b"x"[..]))
+            .unwrap();
+        client
+            .add_member(w, cref, MemberEntry { elem: ObjectId(id), home })
+            .unwrap();
+    }
+
+    #[test]
+    fn blocks_under_partition_then_resumes_after_heal() {
+        let (mut w, client, cref, servers) = setup(2);
+        add(&mut w, &client, &cref, 1, servers[0]);
+        add(&mut w, &client, &cref, 2, servers[1]);
+        let mut it = OptimisticElements::new(client.clone(), cref.clone(), IterConfig::default());
+        it.observe(RunObserver::new(cref.id, cref.home, client.node()));
+        assert!(matches!(it.next(&mut w), IterStep::Yielded(_)));
+        // Partition away the node holding element 2, healing later.
+        w.topology_mut().partition(&[servers[1]]);
+        let heal_at = w.now() + SimDuration::from_secs(1);
+        w.install_plan(&FaultPlan::none().heal_at(heal_at));
+        // First invocation under partition blocks (no failure!).
+        assert_eq!(it.next(&mut w), IterStep::Blocked);
+        // Keep resuming: after the heal the element arrives.
+        let (got, end) = it.drain(&mut w, 50, SimDuration::from_millis(100));
+        assert_eq!(end, IterStep::Done);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].id, ObjectId(2));
+        let comp = it.take_computation(&w).unwrap();
+        check_computation(Figure::Fig6, &comp).assert_ok();
+        for run in &comp.runs {
+            assert!(fig6::yields_were_members(&comp, run));
+        }
+    }
+
+    #[test]
+    fn sees_both_growth_and_shrinkage() {
+        let (mut w, client, cref, servers) = setup(1);
+        add(&mut w, &client, &cref, 1, servers[0]);
+        add(&mut w, &client, &cref, 2, servers[0]);
+        let mut it = OptimisticElements::new(client.clone(), cref.clone(), IterConfig {
+            fetch_order: super::super::FetchOrder::IdOrder,
+            ..Default::default()
+        });
+        it.observe(RunObserver::new(cref.id, cref.home, client.node()));
+        assert_eq!(it.next(&mut w).elem(), Some(ObjectId(1)));
+        // Concurrent: remove 2, add 3.
+        client.remove_member(&mut w, &cref, ObjectId(2)).unwrap();
+        add(&mut w, &client, &cref, 3, servers[0]);
+        assert_eq!(it.next(&mut w).elem(), Some(ObjectId(3)));
+        assert_eq!(it.next(&mut w), IterStep::Done);
+        let comp = it.take_computation(&w).unwrap();
+        check_computation(Figure::Fig6, &comp).assert_ok();
+        // The pessimistic figures reject this history (constraint).
+        assert!(!check_computation(Figure::Fig5, &comp).is_ok());
+    }
+
+    #[test]
+    fn never_fails_even_when_everything_is_down() {
+        let (mut w, client, cref, servers) = setup(1);
+        add(&mut w, &client, &cref, 1, servers[0]);
+        w.topology_mut().crash(servers[0]);
+        let mut it = OptimisticElements::new(client.clone(), cref.clone(), IterConfig::default());
+        it.observe(RunObserver::new(cref.id, cref.home, client.node()));
+        for _ in 0..3 {
+            assert_eq!(it.next(&mut w), IterStep::Blocked);
+        }
+        let comp = it.take_computation(&w).unwrap();
+        check_computation(Figure::Fig6, &comp).assert_ok();
+    }
+
+    #[test]
+    fn empty_set_terminates() {
+        let (mut w, client, cref, _servers) = setup(1);
+        let mut it = OptimisticElements::new(client, cref, IterConfig::default());
+        assert_eq!(it.next(&mut w), IterStep::Done);
+        assert_eq!(it.next(&mut w), IterStep::Done);
+    }
+
+    #[test]
+    fn retry_budget_advances_simulated_time() {
+        let (mut w, client, cref, servers) = setup(1);
+        add(&mut w, &client, &cref, 1, servers[0]);
+        w.topology_mut().partition(&[servers[0]]);
+        let cfg = IterConfig {
+            block_attempts: 4,
+            retry_interval: SimDuration::from_millis(10),
+            ..Default::default()
+        };
+        let mut it = OptimisticElements::new(client, cref, cfg);
+        let before = w.now();
+        assert_eq!(it.next(&mut w), IterStep::Blocked);
+        // 3 sleeps of 10ms plus 4 failure detections of 2ms each.
+        assert!(w.now() >= before + SimDuration::from_millis(30), "{}", w.now());
+        assert!(w.now() < SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn drain_collects_everything_in_healthy_world() {
+        let (mut w, client, cref, servers) = setup(3);
+        for i in 0..9u64 {
+            add(&mut w, &client, &cref, i + 1, servers[(i % 3) as usize]);
+        }
+        let mut it = OptimisticElements::new(client, cref, IterConfig::default());
+        let (got, end) = it.drain(&mut w, 3, SimDuration::from_millis(10));
+        assert_eq!(end, IterStep::Done);
+        assert_eq!(got.len(), 9);
+        assert_eq!(it.yielded().len(), 9);
+    }
+}

@@ -1,0 +1,94 @@
+//! # weakset
+//!
+//! Weak sets and dynamic sets — a full implementation of the design space
+//! in Wing & Steere, *Specifying Weak Sets* (ICDCS 1995), over a simulated
+//! wide-area object repository.
+//!
+//! A *weak set* is a set abstraction for wide-area systems (the Web, a
+//! distributed file system) where strong consistency is neither expected
+//! nor affordable: membership is determined *during* the query, order does
+//! not matter, elements may appear or vanish concurrently, and some
+//! members may be unreachable because of node or network failures.
+//!
+//! ## The design space
+//!
+//! The paper specifies four semantics for the `elements` iterator; this
+//! crate implements all of them plus the strongly-consistent baseline the
+//! paper argues against ([`semantics::Semantics`]):
+//!
+//! | Semantics | Figure | Membership consulted | Failure handling |
+//! |---|---|---|---|
+//! | [`strong::LockedElements`] | 3 (+§3.1 lock discussion) | locked snapshot | fail |
+//! | [`iter::snapshot::SnapshotElements`] | 1/3/4 | first-invocation snapshot | fail |
+//! | [`iter::grow_only::GrowElements`] | 5 | current, every invocation | fail fast |
+//! | [`iter::optimistic::OptimisticElements`] | 6 | current, every invocation | block & retry |
+//!
+//! Every iterator can carry a [`conformance::RunObserver`] that records
+//! the run as a `weakset-spec` computation, machine-checked against the
+//! corresponding figure.
+//!
+//! [`dynamic_set::DynamicSet`] is the paper's target system: Figure 6
+//! semantics plus parallel prefetching ([`prefetch::PrefetchEngine`]),
+//! closest-first fetching, and partial results under failures.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use weakset_sim::prelude::*;
+//! use weakset_store::prelude::*;
+//! use weakset::prelude::*;
+//!
+//! // A 3-node world: one client, two servers.
+//! let mut topo = Topology::new();
+//! let me = topo.add_node("laptop", 0);
+//! let s1 = topo.add_node("server-1", 1);
+//! let s2 = topo.add_node("server-2", 2);
+//! let mut world = StoreWorld::new(WorldConfig::seeded(42), topo, LatencyModel::default());
+//! world.install_service(s1, Box::new(StoreServer::new()));
+//! world.install_service(s2, Box::new(StoreServer::new()));
+//!
+//! // A weak set whose membership list lives on s1.
+//! let set = WeakSetBuilder::new(CollectionId(1), s1).client_node(me).create(&mut world)?;
+//! set.add(&mut world, ObjectRecord::new(ObjectId(1), "menu-1", &b"dim sum"[..]), s1)?;
+//! set.add(&mut world, ObjectRecord::new(ObjectId(2), "menu-2", &b"noodles"[..]), s2)?;
+//!
+//! // Iterate optimistically (Figure 6).
+//! let mut it = set.elements(Semantics::Optimistic);
+//! let mut names = Vec::new();
+//! loop {
+//!     match it.next(&mut world) {
+//!         IterStep::Yielded(rec) => names.push(rec.name),
+//!         IterStep::Done => break,
+//!         other => panic!("unexpected: {other:?}"),
+//!     }
+//! }
+//! names.sort();
+//! assert_eq!(names, ["menu-1", "menu-2"]);
+//! # Ok::<(), weakset::error::Failure>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod builder;
+pub mod conformance;
+pub mod dynamic_set;
+pub mod error;
+pub mod handle;
+pub mod iter;
+pub mod prefetch;
+pub mod semantics;
+pub mod strong;
+
+/// One-stop imports for weak-set users.
+pub mod prelude {
+    pub use crate::builder::WeakSetBuilder;
+    pub use crate::conformance::{RunObserver, StepEvidence};
+    pub use crate::dynamic_set::DynamicSet;
+    pub use crate::error::{Failure, IterStep};
+    pub use crate::handle::{Elements, WeakSet};
+    pub use crate::iter::{FetchOrder, IterConfig};
+    pub use crate::prefetch::{PrefetchConfig, PrefetchEngine, PrefetchStep};
+    pub use crate::semantics::Semantics;
+    pub use crate::strong::LockedElements;
+}

@@ -1,0 +1,937 @@
+//! A wide-area distributed file system over the object store.
+//!
+//! Directories are store *collections* (their membership lists live on a
+//! home node); files and directory-entry markers are store *objects*
+//! scattered across volume nodes. That is exactly the paper's §1.1
+//! setting: "files and subdirectories in the same directory may reside on
+//! nodes different from each other and/or from the directory itself".
+//!
+//! Two directory-listing implementations are provided:
+//!
+//! * [`FileSystem::ls`] — the strict Unix-like baseline: reads the
+//!   membership, fetches **every** entry, sorts alphabetically, and
+//!   returns all-or-nothing. Under failures it returns an error (and in
+//!   the worst case the paper notes such a design may simply never
+//!   complete; here the RPC timeout bounds it).
+//! * [`FileSystem::dynls`] — `ls` over a dynamic set: entries stream back
+//!   unordered as they arrive, in parallel, and unreachable entries are
+//!   reported as pending instead of failing the whole listing.
+
+use crate::path::FsPath;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use weakset::prelude::{DynamicSet, IterStep, PrefetchConfig};
+use weakset_sim::node::NodeId;
+use weakset_sim::time::SimDuration;
+use weakset_store::collection::MemberEntry;
+use weakset_store::object::{CollectionId, ObjectId, ObjectRecord};
+use weakset_store::prelude::{CollectionRef, Query, ReadPolicy, StoreClient, StoreError, StoreWorld};
+
+/// What kind of thing a directory entry names.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EntryKind {
+    /// A regular file.
+    File,
+    /// A subdirectory.
+    Dir,
+}
+
+/// One entry of a directory listing.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DirEntry {
+    /// The entry's name within its directory.
+    pub name: String,
+    /// File or directory.
+    pub kind: EntryKind,
+    /// Payload size in bytes (0 for directories).
+    pub size: usize,
+    /// The underlying object id.
+    pub id: ObjectId,
+}
+
+impl DirEntry {
+    fn from_record(rec: &ObjectRecord) -> Self {
+        let kind = if rec.attr("kind") == Some("dir") {
+            EntryKind::Dir
+        } else {
+            EntryKind::File
+        };
+        DirEntry {
+            name: rec.name.clone(),
+            kind,
+            size: rec.size(),
+            id: rec.id,
+        }
+    }
+}
+
+/// Why a file system operation failed.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FsError {
+    /// The path (or its parent) does not exist in the namespace.
+    NotFound(FsPath),
+    /// The path already exists.
+    AlreadyExists(FsPath),
+    /// A store/network operation failed.
+    Store(StoreError),
+    /// Strict `ls` could not fetch every entry.
+    Incomplete {
+        /// Entries fetched before the failure.
+        fetched: usize,
+        /// Total entries in the directory.
+        total: usize,
+    },
+}
+
+impl fmt::Display for FsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsError::NotFound(p) => write!(f, "no such file or directory: {p}"),
+            FsError::AlreadyExists(p) => write!(f, "already exists: {p}"),
+            FsError::Store(e) => write!(f, "store failure: {e}"),
+            FsError::Incomplete { fetched, total } => {
+                write!(f, "listing incomplete: {fetched} of {total} entries fetched")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FsError {}
+
+impl From<StoreError> for FsError {
+    fn from(e: StoreError) -> Self {
+        FsError::Store(e)
+    }
+}
+
+/// A client view of the distributed file system.
+///
+/// The namespace table (path → collection/object) is client-side state,
+/// like a mount table plus a lookup cache; the authoritative membership
+/// and payloads live in the store.
+#[derive(Clone, Debug)]
+pub struct FileSystem {
+    client: StoreClient,
+    dirs: BTreeMap<FsPath, CollectionRef>,
+    files: BTreeMap<FsPath, MemberEntry>,
+    next_obj: u64,
+    next_coll: u64,
+    replicas: Vec<NodeId>,
+}
+
+impl FileSystem {
+    /// Creates a file system whose root directory's membership list lives
+    /// on `root_home`, operated by a client on `client_node`.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::Store`] when the root collection cannot be created.
+    pub fn format(
+        world: &mut StoreWorld,
+        client_node: NodeId,
+        root_home: NodeId,
+        timeout: SimDuration,
+    ) -> Result<Self, FsError> {
+        let client = StoreClient::new(client_node, timeout);
+        let mut fs = FileSystem {
+            client,
+            dirs: BTreeMap::new(),
+            files: BTreeMap::new(),
+            next_obj: 1,
+            next_coll: 1,
+            replicas: Vec::new(),
+        };
+        let root = CollectionRef::unreplicated(CollectionId(0), root_home);
+        fs.client.create_collection(world, &root)?;
+        fs.dirs.insert(FsPath::root(), root);
+        Ok(fs)
+    }
+
+    /// Replicates every *subsequently created* directory's membership list
+    /// onto these nodes.
+    #[must_use]
+    pub fn with_dir_replicas(mut self, replicas: Vec<NodeId>) -> Self {
+        self.replicas = replicas;
+        self
+    }
+
+    /// A second client view of the same namespace from another node
+    /// (e.g. a concurrent mutator or a mobile client).
+    pub fn view_from(&self, client_node: NodeId, timeout: SimDuration) -> FileSystem {
+        FileSystem {
+            client: StoreClient::new(client_node, timeout),
+            dirs: self.dirs.clone(),
+            files: self.files.clone(),
+            // Disjoint id ranges so two views can create objects without
+            // colliding (a real FS would allocate ids at the server).
+            next_obj: self.next_obj + 1_000_000,
+            next_coll: self.next_coll + 1_000_000,
+            replicas: self.replicas.clone(),
+        }
+    }
+
+    /// The client this view operates through.
+    pub fn client(&self) -> &StoreClient {
+        &self.client
+    }
+
+    /// The collection backing a directory.
+    pub fn dir(&self, path: &FsPath) -> Option<&CollectionRef> {
+        self.dirs.get(path)
+    }
+
+    /// The member entry backing a file.
+    pub fn file(&self, path: &FsPath) -> Option<MemberEntry> {
+        self.files.get(path).copied()
+    }
+
+    /// Known directories (client-side namespace).
+    pub fn dir_paths(&self) -> impl Iterator<Item = &FsPath> {
+        self.dirs.keys()
+    }
+
+    fn fresh_obj(&mut self) -> ObjectId {
+        let id = ObjectId(self.next_obj);
+        self.next_obj += 1;
+        id
+    }
+
+    fn fresh_coll(&mut self) -> CollectionId {
+        let id = CollectionId(self.next_coll);
+        self.next_coll += 1;
+        id
+    }
+
+    fn parent_of(&self, path: &FsPath) -> Result<CollectionRef, FsError> {
+        let parent = path.parent().ok_or_else(|| FsError::AlreadyExists(path.clone()))?;
+        self.dirs
+            .get(&parent)
+            .cloned()
+            .ok_or(FsError::NotFound(parent))
+    }
+
+    /// Creates a directory whose membership list lives on `home`. A
+    /// directory-entry marker object is stored on `home` and linked into
+    /// the parent directory.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NotFound`] if the parent does not exist,
+    /// [`FsError::AlreadyExists`] for duplicates, [`FsError::Store`] on
+    /// communication failure.
+    pub fn mkdir(
+        &mut self,
+        world: &mut StoreWorld,
+        path: &FsPath,
+        home: NodeId,
+    ) -> Result<CollectionRef, FsError> {
+        if self.dirs.contains_key(path) || self.files.contains_key(path) {
+            return Err(FsError::AlreadyExists(path.clone()));
+        }
+        let parent = self.parent_of(path)?;
+        let name = path.name().expect("non-root path has a name").to_string();
+        let coll = self.fresh_coll();
+        let cref = CollectionRef {
+            id: coll,
+            home,
+            replicas: self.replicas.clone(),
+        };
+        self.client.create_collection(world, &cref)?;
+        // The dirent marker makes the directory visible in listings.
+        let marker = self.fresh_obj();
+        let rec = ObjectRecord::new(marker, name, &b""[..])
+            .with_attr("kind", "dir")
+            .with_attr("coll", coll.0.to_string());
+        self.client.put_object(world, home, rec)?;
+        self.client.add_member(
+            world,
+            &parent,
+            MemberEntry {
+                elem: marker,
+                home,
+            },
+        )?;
+        self.dirs.insert(path.clone(), cref.clone());
+        Ok(cref)
+    }
+
+    /// Creates a file stored on `home` and links it into its parent
+    /// directory.
+    ///
+    /// # Errors
+    ///
+    /// As for [`FileSystem::mkdir`].
+    pub fn create_file(
+        &mut self,
+        world: &mut StoreWorld,
+        path: &FsPath,
+        content: &[u8],
+        home: NodeId,
+    ) -> Result<ObjectId, FsError> {
+        self.create_file_with_attrs(world, path, content, home, &[])
+    }
+
+    /// [`FileSystem::create_file`] with extra queryable attributes.
+    ///
+    /// # Errors
+    ///
+    /// As for [`FileSystem::mkdir`].
+    pub fn create_file_with_attrs(
+        &mut self,
+        world: &mut StoreWorld,
+        path: &FsPath,
+        content: &[u8],
+        home: NodeId,
+        attrs: &[(&str, &str)],
+    ) -> Result<ObjectId, FsError> {
+        if self.dirs.contains_key(path) || self.files.contains_key(path) {
+            return Err(FsError::AlreadyExists(path.clone()));
+        }
+        let parent = self.parent_of(path)?;
+        let name = path.name().expect("non-root path has a name").to_string();
+        let id = self.fresh_obj();
+        let mut rec = ObjectRecord::new(id, name, content.to_vec()).with_attr("kind", "file");
+        for (k, v) in attrs {
+            rec = rec.with_attr(*k, *v);
+        }
+        self.client.put_object(world, home, rec)?;
+        self.client
+            .add_member(world, &parent, MemberEntry { elem: id, home })?;
+        self.files.insert(path.clone(), MemberEntry { elem: id, home });
+        Ok(id)
+    }
+
+    /// Removes a file from its directory (the payload object is deleted
+    /// too).
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NotFound`] for unknown paths, [`FsError::Store`] on
+    /// communication failure.
+    pub fn unlink(&mut self, world: &mut StoreWorld, path: &FsPath) -> Result<(), FsError> {
+        let entry = self.files.get(path).copied().ok_or(FsError::NotFound(path.clone()))?;
+        let parent = self.parent_of(path)?;
+        self.client.remove_member(world, &parent, entry.elem)?;
+        let _ = self.client.delete_object(world, entry.home, entry.elem);
+        self.files.remove(path);
+        Ok(())
+    }
+
+    /// Metadata for one file or directory, fetched from its home node.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NotFound`] for unknown paths, [`FsError::Store`] on
+    /// communication failure.
+    pub fn stat(&self, world: &mut StoreWorld, path: &FsPath) -> Result<DirEntry, FsError> {
+        if let Some(entry) = self.files.get(path) {
+            let rec = self.client.fetch_object(world, entry.home, entry.elem)?;
+            return Ok(DirEntry::from_record(&rec));
+        }
+        if path.is_root() {
+            return Ok(DirEntry {
+                name: "/".to_string(),
+                kind: EntryKind::Dir,
+                size: 0,
+                id: ObjectId(0),
+            });
+        }
+        if self.dirs.contains_key(path) {
+            // Directories stat via their dirent marker in the parent.
+            let name = path.name().expect("non-root").to_string();
+            let parent = self.parent_of(path)?;
+            let read = self
+                .client
+                .read_members(world, &parent, ReadPolicy::Primary)?;
+            for m in &read.entries {
+                if let Ok(rec) = self.client.fetch_object(world, m.home, m.elem) {
+                    if rec.name == name && rec.attr("kind") == Some("dir") {
+                        return Ok(DirEntry::from_record(&rec));
+                    }
+                }
+            }
+        }
+        Err(FsError::NotFound(path.clone()))
+    }
+
+    /// Renames a file, possibly across directories: the member moves from
+    /// the old parent's collection to the new one and the object's name
+    /// is rewritten in place.
+    ///
+    /// Not atomic — exactly the weak-set behaviour §1 warns about: a
+    /// concurrent listing may observe the file in neither directory (the
+    /// remove landed, the add has not) or with its old name.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NotFound`] / [`FsError::AlreadyExists`] /
+    /// [`FsError::Store`].
+    pub fn rename(
+        &mut self,
+        world: &mut StoreWorld,
+        from: &FsPath,
+        to: &FsPath,
+    ) -> Result<(), FsError> {
+        let entry = self
+            .files
+            .get(from)
+            .copied()
+            .ok_or(FsError::NotFound(from.clone()))?;
+        if self.files.contains_key(to) || self.dirs.contains_key(to) {
+            return Err(FsError::AlreadyExists(to.clone()));
+        }
+        let new_parent = self.parent_of(to)?;
+        let old_parent = self.parent_of(from)?;
+        // Rewrite the object's name first so a window where the file is
+        // linked nowhere never shows a stale name afterwards.
+        let mut rec = self.client.fetch_object(world, entry.home, entry.elem)?;
+        rec.name = to.name().expect("non-root").to_string();
+        self.client.put_object(world, entry.home, rec)?;
+        self.client
+            .remove_member(world, &old_parent, entry.elem)?;
+        self.client.add_member(world, &new_parent, entry)?;
+        self.files.remove(from);
+        self.files.insert(to.clone(), entry);
+        Ok(())
+    }
+
+    /// Reads one file's contents.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NotFound`] / [`FsError::Store`].
+    pub fn read_file(&self, world: &mut StoreWorld, path: &FsPath) -> Result<ObjectRecord, FsError> {
+        let entry = self.files.get(path).ok_or(FsError::NotFound(path.clone()))?;
+        Ok(self.client.fetch_object(world, entry.home, entry.elem)?)
+    }
+
+    /// The strict baseline `ls`: fetch *all* entries, sort by name,
+    /// all-or-nothing.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NotFound`] for unknown directories, [`FsError::Store`]
+    /// when the membership cannot be read, and [`FsError::Incomplete`]
+    /// when any entry fetch fails — partial listings are not returned.
+    pub fn ls(&self, world: &mut StoreWorld, path: &FsPath) -> Result<Vec<DirEntry>, FsError> {
+        let cref = self.dirs.get(path).ok_or(FsError::NotFound(path.clone()))?;
+        let read = self
+            .client
+            .read_members(world, cref, ReadPolicy::Primary)?;
+        let total = read.entries.len();
+        let mut out = Vec::with_capacity(total);
+        for m in &read.entries {
+            match self.client.fetch_object(world, m.home, m.elem) {
+                Ok(rec) => out.push(DirEntry::from_record(&rec)),
+                Err(_) => {
+                    return Err(FsError::Incomplete {
+                        fetched: out.len(),
+                        total,
+                    })
+                }
+            }
+        }
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        Ok(out)
+    }
+
+    /// `ls` over a dynamic set: opens a streaming, unordered, partial
+    /// listing.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NotFound`] for unknown directories, [`FsError::Store`]
+    /// when the membership cannot be read at open time.
+    pub fn dynls(
+        &self,
+        world: &mut StoreWorld,
+        path: &FsPath,
+        cfg: PrefetchConfig,
+    ) -> Result<DynLs, FsError> {
+        self.dynls_with_policy(world, path, ReadPolicy::Primary, cfg)
+    }
+
+    /// [`FileSystem::dynls`] with an explicit membership read policy —
+    /// with directory replicas ([`FileSystem::with_dir_replicas`]),
+    /// `ReadPolicy::Any` keeps listings available through a primary
+    /// outage at the price of possibly stale membership.
+    ///
+    /// # Errors
+    ///
+    /// As for [`FileSystem::dynls`].
+    pub fn dynls_with_policy(
+        &self,
+        world: &mut StoreWorld,
+        path: &FsPath,
+        policy: ReadPolicy,
+        cfg: PrefetchConfig,
+    ) -> Result<DynLs, FsError> {
+        let cref = self.dirs.get(path).ok_or(FsError::NotFound(path.clone()))?;
+        let set = DynamicSet::open_collection(world, &self.client, cref, policy, cfg)?;
+        Ok(DynLs { set })
+    }
+}
+
+impl FileSystem {
+    /// Recursive predicate search ("finding all files that satisfy a
+    /// given predicate", §1.1): gathers the membership of every known
+    /// directory at or below `root`, then streams matching files back
+    /// with dynamic-set semantics. Directories whose membership list is
+    /// unreachable are *skipped* — partial results, reported in
+    /// [`FindStream::dirs_skipped`].
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NotFound`] when `root` is not a known directory.
+    pub fn find(
+        &self,
+        world: &mut StoreWorld,
+        root: &FsPath,
+        query: &Query,
+        cfg: PrefetchConfig,
+    ) -> Result<FindStream, FsError> {
+        if !self.dirs.contains_key(root) {
+            return Err(FsError::NotFound(root.clone()));
+        }
+        let mut members: Vec<MemberEntry> = Vec::new();
+        let mut dirs_skipped = 0;
+        for (path, cref) in &self.dirs {
+            if !path.starts_with(root) {
+                continue;
+            }
+            match self.client.read_members(world, cref, ReadPolicy::Primary) {
+                Ok(read) => members.extend(read.entries),
+                Err(_) => dirs_skipped += 1,
+            }
+        }
+        members.sort_by_key(|m| m.elem);
+        members.dedup_by_key(|m| m.elem);
+        let set = DynamicSet::over_members(world, &self.client, members, cfg);
+        Ok(FindStream {
+            set,
+            query: query.clone(),
+            dirs_skipped,
+        })
+    }
+}
+
+/// A streaming recursive search: fetched objects are filtered by the
+/// query client-side; directory-entry markers are skipped.
+#[derive(Debug)]
+pub struct FindStream {
+    set: DynamicSet,
+    query: Query,
+    dirs_skipped: usize,
+}
+
+impl FindStream {
+    /// Directories the traversal could not read (unreachable membership
+    /// lists).
+    pub fn dirs_skipped(&self) -> usize {
+        self.dirs_skipped
+    }
+
+    /// Candidate entries discovered (before filtering).
+    pub fn candidates(&self) -> usize {
+        self.set.members_found()
+    }
+
+    /// The next matching file, unordered.
+    pub fn next(&mut self, world: &mut StoreWorld) -> DynLsStep {
+        loop {
+            match self.set.next(world) {
+                IterStep::Yielded(rec) => {
+                    let is_dirent = rec.attr("kind") == Some("dir");
+                    if !is_dirent && self.query.matches(&rec) {
+                        return DynLsStep::Entry(DirEntry::from_record(&rec));
+                    }
+                }
+                IterStep::Done => return DynLsStep::Complete,
+                IterStep::Blocked => {
+                    return DynLsStep::Partial {
+                        unreachable: self.set.pending().len(),
+                    }
+                }
+                IterStep::Failed(_) => unreachable!("dynamic sets do not fail"),
+            }
+        }
+    }
+
+    /// Retries entries previously reported unreachable.
+    pub fn retry(&mut self) {
+        self.set.retry_pending();
+    }
+
+    /// Drains everything currently fetchable.
+    pub fn drain_available(&mut self, world: &mut StoreWorld) -> (Vec<DirEntry>, DynLsStep) {
+        let mut out = Vec::new();
+        loop {
+            match self.next(world) {
+                DynLsStep::Entry(e) => out.push(e),
+                step => return (out, step),
+            }
+        }
+    }
+}
+
+/// A streaming directory listing with dynamic-set semantics.
+#[derive(Debug)]
+pub struct DynLs {
+    set: DynamicSet,
+}
+
+impl DynLs {
+    /// Total entries discovered at open time.
+    pub fn total(&self) -> usize {
+        self.set.members_found()
+    }
+
+    /// The next entry to arrive, unordered.
+    pub fn next(&mut self, world: &mut StoreWorld) -> DynLsStep {
+        match self.set.next(world) {
+            IterStep::Yielded(rec) => DynLsStep::Entry(DirEntry::from_record(&rec)),
+            IterStep::Done => DynLsStep::Complete,
+            IterStep::Blocked => DynLsStep::Partial {
+                unreachable: self.set.pending().len(),
+            },
+            IterStep::Failed(_) => unreachable!("dynamic sets do not fail"),
+        }
+    }
+
+    /// Retries entries previously reported unreachable.
+    pub fn retry(&mut self) {
+        self.set.retry_pending();
+    }
+
+    /// Drives the listing until it completes or only unreachable entries
+    /// remain, returning what arrived.
+    pub fn drain_available(&mut self, world: &mut StoreWorld) -> (Vec<DirEntry>, DynLsStep) {
+        let mut out = Vec::new();
+        loop {
+            match self.next(world) {
+                DynLsStep::Entry(e) => out.push(e),
+                step => return (out, step),
+            }
+        }
+    }
+}
+
+/// Result of polling a [`DynLs`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum DynLsStep {
+    /// An entry arrived.
+    Entry(DirEntry),
+    /// Every entry has been listed.
+    Complete,
+    /// Only unreachable entries remain (`unreachable` of them); retry
+    /// later.
+    Partial {
+        /// Entries that could not be fetched.
+        unreachable: usize,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use weakset_sim::latency::LatencyModel;
+    use weakset_sim::topology::Topology;
+    use weakset_sim::world::WorldConfig;
+    use weakset_store::prelude::StoreServer;
+
+    fn setup(n: usize) -> (StoreWorld, FileSystem, Vec<NodeId>) {
+        let mut t = Topology::new();
+        let cn = t.add_node("client", 0);
+        let servers: Vec<_> = (0..n).map(|i| t.add_node(format!("vol{i}"), i as u32 + 1)).collect();
+        let mut w = StoreWorld::new(
+            WorldConfig::seeded(41),
+            t,
+            LatencyModel::Constant(SimDuration::from_millis(2)),
+        );
+        for &s in &servers {
+            w.install_service(s, Box::new(StoreServer::new()));
+        }
+        let fs = FileSystem::format(&mut w, cn, servers[0], SimDuration::from_millis(100)).unwrap();
+        (w, fs, servers)
+    }
+
+    #[test]
+    fn mkdir_create_ls_round_trip() {
+        let (mut w, mut fs, servers) = setup(2);
+        let dir = FsPath::parse("/docs").unwrap();
+        fs.mkdir(&mut w, &dir, servers[1]).unwrap();
+        fs.create_file(&mut w, &dir.join("b.txt"), b"bbb", servers[0])
+            .unwrap();
+        fs.create_file(&mut w, &dir.join("a.txt"), b"aa", servers[1])
+            .unwrap();
+        let listing = fs.ls(&mut w, &dir).unwrap();
+        assert_eq!(listing.len(), 2);
+        // Strict ls is alphabetical.
+        assert_eq!(listing[0].name, "a.txt");
+        assert_eq!(listing[0].size, 2);
+        assert_eq!(listing[1].name, "b.txt");
+        assert_eq!(listing[1].kind, EntryKind::File);
+        // Root lists the subdirectory marker.
+        let root = fs.ls(&mut w, &FsPath::root()).unwrap();
+        assert_eq!(root.len(), 1);
+        assert_eq!(root[0].kind, EntryKind::Dir);
+        assert_eq!(root[0].name, "docs");
+    }
+
+    #[test]
+    fn namespace_errors() {
+        let (mut w, mut fs, servers) = setup(1);
+        let p = FsPath::parse("/x/y").unwrap();
+        assert!(matches!(
+            fs.create_file(&mut w, &p, b"", servers[0]),
+            Err(FsError::NotFound(_))
+        ));
+        let d = FsPath::parse("/x").unwrap();
+        fs.mkdir(&mut w, &d, servers[0]).unwrap();
+        assert!(matches!(
+            fs.mkdir(&mut w, &d, servers[0]),
+            Err(FsError::AlreadyExists(_))
+        ));
+        fs.create_file(&mut w, &p, b"hi", servers[0]).unwrap();
+        assert!(matches!(
+            fs.create_file(&mut w, &p, b"", servers[0]),
+            Err(FsError::AlreadyExists(_))
+        ));
+        assert!(matches!(
+            fs.ls(&mut w, &FsPath::parse("/nope").unwrap()),
+            Err(FsError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn read_and_unlink() {
+        let (mut w, mut fs, servers) = setup(1);
+        let p = FsPath::parse("/f").unwrap();
+        fs.create_file(&mut w, &p, b"payload", servers[0]).unwrap();
+        let rec = fs.read_file(&mut w, &p).unwrap();
+        assert_eq!(&rec.payload[..], b"payload");
+        fs.unlink(&mut w, &p).unwrap();
+        assert!(matches!(fs.read_file(&mut w, &p), Err(FsError::NotFound(_))));
+        assert!(fs.ls(&mut w, &FsPath::root()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn strict_ls_fails_entirely_under_partition() {
+        let (mut w, mut fs, servers) = setup(3);
+        let dir = FsPath::root();
+        for (i, &s) in servers.iter().enumerate() {
+            fs.create_file(&mut w, &dir.join(format!("f{i}")), b"x", s)
+                .unwrap();
+        }
+        w.topology_mut().partition(&[servers[2]]);
+        let err = fs.ls(&mut w, &dir).unwrap_err();
+        assert!(matches!(err, FsError::Incomplete { total: 3, .. }), "{err}");
+        assert!(err.to_string().contains("of 3"));
+    }
+
+    #[test]
+    fn dynls_returns_partial_results_under_partition() {
+        let (mut w, mut fs, servers) = setup(3);
+        let dir = FsPath::root();
+        for (i, &s) in servers.iter().enumerate() {
+            fs.create_file(&mut w, &dir.join(format!("f{i}")), b"x", s)
+                .unwrap();
+        }
+        w.topology_mut().partition(&[servers[2]]);
+        let mut listing = fs.dynls(&mut w, &dir, PrefetchConfig::default()).unwrap();
+        assert_eq!(listing.total(), 3);
+        let (entries, end) = listing.drain_available(&mut w);
+        assert_eq!(entries.len(), 2);
+        assert_eq!(end, DynLsStep::Partial { unreachable: 1 });
+        // Heal and retry: the remaining entry arrives.
+        w.topology_mut().heal_partition();
+        listing.retry();
+        let (more, end2) = listing.drain_available(&mut w);
+        assert_eq!(more.len(), 1);
+        assert_eq!(end2, DynLsStep::Complete);
+    }
+
+    #[test]
+    fn find_matches_across_the_tree() {
+        let (mut w, mut fs, servers) = setup(3);
+        let docs = FsPath::parse("/docs").unwrap();
+        let pics = FsPath::parse("/docs/pics").unwrap();
+        fs.mkdir(&mut w, &docs, servers[1]).unwrap();
+        fs.mkdir(&mut w, &pics, servers[2]).unwrap();
+        fs.create_file_with_attrs(&mut w, &docs.join("a.face"), b"A", servers[0], &[("owner", "wing")])
+            .unwrap();
+        fs.create_file_with_attrs(&mut w, &pics.join("b.face"), b"B", servers[1], &[("owner", "wing")])
+            .unwrap();
+        fs.create_file_with_attrs(&mut w, &pics.join("c.txt"), b"C", servers[2], &[("owner", "steere")])
+            .unwrap();
+        let mut stream = fs
+            .find(
+                &mut w,
+                &FsPath::root(),
+                &Query::NameSuffix(".face".into()),
+                weakset::prelude::PrefetchConfig::default(),
+            )
+            .unwrap();
+        // Candidates include everything (files + dirent markers).
+        assert_eq!(stream.candidates(), 5);
+        assert_eq!(stream.dirs_skipped(), 0);
+        let (hits, end) = stream.drain_available(&mut w);
+        assert_eq!(end, DynLsStep::Complete);
+        let mut names: Vec<_> = hits.iter().map(|e| e.name.clone()).collect();
+        names.sort();
+        assert_eq!(names, vec!["a.face", "b.face"]);
+    }
+
+    #[test]
+    fn find_scoped_to_a_subtree() {
+        let (mut w, mut fs, servers) = setup(2);
+        let a = FsPath::parse("/a").unwrap();
+        let b = FsPath::parse("/b").unwrap();
+        fs.mkdir(&mut w, &a, servers[0]).unwrap();
+        fs.mkdir(&mut w, &b, servers[1]).unwrap();
+        fs.create_file(&mut w, &a.join("inside"), b"x", servers[0]).unwrap();
+        fs.create_file(&mut w, &b.join("outside"), b"x", servers[1]).unwrap();
+        let mut stream = fs
+            .find(&mut w, &a, &Query::All, weakset::prelude::PrefetchConfig::default())
+            .unwrap();
+        let (hits, _) = stream.drain_available(&mut w);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].name, "inside");
+        assert!(matches!(
+            fs.find(&mut w, &FsPath::parse("/missing").unwrap(), &Query::All,
+                    weakset::prelude::PrefetchConfig::default()),
+            Err(FsError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn find_skips_unreachable_directories() {
+        let (mut w, mut fs, servers) = setup(3);
+        let far = FsPath::parse("/far").unwrap();
+        fs.mkdir(&mut w, &far, servers[2]).unwrap();
+        fs.create_file(&mut w, &far.join("hidden"), b"x", servers[2]).unwrap();
+        fs.create_file(&mut w, &FsPath::parse("/near").unwrap(), b"x", servers[0])
+            .unwrap();
+        w.topology_mut().partition(&[servers[2]]);
+        let mut stream = fs
+            .find(&mut w, &FsPath::root(), &Query::All, weakset::prelude::PrefetchConfig::default())
+            .unwrap();
+        assert_eq!(stream.dirs_skipped(), 1);
+        let (hits, end) = stream.drain_available(&mut w);
+        // "near" plus the /far dirent marker is filtered out; the marker
+        // lives on the cut server so it is pending, not listed.
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].name, "near");
+        assert!(matches!(end, DynLsStep::Partial { .. }));
+    }
+
+    #[test]
+    fn view_from_shares_namespace() {
+        let (mut w, mut fs, servers) = setup(2);
+        let dir = FsPath::parse("/shared").unwrap();
+        fs.mkdir(&mut w, &dir, servers[0]).unwrap();
+        let mut other = fs.view_from(servers[1], SimDuration::from_millis(100));
+        other
+            .create_file(&mut w, &dir.join("from-other"), b"x", servers[1])
+            .unwrap();
+        // The original view lists the new file (membership is shared).
+        let listing = fs.ls(&mut w, &dir).unwrap();
+        assert_eq!(listing.len(), 1);
+        assert_eq!(listing[0].name, "from-other");
+    }
+
+    #[test]
+    fn replicated_directories_list_through_primary_outage() {
+        let (mut w, fs, servers) = setup(3);
+        let mut fs = fs.with_dir_replicas(vec![servers[1], servers[2]]);
+        let d = FsPath::parse("/shared").unwrap();
+        fs.mkdir(&mut w, &d, servers[0]).unwrap();
+        fs.create_file(&mut w, &d.join("a"), b"x", servers[1]).unwrap();
+        fs.create_file(&mut w, &d.join("b"), b"y", servers[2]).unwrap();
+        // The directory's primary (servers[0]) goes down.
+        w.topology_mut().crash(servers[0]);
+        // Primary-policy listing dies at open...
+        assert!(fs
+            .dynls(&mut w, &d, weakset::prelude::PrefetchConfig::default())
+            .is_err());
+        // ...but Any-policy reads a replica and lists both files.
+        let mut listing = fs
+            .dynls_with_policy(
+                &mut w,
+                &d,
+                ReadPolicy::Any,
+                weakset::prelude::PrefetchConfig::default(),
+            )
+            .unwrap();
+        let (entries, end) = listing.drain_available(&mut w);
+        assert_eq!(end, DynLsStep::Complete);
+        assert_eq!(entries.len(), 2);
+    }
+
+    #[test]
+    fn stat_reports_metadata() {
+        let (mut w, mut fs, servers) = setup(2);
+        let d = FsPath::parse("/d").unwrap();
+        fs.mkdir(&mut w, &d, servers[1]).unwrap();
+        let f = d.join("file.bin");
+        fs.create_file(&mut w, &f, &[0u8; 100], servers[0]).unwrap();
+        let st = fs.stat(&mut w, &f).unwrap();
+        assert_eq!(st.kind, EntryKind::File);
+        assert_eq!(st.size, 100);
+        assert_eq!(st.name, "file.bin");
+        let sd = fs.stat(&mut w, &d).unwrap();
+        assert_eq!(sd.kind, EntryKind::Dir);
+        let root = fs.stat(&mut w, &FsPath::root()).unwrap();
+        assert_eq!(root.kind, EntryKind::Dir);
+        assert!(matches!(
+            fs.stat(&mut w, &FsPath::parse("/nope").unwrap()),
+            Err(FsError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn rename_moves_across_directories() {
+        let (mut w, mut fs, servers) = setup(2);
+        let a = FsPath::parse("/a").unwrap();
+        let b = FsPath::parse("/b").unwrap();
+        fs.mkdir(&mut w, &a, servers[0]).unwrap();
+        fs.mkdir(&mut w, &b, servers[1]).unwrap();
+        let old = a.join("draft.txt");
+        fs.create_file(&mut w, &old, b"text", servers[0]).unwrap();
+        let new = b.join("final.txt");
+        fs.rename(&mut w, &old, &new).unwrap();
+        // Old path gone, new path live with the new name and old bytes.
+        assert!(matches!(fs.read_file(&mut w, &old), Err(FsError::NotFound(_))));
+        let rec = fs.read_file(&mut w, &new).unwrap();
+        assert_eq!(&rec.payload[..], b"text");
+        assert_eq!(rec.name, "final.txt");
+        assert!(fs.ls(&mut w, &a).unwrap().is_empty());
+        let lb = fs.ls(&mut w, &b).unwrap();
+        assert_eq!(lb.len(), 1);
+        assert_eq!(lb[0].name, "final.txt");
+        // Collision and missing-source errors.
+        assert!(matches!(
+            fs.rename(&mut w, &old, &new),
+            Err(FsError::NotFound(_))
+        ));
+        fs.create_file(&mut w, &old, b"again", servers[0]).unwrap();
+        assert!(matches!(
+            fs.rename(&mut w, &old, &new),
+            Err(FsError::AlreadyExists(_))
+        ));
+    }
+
+    #[test]
+    fn dir_accessors() {
+        let (mut w, mut fs, servers) = setup(1);
+        let d = FsPath::parse("/d").unwrap();
+        fs.mkdir(&mut w, &d, servers[0]).unwrap();
+        assert!(fs.dir(&d).is_some());
+        assert!(fs.dir(&FsPath::parse("/nope").unwrap()).is_none());
+        assert_eq!(fs.dir_paths().count(), 2); // root + /d
+        let f = d.join("f");
+        fs.create_file(&mut w, &f, b"", servers[0]).unwrap();
+        assert!(fs.file(&f).is_some());
+    }
+}

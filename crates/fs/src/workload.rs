@@ -1,0 +1,201 @@
+//! Synthetic directory-tree workloads for experiments.
+
+use crate::fs::{FileSystem, FsError};
+use crate::path::FsPath;
+use weakset_sim::node::NodeId;
+use weakset_sim::rng::SimRng;
+use weakset_store::placement::Placement;
+use weakset_store::prelude::StoreWorld;
+
+/// Shape of a synthetic tree.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TreeSpec {
+    /// Directory tree depth below the root (0 = files directly in `/`).
+    pub depth: usize,
+    /// Subdirectories per directory.
+    pub fanout: usize,
+    /// Files per directory (including the root).
+    pub files_per_dir: usize,
+    /// Payload bytes per file.
+    pub file_size: usize,
+}
+
+impl Default for TreeSpec {
+    fn default() -> Self {
+        TreeSpec {
+            depth: 1,
+            fanout: 2,
+            files_per_dir: 8,
+            file_size: 64,
+        }
+    }
+}
+
+/// What a build produced.
+#[derive(Clone, Debug, Default)]
+pub struct TreeStats {
+    /// Every directory created (excluding the pre-existing root).
+    pub dirs: Vec<FsPath>,
+    /// Every file created.
+    pub files: Vec<FsPath>,
+}
+
+impl TreeSpec {
+    /// Total files the spec will create.
+    pub fn expected_files(&self) -> usize {
+        // Directories at each level: fanout^level, for level 0..=depth.
+        let mut dirs_total = 0usize;
+        let mut level = 1usize;
+        for _ in 0..=self.depth {
+            dirs_total += level;
+            level *= self.fanout.max(1);
+        }
+        dirs_total * self.files_per_dir
+    }
+
+    /// Builds the tree into `fs`, placing each file and directory home via
+    /// `placement` over `volumes`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`FsError`] (workload setup assumes a healthy
+    /// network).
+    pub fn build(
+        &self,
+        world: &mut StoreWorld,
+        fs: &mut FileSystem,
+        volumes: &[NodeId],
+        placement: &mut Placement,
+        rng: &mut SimRng,
+    ) -> Result<TreeStats, FsError> {
+        let mut stats = TreeStats::default();
+        let payload = vec![b'x'; self.file_size];
+        let mut frontier = vec![FsPath::root()];
+        for level in 0..=self.depth {
+            let mut next = Vec::new();
+            for dir in &frontier {
+                for f in 0..self.files_per_dir {
+                    let p = dir.join(format!("file-{level}-{f}"));
+                    let home = placement.choose(volumes, rng);
+                    fs.create_file(world, &p, &payload, home)?;
+                    stats.files.push(p);
+                }
+                if level < self.depth {
+                    for d in 0..self.fanout {
+                        let p = dir.join(format!("dir-{level}-{d}"));
+                        let home = placement.choose(volumes, rng);
+                        fs.mkdir(world, &p, home)?;
+                        stats.dirs.push(p.clone());
+                        next.push(p);
+                    }
+                }
+            }
+            frontier = next;
+        }
+        Ok(stats)
+    }
+}
+
+/// Builds a single flat directory of `n` files spread over `volumes`
+/// round-robin — the workhorse workload for the latency experiments.
+///
+/// # Errors
+///
+/// Propagates the first [`FsError`].
+pub fn flat_dir(
+    world: &mut StoreWorld,
+    fs: &mut FileSystem,
+    dir: &FsPath,
+    n: usize,
+    file_size: usize,
+    volumes: &[NodeId],
+) -> Result<Vec<FsPath>, FsError> {
+    let payload = vec![b'x'; file_size];
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let p = dir.join(format!("f{i:04}"));
+        fs.create_file(world, &p, &payload, volumes[i % volumes.len()])?;
+        out.push(p);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use weakset_sim::latency::LatencyModel;
+    use weakset_sim::time::SimDuration;
+    use weakset_sim::topology::Topology;
+    use weakset_sim::world::WorldConfig;
+    use weakset_store::prelude::StoreServer;
+
+    fn setup(n: usize) -> (StoreWorld, FileSystem, Vec<NodeId>) {
+        let mut t = Topology::new();
+        let cn = t.add_node("client", 0);
+        let vols: Vec<_> = (0..n).map(|i| t.add_node(format!("vol{i}"), i as u32 + 1)).collect();
+        let mut w = StoreWorld::new(
+            WorldConfig::seeded(7),
+            t,
+            LatencyModel::Constant(SimDuration::from_millis(1)),
+        );
+        for &v in &vols {
+            w.install_service(v, Box::new(StoreServer::new()));
+        }
+        let fs = FileSystem::format(&mut w, cn, vols[0], SimDuration::from_millis(100)).unwrap();
+        (w, fs, vols)
+    }
+
+    #[test]
+    fn builds_expected_shape() {
+        let (mut w, mut fs, vols) = setup(3);
+        let spec = TreeSpec {
+            depth: 2,
+            fanout: 2,
+            files_per_dir: 3,
+            file_size: 10,
+        };
+        let mut placement = Placement::round_robin();
+        let mut rng = SimRng::new(1);
+        let stats = spec
+            .build(&mut w, &mut fs, &vols, &mut placement, &mut rng)
+            .unwrap();
+        // Dirs: level0 creates 2, level1 creates 4 → 6.
+        assert_eq!(stats.dirs.len(), 6);
+        // Files: (1 + 2 + 4) dirs × 3 files.
+        assert_eq!(stats.files.len(), 21);
+        assert_eq!(spec.expected_files(), 21);
+        // Spot-check a listing.
+        let root_ls = fs.ls(&mut w, &FsPath::root()).unwrap();
+        assert_eq!(root_ls.len(), 3 + 2); // 3 files + 2 subdirs
+    }
+
+    #[test]
+    fn flat_dir_spreads_files() {
+        let (mut w, mut fs, vols) = setup(4);
+        let files = flat_dir(&mut w, &mut fs, &FsPath::root(), 12, 16, &vols).unwrap();
+        assert_eq!(files.len(), 12);
+        let ls = fs.ls(&mut w, &FsPath::root()).unwrap();
+        assert_eq!(ls.len(), 12);
+        assert!(ls.iter().all(|e| e.size == 16));
+        // Round-robin placement: each volume holds 3 files.
+        for &v in &vols {
+            let srv = w.service::<StoreServer>(v).unwrap();
+            assert_eq!(srv.object_count(), 3);
+        }
+    }
+
+    #[test]
+    fn default_spec_is_buildable() {
+        let (mut w, mut fs, vols) = setup(2);
+        let stats = TreeSpec::default()
+            .build(
+                &mut w,
+                &mut fs,
+                &vols,
+                &mut Placement::round_robin(),
+                &mut SimRng::new(2),
+            )
+            .unwrap();
+        assert_eq!(stats.files.len(), TreeSpec::default().expected_files());
+    }
+}

@@ -1,0 +1,60 @@
+//! Property tests for file system paths.
+
+use proptest::prelude::*;
+use weakset_fs::path::FsPath;
+
+fn component() -> impl Strategy<Value = String> {
+    "[a-z0-9._-]{1,12}".prop_filter("non-empty", |s| !s.is_empty())
+}
+
+fn path() -> impl Strategy<Value = FsPath> {
+    proptest::collection::vec(component(), 0..6).prop_map(|cs| {
+        let mut p = FsPath::root();
+        for c in cs {
+            p = p.join(c);
+        }
+        p
+    })
+}
+
+proptest! {
+    #[test]
+    fn display_parse_round_trip(p in path()) {
+        let s = p.to_string();
+        prop_assert_eq!(FsPath::parse(&s).unwrap(), p);
+    }
+
+    #[test]
+    fn parent_join_round_trip(p in path()) {
+        if let (Some(parent), Some(name)) = (p.parent(), p.name()) {
+            prop_assert_eq!(parent.join(name), p.clone());
+            prop_assert_eq!(parent.depth() + 1, p.depth());
+        } else {
+            prop_assert!(p.is_root());
+        }
+    }
+
+    #[test]
+    fn depth_counts_components(p in path()) {
+        prop_assert_eq!(p.depth(), p.components().count());
+    }
+
+    #[test]
+    fn ancestors_terminate_at_root(p in path()) {
+        let mut cur = p.clone();
+        let mut hops = 0;
+        while let Some(parent) = cur.parent() {
+            cur = parent;
+            hops += 1;
+            prop_assert!(hops <= p.depth());
+        }
+        prop_assert!(cur.is_root());
+        prop_assert_eq!(hops, p.depth());
+    }
+
+    #[test]
+    fn join_is_prefix_ordered(p in path(), c in component()) {
+        let child = p.join(c);
+        prop_assert!(p < child, "{} vs {}", p, child);
+    }
+}

@@ -1,0 +1,35 @@
+//! # weakset-rt
+//!
+//! A thread-based runtime for weak sets: the same iterator semantics as
+//! the simulator-backed crate, but over real OS threads, a crossbeam
+//! message channel, and a wall-clock scheduler.
+//!
+//! The simulator gives determinism; this crate gives *adversarial
+//! nondeterminism*. Mutator threads and a reachability fault injector
+//! race the iterator, and every recorded run is checked against the
+//! paper's specifications — conformance must hold for whatever
+//! interleaving the OS produces, which is exactly the property the
+//! paper's `constraint`/`ensures` style is supposed to deliver.
+//!
+//! * [`server::SetServer`] — one thread owning the set, serving a
+//!   channel protocol with injected delays, exposing a ground-truth
+//!   version log.
+//! * [`titer::ThreadedElements`] — snapshot / grow-only / optimistic
+//!   iterators with a [`titer::ThreadObserver`] for conformance.
+//! * [`stress`] — scripted scenarios mixing mutators and fault flips.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod proto;
+pub mod server;
+pub mod stress;
+pub mod titer;
+
+/// One-stop imports for threaded-runtime users.
+pub mod prelude {
+    pub use crate::proto::{Client, Disconnected, Elem, Request, Response, VersionedSet};
+    pub use crate::server::{ServerConfig, SetServer};
+    pub use crate::stress::{run_scenario, MutatorProfile, Scenario, StressResult};
+    pub use crate::titer::{RtSemantics, RtStep, ThreadObserver, ThreadedElements};
+}

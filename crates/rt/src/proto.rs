@@ -1,0 +1,222 @@
+//! The request/reply protocol between threaded clients and the set
+//! server.
+
+use crossbeam_channel::{bounded, Receiver, Sender};
+use std::collections::BTreeSet;
+
+/// Element identity in the threaded runtime (matches
+/// `weakset_spec::value::ElemId`'s raw representation).
+pub type Elem = u64;
+
+/// A versioned membership snapshot.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VersionedSet {
+    /// Monotonic version (0 = initial empty set).
+    pub version: u64,
+    /// Membership at that version.
+    pub members: BTreeSet<Elem>,
+}
+
+/// Requests a client can send.
+#[derive(Debug)]
+pub enum Request {
+    /// Add an element; replies [`Response::Version`].
+    Add(Elem),
+    /// Remove an element; replies [`Response::Version`].
+    Remove(Elem),
+    /// Read the membership atomically; replies [`Response::Snapshot`].
+    Snapshot,
+    /// Fetch an element's object; replies [`Response::Fetched`] or
+    /// [`Response::Unreachable`].
+    Fetch(Elem),
+    /// Fault injection: mark an element (un)reachable; replies
+    /// [`Response::Ok`].
+    SetReachable(Elem, bool),
+    /// Block mutations while held (strong baseline); replies
+    /// [`Response::Ok`].
+    AcquireLock(u64),
+    /// Release a read lock; replies [`Response::Ok`].
+    ReleaseLock(u64),
+    /// Stop the server; replies [`Response::Ok`].
+    Shutdown,
+}
+
+/// Replies from the server.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Response {
+    /// Mutation applied (or was a no-op); the resulting version.
+    Version(u64),
+    /// The atomic membership snapshot.
+    Snapshot(VersionedSet),
+    /// The fetch succeeded.
+    Fetched(Elem),
+    /// The element is currently unreachable.
+    Unreachable(Elem),
+    /// Generic acknowledgement.
+    Ok,
+    /// The set is read-locked; the mutation was refused.
+    Locked,
+}
+
+/// One in-flight request envelope.
+pub(crate) struct Envelope {
+    pub req: Request,
+    pub reply: Sender<Response>,
+}
+
+/// A client handle: a cloneable sender into the server's queue.
+#[derive(Clone, Debug)]
+pub struct Client {
+    pub(crate) tx: Sender<Envelope>,
+}
+
+/// The server went away (shut down) while a request was outstanding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Disconnected;
+
+impl std::fmt::Display for Disconnected {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("set server disconnected")
+    }
+}
+
+impl std::error::Error for Disconnected {}
+
+impl Client {
+    /// Sends one request and waits for its reply.
+    ///
+    /// # Errors
+    ///
+    /// [`Disconnected`] if the server has shut down.
+    pub fn call(&self, req: Request) -> Result<Response, Disconnected> {
+        let (tx, rx): (Sender<Response>, Receiver<Response>) = bounded(1);
+        self.tx
+            .send(Envelope { req, reply: tx })
+            .map_err(|_| Disconnected)?;
+        rx.recv().map_err(|_| Disconnected)
+    }
+
+    /// Adds an element, returning the new version.
+    ///
+    /// Use [`Client::try_add`] when a reader may hold the lock.
+    ///
+    /// # Errors
+    ///
+    /// [`Disconnected`] if the server has shut down.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mutation is refused by a read lock.
+    pub fn add(&self, e: Elem) -> Result<u64, Disconnected> {
+        match self.call(Request::Add(e))? {
+            Response::Version(v) => Ok(v),
+            other => unreachable!("protocol violation: {other:?}"),
+        }
+    }
+
+    /// Adds an element; `Ok(None)` means a read lock refused it.
+    ///
+    /// # Errors
+    ///
+    /// [`Disconnected`] if the server has shut down.
+    pub fn try_add(&self, e: Elem) -> Result<Option<u64>, Disconnected> {
+        match self.call(Request::Add(e))? {
+            Response::Version(v) => Ok(Some(v)),
+            Response::Locked => Ok(None),
+            other => unreachable!("protocol violation: {other:?}"),
+        }
+    }
+
+    /// Removes an element, returning the new version.
+    ///
+    /// Use [`Client::try_remove`] when a reader may hold the lock.
+    ///
+    /// # Errors
+    ///
+    /// [`Disconnected`] if the server has shut down.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mutation is refused by a read lock.
+    pub fn remove(&self, e: Elem) -> Result<u64, Disconnected> {
+        match self.call(Request::Remove(e))? {
+            Response::Version(v) => Ok(v),
+            other => unreachable!("protocol violation: {other:?}"),
+        }
+    }
+
+    /// Removes an element; `Ok(None)` means a read lock refused it.
+    ///
+    /// # Errors
+    ///
+    /// [`Disconnected`] if the server has shut down.
+    pub fn try_remove(&self, e: Elem) -> Result<Option<u64>, Disconnected> {
+        match self.call(Request::Remove(e))? {
+            Response::Version(v) => Ok(Some(v)),
+            Response::Locked => Ok(None),
+            other => unreachable!("protocol violation: {other:?}"),
+        }
+    }
+
+    /// Acquires the read lock (strong baseline).
+    ///
+    /// # Errors
+    ///
+    /// [`Disconnected`] if the server has shut down.
+    pub fn acquire_lock(&self, token: u64) -> Result<(), Disconnected> {
+        match self.call(Request::AcquireLock(token))? {
+            Response::Ok => Ok(()),
+            other => unreachable!("protocol violation: {other:?}"),
+        }
+    }
+
+    /// Releases the read lock.
+    ///
+    /// # Errors
+    ///
+    /// [`Disconnected`] if the server has shut down.
+    pub fn release_lock(&self, token: u64) -> Result<(), Disconnected> {
+        match self.call(Request::ReleaseLock(token))? {
+            Response::Ok => Ok(()),
+            other => unreachable!("protocol violation: {other:?}"),
+        }
+    }
+
+    /// Atomic membership snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`Disconnected`] if the server has shut down.
+    pub fn snapshot(&self) -> Result<VersionedSet, Disconnected> {
+        match self.call(Request::Snapshot)? {
+            Response::Snapshot(s) => Ok(s),
+            other => unreachable!("protocol violation: {other:?}"),
+        }
+    }
+
+    /// Fetches an element; `Ok(true)` = fetched, `Ok(false)` =
+    /// unreachable.
+    ///
+    /// # Errors
+    ///
+    /// [`Disconnected`] if the server has shut down.
+    pub fn fetch(&self, e: Elem) -> Result<bool, Disconnected> {
+        match self.call(Request::Fetch(e))? {
+            Response::Fetched(_) => Ok(true),
+            Response::Unreachable(_) => Ok(false),
+            other => unreachable!("protocol violation: {other:?}"),
+        }
+    }
+
+    /// Marks an element (un)reachable.
+    ///
+    /// # Errors
+    ///
+    /// [`Disconnected`] if the server has shut down.
+    pub fn set_reachable(&self, e: Elem, reachable: bool) -> Result<(), Disconnected> {
+        match self.call(Request::SetReachable(e, reachable))? {
+            Response::Ok => Ok(()),
+            other => unreachable!("protocol violation: {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,273 @@
+//! The threaded set server: one OS thread owning the set, serving
+//! requests from a crossbeam channel with injected random delays.
+
+use crate::proto::{Client, Elem, Envelope, Request, Response, VersionedSet};
+use crossbeam_channel::unbounded;
+use parking_lot::Mutex;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Server tunables.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Seed for the delay-injection RNG.
+    pub seed: u64,
+    /// Maximum random delay injected before serving each request
+    /// (microseconds). 0 disables delays.
+    pub max_delay_us: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            seed: 0,
+            max_delay_us: 50,
+        }
+    }
+}
+
+/// The omniscient ground-truth log shared with conformance observers:
+/// every membership version in order.
+pub type SharedLog = Arc<Mutex<Vec<VersionedSet>>>;
+
+/// The shared reachability table (fault injection), readable by
+/// observers.
+pub type SharedReach = Arc<Mutex<BTreeSet<Elem>>>;
+
+/// A running threaded set server.
+pub struct SetServer {
+    client: Client,
+    log: SharedLog,
+    unreachable: SharedReach,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl SetServer {
+    /// Spawns the server thread.
+    pub fn spawn(config: ServerConfig) -> SetServer {
+        let (tx, rx) = unbounded::<Envelope>();
+        let log: SharedLog = Arc::new(Mutex::new(vec![VersionedSet {
+            version: 0,
+            members: BTreeSet::new(),
+        }]));
+        let unreachable: SharedReach = Arc::new(Mutex::new(BTreeSet::new()));
+        let thread_log = Arc::clone(&log);
+        let thread_unreachable = Arc::clone(&unreachable);
+        let handle = std::thread::spawn(move || {
+            let mut rng = ChaCha12Rng::seed_from_u64(config.seed);
+            let mut members: BTreeSet<Elem> = BTreeSet::new();
+            let mut version = 0u64;
+            let mut lock_holders: BTreeSet<u64> = BTreeSet::new();
+            while let Ok(Envelope { req, reply }) = rx.recv() {
+                if config.max_delay_us > 0 {
+                    let us = rng.gen_range(0..=config.max_delay_us);
+                    std::thread::sleep(Duration::from_micros(us));
+                }
+                let resp = match req {
+                    Request::Add(e) => {
+                        if !lock_holders.is_empty() {
+                            let _ = reply.send(Response::Locked);
+                            continue;
+                        }
+                        if members.insert(e) {
+                            version += 1;
+                            thread_log.lock().push(VersionedSet {
+                                version,
+                                members: members.clone(),
+                            });
+                        }
+                        Response::Version(version)
+                    }
+                    Request::Remove(e) => {
+                        if !lock_holders.is_empty() {
+                            let _ = reply.send(Response::Locked);
+                            continue;
+                        }
+                        if members.remove(&e) {
+                            version += 1;
+                            thread_log.lock().push(VersionedSet {
+                                version,
+                                members: members.clone(),
+                            });
+                        }
+                        Response::Version(version)
+                    }
+                    Request::Snapshot => Response::Snapshot(VersionedSet {
+                        version,
+                        members: members.clone(),
+                    }),
+                    Request::Fetch(e) => {
+                        if thread_unreachable.lock().contains(&e) {
+                            Response::Unreachable(e)
+                        } else {
+                            Response::Fetched(e)
+                        }
+                    }
+                    Request::SetReachable(e, reachable) => {
+                        let mut u = thread_unreachable.lock();
+                        if reachable {
+                            u.remove(&e);
+                        } else {
+                            u.insert(e);
+                        }
+                        Response::Ok
+                    }
+                    Request::AcquireLock(token) => {
+                        lock_holders.insert(token);
+                        Response::Ok
+                    }
+                    Request::ReleaseLock(token) => {
+                        lock_holders.remove(&token);
+                        Response::Ok
+                    }
+                    Request::Shutdown => {
+                        let _ = reply.send(Response::Ok);
+                        break;
+                    }
+                };
+                // A client that gave up is fine; keep serving.
+                let _ = reply.send(resp);
+            }
+        });
+        SetServer {
+            client: Client { tx },
+            log,
+            unreachable,
+            handle: Some(handle),
+        }
+    }
+
+    /// A new client handle.
+    pub fn client(&self) -> Client {
+        self.client.clone()
+    }
+
+    /// The ground-truth version log (observer access).
+    pub fn log(&self) -> SharedLog {
+        Arc::clone(&self.log)
+    }
+
+    /// The reachability fault table (observer access).
+    pub fn unreachable_table(&self) -> SharedReach {
+        Arc::clone(&self.unreachable)
+    }
+
+    /// Shuts the server down and joins its thread.
+    pub fn shutdown(mut self) {
+        let _ = self.client.call(Request::Shutdown);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for SetServer {
+    fn drop(&mut self) {
+        // Non-blocking teardown: closing the channel ends the loop; the
+        // thread is detached rather than joined (C-DTOR-BLOCK). Prefer
+        // calling `shutdown` explicitly.
+        let _ = self.client.tx.send(Envelope {
+            req: Request::Shutdown,
+            reply: crossbeam_channel::bounded(1).0,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_remove_snapshot_round_trip() {
+        let server = SetServer::spawn(ServerConfig {
+            seed: 1,
+            max_delay_us: 0,
+        });
+        let c = server.client();
+        assert_eq!(c.add(1).unwrap(), 1);
+        assert_eq!(c.add(1).unwrap(), 1); // duplicate: no version bump
+        assert_eq!(c.add(2).unwrap(), 2);
+        let s = c.snapshot().unwrap();
+        assert_eq!(s.version, 2);
+        assert_eq!(s.members.len(), 2);
+        assert_eq!(c.remove(1).unwrap(), 3);
+        assert_eq!(c.remove(1).unwrap(), 3);
+        server.shutdown();
+    }
+
+    #[test]
+    fn log_records_every_version() {
+        let server = SetServer::spawn(ServerConfig {
+            seed: 2,
+            max_delay_us: 0,
+        });
+        let c = server.client();
+        c.add(5).unwrap();
+        c.remove(5).unwrap();
+        let log = server.log();
+        let log = log.lock();
+        assert_eq!(log.len(), 3);
+        assert_eq!(log[0].version, 0);
+        assert!(log[1].members.contains(&5));
+        assert!(log[2].members.is_empty());
+        drop(log);
+        server.shutdown();
+    }
+
+    #[test]
+    fn reachability_faults_apply() {
+        let server = SetServer::spawn(ServerConfig::default());
+        let c = server.client();
+        c.add(7).unwrap();
+        assert!(c.fetch(7).unwrap());
+        c.set_reachable(7, false).unwrap();
+        assert!(!c.fetch(7).unwrap());
+        c.set_reachable(7, true).unwrap();
+        assert!(c.fetch(7).unwrap());
+        server.shutdown();
+    }
+
+    #[test]
+    fn concurrent_clients_serialize_at_server() {
+        let server = SetServer::spawn(ServerConfig {
+            seed: 3,
+            max_delay_us: 10,
+        });
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let c = server.client();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..25u64 {
+                    c.add(t * 100 + i).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let c = server.client();
+        let snap = c.snapshot().unwrap();
+        assert_eq!(snap.members.len(), 100);
+        assert_eq!(snap.version, 100);
+        // Log versions are strictly increasing and gap-free.
+        let log = server.log();
+        let log = log.lock();
+        for (i, v) in log.iter().enumerate() {
+            assert_eq!(v.version, i as u64);
+        }
+        drop(log);
+        server.shutdown();
+    }
+
+    #[test]
+    fn calls_after_shutdown_disconnect() {
+        let server = SetServer::spawn(ServerConfig::default());
+        let c = server.client();
+        server.shutdown();
+        assert!(c.add(1).is_err());
+    }
+}

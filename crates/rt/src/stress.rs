@@ -1,0 +1,272 @@
+//! Concurrency stress scenarios: mutators and fault injectors on real
+//! threads racing an observed iterator.
+//!
+//! Every scenario returns the recorded computation so tests can assert
+//! conformance for whatever interleaving the OS scheduler produced.
+
+use crate::proto::Elem;
+use crate::server::{ServerConfig, SetServer};
+use crate::titer::{RtSemantics, RtStep, ThreadObserver, ThreadedElements};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+use std::time::Duration;
+use weakset_spec::prelude::Computation;
+
+/// What the mutator threads are allowed to do.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MutatorProfile {
+    /// No mutations (immutable environment — Figures 1/3).
+    Quiescent,
+    /// Additions only (Figure 5's constraint).
+    GrowOnly,
+    /// Additions and removals (Figures 4/6).
+    Churn,
+}
+
+/// Scenario parameters.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Iterator semantics under test.
+    pub semantics: RtSemantics,
+    /// Mutator behaviour.
+    pub profile: MutatorProfile,
+    /// Concurrent mutator threads.
+    pub mutators: usize,
+    /// Mutations attempted per mutator.
+    pub ops_per_mutator: usize,
+    /// Elements preloaded before the run.
+    pub initial_elems: usize,
+    /// Whether a fault-injector thread flips reachability during the run.
+    pub inject_faults: bool,
+    /// RNG seed (thread interleaving still varies; this fixes the op
+    /// streams).
+    pub seed: u64,
+}
+
+impl Default for Scenario {
+    fn default() -> Self {
+        Scenario {
+            semantics: RtSemantics::Optimistic,
+            profile: MutatorProfile::Churn,
+            mutators: 2,
+            ops_per_mutator: 30,
+            initial_elems: 10,
+            inject_faults: false,
+            seed: 0,
+        }
+    }
+}
+
+/// The outcome of a stress run.
+#[derive(Debug)]
+pub struct StressResult {
+    /// Elements yielded, in order.
+    pub yields: Vec<Elem>,
+    /// The terminal (or final observed) step.
+    pub final_step: RtStep,
+    /// The recorded computation for conformance checking.
+    pub computation: Computation,
+}
+
+/// Runs one scenario to completion.
+pub fn run_scenario(s: &Scenario) -> StressResult {
+    let server = SetServer::spawn(ServerConfig {
+        seed: s.seed,
+        max_delay_us: 20,
+    });
+    let setup = server.client();
+    for e in 0..s.initial_elems as Elem {
+        setup.add(e).expect("setup add");
+    }
+
+    let mut mutator_handles = Vec::new();
+    for m in 0..s.mutators {
+        let c = server.client();
+        let profile = s.profile;
+        let ops = s.ops_per_mutator;
+        let initial = s.initial_elems as Elem;
+        let seed = s.seed.wrapping_add(m as u64 + 1);
+        mutator_handles.push(std::thread::spawn(move || {
+            let mut rng = ChaCha12Rng::seed_from_u64(seed);
+            let mut next_new = initial + 1000 * (m as Elem + 1);
+            for _ in 0..ops {
+                match profile {
+                    MutatorProfile::Quiescent => break,
+                    MutatorProfile::GrowOnly => {
+                        let _ = c.add(next_new);
+                        next_new += 1;
+                    }
+                    MutatorProfile::Churn => {
+                        if rng.gen_bool(0.6) {
+                            let _ = c.add(next_new);
+                            next_new += 1;
+                        } else {
+                            // Remove something that might exist.
+                            let victim = if rng.gen_bool(0.5) && next_new > initial {
+                                next_new.saturating_sub(1)
+                            } else {
+                                rng.gen_range(0..initial.max(1))
+                            };
+                            let _ = c.remove(victim);
+                        }
+                    }
+                }
+                std::thread::sleep(Duration::from_micros(rng.gen_range(0..100)));
+            }
+        }));
+    }
+
+    let fault_handle = if s.inject_faults {
+        let c = server.client();
+        let seed = s.seed.wrapping_add(777);
+        let initial = s.initial_elems as Elem;
+        Some(std::thread::spawn(move || {
+            let mut rng = ChaCha12Rng::seed_from_u64(seed);
+            for _ in 0..40 {
+                let e = rng.gen_range(0..initial.max(1));
+                let _ = c.set_reachable(e, false);
+                std::thread::sleep(Duration::from_micros(rng.gen_range(20..120)));
+                let _ = c.set_reachable(e, true);
+            }
+        }))
+    } else {
+        None
+    };
+
+    let mut it = ThreadedElements::new(server.client(), s.semantics);
+    it.observe(ThreadObserver::new(server.log(), server.unreachable_table()));
+    it.block_attempts = 3;
+    it.retry_interval = Duration::from_micros(100);
+
+    let mut yields = Vec::new();
+    let mut consecutive_blocks = 0;
+    let mut final_step = RtStep::Done;
+    // Bound the run: grow-only iterators may never terminate while
+    // producers outpace them, and optimistic ones may block forever if a
+    // fault sticks; 10_000 invocations is far past every scenario here.
+    for _ in 0..10_000 {
+        match it.next().expect("server alive") {
+            RtStep::Yielded(e) => {
+                consecutive_blocks = 0;
+                yields.push(e);
+            }
+            RtStep::Blocked => {
+                consecutive_blocks += 1;
+                final_step = RtStep::Blocked;
+                if consecutive_blocks > 20 {
+                    break;
+                }
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            step @ (RtStep::Done | RtStep::Failed) => {
+                final_step = step;
+                break;
+            }
+        }
+    }
+
+    for h in mutator_handles {
+        h.join().expect("mutator thread");
+    }
+    if let Some(h) = fault_handle {
+        h.join().expect("fault thread");
+    }
+    let computation = it.take_computation().expect("observer attached");
+    server.shutdown();
+    StressResult {
+        yields,
+        final_step,
+        computation,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use weakset_spec::checker::{check_computation, Figure};
+    use weakset_spec::specs::fig6;
+
+    #[test]
+    fn quiescent_snapshot_conforms_to_fig1_and_fig3() {
+        let r = run_scenario(&Scenario {
+            semantics: RtSemantics::Snapshot,
+            profile: MutatorProfile::Quiescent,
+            mutators: 0,
+            initial_elems: 20,
+            inject_faults: false,
+            seed: 1,
+            ..Default::default()
+        });
+        assert_eq!(r.final_step, RtStep::Done);
+        assert_eq!(r.yields.len(), 20);
+        check_computation(Figure::Fig1, &r.computation).assert_ok();
+        check_computation(Figure::Fig3, &r.computation).assert_ok();
+    }
+
+    #[test]
+    fn churning_snapshot_conforms_to_fig4() {
+        for seed in 0..4 {
+            let r = run_scenario(&Scenario {
+                semantics: RtSemantics::Snapshot,
+                profile: MutatorProfile::Churn,
+                seed,
+                ..Default::default()
+            });
+            assert_eq!(r.final_step, RtStep::Done);
+            check_computation(Figure::Fig4, &r.computation).assert_ok();
+        }
+    }
+
+    #[test]
+    fn growing_set_conforms_to_fig5() {
+        for seed in 0..4 {
+            let r = run_scenario(&Scenario {
+                semantics: RtSemantics::GrowOnly,
+                profile: MutatorProfile::GrowOnly,
+                mutators: 2,
+                ops_per_mutator: 15,
+                seed,
+                ..Default::default()
+            });
+            assert_eq!(r.final_step, RtStep::Done);
+            check_computation(Figure::Fig5, &r.computation).assert_ok();
+            // Everything the mutators added must eventually be yielded.
+            assert!(r.yields.len() >= 10 + 30);
+        }
+    }
+
+    #[test]
+    fn churn_with_faults_conforms_to_fig6() {
+        for seed in 0..4 {
+            let r = run_scenario(&Scenario {
+                semantics: RtSemantics::Optimistic,
+                profile: MutatorProfile::Churn,
+                inject_faults: true,
+                seed,
+                ..Default::default()
+            });
+            let conf = check_computation(Figure::Fig6, &r.computation);
+            conf.assert_ok();
+            for run in &r.computation.runs {
+                assert!(fig6::yields_were_members(&r.computation, run));
+            }
+            // Optimistic runs never fail.
+            assert_ne!(r.final_step, RtStep::Failed);
+        }
+    }
+
+    #[test]
+    fn optimistic_under_faults_without_churn_still_terminates_or_blocks() {
+        let r = run_scenario(&Scenario {
+            semantics: RtSemantics::Optimistic,
+            profile: MutatorProfile::Quiescent,
+            mutators: 0,
+            initial_elems: 15,
+            inject_faults: true,
+            seed: 9,
+            ..Default::default()
+        });
+        check_computation(Figure::Fig6, &r.computation).assert_ok();
+        assert!(matches!(r.final_step, RtStep::Done | RtStep::Blocked));
+    }
+}

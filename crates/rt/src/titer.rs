@@ -1,0 +1,430 @@
+//! Threaded `elements` iterators and their conformance observer.
+//!
+//! The same three weak semantics as the simulator crate, but over real OS
+//! threads: mutators and fault injectors run concurrently on other
+//! threads while the iterator works. Conformance must hold for *every*
+//! interleaving the scheduler produces — that is the point of this crate.
+
+use crate::proto::{Client, Disconnected, Elem, VersionedSet};
+use crate::server::{SharedLog, SharedReach};
+use std::collections::BTreeSet;
+use std::time::Duration;
+use weakset_spec::prelude::{Computation, Outcome, Recorder, SetValue, State};
+use weakset_spec::value::ElemId;
+
+/// Which semantics a [`ThreadedElements`] provides.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RtSemantics {
+    /// Snapshot at first invocation; pessimistic failures (Figures 1/3/4).
+    Snapshot,
+    /// Current membership each invocation; pessimistic (Figure 5).
+    GrowOnly,
+    /// Current membership each invocation; never fails, blocks (Figure 6).
+    Optimistic,
+}
+
+/// One invocation's result.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RtStep {
+    /// An element was yielded.
+    Yielded(Elem),
+    /// Normal termination.
+    Done,
+    /// The failure exception (never for [`RtSemantics::Optimistic`]).
+    Failed,
+    /// No progress possible now; resume later (optimistic only).
+    Blocked,
+}
+
+impl RtStep {
+    fn outcome(self) -> Outcome {
+        match self {
+            RtStep::Yielded(e) => Outcome::Yielded(ElemId(e)),
+            RtStep::Done => Outcome::Returned,
+            RtStep::Failed => Outcome::Failed,
+            RtStep::Blocked => Outcome::Blocked,
+        }
+    }
+}
+
+/// Conformance observer over the threaded server's shared log — the
+/// thread-world twin of `weakset::conformance::RunObserver`, with the
+/// same linearization rules (first-invocation anchoring, window-floor
+/// clamping, evidence-merged accessibility).
+#[derive(Debug)]
+pub struct ThreadObserver {
+    recorder: Option<Recorder>,
+    log: SharedLog,
+    unreachable: SharedReach,
+    seen: u64,
+    floor: u64,
+    initialized: bool,
+}
+
+impl ThreadObserver {
+    /// Creates an observer over a server's log and fault table.
+    pub fn new(log: SharedLog, unreachable: SharedReach) -> Self {
+        ThreadObserver {
+            recorder: None,
+            log,
+            unreachable,
+            seen: 0,
+            floor: 0,
+            initialized: false,
+        }
+    }
+
+    fn latest(&self) -> u64 {
+        self.log.lock().last().map_or(0, |v| v.version)
+    }
+
+    fn members_at(&self, version: u64) -> BTreeSet<Elem> {
+        self.log
+            .lock()
+            .iter()
+            .find(|v| v.version == version)
+            .map(|v| v.members.clone())
+            .unwrap_or_default()
+    }
+
+    fn universe(&self) -> BTreeSet<Elem> {
+        let mut u = BTreeSet::new();
+        for v in self.log.lock().iter() {
+            u.extend(v.members.iter().copied());
+        }
+        u
+    }
+
+    fn sample_accessible(&self, reach: &[Elem], unreach: &[Elem]) -> SetValue {
+        let down = self.unreachable.lock().clone();
+        let mut acc: SetValue = self
+            .universe()
+            .into_iter()
+            .filter(|e| !down.contains(e))
+            .map(ElemId)
+            .collect();
+        for &e in reach {
+            acc.insert(ElemId(e));
+        }
+        for &e in unreach {
+            acc.remove(ElemId(e));
+        }
+        acc
+    }
+
+    fn to_set(members: &BTreeSet<Elem>) -> SetValue {
+        members.iter().copied().map(ElemId).collect()
+    }
+
+    /// Marks the start of an invocation (raises the linearization floor).
+    pub fn mark_start(&mut self) {
+        let latest = self.latest();
+        if latest > self.floor {
+            self.floor = latest;
+        }
+    }
+
+    /// Records a completed invocation.
+    pub fn record(
+        &mut self,
+        step: RtStep,
+        claimed_version: u64,
+        confirmed_reachable: &[Elem],
+        confirmed_unreachable: &[Elem],
+    ) {
+        let version = claimed_version.max(self.floor);
+        if !self.initialized {
+            self.seen = version;
+            self.initialized = true;
+        }
+        // Feed intervening log states as mutation states.
+        if version > self.seen {
+            for v in (self.seen + 1)..=version {
+                let members = Self::to_set(&self.members_at(v));
+                let st = State {
+                    accessible: self.sample_accessible(&[], &[]),
+                    members,
+                };
+                if let Some(r) = &mut self.recorder {
+                    r.observe_state(st);
+                }
+            }
+            self.seen = version;
+        }
+        let pre = State {
+            members: Self::to_set(&self.members_at(version)),
+            accessible: self.sample_accessible(confirmed_reachable, confirmed_unreachable),
+        };
+        let rec = match &mut self.recorder {
+            Some(r) => r,
+            None => {
+                self.recorder = Some(Recorder::new(pre.clone()));
+                self.recorder.as_mut().expect("just installed")
+            }
+        };
+        if !rec.run_open() {
+            rec.observe_state(pre.clone());
+            rec.begin_run();
+        } else {
+            rec.observe_state(pre.clone());
+        }
+        rec.record_invocation(pre, step.outcome());
+        self.floor = self.latest();
+    }
+
+    /// Finishes observation, returning the computation.
+    pub fn finish(mut self) -> Computation {
+        let latest = self.latest();
+        if self.initialized && latest > self.seen {
+            for v in (self.seen + 1)..=latest {
+                let members = Self::to_set(&self.members_at(v));
+                let st = State {
+                    accessible: self.sample_accessible(&[], &[]),
+                    members,
+                };
+                if let Some(r) = &mut self.recorder {
+                    r.observe_state(st);
+                }
+            }
+        }
+        match self.recorder {
+            Some(r) => r.finish(),
+            None => Computation::default(),
+        }
+    }
+}
+
+/// A threaded `elements` iterator.
+#[derive(Debug)]
+pub struct ThreadedElements {
+    client: Client,
+    semantics: RtSemantics,
+    snapshot: Option<VersionedSet>,
+    yielded: BTreeSet<Elem>,
+    terminated: bool,
+    observer: Option<ThreadObserver>,
+    computation: Option<Computation>,
+    /// Optimistic: rounds before reporting [`RtStep::Blocked`].
+    pub block_attempts: usize,
+    /// Optimistic: real-time pause between rounds.
+    pub retry_interval: Duration,
+}
+
+impl ThreadedElements {
+    /// Creates an iterator over the server behind `client`.
+    pub fn new(client: Client, semantics: RtSemantics) -> Self {
+        ThreadedElements {
+            client,
+            semantics,
+            snapshot: None,
+            yielded: BTreeSet::new(),
+            terminated: false,
+            observer: None,
+            computation: None,
+            block_attempts: 3,
+            retry_interval: Duration::from_micros(200),
+        }
+    }
+
+    /// Attaches a conformance observer.
+    pub fn observe(&mut self, observer: ThreadObserver) {
+        self.observer = Some(observer);
+    }
+
+    /// Returns the recorded computation (after the run ends or on
+    /// demand).
+    pub fn take_computation(&mut self) -> Option<Computation> {
+        if let Some(obs) = self.observer.take() {
+            self.computation = Some(obs.finish());
+        }
+        self.computation.take()
+    }
+
+    /// Elements yielded so far.
+    pub fn yielded(&self) -> &BTreeSet<Elem> {
+        &self.yielded
+    }
+
+    fn record(
+        &mut self,
+        step: RtStep,
+        version: u64,
+        reach: &[Elem],
+        unreach: &[Elem],
+    ) -> RtStep {
+        if let Some(obs) = &mut self.observer {
+            obs.record(step, version, reach, unreach);
+        }
+        if matches!(step, RtStep::Done | RtStep::Failed) {
+            if let Some(obs) = self.observer.take() {
+                self.computation = Some(obs.finish());
+            }
+        }
+        step
+    }
+
+    fn membership(&mut self) -> Result<VersionedSet, Disconnected> {
+        match self.semantics {
+            RtSemantics::Snapshot => {
+                if self.snapshot.is_none() {
+                    self.snapshot = Some(self.client.snapshot()?);
+                }
+                Ok(self.snapshot.clone().expect("snapshot just taken"))
+            }
+            RtSemantics::GrowOnly | RtSemantics::Optimistic => self.client.snapshot(),
+        }
+    }
+
+    /// One invocation.
+    ///
+    /// # Errors
+    ///
+    /// [`Disconnected`] if the server shut down mid-run.
+    pub fn next(&mut self) -> Result<RtStep, Disconnected> {
+        if self.terminated {
+            return Ok(RtStep::Done);
+        }
+        if let Some(obs) = &mut self.observer {
+            obs.mark_start();
+        }
+        let rounds = if self.semantics == RtSemantics::Optimistic {
+            self.block_attempts.max(1)
+        } else {
+            1
+        };
+        let mut last_version = 0;
+        let mut last_unreach: Vec<Elem> = Vec::new();
+        for round in 0..rounds {
+            if round > 0 {
+                std::thread::sleep(self.retry_interval);
+            }
+            let snap = self.membership()?;
+            last_version = snap.version;
+            let candidates: Vec<Elem> = snap
+                .members
+                .iter()
+                .copied()
+                .filter(|e| !self.yielded.contains(e))
+                .collect();
+            if candidates.is_empty() {
+                self.terminated = true;
+                return Ok(self.record(RtStep::Done, snap.version, &[], &[]));
+            }
+            let mut unreach = Vec::new();
+            for e in candidates {
+                if self.client.fetch(e)? {
+                    self.yielded.insert(e);
+                    return Ok(self.record(RtStep::Yielded(e), snap.version, &[e], &unreach));
+                }
+                unreach.push(e);
+            }
+            last_unreach = unreach;
+        }
+        match self.semantics {
+            RtSemantics::Optimistic => {
+                Ok(self.record(RtStep::Blocked, last_version, &[], &last_unreach))
+            }
+            _ => {
+                self.terminated = true;
+                Ok(self.record(RtStep::Failed, last_version, &[], &last_unreach))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{ServerConfig, SetServer};
+    use weakset_spec::checker::{check_computation, Figure};
+
+    fn server() -> SetServer {
+        SetServer::spawn(ServerConfig {
+            seed: 5,
+            max_delay_us: 0,
+        })
+    }
+
+    #[test]
+    fn snapshot_drains_and_conforms() {
+        let srv = server();
+        let c = srv.client();
+        c.add(1).unwrap();
+        c.add(2).unwrap();
+        let mut it = ThreadedElements::new(srv.client(), RtSemantics::Snapshot);
+        it.observe(ThreadObserver::new(srv.log(), srv.unreachable_table()));
+        let mut got = Vec::new();
+        loop {
+            match it.next().unwrap() {
+                RtStep::Yielded(e) => got.push(e),
+                RtStep::Done => break,
+                other => panic!("{other:?}"),
+            }
+        }
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2]);
+        let comp = it.take_computation().unwrap();
+        check_computation(Figure::Fig4, &comp).assert_ok();
+        srv.shutdown();
+    }
+
+    #[test]
+    fn snapshot_misses_mid_run_addition() {
+        let srv = server();
+        let c = srv.client();
+        c.add(1).unwrap();
+        let mut it = ThreadedElements::new(srv.client(), RtSemantics::Snapshot);
+        it.observe(ThreadObserver::new(srv.log(), srv.unreachable_table()));
+        assert_eq!(it.next().unwrap(), RtStep::Yielded(1));
+        c.add(2).unwrap();
+        assert_eq!(it.next().unwrap(), RtStep::Done);
+        let comp = it.take_computation().unwrap();
+        check_computation(Figure::Fig4, &comp).assert_ok();
+        assert!(!check_computation(Figure::Fig5, &comp).is_ok());
+        srv.shutdown();
+    }
+
+    #[test]
+    fn grow_only_picks_up_additions_and_fails_on_unreachable() {
+        let srv = server();
+        let c = srv.client();
+        c.add(1).unwrap();
+        let mut it = ThreadedElements::new(srv.client(), RtSemantics::GrowOnly);
+        it.observe(ThreadObserver::new(srv.log(), srv.unreachable_table()));
+        assert_eq!(it.next().unwrap(), RtStep::Yielded(1));
+        c.add(2).unwrap();
+        c.set_reachable(2, false).unwrap();
+        assert_eq!(it.next().unwrap(), RtStep::Failed);
+        let comp = it.take_computation().unwrap();
+        check_computation(Figure::Fig5, &comp).assert_ok();
+        srv.shutdown();
+    }
+
+    #[test]
+    fn optimistic_blocks_then_resumes() {
+        let srv = server();
+        let c = srv.client();
+        c.add(1).unwrap();
+        c.set_reachable(1, false).unwrap();
+        let mut it = ThreadedElements::new(srv.client(), RtSemantics::Optimistic);
+        it.observe(ThreadObserver::new(srv.log(), srv.unreachable_table()));
+        it.block_attempts = 2;
+        it.retry_interval = Duration::from_micros(10);
+        assert_eq!(it.next().unwrap(), RtStep::Blocked);
+        c.set_reachable(1, true).unwrap();
+        assert_eq!(it.next().unwrap(), RtStep::Yielded(1));
+        assert_eq!(it.next().unwrap(), RtStep::Done);
+        let comp = it.take_computation().unwrap();
+        check_computation(Figure::Fig6, &comp).assert_ok();
+        srv.shutdown();
+    }
+
+    #[test]
+    fn fused_after_done() {
+        let srv = server();
+        let mut it = ThreadedElements::new(srv.client(), RtSemantics::GrowOnly);
+        assert_eq!(it.next().unwrap(), RtStep::Done);
+        assert_eq!(it.next().unwrap(), RtStep::Done);
+        srv.shutdown();
+    }
+}

@@ -1,0 +1,115 @@
+//! The strong baseline under real threads: a read-locked iteration
+//! stalls concurrent writers for its whole duration (§3.1's cost,
+//! observed on the OS scheduler rather than the simulator).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use weakset_rt::prelude::*;
+use weakset_spec::checker::{Checker, Figure};
+use weakset_spec::constraint::ConstraintKind;
+
+#[test]
+fn locked_iteration_stalls_concurrent_writers() {
+    let server = SetServer::spawn(ServerConfig {
+        seed: 42,
+        max_delay_us: 20,
+    });
+    let setup = server.client();
+    for e in 0..20u64 {
+        setup.add(e).unwrap();
+    }
+
+    // Writer threads hammer try_add until told to stop, counting
+    // refusals and successes.
+    let stop = Arc::new(AtomicBool::new(false));
+    let stalled = Arc::new(AtomicU64::new(0));
+    let succeeded = Arc::new(AtomicU64::new(0));
+    let mut writers = Vec::new();
+    for w in 0..3u64 {
+        let c = server.client();
+        let stop = Arc::clone(&stop);
+        let stalled = Arc::clone(&stalled);
+        let succeeded = Arc::clone(&succeeded);
+        writers.push(std::thread::spawn(move || {
+            let mut next = 1_000 * (w + 1);
+            while !stop.load(Ordering::Relaxed) {
+                match c.try_add(next).expect("server alive") {
+                    Some(_) => {
+                        succeeded.fetch_add(1, Ordering::Relaxed);
+                        next += 1;
+                    }
+                    None => {
+                        stalled.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                std::thread::sleep(Duration::from_micros(50));
+            }
+        }));
+    }
+
+    // The locked "iteration": acquire, snapshot, fetch each member,
+    // release. Writers are refused throughout.
+    let reader = server.client();
+    reader.acquire_lock(7).unwrap();
+    let snap = reader.snapshot().unwrap();
+    let version_at_lock = snap.version;
+    let mut obs = ThreadObserver::new(server.log(), server.unreachable_table());
+    obs.mark_start();
+    let mut yielded = Vec::new();
+    for &e in &snap.members {
+        assert!(reader.fetch(e).unwrap());
+        obs.record(RtStep::Yielded(e), snap.version, &[e], &[]);
+        yielded.push(e);
+        std::thread::sleep(Duration::from_micros(100));
+    }
+    obs.record(RtStep::Done, snap.version, &[], &[]);
+    // Membership cannot have moved while the lock was held.
+    assert_eq!(reader.snapshot().unwrap().version, version_at_lock);
+    reader.release_lock(7).unwrap();
+
+    // Let the writers land a few successes after release, then stop.
+    std::thread::sleep(Duration::from_millis(5));
+    stop.store(true, Ordering::Relaxed);
+    for h in writers {
+        h.join().unwrap();
+    }
+
+    // Writers may have squeezed a few adds in before the lock landed.
+    assert!(yielded.len() >= 20);
+    assert_eq!(yielded.len(), snap.members.len());
+    assert!(
+        stalled.load(Ordering::Relaxed) > 0,
+        "some writer must have been refused during the lock window"
+    );
+    assert!(
+        succeeded.load(Ordering::Relaxed) > 0,
+        "writers must make progress after release"
+    );
+
+    // The locked run conforms to Figure 3 under the relaxed per-run
+    // immutability constraint (mutations resumed only after the run).
+    let comp = obs.finish();
+    Checker::new(Figure::Fig3)
+        .with_constraint(ConstraintKind::ImmutableDuringRuns)
+        .check(&comp)
+        .assert_ok();
+    server.shutdown();
+}
+
+#[test]
+fn lock_is_reentrant_per_token_set() {
+    let server = SetServer::spawn(ServerConfig {
+        seed: 1,
+        max_delay_us: 0,
+    });
+    let c = server.client();
+    c.acquire_lock(1).unwrap();
+    c.acquire_lock(2).unwrap();
+    assert_eq!(c.try_add(9).unwrap(), None);
+    c.release_lock(1).unwrap();
+    assert_eq!(c.try_add(9).unwrap(), None, "second holder still blocks");
+    c.release_lock(2).unwrap();
+    assert_eq!(c.try_add(9).unwrap(), Some(1));
+    server.shutdown();
+}

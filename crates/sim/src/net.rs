@@ -1,0 +1,70 @@
+//! Network-level failures.
+//!
+//! The paper writes `fails` for "the operation terminates with a special
+//! 'failure' exception, denoting any kind of failure, e.g., a timeout, node
+//! crash, or link down". [`NetError`] is that exception, with the cause kept
+//! for diagnostics.
+
+use crate::node::NodeId;
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Why a remote operation failed.
+///
+/// Every variant corresponds to a failure the paper's model assumes is
+/// *detectable* ("signaled from the lower network and transport layers").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NetError {
+    /// No reply arrived within the caller's timeout.
+    Timeout,
+    /// The local or remote node is known to be crashed.
+    NodeDown(NodeId),
+    /// Failure detection reported no route between the two nodes
+    /// (partition or down links).
+    Unreachable {
+        /// The calling node.
+        from: NodeId,
+        /// The target node.
+        to: NodeId,
+    },
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Timeout => write!(f, "request timed out"),
+            NetError::NodeDown(n) => write!(f, "node {n} is down"),
+            NetError::Unreachable { from, to } => {
+                write!(f, "no route from {from} to {to}")
+            }
+        }
+    }
+}
+
+impl Error for NetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert_eq!(NetError::Timeout.to_string(), "request timed out");
+        assert_eq!(NetError::NodeDown(NodeId(2)).to_string(), "node n2 is down");
+        assert_eq!(
+            NetError::Unreachable {
+                from: NodeId(0),
+                to: NodeId(1)
+            }
+            .to_string(),
+            "no route from n0 to n1"
+        );
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        let e: Box<dyn Error> = Box::new(NetError::Timeout);
+        assert!(e.source().is_none());
+    }
+}

@@ -1,0 +1,121 @@
+//! Simulated nodes (workstations/servers) and their lifecycle.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifies a node in the simulated system.
+///
+/// Node ids are dense indices assigned by [`crate::topology::Topology`] in
+/// creation order, which keeps per-node tables cheap.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The raw index of this node.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Whether a node is currently able to send, receive, and serve requests.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeStatus {
+    /// The node is running normally.
+    Up,
+    /// The node has crashed: it drops all traffic until restarted.
+    Crashed,
+}
+
+/// A simulated node: a name, a status, and a coarse "site" coordinate used
+/// by distance-based latency models ("fetch closer files first").
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Node {
+    id: NodeId,
+    name: String,
+    status: NodeStatus,
+    site: u32,
+}
+
+impl Node {
+    pub(crate) fn new(id: NodeId, name: impl Into<String>, site: u32) -> Self {
+        Node {
+            id,
+            name: name.into(),
+            status: NodeStatus::Up,
+            site,
+        }
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Human-readable name, e.g. `"server-pittsburgh"`.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Current lifecycle status.
+    pub fn status(&self) -> NodeStatus {
+        self.status
+    }
+
+    /// True when the node can participate in communication.
+    pub fn is_up(&self) -> bool {
+        self.status == NodeStatus::Up
+    }
+
+    /// Coarse location used by distance-based latency models. Nodes with the
+    /// same site are "near" each other.
+    pub fn site(&self) -> u32 {
+        self.site
+    }
+
+    pub(crate) fn set_status(&mut self, status: NodeStatus) {
+        self.status = status;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_node_is_up() {
+        let n = Node::new(NodeId(3), "srv", 1);
+        assert!(n.is_up());
+        assert_eq!(n.status(), NodeStatus::Up);
+        assert_eq!(n.id(), NodeId(3));
+        assert_eq!(n.name(), "srv");
+        assert_eq!(n.site(), 1);
+    }
+
+    #[test]
+    fn crash_and_restart_cycle() {
+        let mut n = Node::new(NodeId(0), "a", 0);
+        n.set_status(NodeStatus::Crashed);
+        assert!(!n.is_up());
+        n.set_status(NodeStatus::Up);
+        assert!(n.is_up());
+    }
+
+    #[test]
+    fn node_id_formats_compactly() {
+        assert_eq!(NodeId(7).to_string(), "n7");
+        assert_eq!(format!("{:?}", NodeId(7)), "n7");
+        assert_eq!(NodeId(7).index(), 7);
+    }
+}

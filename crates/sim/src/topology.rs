@@ -1,0 +1,323 @@
+//! The network graph: nodes, links, partitions, and reachability.
+//!
+//! The paper's `reachable` construct bottoms out here: an object is
+//! accessible exactly when the node holding it is reachable from the client's
+//! node *in the current state*. Reachability accounts for crashed nodes,
+//! administratively-down links, and network partitions, and is transitive
+//! (messages route through intermediate up nodes).
+
+use crate::link::LinkState;
+use crate::node::{Node, NodeId, NodeStatus};
+use std::collections::{HashMap, VecDeque};
+
+/// A partition group id. Nodes in different groups cannot exchange messages
+/// while the partition is in force.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PartitionGroup(pub u32);
+
+/// The simulated network graph.
+///
+/// By default the graph is a fully-connected clique of healthy links; tests
+/// and fault plans then crash nodes, take links down, or impose partitions.
+///
+/// ```
+/// use weakset_sim::prelude::*;
+/// let mut topo = Topology::new();
+/// let a = topo.add_node("a", 0);
+/// let b = topo.add_node("b", 1);
+/// let c = topo.add_node("c", 2);
+/// assert!(topo.reachable(a, c));
+/// topo.partition(&[c]);
+/// assert!(!topo.reachable(a, c));
+/// assert_eq!(topo.reachable_set(a), vec![a, b]);
+/// topo.heal_partition();
+/// assert!(topo.reachable(a, c));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Topology {
+    nodes: Vec<Node>,
+    /// Sparse overrides; absent pairs are healthy links.
+    links: HashMap<(NodeId, NodeId), LinkState>,
+    /// Partition group per node; `None` means the default (connected) group.
+    groups: Vec<Option<PartitionGroup>>,
+}
+
+impl Topology {
+    /// Creates an empty topology.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a node at the given site, returning its id.
+    pub fn add_node(&mut self, name: impl Into<String>, site: u32) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node::new(id, name, site));
+        self.groups.push(None);
+        id
+    }
+
+    /// Adds `n` nodes named `prefix-i`, all at distinct sites `0..n`.
+    pub fn add_nodes(&mut self, prefix: &str, n: usize) -> Vec<NodeId> {
+        (0..n)
+            .map(|i| self.add_node(format!("{prefix}-{i}"), i as u32))
+            .collect()
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when no nodes exist yet.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Looks up a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not created by this topology.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// All node ids in creation order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Crashes a node: it stops sending, receiving, and serving.
+    pub fn crash(&mut self, id: NodeId) {
+        self.nodes[id.index()].set_status(NodeStatus::Crashed);
+    }
+
+    /// Restarts a crashed node.
+    pub fn restart(&mut self, id: NodeId) {
+        self.nodes[id.index()].set_status(NodeStatus::Up);
+    }
+
+    /// True when the node is up.
+    pub fn is_up(&self, id: NodeId) -> bool {
+        self.nodes[id.index()].is_up()
+    }
+
+    fn key(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+        if a <= b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+
+    /// Current state of the link between `a` and `b` (healthy by default).
+    pub fn link(&self, a: NodeId, b: NodeId) -> LinkState {
+        self.links
+            .get(&Self::key(a, b))
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Overrides the link between `a` and `b`.
+    pub fn set_link(&mut self, a: NodeId, b: NodeId, state: LinkState) {
+        self.links.insert(Self::key(a, b), state);
+    }
+
+    /// Places a node into a partition group. Nodes in different groups are
+    /// mutually unreachable; nodes in the same group (or both ungrouped)
+    /// communicate normally.
+    pub fn set_group(&mut self, id: NodeId, group: Option<PartitionGroup>) {
+        self.groups[id.index()] = group;
+    }
+
+    /// Imposes a two-sided partition: every node in `side` goes to group 1,
+    /// everyone else to group 0.
+    pub fn partition(&mut self, side: &[NodeId]) {
+        for id in self.node_ids().collect::<Vec<_>>() {
+            let g = if side.contains(&id) {
+                PartitionGroup(1)
+            } else {
+                PartitionGroup(0)
+            };
+            self.groups[id.index()] = Some(g);
+        }
+    }
+
+    /// Removes all partition groups, reconnecting the network (links and
+    /// node statuses are unaffected).
+    pub fn heal_partition(&mut self) {
+        for g in &mut self.groups {
+            *g = None;
+        }
+    }
+
+    /// The partition group of a node, if any.
+    pub fn group(&self, id: NodeId) -> Option<PartitionGroup> {
+        self.groups[id.index()]
+    }
+
+    fn same_group(&self, a: NodeId, b: NodeId) -> bool {
+        self.groups[a.index()] == self.groups[b.index()]
+    }
+
+    /// True when a *single hop* from `a` to `b` is currently possible:
+    /// both nodes up, link up, same partition group.
+    pub fn edge_open(&self, a: NodeId, b: NodeId) -> bool {
+        a != b
+            && self.is_up(a)
+            && self.is_up(b)
+            && self.link(a, b).up
+            && self.same_group(a, b)
+    }
+
+    /// True when messages can currently get from `a` to `b`, routing through
+    /// intermediate up nodes if necessary. Reflexive for up nodes.
+    pub fn reachable(&self, a: NodeId, b: NodeId) -> bool {
+        if !self.is_up(a) || !self.is_up(b) {
+            return false;
+        }
+        if a == b {
+            return true;
+        }
+        // BFS over open edges.
+        let n = self.nodes.len();
+        let mut seen = vec![false; n];
+        let mut q = VecDeque::new();
+        seen[a.index()] = true;
+        q.push_back(a);
+        while let Some(cur) = q.pop_front() {
+            for id in self.node_ids() {
+                if !seen[id.index()] && self.edge_open(cur, id) {
+                    if id == b {
+                        return true;
+                    }
+                    seen[id.index()] = true;
+                    q.push_back(id);
+                }
+            }
+        }
+        false
+    }
+
+    /// The set of nodes currently reachable from `from` (including itself,
+    /// if up). This is the state-σ footprint that the paper's
+    /// `reachable(x)` function projects collections through.
+    pub fn reachable_set(&self, from: NodeId) -> Vec<NodeId> {
+        if !self.is_up(from) {
+            return Vec::new();
+        }
+        let n = self.nodes.len();
+        let mut seen = vec![false; n];
+        let mut order = Vec::new();
+        let mut q = VecDeque::new();
+        seen[from.index()] = true;
+        order.push(from);
+        q.push_back(from);
+        while let Some(cur) = q.pop_front() {
+            for id in self.node_ids() {
+                if !seen[id.index()] && self.edge_open(cur, id) {
+                    seen[id.index()] = true;
+                    order.push(id);
+                    q.push_back(id);
+                }
+            }
+        }
+        order.sort_unstable();
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three() -> (Topology, NodeId, NodeId, NodeId) {
+        let mut t = Topology::new();
+        let a = t.add_node("a", 0);
+        let b = t.add_node("b", 1);
+        let c = t.add_node("c", 2);
+        (t, a, b, c)
+    }
+
+    #[test]
+    fn clique_by_default() {
+        let (t, a, b, c) = three();
+        assert!(t.reachable(a, b));
+        assert!(t.reachable(b, c));
+        assert!(t.reachable(a, c));
+        assert!(t.reachable(a, a));
+    }
+
+    #[test]
+    fn crashed_node_is_unreachable() {
+        let (mut t, a, b, _c) = three();
+        t.crash(b);
+        assert!(!t.reachable(a, b));
+        assert!(!t.reachable(b, a));
+        assert!(!t.reachable(b, b));
+        t.restart(b);
+        assert!(t.reachable(a, b));
+    }
+
+    #[test]
+    fn down_link_routes_around() {
+        let (mut t, a, b, c) = three();
+        t.set_link(a, b, LinkState::down());
+        // Direct edge is closed but the path a-c-b remains.
+        assert!(!t.edge_open(a, b));
+        assert!(t.reachable(a, b));
+        // Cutting both legs isolates b.
+        t.set_link(c, b, LinkState::down());
+        assert!(!t.reachable(a, b));
+    }
+
+    #[test]
+    fn partition_blocks_across_groups() {
+        let (mut t, a, b, c) = three();
+        t.partition(&[c]);
+        assert!(t.reachable(a, b));
+        assert!(!t.reachable(a, c));
+        assert!(!t.reachable(b, c));
+        t.heal_partition();
+        assert!(t.reachable(a, c));
+    }
+
+    #[test]
+    fn reachable_set_lists_component() {
+        let (mut t, a, b, c) = three();
+        t.partition(&[c]);
+        assert_eq!(t.reachable_set(a), vec![a, b]);
+        assert_eq!(t.reachable_set(c), vec![c]);
+        t.crash(a);
+        assert!(t.reachable_set(a).is_empty());
+    }
+
+    #[test]
+    fn set_group_is_per_node() {
+        let (mut t, a, b, c) = three();
+        t.set_group(a, Some(PartitionGroup(5)));
+        assert!(!t.reachable(a, b));
+        assert!(t.reachable(b, c));
+        assert_eq!(t.group(a), Some(PartitionGroup(5)));
+        assert_eq!(t.group(b), None);
+    }
+
+    #[test]
+    fn add_nodes_assigns_distinct_sites() {
+        let mut t = Topology::new();
+        let ids = t.add_nodes("srv", 4);
+        assert_eq!(ids.len(), 4);
+        assert_eq!(t.node(ids[2]).name(), "srv-2");
+        assert_eq!(t.node(ids[2]).site(), 2);
+        assert_eq!(t.len(), 4);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn link_state_is_symmetric() {
+        let (mut t, a, b, _c) = three();
+        t.set_link(b, a, LinkState::lossy(0.5));
+        assert_eq!(t.link(a, b).drop_prob, 0.5);
+        assert_eq!(t.link(b, a).drop_prob, 0.5);
+    }
+}

@@ -1,0 +1,996 @@
+//! The simulation world: clock, event queue, network, services, and the
+//! synchronous RPC primitive.
+//!
+//! # Execution model
+//!
+//! The paper models each procedure/iterator invocation as *atomic* from the
+//! caller's point of view, while other processes (mutators) and failures
+//! interleave *between* invocations and while messages are in flight. The
+//! world realizes this with a single-threaded discrete-event loop:
+//!
+//! * Client code runs synchronously and calls [`World::rpc`], which pumps
+//!   the event queue until the reply arrives or the timeout expires. While
+//!   pumping, *other* scheduled work (background mutators installed with
+//!   [`World::spawn_at`], fault-plan actions) fires in timestamp order, so
+//!   concurrency and failures genuinely interleave with the client's RPCs.
+//! * Servers are [`Service`] implementations installed per node; handlers
+//!   run at message-delivery time and are local (no nested RPC from a
+//!   handler — multi-node operations are orchestrated by clients, as in the
+//!   paper's client/server RPC model).
+//! * Determinism: all randomness comes from labelled [`SimRng`] streams
+//!   derived from the run seed, and event ties break by insertion order.
+
+use crate::event::{run_task, EventKind, EventQueue};
+use crate::fault::{FaultAction, FaultPlan};
+use crate::latency::LatencyModel;
+use crate::net::NetError;
+use crate::node::NodeId;
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+use crate::topology::Topology;
+use crate::trace::{Trace, TraceEvent};
+use crate::metrics::Metrics;
+use std::any::Any;
+use std::collections::HashMap;
+
+/// Correlates a reply with the RPC that is waiting for it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ReplyToken(u64);
+
+/// A message handler installed on a node.
+///
+/// Handlers are local: they mutate their own state and return a reply. They
+/// must also be [`Any`] so tests and workloads can downcast a node's service
+/// to its concrete type via [`World::service`].
+pub trait Service<M>: Any {
+    /// Handles one request from `from`, producing the reply.
+    fn handle(&mut self, ctx: &mut ServiceCtx<'_>, from: NodeId, msg: M) -> M;
+}
+
+/// Context passed to a [`Service`] handler.
+#[derive(Debug)]
+pub struct ServiceCtx<'a> {
+    /// Current simulated time.
+    pub now: SimTime,
+    /// The node this service runs on.
+    pub node: NodeId,
+    /// Deterministic randomness for the handler.
+    pub rng: &'a mut SimRng,
+}
+
+/// A unit of scheduled work that runs against the world (e.g. a background
+/// mutator or a concurrent client operation).
+///
+/// Tasks receive `&mut World` and may themselves call [`World::rpc`]; the
+/// event loop is re-entrant, so nested pumping preserves global time order.
+pub trait Task<M> {
+    /// Label recorded in the trace when the task fires.
+    fn label(&self) -> &str {
+        "task"
+    }
+    /// Runs the task.
+    fn run(self: Box<Self>, world: &mut World<M>);
+}
+
+impl<M, F> Task<M> for F
+where
+    F: FnOnce(&mut World<M>),
+{
+    fn run(self: Box<Self>, world: &mut World<M>) {
+        (*self)(world)
+    }
+}
+
+/// Tunables for a run.
+#[derive(Clone, Debug)]
+pub struct WorldConfig {
+    /// Seed from which every random stream is derived.
+    pub seed: u64,
+    /// Default RPC timeout used by [`World::rpc_default`].
+    pub default_timeout: SimDuration,
+    /// When true, an RPC to a currently-unreachable node fails fast with
+    /// [`NetError::Unreachable`] after `detect_delay` (the paper assumes
+    /// failures are detectable from lower layers). When false, such RPCs
+    /// burn the full timeout.
+    pub fast_fail: bool,
+    /// How long failure detection takes when `fast_fail` is on.
+    pub detect_delay: SimDuration,
+    /// Whether to keep a full event trace.
+    pub trace: bool,
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        WorldConfig {
+            seed: 0,
+            default_timeout: SimDuration::from_millis(100),
+            fast_fail: true,
+            detect_delay: SimDuration::from_millis(2),
+            trace: true,
+        }
+    }
+}
+
+impl WorldConfig {
+    /// A default config with the given seed.
+    pub fn seeded(seed: u64) -> Self {
+        WorldConfig {
+            seed,
+            ..Default::default()
+        }
+    }
+}
+
+/// The simulation world. Generic over the message type `M` exchanged between
+/// clients and services.
+pub struct World<M> {
+    now: SimTime,
+    queue: EventQueue<M>,
+    topology: Topology,
+    services: HashMap<NodeId, Box<dyn Service<M>>>,
+    completed: HashMap<ReplyToken, Result<M, NetError>>,
+    next_token: u64,
+    latency: LatencyModel,
+    lat_rng: SimRng,
+    drop_rng: SimRng,
+    svc_rng: SimRng,
+    config: WorldConfig,
+    trace: Trace,
+    metrics: Metrics,
+    /// Link throughput in bytes per millisecond; `None` = infinite.
+    bandwidth_bytes_per_ms: Option<u64>,
+    /// Measures a message's wire size for transfer-time charging.
+    sizer: Option<Box<dyn Fn(&M) -> usize>>,
+}
+
+impl<M: Clone + std::fmt::Debug + 'static> World<M> {
+    /// Creates a world over a topology with the given latency model.
+    pub fn new(config: WorldConfig, topology: Topology, latency: LatencyModel) -> Self {
+        let trace = if config.trace {
+            Trace::new()
+        } else {
+            Trace::disabled()
+        };
+        World {
+            now: SimTime::ZERO,
+            queue: EventQueue::default(),
+            topology,
+            services: HashMap::new(),
+            completed: HashMap::new(),
+            next_token: 0,
+            latency,
+            lat_rng: SimRng::for_label(config.seed, "latency"),
+            drop_rng: SimRng::for_label(config.seed, "drops"),
+            svc_rng: SimRng::for_label(config.seed, "service"),
+            config,
+            trace,
+            metrics: Metrics::new(),
+            bandwidth_bytes_per_ms: None,
+            sizer: None,
+        }
+    }
+
+    /// Models finite link throughput: every message is charged an extra
+    /// `size / bytes_per_ms` of one-way delay, where `size` comes from
+    /// `sizer`. Links have infinite capacity (no queueing between
+    /// concurrent transfers); the charge is pure serialization delay, so
+    /// big payloads cost more than small ones — the paper's file fetches.
+    pub fn set_bandwidth(
+        &mut self,
+        bytes_per_ms: u64,
+        sizer: impl Fn(&M) -> usize + 'static,
+    ) {
+        assert!(bytes_per_ms > 0, "bandwidth must be positive");
+        self.bandwidth_bytes_per_ms = Some(bytes_per_ms);
+        self.sizer = Some(Box::new(sizer));
+    }
+
+    fn transfer_delay(&self, msg: &M) -> SimDuration {
+        match (self.bandwidth_bytes_per_ms, &self.sizer) {
+            (Some(bpm), Some(sizer)) => {
+                let bytes = sizer(msg) as u64;
+                SimDuration::from_micros(bytes.saturating_mul(1000) / bpm)
+            }
+            _ => SimDuration::ZERO,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Read access to the network graph.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Mutable access to the network graph (tests and fault injection).
+    pub fn topology_mut(&mut self) -> &mut Topology {
+        &mut self.topology
+    }
+
+    /// The run configuration.
+    pub fn config(&self) -> &WorldConfig {
+        &self.config
+    }
+
+    /// The run trace.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Run metrics.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Mutable run metrics (for client-side instrumentation).
+    pub fn metrics_mut(&mut self) -> &mut Metrics {
+        &mut self.metrics
+    }
+
+    /// A fresh deterministic RNG stream labelled for a consumer (workload
+    /// generation, client decisions, ...). Same `(seed, label)` ⇒ same
+    /// stream.
+    pub fn rng_for(&self, label: &str) -> SimRng {
+        SimRng::for_label(self.config.seed, label)
+    }
+
+    /// The latency model in force.
+    pub fn latency_model(&self) -> &LatencyModel {
+        &self.latency
+    }
+
+    /// Deterministic latency estimate from `a` to `b` (for closest-first
+    /// scheduling).
+    pub fn estimate_latency(&self, a: NodeId, b: NodeId) -> SimDuration {
+        self.latency
+            .estimate(self.topology.node(a), self.topology.node(b))
+    }
+
+    /// Installs (or replaces) the service on a node.
+    pub fn install_service(&mut self, node: NodeId, svc: Box<dyn Service<M>>) {
+        self.services.insert(node, svc);
+    }
+
+    /// Downcasts the service on `node` to a concrete type.
+    pub fn service<T: 'static>(&self, node: NodeId) -> Option<&T> {
+        self.services
+            .get(&node)
+            .and_then(|s| (s.as_ref() as &dyn Any).downcast_ref::<T>())
+    }
+
+    /// Mutable downcast of the service on `node`.
+    pub fn service_mut<T: 'static>(&mut self, node: NodeId) -> Option<&mut T> {
+        self.services
+            .get_mut(&node)
+            .and_then(|s| (s.as_mut() as &mut dyn Any).downcast_mut::<T>())
+    }
+
+    /// Schedules a task at an absolute time.
+    pub fn spawn_at(&mut self, t: SimTime, task: impl Task<M> + 'static) {
+        let at = if t < self.now { self.now } else { t };
+        self.queue.push(at, EventKind::Task(Box::new(task)));
+    }
+
+    /// Schedules a task `d` from now.
+    pub fn spawn_in(&mut self, d: SimDuration, task: impl Task<M> + 'static) {
+        self.spawn_at(self.now + d, task);
+    }
+
+    /// Schedules one fault action.
+    pub fn schedule_fault(&mut self, t: SimTime, action: FaultAction) {
+        let at = if t < self.now { self.now } else { t };
+        self.queue.push(at, EventKind::Fault(action));
+    }
+
+    /// Installs every action of a fault plan.
+    pub fn install_plan(&mut self, plan: &FaultPlan) {
+        for (t, a) in plan.actions() {
+            self.schedule_fault(*t, a.clone());
+        }
+    }
+
+    /// Adds a note to the trace at the current time.
+    pub fn note(&mut self, msg: impl Into<String>) {
+        self.trace.record(self.now, TraceEvent::Note(msg.into()));
+    }
+
+    /// Advances simulated time to `deadline`, firing every event scheduled
+    /// before or at it.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        loop {
+            match self.queue.peek_time() {
+                Some(t) if t <= deadline => {
+                    let ev = self.queue.pop().expect("peeked event vanished");
+                    self.now = t;
+                    self.dispatch(ev.kind);
+                }
+                _ => break,
+            }
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+    }
+
+    /// Sleeps the calling client for `d`, letting background work fire.
+    pub fn sleep(&mut self, d: SimDuration) {
+        let deadline = self.now + d;
+        self.run_until(deadline);
+    }
+
+    /// Fires every remaining event.
+    pub fn run_to_quiescence(&mut self) {
+        while let Some(ev) = self.queue.pop() {
+            self.now = ev.at;
+            self.dispatch(ev.kind);
+        }
+    }
+
+    /// Number of pending events.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Performs a synchronous RPC from `from` to `to` with the default
+    /// timeout. See [`World::rpc`].
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`NetError`] exactly when [`World::rpc`] does.
+    pub fn rpc_default(&mut self, from: NodeId, to: NodeId, msg: M) -> Result<M, NetError> {
+        self.rpc(from, to, msg, self.config.default_timeout)
+    }
+
+    /// Performs a synchronous RPC: sends `msg` from node `from` to the
+    /// service on node `to`, pumps the event loop, and returns the reply.
+    ///
+    /// Simulated time advances while waiting; background tasks and fault
+    /// actions scheduled in the meantime fire in order, so the world can
+    /// change under the caller exactly as the paper's model allows.
+    ///
+    /// # Errors
+    ///
+    /// * [`NetError::NodeDown`] — the *calling* node is crashed.
+    /// * [`NetError::Unreachable`] — fast failure detection reported no
+    ///   route (only when [`WorldConfig::fast_fail`] is set).
+    /// * [`NetError::Timeout`] — no reply within `timeout` (message lost,
+    ///   server crashed/partitioned mid-flight, or no service installed).
+    pub fn rpc(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        msg: M,
+        timeout: SimDuration,
+    ) -> Result<M, NetError> {
+        if !self.topology.is_up(from) {
+            return Err(NetError::NodeDown(from));
+        }
+        self.trace.record(self.now, TraceEvent::RpcSend { from, to });
+        self.metrics.incr("rpc.sent");
+        let started = self.now;
+        let deadline = self.now + timeout;
+
+        if self.config.fast_fail && !self.topology.reachable(from, to) {
+            let detect_at = (self.now + self.config.detect_delay).min(deadline);
+            self.run_until(detect_at);
+            let err = if self.topology.is_up(to) {
+                NetError::Unreachable { from, to }
+            } else {
+                NetError::NodeDown(to)
+            };
+            self.trace
+                .record(self.now, TraceEvent::RpcFailed { from, to, error: err });
+            self.metrics.incr("rpc.failed");
+            return Err(err);
+        }
+
+        let token = ReplyToken(self.next_token);
+        self.next_token += 1;
+
+        let drop_p = self.topology.link(from, to).drop_prob;
+        if self.drop_rng.chance(drop_p) {
+            self.trace
+                .record(self.now, TraceEvent::MessageLost { from, to });
+            self.metrics.incr("msg.dropped");
+        } else {
+            let lat = self
+                .latency
+                .sample(self.topology.node(from), self.topology.node(to), &mut self.lat_rng)
+                + self.transfer_delay(&msg);
+            self.queue.push(
+                self.now + lat,
+                EventKind::Deliver {
+                    from,
+                    to,
+                    msg,
+                    token,
+                },
+            );
+        }
+
+        loop {
+            if let Some(result) = self.completed.remove(&token) {
+                match &result {
+                    Ok(_) => {
+                        self.trace.record(self.now, TraceEvent::RpcOk { from, to });
+                        self.metrics.incr("rpc.ok");
+                        self.metrics
+                            .observe("rpc.latency", self.now.saturating_since(started));
+                    }
+                    Err(e) => {
+                        self.trace
+                            .record(self.now, TraceEvent::RpcFailed { from, to, error: *e });
+                        self.metrics.incr("rpc.failed");
+                    }
+                }
+                return result;
+            }
+            match self.queue.peek_time() {
+                Some(t) if t <= deadline => {
+                    let ev = self.queue.pop().expect("peeked event vanished");
+                    self.now = t;
+                    self.dispatch(ev.kind);
+                }
+                _ => {
+                    self.now = deadline;
+                    self.trace.record(
+                        self.now,
+                        TraceEvent::RpcFailed {
+                            from,
+                            to,
+                            error: NetError::Timeout,
+                        },
+                    );
+                    self.metrics.incr("rpc.failed");
+                    return Err(NetError::Timeout);
+                }
+            }
+        }
+    }
+
+    /// Sends a request *asynchronously*: the message is launched and a
+    /// token is returned immediately, without advancing time. Use
+    /// [`World::try_take_reply`] or [`World::wait_any`] to collect the
+    /// reply. Several requests can be in flight at once — this is how
+    /// dynamic sets fetch member objects in parallel.
+    ///
+    /// Failure detection behaves as for [`World::rpc`]: with
+    /// [`WorldConfig::fast_fail`], a request to an unreachable node
+    /// completes with an error after `detect_delay`; otherwise it simply
+    /// never completes and the caller's deadline applies.
+    pub fn send(&mut self, from: NodeId, to: NodeId, msg: M) -> ReplyToken {
+        let token = ReplyToken(self.next_token);
+        self.next_token += 1;
+        self.trace.record(self.now, TraceEvent::RpcSend { from, to });
+        self.metrics.incr("rpc.sent");
+        if !self.topology.is_up(from) {
+            self.completed.insert(token, Err(NetError::NodeDown(from)));
+            return token;
+        }
+        if self.config.fast_fail && !self.topology.reachable(from, to) {
+            let err = if self.topology.is_up(to) {
+                NetError::Unreachable { from, to }
+            } else {
+                NetError::NodeDown(to)
+            };
+            self.queue.push(
+                self.now + self.config.detect_delay,
+                EventKind::CompleteError { token, error: err },
+            );
+            return token;
+        }
+        let drop_p = self.topology.link(from, to).drop_prob;
+        if self.drop_rng.chance(drop_p) {
+            self.trace
+                .record(self.now, TraceEvent::MessageLost { from, to });
+            self.metrics.incr("msg.dropped");
+            return token; // never completes; caller's deadline applies
+        }
+        let lat = self
+            .latency
+            .sample(self.topology.node(from), self.topology.node(to), &mut self.lat_rng)
+            + self.transfer_delay(&msg);
+        self.queue.push(
+            self.now + lat,
+            EventKind::Deliver {
+                from,
+                to,
+                msg,
+                token,
+            },
+        );
+        token
+    }
+
+    /// Collects the reply for an asynchronously-sent request if it has
+    /// already completed. Does not advance time.
+    pub fn try_take_reply(&mut self, token: ReplyToken) -> Option<Result<M, NetError>> {
+        self.completed.remove(&token)
+    }
+
+    /// Pumps the event loop until one of `tokens` completes or `deadline`
+    /// passes. Returns the completed token (its reply is left for
+    /// [`World::try_take_reply`]), or `None` on deadline.
+    pub fn wait_any(&mut self, tokens: &[ReplyToken], deadline: SimTime) -> Option<ReplyToken> {
+        loop {
+            if let Some(&t) = tokens.iter().find(|t| self.completed.contains_key(t)) {
+                return Some(t);
+            }
+            match self.queue.peek_time() {
+                Some(t) if t <= deadline => {
+                    let ev = self.queue.pop().expect("peeked event vanished");
+                    self.now = t;
+                    self.dispatch(ev.kind);
+                }
+                _ => {
+                    if self.now < deadline {
+                        self.now = deadline;
+                    }
+                    return None;
+                }
+            }
+        }
+    }
+
+    fn dispatch(&mut self, kind: EventKind<M>) {
+        match kind {
+            EventKind::CompleteError { token, error } => {
+                self.completed.insert(token, Err(error));
+                self.metrics.incr("rpc.failed");
+            }
+            EventKind::Deliver {
+                from,
+                to,
+                msg,
+                token,
+            } => {
+                // Mid-flight state changes: the message dies if the route or
+                // the server vanished while it travelled.
+                if !self.topology.is_up(to) || !self.topology.reachable(from, to) {
+                    self.trace
+                        .record(self.now, TraceEvent::MessageLost { from, to });
+                    self.metrics.incr("msg.dropped");
+                    return;
+                }
+                let Some(mut svc) = self.services.remove(&to) else {
+                    self.trace
+                        .record(self.now, TraceEvent::MessageLost { from, to });
+                    self.metrics.incr("msg.no_service");
+                    return;
+                };
+                let reply = {
+                    let mut ctx = ServiceCtx {
+                        now: self.now,
+                        node: to,
+                        rng: &mut self.svc_rng,
+                    };
+                    svc.handle(&mut ctx, from, msg)
+                };
+                self.services.insert(to, svc);
+                self.trace
+                    .record(self.now, TraceEvent::RpcHandled { from, to });
+                // Reply drop sampling uses the same link.
+                let drop_p = self.topology.link(to, from).drop_prob;
+                if self.drop_rng.chance(drop_p) {
+                    self.trace
+                        .record(self.now, TraceEvent::MessageLost { from: to, to: from });
+                    self.metrics.incr("msg.dropped");
+                    return;
+                }
+                let lat = self.latency.sample(
+                    self.topology.node(to),
+                    self.topology.node(from),
+                    &mut self.lat_rng,
+                ) + self.transfer_delay(&reply);
+                self.queue.push(
+                    self.now + lat,
+                    EventKind::ReplyArrive {
+                        from: to,
+                        to: from,
+                        msg: reply,
+                        token,
+                    },
+                );
+            }
+            EventKind::ReplyArrive {
+                from,
+                to,
+                msg,
+                token,
+            } => {
+                if !self.topology.is_up(to) || !self.topology.reachable(from, to) {
+                    self.trace
+                        .record(self.now, TraceEvent::MessageLost { from, to });
+                    self.metrics.incr("msg.dropped");
+                    return;
+                }
+                self.completed.insert(token, Ok(msg));
+            }
+            EventKind::Fault(action) => self.apply_fault(action),
+            EventKind::Task(task) => {
+                let label = task.label().to_string();
+                self.trace.record(self.now, TraceEvent::TaskRan { label });
+                run_task(task, self);
+            }
+        }
+    }
+
+    fn apply_fault(&mut self, action: FaultAction) {
+        match action {
+            FaultAction::Crash(n) => {
+                self.topology.crash(n);
+                self.trace.record(self.now, TraceEvent::NodeCrashed(n));
+            }
+            FaultAction::Restart(n) => {
+                self.topology.restart(n);
+                self.trace.record(self.now, TraceEvent::NodeRestarted(n));
+            }
+            FaultAction::SetLink(a, b, s) => {
+                self.topology.set_link(a, b, s);
+                self.trace.record(self.now, TraceEvent::LinkChanged(a, b));
+            }
+            FaultAction::Partition(side) => {
+                self.topology.partition(&side);
+                self.trace
+                    .record(self.now, TraceEvent::PartitionImposed(side));
+            }
+            FaultAction::HealPartition => {
+                self.topology.heal_partition();
+                self.trace.record(self.now, TraceEvent::PartitionHealed);
+            }
+            FaultAction::SetGroup(n, g) => {
+                self.topology.set_group(n, g);
+                self.trace.record(self.now, TraceEvent::GroupChanged(n));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::LinkState;
+
+    /// A service that echoes the request plus one.
+    struct PlusOne;
+    impl Service<u64> for PlusOne {
+        fn handle(&mut self, _ctx: &mut ServiceCtx<'_>, _from: NodeId, msg: u64) -> u64 {
+            msg + 1
+        }
+    }
+
+    /// A counting service for downcast tests.
+    struct Counter {
+        hits: u64,
+    }
+    impl Service<u64> for Counter {
+        fn handle(&mut self, _ctx: &mut ServiceCtx<'_>, _from: NodeId, msg: u64) -> u64 {
+            self.hits += 1;
+            msg
+        }
+    }
+
+    fn two_node_world() -> (World<u64>, NodeId, NodeId) {
+        let mut t = Topology::new();
+        let client = t.add_node("client", 0);
+        let server = t.add_node("server", 1);
+        let mut w = World::new(
+            WorldConfig::seeded(1),
+            t,
+            LatencyModel::Constant(SimDuration::from_millis(5)),
+        );
+        w.install_service(server, Box::new(PlusOne));
+        (w, client, server)
+    }
+
+    #[test]
+    fn rpc_round_trips_and_advances_time() {
+        let (mut w, c, s) = two_node_world();
+        let r = w.rpc_default(c, s, 41);
+        assert_eq!(r, Ok(42));
+        // One-way 5ms, round trip 10ms.
+        assert_eq!(w.now(), SimTime::from_millis(10));
+        assert_eq!(w.metrics().counter("rpc.ok"), 1);
+    }
+
+    #[test]
+    fn rpc_to_crashed_server_fails() {
+        let (mut w, c, s) = two_node_world();
+        w.topology_mut().crash(s);
+        let r = w.rpc_default(c, s, 1);
+        assert_eq!(r, Err(NetError::NodeDown(s)));
+    }
+
+    #[test]
+    fn rpc_from_crashed_client_fails_locally() {
+        let (mut w, c, s) = two_node_world();
+        w.topology_mut().crash(c);
+        assert_eq!(w.rpc_default(c, s, 1), Err(NetError::NodeDown(c)));
+    }
+
+    #[test]
+    fn partition_gives_unreachable_with_fast_fail() {
+        let (mut w, c, s) = two_node_world();
+        w.topology_mut().partition(&[s]);
+        let r = w.rpc_default(c, s, 1);
+        assert_eq!(r, Err(NetError::Unreachable { from: c, to: s }));
+        // Detection took detect_delay, not the whole timeout.
+        assert_eq!(w.now(), SimTime::from_millis(2));
+    }
+
+    #[test]
+    fn partition_times_out_without_fast_fail() {
+        let mut t = Topology::new();
+        let c = t.add_node("c", 0);
+        let s = t.add_node("s", 1);
+        t.partition(&[s]);
+        let mut cfg = WorldConfig::seeded(1);
+        cfg.fast_fail = false;
+        let mut w: World<u64> = World::new(
+            cfg,
+            t,
+            LatencyModel::Constant(SimDuration::from_millis(5)),
+        );
+        w.install_service(s, Box::new(PlusOne));
+        let r = w.rpc(c, s, 1, SimDuration::from_millis(50));
+        assert_eq!(r, Err(NetError::Timeout));
+        assert_eq!(w.now(), SimTime::from_millis(50));
+    }
+
+    #[test]
+    fn missing_service_times_out() {
+        let (mut w, c, _s) = two_node_world();
+        let extra = w.topology_mut().add_node("empty", 2);
+        let r = w.rpc(c, extra, 7, SimDuration::from_millis(20));
+        assert_eq!(r, Err(NetError::Timeout));
+    }
+
+    #[test]
+    fn lossy_link_eventually_times_out() {
+        let mut t = Topology::new();
+        let c = t.add_node("c", 0);
+        let s = t.add_node("s", 1);
+        t.set_link(c, s, LinkState::lossy(1.0));
+        let mut w: World<u64> = World::new(
+            WorldConfig::seeded(3),
+            t,
+            LatencyModel::Constant(SimDuration::from_millis(1)),
+        );
+        w.install_service(s, Box::new(PlusOne));
+        assert_eq!(
+            w.rpc(c, s, 1, SimDuration::from_millis(10)),
+            Err(NetError::Timeout)
+        );
+        assert!(w.metrics().counter("msg.dropped") >= 1);
+    }
+
+    #[test]
+    fn mid_flight_crash_loses_message() {
+        let (mut w, c, s) = two_node_world();
+        // Crash the server 1ms after the request leaves; delivery needs 5ms.
+        w.schedule_fault(SimTime::from_millis(1), FaultAction::Crash(s));
+        let r = w.rpc(c, s, 1, SimDuration::from_millis(30));
+        // fast_fail doesn't trigger: the server was up at send time.
+        assert_eq!(r, Err(NetError::Timeout));
+        assert_eq!(w.trace().count(|e| matches!(e, TraceEvent::MessageLost { .. })), 1);
+    }
+
+    #[test]
+    fn background_task_fires_during_rpc() {
+        let (mut w, c, s) = two_node_world();
+        w.spawn_at(SimTime::from_millis(3), |w: &mut World<u64>| {
+            w.note("mutation happened");
+        });
+        let r = w.rpc_default(c, s, 1);
+        assert_eq!(r, Ok(2));
+        assert_eq!(
+            w.trace()
+                .count(|e| matches!(e, TraceEvent::Note(n) if n == "mutation happened")),
+            1
+        );
+    }
+
+    #[test]
+    fn nested_rpc_from_task_works() {
+        let (mut w, c, s) = two_node_world();
+        // A concurrent client task performing its own RPC mid-way through
+        // the main client's RPC.
+        w.spawn_at(SimTime::from_millis(2), move |w: &mut World<u64>| {
+            let r = w.rpc_default(c, s, 100);
+            assert_eq!(r, Ok(101));
+        });
+        let r = w.rpc(c, s, 1, SimDuration::from_millis(200));
+        assert_eq!(r, Ok(2));
+    }
+
+    #[test]
+    fn sleep_advances_time_and_fires_events() {
+        let (mut w, _c, s) = two_node_world();
+        w.schedule_fault(SimTime::from_millis(4), FaultAction::Crash(s));
+        w.sleep(SimDuration::from_millis(10));
+        assert_eq!(w.now(), SimTime::from_millis(10));
+        assert!(!w.topology().is_up(s));
+    }
+
+    #[test]
+    fn service_downcast_sees_state() {
+        let mut t = Topology::new();
+        let c = t.add_node("c", 0);
+        let s = t.add_node("s", 1);
+        let mut w: World<u64> = World::new(
+            WorldConfig::seeded(5),
+            t,
+            LatencyModel::Constant(SimDuration::from_millis(1)),
+        );
+        w.install_service(s, Box::new(Counter { hits: 0 }));
+        w.rpc_default(c, s, 9).unwrap();
+        w.rpc_default(c, s, 9).unwrap();
+        assert_eq!(w.service::<Counter>(s).unwrap().hits, 2);
+        w.service_mut::<Counter>(s).unwrap().hits = 0;
+        assert_eq!(w.service::<Counter>(s).unwrap().hits, 0);
+        assert!(w.service::<PlusOne>(s).is_none());
+    }
+
+    #[test]
+    fn same_seed_same_run() {
+        fn run(seed: u64) -> (u64, Vec<u64>) {
+            let mut t = Topology::new();
+            let c = t.add_node("c", 0);
+            let servers: Vec<NodeId> = (0..4).map(|i| t.add_node(format!("s{i}"), i + 1)).collect();
+            let mut w: World<u64> = World::new(
+                WorldConfig::seeded(seed),
+                t,
+                LatencyModel::Uniform {
+                    lo: SimDuration::from_millis(1),
+                    hi: SimDuration::from_millis(20),
+                },
+            );
+            for &s in &servers {
+                w.install_service(s, Box::new(PlusOne));
+            }
+            let mut outs = Vec::new();
+            for i in 0..20 {
+                let s = servers[(i % servers.len() as u64) as usize];
+                if let Ok(v) = w.rpc_default(c, s, i) {
+                    outs.push(v);
+                }
+            }
+            (w.now().as_micros(), outs)
+        }
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42).0, run(43).0);
+    }
+
+    #[test]
+    fn install_plan_schedules_all_actions() {
+        let (mut w, _c, s) = two_node_world();
+        let plan = FaultPlan::none()
+            .crash_at(SimTime::from_millis(1), s)
+            .restart_at(SimTime::from_millis(2), s);
+        w.install_plan(&plan);
+        assert_eq!(w.pending_events(), 2);
+        w.run_to_quiescence();
+        assert!(w.topology().is_up(s));
+        assert_eq!(
+            w.trace().count(|e| matches!(e, TraceEvent::NodeCrashed(_))),
+            1
+        );
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let (mut w, _c, s) = two_node_world();
+        w.schedule_fault(SimTime::from_millis(50), FaultAction::Crash(s));
+        w.run_until(SimTime::from_millis(10));
+        assert_eq!(w.now(), SimTime::from_millis(10));
+        assert!(w.topology().is_up(s));
+        w.run_until(SimTime::from_millis(60));
+        assert!(!w.topology().is_up(s));
+    }
+
+    #[test]
+    fn async_sends_overlap_latency() {
+        // 4 requests of 5ms each, issued together: total wall time is one
+        // round trip (10ms), not four.
+        let mut t = Topology::new();
+        let c = t.add_node("c", 0);
+        let servers: Vec<NodeId> = (0..4).map(|i| t.add_node(format!("s{i}"), 1)).collect();
+        let mut w: World<u64> = World::new(
+            WorldConfig::seeded(1),
+            t,
+            LatencyModel::Constant(SimDuration::from_millis(5)),
+        );
+        for &s in &servers {
+            w.install_service(s, Box::new(PlusOne));
+        }
+        let tokens: Vec<ReplyToken> = servers.iter().map(|&s| w.send(c, s, 1)).collect();
+        let deadline = SimTime::from_millis(100);
+        let mut got = 0;
+        let mut pending = tokens.clone();
+        while !pending.is_empty() {
+            let done = w.wait_any(&pending, deadline).expect("reply before deadline");
+            assert_eq!(w.try_take_reply(done), Some(Ok(2)));
+            pending.retain(|&t| t != done);
+            got += 1;
+        }
+        assert_eq!(got, 4);
+        assert_eq!(w.now(), SimTime::from_millis(10));
+    }
+
+    #[test]
+    fn async_send_to_unreachable_completes_with_error() {
+        let (mut w, c, s) = two_node_world();
+        w.topology_mut().partition(&[s]);
+        let token = w.send(c, s, 1);
+        // Not complete yet: detection takes detect_delay.
+        assert!(w.try_take_reply(token).is_none());
+        let done = w.wait_any(&[token], SimTime::from_millis(50));
+        assert_eq!(done, Some(token));
+        assert_eq!(
+            w.try_take_reply(token),
+            Some(Err(NetError::Unreachable { from: c, to: s }))
+        );
+        assert_eq!(w.now(), SimTime::from_millis(2));
+    }
+
+    #[test]
+    fn wait_any_returns_none_on_deadline() {
+        let (mut w, c, _s) = two_node_world();
+        let ghost = w.topology_mut().add_node("ghost", 5);
+        // No service on ghost: the request is delivered but dropped, so
+        // the token never completes and the deadline applies.
+        let token = w.send(c, ghost, 1);
+        assert_eq!(w.wait_any(&[token], SimTime::from_millis(7)), None);
+        assert_eq!(w.now(), SimTime::from_millis(7));
+        assert!(w.try_take_reply(token).is_none());
+    }
+
+    #[test]
+    fn send_from_crashed_node_completes_immediately() {
+        let (mut w, c, s) = two_node_world();
+        w.topology_mut().crash(c);
+        let token = w.send(c, s, 1);
+        assert_eq!(w.try_take_reply(token), Some(Err(NetError::NodeDown(c))));
+    }
+
+    #[test]
+    fn bandwidth_charges_transfer_time() {
+        let mut t = Topology::new();
+        let c = t.add_node("c", 0);
+        let s = t.add_node("s", 1);
+        let mut w: World<u64> = World::new(
+            WorldConfig::seeded(1),
+            t,
+            LatencyModel::Constant(SimDuration::from_millis(5)),
+        );
+        w.install_service(s, Box::new(PlusOne));
+        // Message size = its value in bytes; 1000 bytes/ms.
+        w.set_bandwidth(1000, |m: &u64| *m as usize);
+        // 10_000-byte request and a 10_001-byte echo reply:
+        // (5ms + 10ms) out + (5ms + 10.001ms) back.
+        let started = w.now();
+        let r = w.rpc(c, s, 10_000, SimDuration::from_millis(200));
+        assert_eq!(r, Ok(10_001));
+        let took = w.now().saturating_since(started);
+        assert_eq!(took, SimDuration::from_micros(30_001));
+        // A zero-byte request still pays its 1-byte echo reply (1us).
+        let started = w.now();
+        w.rpc(c, s, 0, SimDuration::from_millis(200)).unwrap();
+        assert_eq!(
+            w.now().saturating_since(started),
+            SimDuration::from_micros(10_001)
+        );
+    }
+
+    #[test]
+    fn heal_restores_service_after_partition() {
+        let (mut w, c, s) = two_node_world();
+        w.topology_mut().partition(&[s]);
+        assert!(w.rpc_default(c, s, 1).is_err());
+        w.topology_mut().heal_partition();
+        assert_eq!(w.rpc_default(c, s, 1), Ok(2));
+    }
+}

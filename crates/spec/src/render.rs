@@ -1,0 +1,157 @@
+//! Human-readable rendering of recorded computations.
+//!
+//! When a conformance check fails, the violation names a run and an
+//! invocation; [`render`] turns the whole computation into a readable
+//! trace so the failure can be followed state by state:
+//!
+//! ```text
+//! computation: 6 states, 1 run
+//! σ0  members={e1, e2}  accessible={e1, e2}
+//! run 0 (first=σ0)
+//!   inv 0: σ0 -> σ1  Yielded(e1)
+//! σ1  members={e1, e2}  accessible={e1, e2}
+//! ...
+//! ```
+
+use crate::checker::{Conformance, Figure};
+use crate::state::{Computation, Outcome};
+use std::fmt::Write as _;
+
+/// Renders a computation as an indented, state-by-state trace.
+pub fn render(comp: &Computation) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "computation: {} states, {} run(s)",
+        comp.states.len(),
+        comp.runs.len()
+    );
+    // Map each state index to the invocations that use it as a pre-state.
+    for (si, st) in comp.states.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "σ{si:<3} members={} accessible={}",
+            st.members, st.accessible
+        );
+        for (ri, run) in comp.runs.iter().enumerate() {
+            if run.first == si && run.invocations.first().map(|i| i.pre) != Some(si) {
+                let _ = writeln!(out, "  run {ri} first-state");
+            }
+            for (ii, inv) in run.invocations.iter().enumerate() {
+                if inv.pre == si {
+                    let o = match inv.outcome {
+                        Outcome::Yielded(e) => format!("yield {e}"),
+                        Outcome::Returned => "returns".to_string(),
+                        Outcome::Failed => "FAILS".to_string(),
+                        Outcome::Blocked => "blocks".to_string(),
+                    };
+                    let _ = writeln!(out, "  run {ri} inv {ii}: σ{} -> σ{}  {o}", inv.pre, inv.post);
+                }
+            }
+        }
+    }
+    for (ri, run) in comp.runs.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "run {ri}: first=σ{} last=σ{} yielded={}",
+            run.first,
+            run.last(),
+            run.yielded_set()
+        );
+    }
+    out
+}
+
+/// Renders a conformance verdict with the trace attached when it failed —
+/// the one-call debugging entry point.
+pub fn render_verdict(figure: Figure, comp: &Computation, conf: &Conformance) -> String {
+    let mut out = String::new();
+    if conf.is_ok() {
+        let _ = writeln!(out, "{figure}: CONFORMS");
+        return out;
+    }
+    let _ = writeln!(out, "{figure}: {} violation(s)", conf.violations.len());
+    for v in &conf.violations {
+        let _ = writeln!(out, "  - {v}");
+    }
+    out.push_str(&render(comp));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::check_computation;
+    use crate::state::{Outcome, Recorder, State};
+    use crate::value::{ElemId, SetValue};
+
+    fn sample() -> Computation {
+        let sv: SetValue = [1u64, 2].into();
+        let st = || State::fully_accessible(sv.clone());
+        let mut r = Recorder::new(st());
+        r.begin_run();
+        r.record_invocation(st(), Outcome::Yielded(ElemId(1)));
+        r.record_invocation(st(), Outcome::Yielded(ElemId(2)));
+        r.record_invocation(st(), Outcome::Returned);
+        r.end_run();
+        r.finish()
+    }
+
+    #[test]
+    fn render_lists_states_and_invocations() {
+        let comp = sample();
+        let s = render(&comp);
+        assert!(s.contains("computation:"), "{s}");
+        assert!(s.contains("yield e1"), "{s}");
+        assert!(s.contains("returns"), "{s}");
+        assert!(s.contains("yielded={e1, e2}"), "{s}");
+        // Every state appears.
+        for i in 0..comp.states.len() {
+            assert!(s.contains(&format!("σ{i}")), "missing σ{i} in:\n{s}");
+        }
+    }
+
+    #[test]
+    fn verdict_is_short_on_success_and_full_on_failure() {
+        let comp = sample();
+        let ok = check_computation(Figure::Fig1, &comp);
+        let s = render_verdict(Figure::Fig1, &comp, &ok);
+        assert!(s.contains("CONFORMS"));
+        assert!(!s.contains("computation:"));
+
+        // Corrupt the run to force a violation.
+        let mut bad = comp.clone();
+        bad.runs[0].invocations[2].outcome = Outcome::Failed;
+        let conf = check_computation(Figure::Fig1, &bad);
+        let s = render_verdict(Figure::Fig1, &bad, &conf);
+        assert!(s.contains("violation"));
+        assert!(s.contains("FAILS"));
+        assert!(s.contains("computation:"));
+    }
+
+    #[test]
+    fn render_handles_empty_computation() {
+        let comp = Computation::default();
+        let s = render(&comp);
+        assert!(s.contains("0 states, 0 run(s)"));
+    }
+
+    #[test]
+    fn render_marks_blocked_invocations() {
+        let sv: SetValue = [1u64].into();
+        let mut r = Recorder::new(State {
+            members: sv.clone(),
+            accessible: SetValue::empty(),
+        });
+        r.begin_run();
+        r.record_invocation(
+            State {
+                members: sv,
+                accessible: SetValue::empty(),
+            },
+            Outcome::Blocked,
+        );
+        let comp = r.finish();
+        assert!(render(&comp).contains("blocks"));
+    }
+}

@@ -1,0 +1,110 @@
+//! Figure 4: mutable set with **loss of mutations**.
+//!
+//! ```text
+//! constraint true
+//! elements = iter (s: set) yields (e: elem) signals (failure)
+//!   remembers yielded: set initially {}
+//!   ensures if yielded_pre ⊊ reachable(s_first)
+//!           then yielded_post − yielded_pre = {e}
+//!                ∧ yielded_post ⊆ s_first
+//!                ∧ e ∈ reachable(s_first)
+//!                ∧ suspends
+//!           else if yielded_pre = reachable(s_first) ∧ yielded_pre ⊊ s_first
+//!           then fails
+//!           else returns                          % yielded_pre = s_first
+//! ```
+//!
+//! The `ensures` clause is *textually identical* to Figure 3's; only the
+//! `constraint` differs (`true` instead of immutability). The iterator
+//! yields from a **snapshot**: the set's value the first time the iterator
+//! is called. Elements added after the first invocation are missed and
+//! removed elements may still be yielded — the "lost mutations".
+
+use super::{EnsuresCtx, EnsuresError};
+use crate::state::Outcome;
+
+/// Checks one invocation against Figure 4's `ensures` clause.
+///
+/// Delegates to [`super::fig3::check_invocation`]: the clauses are
+/// identical; the semantic difference lives entirely in the constraint
+/// ([`crate::constraint::ConstraintKind::None`] here vs
+/// [`crate::constraint::ConstraintKind::Immutable`] there), i.e. in which
+/// computations are possible at all.
+///
+/// # Errors
+///
+/// Returns the specific [`EnsuresError`] describing the deviation.
+pub fn check_invocation(ctx: &EnsuresCtx<'_>, outcome: Outcome) -> Result<(), EnsuresError> {
+    super::fig3::check_invocation(ctx, outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::{state, sv};
+    use super::super::Strictness;
+    use super::*;
+    use crate::value::ElemId;
+
+    #[test]
+    fn snapshot_misses_later_additions() {
+        // s_first = {1, 2}; the set has since grown to {1, 2, 9}, all
+        // accessible. The spec still only allows yields from s_first.
+        let s_first = sv(&[1, 2]);
+        let pre = state(&[1, 2, 9], &[1, 2, 9]);
+        let y = sv(&[1]);
+        let ctx = EnsuresCtx {
+            s_first: &s_first,
+            pre: &pre,
+            yielded_pre: &y,
+            strictness: Strictness::Liberal,
+        };
+        assert!(check_invocation(&ctx, Outcome::Yielded(ElemId(2))).is_ok());
+        let r = check_invocation(&ctx, Outcome::Yielded(ElemId(9)));
+        assert!(matches!(r, Err(EnsuresError::YieldNotAllowed { .. })));
+    }
+
+    #[test]
+    fn ghost_yields_of_deleted_members_are_allowed() {
+        // 2 ∈ s_first was deleted (not in current members) but remains
+        // accessible: yielding it is precisely the "lost deletion".
+        let s_first = sv(&[1, 2]);
+        let pre = state(&[1], &[1, 2]);
+        let y = sv(&[1]);
+        let ctx = EnsuresCtx {
+            s_first: &s_first,
+            pre: &pre,
+            yielded_pre: &y,
+            strictness: Strictness::Liberal,
+        };
+        assert!(check_invocation(&ctx, Outcome::Yielded(ElemId(2))).is_ok());
+    }
+
+    #[test]
+    fn terminates_when_snapshot_exhausted_despite_growth() {
+        let s_first = sv(&[1]);
+        let pre = state(&[1, 2, 3], &[1, 2, 3]);
+        let y = sv(&[1]);
+        let ctx = EnsuresCtx {
+            s_first: &s_first,
+            pre: &pre,
+            yielded_pre: &y,
+            strictness: Strictness::Liberal,
+        };
+        assert!(check_invocation(&ctx, Outcome::Returned).is_ok());
+    }
+
+    #[test]
+    fn failure_still_based_on_first_state_value() {
+        // 2 ∈ s_first is unreachable: pessimistic failure required.
+        let s_first = sv(&[1, 2]);
+        let pre = state(&[1, 5], &[1, 5]);
+        let y = sv(&[1]);
+        let ctx = EnsuresCtx {
+            s_first: &s_first,
+            pre: &pre,
+            yielded_pre: &y,
+            strictness: Strictness::Liberal,
+        };
+        assert!(check_invocation(&ctx, Outcome::Failed).is_ok());
+    }
+}

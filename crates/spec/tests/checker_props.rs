@@ -1,0 +1,225 @@
+//! Metamorphic property tests for the conformance checker:
+//!
+//! * a *generated-conforming* computation always checks clean;
+//! * specific corruptions of such a computation are always detected.
+//!
+//! Generating conforming runs is itself an executable reading of the
+//! specs: at each step we pick any outcome the figure's ensures clause
+//! allows, given the current state and `yielded`.
+
+use proptest::prelude::*;
+use weakset_spec::prelude::*;
+
+/// A scripted environment: per-invocation mutations and accessibility.
+#[derive(Clone, Debug)]
+struct Script {
+    initial: Vec<u64>,
+    /// Per step: (mutation, accessible-mask seed)
+    steps: Vec<(Mutation, u64)>,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Mutation {
+    None,
+    Add(u64),
+    Remove(u64),
+}
+
+fn script(figure: Figure) -> impl Strategy<Value = Script> {
+    let mutation = match figure {
+        // Respect each figure's constraint.
+        Figure::Fig1 | Figure::Fig3 => proptest::strategy::Union::new(vec![Just(Mutation::None).boxed()]),
+        Figure::Fig5 => proptest::strategy::Union::new(vec![
+            Just(Mutation::None).boxed(),
+            (100u64..140).prop_map(Mutation::Add).boxed(),
+        ]),
+        Figure::Fig4 | Figure::Fig6 => proptest::strategy::Union::new(vec![
+            Just(Mutation::None).boxed(),
+            (100u64..140).prop_map(Mutation::Add).boxed(),
+            (0u64..20).prop_map(Mutation::Remove).boxed(),
+        ]),
+    };
+    (
+        proptest::collection::vec(0u64..20, 1..8),
+        proptest::collection::vec((mutation, any::<u64>()), 4..20),
+    )
+        .prop_map(|(initial, steps)| Script { initial, steps })
+}
+
+fn accessible_from(members: &SetValue, seed: u64, figure: Figure) -> SetValue {
+    match figure {
+        // Keep Figure 1 failure-free: everything accessible.
+        Figure::Fig1 => members.clone(),
+        _ => members
+            .iter()
+            .filter(|e| (seed >> (e.0 % 61)) & 1 == 0)
+            .collect(),
+    }
+}
+
+/// Plays a script, choosing at each step an outcome the figure allows.
+/// Returns the recorded computation (always conforming by construction).
+fn generate_conforming(figure: Figure, script: &Script) -> Computation {
+    let mut members: SetValue = script.initial.iter().copied().map(ElemId).collect();
+    let s_first = members.clone();
+    let mut yielded = SetValue::empty();
+    let first_state = State {
+        accessible: accessible_from(&members, 0, figure),
+        members: members.clone(),
+    };
+    let mut rec = Recorder::new(first_state);
+    rec.begin_run();
+    let mut terminated = false;
+    for (mutation, acc_seed) in &script.steps {
+        if terminated {
+            break;
+        }
+        // Environment move.
+        match *mutation {
+            Mutation::None => {}
+            Mutation::Add(e) => {
+                members.insert(ElemId(e));
+            }
+            Mutation::Remove(e) => {
+                members.remove(ElemId(e));
+            }
+        }
+        let pre = State {
+            accessible: accessible_from(&members, *acc_seed, figure),
+            members: members.clone(),
+        };
+        rec.observe_state(pre.clone());
+        // Pick an allowed outcome by consulting the spec itself.
+        let ctx = EnsuresCtx {
+            s_first: &s_first,
+            pre: &pre,
+            yielded_pre: &yielded,
+            strictness: Strictness::Liberal,
+        };
+        let candidates: Vec<Outcome> = {
+            let mut c = Vec::new();
+            for e in pre.members.union(&s_first).iter() {
+                c.push(Outcome::Yielded(e));
+            }
+            c.push(Outcome::Returned);
+            c.push(Outcome::Failed);
+            c.push(Outcome::Blocked);
+            c
+        };
+        let chosen = candidates
+            .into_iter()
+            .find(|&o| figure.check_invocation(&ctx, o).is_ok())
+            .expect("some outcome is always allowed");
+        rec.record_invocation(pre, chosen);
+        match chosen {
+            Outcome::Yielded(e) => {
+                yielded.insert(e);
+            }
+            Outcome::Returned | Outcome::Failed => terminated = true,
+            Outcome::Blocked => {}
+        }
+    }
+    rec.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn generated_runs_conform(
+        fig_idx in 0usize..5,
+        s in script(Figure::ALL[0]),
+    ) {
+        // Re-generate the script under the right figure's constraint.
+        let figure = Figure::ALL[fig_idx];
+        // Filter the mutations to respect the figure's constraint.
+        let mut s = s;
+        s.steps.retain(|(m, _)| match figure {
+            Figure::Fig1 | Figure::Fig3 => matches!(m, Mutation::None),
+            Figure::Fig5 => !matches!(m, Mutation::Remove(_)),
+            _ => true,
+        });
+        if s.steps.is_empty() {
+            s.steps.push((Mutation::None, 0));
+        }
+        let comp = generate_conforming(figure, &s);
+        let conf = check_computation(figure, &comp);
+        prop_assert!(conf.is_ok(), "{figure}: {:?}", conf.violations);
+    }
+
+    #[test]
+    fn duplicated_yield_is_always_detected(s in script(Figure::Fig6)) {
+        let comp = generate_conforming(Figure::Fig6, &s);
+        let run = &comp.runs[0];
+        let yields = run.yields();
+        prop_assume!(!yields.is_empty());
+        // Corrupt: change the LAST yield to repeat the first one.
+        prop_assume!(yields.len() >= 2);
+        let mut bad = comp.clone();
+        let first_yield = yields[0];
+        let last_yield_pos = bad.runs[0]
+            .invocations
+            .iter()
+            .rposition(|i| matches!(i.outcome, Outcome::Yielded(_)))
+            .expect("has a yield");
+        prop_assume!(
+            bad.runs[0].invocations[last_yield_pos].outcome != Outcome::Yielded(first_yield)
+        );
+        bad.runs[0].invocations[last_yield_pos].outcome = Outcome::Yielded(first_yield);
+        let conf = check_computation(Figure::Fig6, &bad);
+        prop_assert!(!conf.is_ok(), "duplicate yield must be flagged");
+    }
+
+    #[test]
+    fn premature_return_is_always_detected(s in script(Figure::Fig6)) {
+        let comp = generate_conforming(Figure::Fig6, &s);
+        let run = &comp.runs[0];
+        // Find an invocation whose pre-state still had unyielded members;
+        // flipping it to Returned must violate.
+        let mut yielded = SetValue::empty();
+        for (idx, inv) in run.invocations.iter().enumerate() {
+            let pre = comp.state(inv.pre);
+            let unyielded = pre.members.difference(&yielded);
+            if !unyielded.is_empty() && inv.outcome != Outcome::Returned {
+                let mut bad = comp.clone();
+                bad.runs[0].invocations[idx].outcome = Outcome::Returned;
+                bad.runs[0].invocations.truncate(idx + 1);
+                let conf = check_computation(Figure::Fig6, &bad);
+                prop_assert!(!conf.is_ok(), "premature return at {idx} must be flagged");
+                break;
+            }
+            if let Outcome::Yielded(e) = inv.outcome {
+                yielded.insert(e);
+            }
+        }
+    }
+
+    #[test]
+    fn failure_injection_into_fig6_is_always_detected(s in script(Figure::Fig6)) {
+        let comp = generate_conforming(Figure::Fig6, &s);
+        prop_assume!(!comp.runs[0].invocations.is_empty());
+        let mut bad = comp.clone();
+        let last = bad.runs[0].invocations.len() - 1;
+        bad.runs[0].invocations[last].outcome = Outcome::Failed;
+        let conf = check_computation(Figure::Fig6, &bad);
+        prop_assert!(!conf.is_ok(), "Figure 6 never fails");
+    }
+
+    #[test]
+    fn constraint_corruption_is_always_detected(s in script(Figure::Fig1)) {
+        let mut s = s;
+        s.steps.retain(|(m, _)| matches!(m, Mutation::None));
+        if s.steps.is_empty() { s.steps.push((Mutation::None, 0)); }
+        let comp = generate_conforming(Figure::Fig1, &s);
+        prop_assume!(comp.states.len() >= 2);
+        let mut bad = comp.clone();
+        // Inject a membership change into the immutable history.
+        let last = bad.states.len() - 1;
+        bad.states[last].members.insert(ElemId(999));
+        let conf = check_computation(Figure::Fig1, &bad);
+        prop_assert!(
+            conf.violations.iter().any(|v| matches!(v, Violation::Constraint(_))),
+            "immutability corruption must be flagged"
+        );
+    }
+}

@@ -1,0 +1,93 @@
+//! Property tests for the LSL-style value algebra: the set laws the
+//! specifications rely on must actually hold of `SetValue`.
+
+use proptest::prelude::*;
+use weakset_spec::value::{ElemId, SetValue};
+
+fn set_value() -> impl Strategy<Value = SetValue> {
+    proptest::collection::btree_set(0u64..64, 0..16)
+        .prop_map(|s| s.into_iter().map(ElemId).collect())
+}
+
+proptest! {
+    #[test]
+    fn union_is_commutative(a in set_value(), b in set_value()) {
+        prop_assert_eq!(a.union(&b), b.union(&a));
+    }
+
+    #[test]
+    fn union_is_associative(a in set_value(), b in set_value(), c in set_value()) {
+        prop_assert_eq!(a.union(&b).union(&c), a.union(&b.union(&c)));
+    }
+
+    #[test]
+    fn union_is_idempotent(a in set_value()) {
+        prop_assert_eq!(a.union(&a), a);
+    }
+
+    #[test]
+    fn intersection_distributes_over_union(
+        a in set_value(), b in set_value(), c in set_value()
+    ) {
+        prop_assert_eq!(
+            a.intersection(&b.union(&c)),
+            a.intersection(&b).union(&a.intersection(&c))
+        );
+    }
+
+    #[test]
+    fn difference_then_union_restores_superset(a in set_value(), b in set_value()) {
+        // (a − b) ∪ (a ∩ b) = a
+        prop_assert_eq!(a.difference(&b).union(&a.intersection(&b)), a);
+    }
+
+    #[test]
+    fn difference_is_disjoint_from_subtrahend(a in set_value(), b in set_value()) {
+        prop_assert!(a.difference(&b).intersection(&b).is_empty());
+    }
+
+    #[test]
+    fn subset_is_reflexive_and_antisymmetric(a in set_value(), b in set_value()) {
+        prop_assert!(a.is_subset(&a));
+        if a.is_subset(&b) && b.is_subset(&a) {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn strict_subset_iff_subset_and_smaller(a in set_value(), b in set_value()) {
+        prop_assert_eq!(
+            a.is_strict_subset(&b),
+            a.is_subset(&b) && a.len() < b.len()
+        );
+    }
+
+    #[test]
+    fn insert_remove_roundtrip(a in set_value(), e in 0u64..64) {
+        let e = ElemId(e);
+        let mut v = a.clone();
+        let was_present = v.contains(e);
+        v.insert(e);
+        prop_assert!(v.contains(e));
+        if !was_present {
+            v.remove(e);
+            prop_assert_eq!(v, a);
+        }
+    }
+
+    #[test]
+    fn cardinality_inclusion_exclusion(a in set_value(), b in set_value()) {
+        prop_assert_eq!(
+            a.union(&b).len() + a.intersection(&b).len(),
+            a.len() + b.len()
+        );
+    }
+
+    #[test]
+    fn iter_is_sorted_and_complete(a in set_value()) {
+        let elems: Vec<ElemId> = a.iter().collect();
+        prop_assert_eq!(elems.len(), a.len());
+        prop_assert!(elems.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(elems.iter().all(|&e| a.contains(e)));
+    }
+}

@@ -1,0 +1,141 @@
+//! Client-side object caching with TTL staleness.
+//!
+//! The paper notes that an iterator "might keep a cached version, which is
+//! a way to implement a history object", and that "cached data may be
+//! stale". This cache serves both roles: iterators keep fetched objects,
+//! and the TTL bounds how stale a hit can be.
+
+use crate::object::{ObjectId, ObjectRecord};
+use std::collections::HashMap;
+use weakset_sim::time::{SimDuration, SimTime};
+
+/// A TTL cache of object records.
+#[derive(Clone, Debug)]
+pub struct ObjectCache {
+    ttl: SimDuration,
+    entries: HashMap<ObjectId, (SimTime, ObjectRecord)>,
+    hits: u64,
+    misses: u64,
+}
+
+impl ObjectCache {
+    /// A cache whose entries expire `ttl` after insertion.
+    pub fn new(ttl: SimDuration) -> Self {
+        ObjectCache {
+            ttl,
+            entries: HashMap::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// A cache whose entries never expire.
+    pub fn unbounded() -> Self {
+        Self::new(SimDuration::MAX)
+    }
+
+    /// Looks up an unexpired entry.
+    pub fn get(&mut self, now: SimTime, id: ObjectId) -> Option<&ObjectRecord> {
+        let fresh = match self.entries.get(&id) {
+            Some((at, _)) => now.saturating_since(*at) <= self.ttl,
+            None => false,
+        };
+        if fresh {
+            self.hits += 1;
+            self.entries.get(&id).map(|(_, rec)| rec)
+        } else {
+            self.misses += 1;
+            self.entries.remove(&id);
+            None
+        }
+    }
+
+    /// Inserts (or refreshes) an entry.
+    pub fn put(&mut self, now: SimTime, rec: ObjectRecord) {
+        self.entries.insert(rec.id, (now, rec));
+    }
+
+    /// Removes an entry.
+    pub fn invalidate(&mut self, id: ObjectId) {
+        self.entries.remove(&id);
+    }
+
+    /// Drops every entry.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Number of resident entries (including possibly-expired ones).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// `(hits, misses)` since creation.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(id: u64) -> ObjectRecord {
+        ObjectRecord::new(ObjectId(id), format!("o{id}"), &b""[..])
+    }
+
+    #[test]
+    fn hit_within_ttl() {
+        let mut c = ObjectCache::new(SimDuration::from_millis(10));
+        c.put(SimTime::ZERO, rec(1));
+        assert!(c.get(SimTime::from_millis(5), ObjectId(1)).is_some());
+        assert_eq!(c.stats(), (1, 0));
+    }
+
+    #[test]
+    fn miss_after_ttl_evicts() {
+        let mut c = ObjectCache::new(SimDuration::from_millis(10));
+        c.put(SimTime::ZERO, rec(1));
+        assert!(c.get(SimTime::from_millis(11), ObjectId(1)).is_none());
+        assert!(c.is_empty());
+        assert_eq!(c.stats(), (0, 1));
+    }
+
+    #[test]
+    fn unknown_id_is_miss() {
+        let mut c = ObjectCache::new(SimDuration::from_millis(10));
+        assert!(c.get(SimTime::ZERO, ObjectId(9)).is_none());
+        assert_eq!(c.stats(), (0, 1));
+    }
+
+    #[test]
+    fn put_refreshes_age() {
+        let mut c = ObjectCache::new(SimDuration::from_millis(10));
+        c.put(SimTime::ZERO, rec(1));
+        c.put(SimTime::from_millis(8), rec(1));
+        assert!(c.get(SimTime::from_millis(15), ObjectId(1)).is_some());
+    }
+
+    #[test]
+    fn invalidate_and_clear() {
+        let mut c = ObjectCache::unbounded();
+        c.put(SimTime::ZERO, rec(1));
+        c.put(SimTime::ZERO, rec(2));
+        c.invalidate(ObjectId(1));
+        assert_eq!(c.len(), 1);
+        c.clear();
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn unbounded_never_expires() {
+        let mut c = ObjectCache::unbounded();
+        c.put(SimTime::ZERO, rec(1));
+        assert!(c.get(SimTime::from_secs(1_000_000), ObjectId(1)).is_some());
+    }
+}

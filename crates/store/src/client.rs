@@ -1,0 +1,716 @@
+//! The repository client: typed operations over the message protocol.
+
+use crate::collection::MemberEntry;
+use crate::msg::StoreMsg;
+use crate::object::{CollectionId, ObjectId, ObjectRecord};
+use crate::query::Query;
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+use weakset_sim::net::NetError;
+use weakset_sim::node::NodeId;
+use weakset_sim::time::SimDuration;
+use weakset_sim::world::World;
+
+/// The world type every store deployment runs in.
+pub type StoreWorld = World<StoreMsg>;
+
+/// Why a store operation failed.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StoreError {
+    /// The network-level failure exception.
+    Net(NetError),
+    /// The collection is read-locked and the mutation was refused.
+    Locked,
+    /// The object does not exist where it was expected.
+    NotFound(ObjectId),
+    /// The collection does not exist on the contacted node.
+    NoSuchCollection(CollectionId),
+    /// Too few replicas answered to form a quorum.
+    NoQuorum {
+        /// Replies received.
+        got: usize,
+        /// Replies needed.
+        need: usize,
+    },
+    /// The server answered with something the protocol does not allow
+    /// here.
+    Protocol,
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Net(e) => write!(f, "network failure: {e}"),
+            StoreError::Locked => write!(f, "collection is read-locked"),
+            StoreError::NotFound(id) => write!(f, "object {id} not found"),
+            StoreError::NoSuchCollection(c) => write!(f, "collection {c} not found"),
+            StoreError::NoQuorum { got, need } => {
+                write!(f, "quorum not reached: {got} of {need} replies")
+            }
+            StoreError::Protocol => write!(f, "unexpected protocol reply"),
+        }
+    }
+}
+
+impl Error for StoreError {}
+
+impl From<NetError> for StoreError {
+    fn from(e: NetError) -> Self {
+        StoreError::Net(e)
+    }
+}
+
+impl StoreError {
+    /// True when the error is the paper's "failure" exception (a
+    /// communication failure), as opposed to a logical error.
+    pub fn is_failure(&self) -> bool {
+        matches!(self, StoreError::Net(_) | StoreError::NoQuorum { .. })
+    }
+}
+
+/// Where a collection lives: its primary (home) node and any secondary
+/// replicas.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CollectionRef {
+    /// The collection's id.
+    pub id: CollectionId,
+    /// Primary replica: mutations are serialized here.
+    pub home: NodeId,
+    /// Secondary replicas, updated best-effort after each mutation.
+    pub replicas: Vec<NodeId>,
+}
+
+impl CollectionRef {
+    /// A collection with no secondary replicas.
+    pub fn unreplicated(id: CollectionId, home: NodeId) -> Self {
+        CollectionRef {
+            id,
+            home,
+            replicas: Vec::new(),
+        }
+    }
+
+    /// Every node hosting a replica (home first).
+    pub fn all_nodes(&self) -> Vec<NodeId> {
+        let mut v = Vec::with_capacity(1 + self.replicas.len());
+        v.push(self.home);
+        v.extend(self.replicas.iter().copied());
+        v
+    }
+}
+
+/// How membership reads pick replicas — the paper's pessimistic/optimistic
+/// split applied to the membership list itself.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ReadPolicy {
+    /// Read the primary only; fail if it is unreachable (pessimistic).
+    #[default]
+    Primary,
+    /// Read the closest reachable replica; data may be stale (optimistic).
+    Any,
+    /// Read a majority and take the newest version (pessimistic but
+    /// partition-tolerant up to minority loss).
+    Quorum,
+}
+
+/// A versioned membership read.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MembershipRead {
+    /// Version of the replica that answered (highest version for quorum).
+    pub version: u64,
+    /// The membership.
+    pub entries: Vec<MemberEntry>,
+}
+
+/// A client of the distributed object repository, bound to the node it
+/// runs on.
+#[derive(Clone, Debug)]
+pub struct StoreClient {
+    node: NodeId,
+    timeout: SimDuration,
+    lock_token: u64,
+    retries: usize,
+}
+
+impl StoreClient {
+    /// A client on `node` with the given RPC timeout.
+    pub fn new(node: NodeId, timeout: SimDuration) -> Self {
+        StoreClient {
+            node,
+            timeout,
+            lock_token: node.0 as u64 + 1,
+            retries: 0,
+        }
+    }
+
+    /// Retries each RPC up to `n` extra times on network failure. Safe
+    /// because every store request is idempotent (set semantics: repeated
+    /// adds/removes/puts/locks converge); useful on lossy links where
+    /// individual messages vanish.
+    #[must_use]
+    pub fn with_retries(mut self, n: usize) -> Self {
+        self.retries = n;
+        self
+    }
+
+    /// The node this client runs on.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The client's RPC timeout.
+    pub fn timeout(&self) -> SimDuration {
+        self.timeout
+    }
+
+    fn call(
+        &self,
+        world: &mut StoreWorld,
+        to: NodeId,
+        msg: StoreMsg,
+    ) -> Result<StoreMsg, StoreError> {
+        let mut attempt = 0;
+        loop {
+            match world.rpc(self.node, to, msg.clone(), self.timeout) {
+                Ok(reply) => return Ok(reply),
+                Err(e) if attempt >= self.retries => return Err(e.into()),
+                Err(_) => attempt += 1,
+            }
+        }
+    }
+
+    /// Stores an object on a node.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Net`] on communication failure.
+    pub fn put_object(
+        &self,
+        world: &mut StoreWorld,
+        home: NodeId,
+        rec: ObjectRecord,
+    ) -> Result<(), StoreError> {
+        match self.call(world, home, StoreMsg::PutObject(rec))? {
+            StoreMsg::Ack => Ok(()),
+            _ => Err(StoreError::Protocol),
+        }
+    }
+
+    /// Fetches an object from its home node.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Net`] on communication failure;
+    /// [`StoreError::NotFound`] when the node does not hold the object.
+    pub fn fetch_object(
+        &self,
+        world: &mut StoreWorld,
+        home: NodeId,
+        id: ObjectId,
+    ) -> Result<ObjectRecord, StoreError> {
+        match self.call(world, home, StoreMsg::GetObject(id))? {
+            StoreMsg::Object(rec) => Ok(rec),
+            StoreMsg::NotFound(id) => Err(StoreError::NotFound(id)),
+            _ => Err(StoreError::Protocol),
+        }
+    }
+
+    /// Deletes an object from a node.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Net`] on communication failure.
+    pub fn delete_object(
+        &self,
+        world: &mut StoreWorld,
+        home: NodeId,
+        id: ObjectId,
+    ) -> Result<(), StoreError> {
+        match self.call(world, home, StoreMsg::DeleteObject(id))? {
+            StoreMsg::Ack => Ok(()),
+            _ => Err(StoreError::Protocol),
+        }
+    }
+
+    /// Runs a query against one node's local objects.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Net`] on communication failure.
+    pub fn query_node(
+        &self,
+        world: &mut StoreWorld,
+        node: NodeId,
+        query: &Query,
+    ) -> Result<Vec<ObjectId>, StoreError> {
+        match self.call(world, node, StoreMsg::QueryLocal(query.clone()))? {
+            StoreMsg::Matches(ids) => Ok(ids),
+            _ => Err(StoreError::Protocol),
+        }
+    }
+
+    /// Creates the collection on its home node and every replica.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Net`] if any replica cannot be created.
+    pub fn create_collection(
+        &self,
+        world: &mut StoreWorld,
+        cref: &CollectionRef,
+    ) -> Result<(), StoreError> {
+        for node in cref.all_nodes() {
+            match self.call(world, node, StoreMsg::CreateCollection(cref.id))? {
+                StoreMsg::Ack => {}
+                _ => return Err(StoreError::Protocol),
+            }
+        }
+        Ok(())
+    }
+
+    /// Adds a member: serialized at the primary, then pushed best-effort to
+    /// every reachable secondary replica (unreachable replicas go stale).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Net`] when the *primary* is unreachable;
+    /// [`StoreError::Locked`] when a reader holds the lock.
+    pub fn add_member(
+        &self,
+        world: &mut StoreWorld,
+        cref: &CollectionRef,
+        entry: MemberEntry,
+    ) -> Result<u64, StoreError> {
+        let msg = StoreMsg::AddMember {
+            coll: cref.id,
+            entry,
+        };
+        self.mutate_primary_then_sync(world, cref, msg)
+    }
+
+    /// Removes a member (primary-first, best-effort replica sync).
+    ///
+    /// # Errors
+    ///
+    /// As for [`StoreClient::add_member`].
+    pub fn remove_member(
+        &self,
+        world: &mut StoreWorld,
+        cref: &CollectionRef,
+        elem: ObjectId,
+    ) -> Result<u64, StoreError> {
+        let msg = StoreMsg::RemoveMember {
+            coll: cref.id,
+            elem,
+        };
+        self.mutate_primary_then_sync(world, cref, msg)
+    }
+
+    fn mutate_primary_then_sync(
+        &self,
+        world: &mut StoreWorld,
+        cref: &CollectionRef,
+        msg: StoreMsg,
+    ) -> Result<u64, StoreError> {
+        let (version, entries) = match self.call(world, cref.home, msg)? {
+            StoreMsg::Members { version, entries } => (version, entries),
+            StoreMsg::Locked => return Err(StoreError::Locked),
+            StoreMsg::NoSuchCollection(c) => return Err(StoreError::NoSuchCollection(c)),
+            _ => return Err(StoreError::Protocol),
+        };
+        for &replica in &cref.replicas {
+            // Best effort: a stale replica is the paper's "one node may
+            // have more up-to-date information than another".
+            let _ = self.call(
+                world,
+                replica,
+                StoreMsg::SyncMembers {
+                    coll: cref.id,
+                    version,
+                    members: entries.clone(),
+                },
+            );
+        }
+        Ok(version)
+    }
+
+    /// Reads the collection's membership under a read policy.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Net`] when the required replicas are unreachable;
+    /// [`StoreError::NoQuorum`] when [`ReadPolicy::Quorum`] cannot gather a
+    /// majority.
+    pub fn read_members(
+        &self,
+        world: &mut StoreWorld,
+        cref: &CollectionRef,
+        policy: ReadPolicy,
+    ) -> Result<MembershipRead, StoreError> {
+        match policy {
+            ReadPolicy::Primary => self.list_one(world, cref.home, cref.id),
+            ReadPolicy::Any => {
+                // Closest-first: rank replicas by estimated latency.
+                let mut nodes = cref.all_nodes();
+                nodes.sort_by_key(|&n| world.estimate_latency(self.node, n));
+                let mut last_err = StoreError::Net(NetError::Timeout);
+                for node in nodes {
+                    match self.list_one(world, node, cref.id) {
+                        Ok(read) => return Ok(read),
+                        Err(e) => last_err = e,
+                    }
+                }
+                Err(last_err)
+            }
+            ReadPolicy::Quorum => {
+                let nodes = cref.all_nodes();
+                let need = nodes.len() / 2 + 1;
+                let mut best: Option<MembershipRead> = None;
+                let mut got = 0;
+                for node in nodes {
+                    if let Ok(read) = self.list_one(world, node, cref.id) {
+                        got += 1;
+                        if best.as_ref().is_none_or(|b| read.version > b.version) {
+                            best = Some(read);
+                        }
+                    }
+                }
+                if got >= need {
+                    Ok(best.expect("quorum reached but no reads recorded"))
+                } else {
+                    Err(StoreError::NoQuorum { got, need })
+                }
+            }
+        }
+    }
+
+    fn list_one(
+        &self,
+        world: &mut StoreWorld,
+        node: NodeId,
+        coll: CollectionId,
+    ) -> Result<MembershipRead, StoreError> {
+        match self.call(world, node, StoreMsg::ListMembers(coll))? {
+            StoreMsg::Members { version, entries } => Ok(MembershipRead { version, entries }),
+            StoreMsg::NoSuchCollection(c) => Err(StoreError::NoSuchCollection(c)),
+            _ => Err(StoreError::Protocol),
+        }
+    }
+
+    /// Acquires a read lock on the primary (strong baseline). The lock
+    /// token identifies this client.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Net`] on communication failure.
+    pub fn acquire_read_lock(
+        &self,
+        world: &mut StoreWorld,
+        cref: &CollectionRef,
+    ) -> Result<(), StoreError> {
+        match self.call(
+            world,
+            cref.home,
+            StoreMsg::AcquireReadLock {
+                coll: cref.id,
+                token: self.lock_token,
+            },
+        )? {
+            StoreMsg::Ack => Ok(()),
+            StoreMsg::NoSuchCollection(c) => Err(StoreError::NoSuchCollection(c)),
+            _ => Err(StoreError::Protocol),
+        }
+    }
+
+    /// Acquires a grow guard on the primary (§3.3): removals are deferred
+    /// until released, so the set only grows while iterating.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Net`] on communication failure.
+    pub fn acquire_grow_guard(
+        &self,
+        world: &mut StoreWorld,
+        cref: &CollectionRef,
+    ) -> Result<(), StoreError> {
+        match self.call(
+            world,
+            cref.home,
+            StoreMsg::AcquireGrowGuard {
+                coll: cref.id,
+                token: self.lock_token,
+            },
+        )? {
+            StoreMsg::Ack => Ok(()),
+            StoreMsg::NoSuchCollection(c) => Err(StoreError::NoSuchCollection(c)),
+            _ => Err(StoreError::Protocol),
+        }
+    }
+
+    /// Releases this client's grow guard; when the last guard goes, the
+    /// deferred removals land.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Net`] on communication failure.
+    pub fn release_grow_guard(
+        &self,
+        world: &mut StoreWorld,
+        cref: &CollectionRef,
+    ) -> Result<(), StoreError> {
+        match self.call(
+            world,
+            cref.home,
+            StoreMsg::ReleaseGrowGuard {
+                coll: cref.id,
+                token: self.lock_token,
+            },
+        )? {
+            StoreMsg::Ack => Ok(()),
+            _ => Err(StoreError::Protocol),
+        }
+    }
+
+    /// Releases this client's read lock on the primary.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Net`] on communication failure.
+    pub fn release_read_lock(
+        &self,
+        world: &mut StoreWorld,
+        cref: &CollectionRef,
+    ) -> Result<(), StoreError> {
+        match self.call(
+            world,
+            cref.home,
+            StoreMsg::ReleaseReadLock {
+                coll: cref.id,
+                token: self.lock_token,
+            },
+        )? {
+            StoreMsg::Ack => Ok(()),
+            _ => Err(StoreError::Protocol),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::StoreServer;
+    use weakset_sim::latency::LatencyModel;
+    use weakset_sim::topology::Topology;
+    use weakset_sim::world::WorldConfig;
+
+    fn world_with(n_servers: usize) -> (StoreWorld, NodeId, Vec<NodeId>) {
+        let mut t = Topology::new();
+        let client = t.add_node("client", 0);
+        let servers: Vec<NodeId> = (0..n_servers)
+            .map(|i| t.add_node(format!("s{i}"), i as u32 + 1))
+            .collect();
+        let mut w = StoreWorld::new(
+            WorldConfig::seeded(7),
+            t,
+            LatencyModel::Constant(SimDuration::from_millis(2)),
+        );
+        for &s in &servers {
+            w.install_service(s, Box::new(StoreServer::new()));
+        }
+        (w, client, servers)
+    }
+
+    fn entry(id: u64, home: NodeId) -> MemberEntry {
+        MemberEntry {
+            elem: ObjectId(id),
+            home,
+        }
+    }
+
+    #[test]
+    fn object_round_trip() {
+        let (mut w, c, s) = world_with(1);
+        let cl = StoreClient::new(c, SimDuration::from_millis(50));
+        let rec = ObjectRecord::new(ObjectId(1), "a", &b"hi"[..]);
+        cl.put_object(&mut w, s[0], rec.clone()).unwrap();
+        assert_eq!(cl.fetch_object(&mut w, s[0], ObjectId(1)).unwrap(), rec);
+        cl.delete_object(&mut w, s[0], ObjectId(1)).unwrap();
+        assert_eq!(
+            cl.fetch_object(&mut w, s[0], ObjectId(1)),
+            Err(StoreError::NotFound(ObjectId(1)))
+        );
+    }
+
+    #[test]
+    fn membership_lifecycle_with_replicas() {
+        let (mut w, c, s) = world_with(3);
+        let cl = StoreClient::new(c, SimDuration::from_millis(50));
+        let cref = CollectionRef {
+            id: CollectionId(1),
+            home: s[0],
+            replicas: vec![s[1], s[2]],
+        };
+        cl.create_collection(&mut w, &cref).unwrap();
+        cl.add_member(&mut w, &cref, entry(1, s[0])).unwrap();
+        cl.add_member(&mut w, &cref, entry(2, s[1])).unwrap();
+        // All replicas agree.
+        for policy in [ReadPolicy::Primary, ReadPolicy::Any, ReadPolicy::Quorum] {
+            let r = cl.read_members(&mut w, &cref, policy).unwrap();
+            assert_eq!(r.entries.len(), 2, "{policy:?}");
+            assert_eq!(r.version, 2, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn partitioned_replica_goes_stale_and_any_reads_it() {
+        let (mut w, c, s) = world_with(2);
+        let cl = StoreClient::new(c, SimDuration::from_millis(50));
+        let cref = CollectionRef {
+            id: CollectionId(1),
+            home: s[0],
+            replicas: vec![s[1]],
+        };
+        cl.create_collection(&mut w, &cref).unwrap();
+        cl.add_member(&mut w, &cref, entry(1, s[0])).unwrap();
+        // Cut the replica off; mutate again — replica misses the update.
+        w.topology_mut().partition(&[s[1]]);
+        cl.add_member(&mut w, &cref, entry(2, s[0])).unwrap();
+        // Heal but now cut off the PRIMARY: Any falls back to the stale
+        // replica.
+        w.topology_mut().heal_partition();
+        w.topology_mut().partition(&[s[0]]);
+        let read = cl.read_members(&mut w, &cref, ReadPolicy::Any).unwrap();
+        assert_eq!(read.version, 1);
+        assert_eq!(read.entries.len(), 1); // stale: missing elem 2
+        // Primary policy fails outright.
+        assert!(matches!(
+            cl.read_members(&mut w, &cref, ReadPolicy::Primary),
+            Err(StoreError::Net(_))
+        ));
+    }
+
+    #[test]
+    fn quorum_takes_newest_and_fails_below_majority() {
+        let (mut w, c, s) = world_with(3);
+        let cl = StoreClient::new(c, SimDuration::from_millis(50));
+        let cref = CollectionRef {
+            id: CollectionId(1),
+            home: s[0],
+            replicas: vec![s[1], s[2]],
+        };
+        cl.create_collection(&mut w, &cref).unwrap();
+        // Replica s[2] misses an update.
+        w.topology_mut().partition(&[s[2]]);
+        cl.add_member(&mut w, &cref, entry(1, s[0])).unwrap();
+        w.topology_mut().heal_partition();
+        // Quorum of {s0:v1, s1:v1, s2:v0} → newest v1.
+        let read = cl.read_members(&mut w, &cref, ReadPolicy::Quorum).unwrap();
+        assert_eq!(read.version, 1);
+        // Cut off two of three replicas: no majority.
+        w.topology_mut().partition(&[s[0], s[1]]);
+        let err = cl.read_members(&mut w, &cref, ReadPolicy::Quorum);
+        assert_eq!(err, Err(StoreError::NoQuorum { got: 1, need: 2 }));
+        assert!(err.unwrap_err().is_failure());
+    }
+
+    #[test]
+    fn mutation_fails_when_primary_unreachable() {
+        let (mut w, c, s) = world_with(2);
+        let cl = StoreClient::new(c, SimDuration::from_millis(50));
+        let cref = CollectionRef {
+            id: CollectionId(1),
+            home: s[0],
+            replicas: vec![s[1]],
+        };
+        cl.create_collection(&mut w, &cref).unwrap();
+        w.topology_mut().crash(s[0]);
+        let r = cl.add_member(&mut w, &cref, entry(1, s[0]));
+        assert!(matches!(r, Err(StoreError::Net(_))));
+    }
+
+    #[test]
+    fn read_lock_stalls_writers() {
+        let (mut w, c, s) = world_with(1);
+        let reader = StoreClient::new(c, SimDuration::from_millis(50));
+        let cref = CollectionRef::unreplicated(CollectionId(1), s[0]);
+        reader.create_collection(&mut w, &cref).unwrap();
+        reader.acquire_read_lock(&mut w, &cref).unwrap();
+        let writer = StoreClient::new(c, SimDuration::from_millis(50));
+        assert_eq!(
+            writer.add_member(&mut w, &cref, entry(1, s[0])),
+            Err(StoreError::Locked)
+        );
+        reader.release_read_lock(&mut w, &cref).unwrap();
+        assert!(writer.add_member(&mut w, &cref, entry(1, s[0])).is_ok());
+    }
+
+    #[test]
+    fn query_node_finds_matching_objects() {
+        let (mut w, c, s) = world_with(1);
+        let cl = StoreClient::new(c, SimDuration::from_millis(50));
+        cl.put_object(
+            &mut w,
+            s[0],
+            ObjectRecord::new(ObjectId(1), "x.face", &b""[..]),
+        )
+        .unwrap();
+        cl.put_object(
+            &mut w,
+            s[0],
+            ObjectRecord::new(ObjectId(2), "y.txt", &b""[..]),
+        )
+        .unwrap();
+        let hits = cl
+            .query_node(&mut w, s[0], &Query::NameSuffix(".face".into()))
+            .unwrap();
+        assert_eq!(hits, vec![ObjectId(1)]);
+    }
+
+    #[test]
+    fn missing_collection_surfaces() {
+        let (mut w, c, s) = world_with(1);
+        let cl = StoreClient::new(c, SimDuration::from_millis(50));
+        let cref = CollectionRef::unreplicated(CollectionId(42), s[0]);
+        assert_eq!(
+            cl.read_members(&mut w, &cref, ReadPolicy::Primary),
+            Err(StoreError::NoSuchCollection(CollectionId(42)))
+        );
+    }
+
+    #[test]
+    fn retries_ride_out_lossy_links() {
+        use weakset_sim::link::LinkState;
+        let (mut w, c, s) = world_with(1);
+        // Half the messages vanish; without retries fetches often fail.
+        w.topology_mut().set_link(c, s[0], LinkState::lossy(0.5));
+        let flaky = StoreClient::new(c, SimDuration::from_millis(20));
+        // Each attempt must survive both directions (p = 0.25), so a
+        // deep retry budget is needed to make failure negligible.
+        let sturdy = flaky.clone().with_retries(25);
+        sturdy
+            .put_object(&mut w, s[0], ObjectRecord::new(ObjectId(1), "a", &b"x"[..]))
+            .unwrap();
+        let mut flaky_failures = 0;
+        let mut sturdy_failures = 0;
+        for _ in 0..20 {
+            if flaky.fetch_object(&mut w, s[0], ObjectId(1)).is_err() {
+                flaky_failures += 1;
+            }
+            if sturdy.fetch_object(&mut w, s[0], ObjectId(1)).is_err() {
+                sturdy_failures += 1;
+            }
+        }
+        assert!(flaky_failures > 0, "a 50% lossy link must bite sometimes");
+        assert_eq!(sturdy_failures, 0, "25 retries make 50% loss negligible");
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(StoreError::Locked.to_string().contains("read-locked"));
+        assert!(StoreError::NoQuorum { got: 1, need: 2 }
+            .to_string()
+            .contains("1 of 2"));
+        assert!(!StoreError::Locked.is_failure());
+    }
+}

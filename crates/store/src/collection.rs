@@ -1,0 +1,254 @@
+//! Distributed collection objects.
+//!
+//! A collection is "logically a single object, but physically different
+//! parts of it may be scattered across many nodes" (§3). Here the
+//! *membership list* lives on a home node (optionally replicated, see
+//! [`crate::client`]) while the member objects themselves live wherever
+//! their home nodes are — the containment structure of the paper's
+//! Figure 2.
+//!
+//! Every mutation appends a snapshot to the collection's version log. The
+//! log is the omniscient state history that conformance checking replays;
+//! a real deployment would not keep it.
+
+use crate::object::ObjectId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use weakset_sim::node::NodeId;
+
+/// One member of a collection: the element and the node its object lives
+/// on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct MemberEntry {
+    /// The member object's id.
+    pub elem: ObjectId,
+    /// The node holding the member object.
+    pub home: NodeId,
+}
+
+/// A versioned membership snapshot.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MembershipVersion {
+    /// Monotonic version number (0 = initial empty membership).
+    pub version: u64,
+    /// The full membership at this version.
+    pub members: Vec<MemberEntry>,
+}
+
+/// The state of one collection replica (primary or secondary).
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct CollectionState {
+    members: BTreeMap<ObjectId, NodeId>,
+    version: u64,
+    log: Vec<MembershipVersion>,
+    /// Removals deferred while a grow guard is held (§3.3's "ghost"
+    /// mechanism): the member stays visible until the guard releases.
+    deferred: std::collections::BTreeSet<ObjectId>,
+}
+
+impl CollectionState {
+    /// A new, empty collection at version 0.
+    pub fn new() -> Self {
+        let mut c = CollectionState::default();
+        c.log.push(MembershipVersion {
+            version: 0,
+            members: Vec::new(),
+        });
+        c
+    }
+
+    /// Current version number.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True when the collection has no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// True when `elem` is currently a member.
+    pub fn contains(&self, elem: ObjectId) -> bool {
+        self.members.contains_key(&elem)
+    }
+
+    /// The current membership, sorted by element id.
+    pub fn snapshot(&self) -> Vec<MemberEntry> {
+        self.members
+            .iter()
+            .map(|(&elem, &home)| MemberEntry { elem, home })
+            .collect()
+    }
+
+    /// Adds a member; returns true (and bumps the version) when it was new.
+    pub fn add(&mut self, entry: MemberEntry) -> bool {
+        if self.members.contains_key(&entry.elem) {
+            return false;
+        }
+        self.members.insert(entry.elem, entry.home);
+        self.bump();
+        true
+    }
+
+    /// Removes a member; returns true (and bumps the version) when it was
+    /// present.
+    pub fn remove(&mut self, elem: ObjectId) -> bool {
+        if self.members.remove(&elem).is_none() {
+            return false;
+        }
+        self.bump();
+        true
+    }
+
+    /// Replaces the entire membership with a newer version (replica sync).
+    /// Older or equal versions are ignored (idempotent, out-of-order safe).
+    /// Returns true when applied.
+    pub fn sync_to(&mut self, version: u64, members: &[MemberEntry]) -> bool {
+        if version <= self.version && !(version == 0 && self.version == 0) {
+            return false;
+        }
+        if version == self.version {
+            return false;
+        }
+        self.members = members.iter().map(|m| (m.elem, m.home)).collect();
+        self.version = version;
+        self.log.push(MembershipVersion {
+            version,
+            members: members.to_vec(),
+        });
+        true
+    }
+
+    fn bump(&mut self) {
+        self.version += 1;
+        self.log.push(MembershipVersion {
+            version: self.version,
+            members: self.snapshot(),
+        });
+    }
+
+    /// The full version log: membership after every change, oldest first.
+    pub fn log(&self) -> &[MembershipVersion] {
+        &self.log
+    }
+
+    /// Defers the removal of a member (grow-guard mode, §3.3): the member
+    /// remains visible as a "ghost" until [`CollectionState::apply_deferred`]
+    /// runs. Returns true when the element is a member (so there is
+    /// something to remove later).
+    pub fn defer_remove(&mut self, elem: ObjectId) -> bool {
+        if self.members.contains_key(&elem) {
+            self.deferred.insert(elem);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Elements whose removal is currently deferred.
+    pub fn deferred(&self) -> impl Iterator<Item = ObjectId> + '_ {
+        self.deferred.iter().copied()
+    }
+
+    /// Applies every deferred removal (guard released: the ghosts are
+    /// collected). Returns how many removals landed.
+    pub fn apply_deferred(&mut self) -> usize {
+        let pending: Vec<ObjectId> = self.deferred.iter().copied().collect();
+        self.deferred.clear();
+        pending.into_iter().filter(|&e| self.remove(e)).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(id: u64, node: u32) -> MemberEntry {
+        MemberEntry {
+            elem: ObjectId(id),
+            home: NodeId(node),
+        }
+    }
+
+    #[test]
+    fn new_collection_is_empty_at_version_zero() {
+        let c = CollectionState::new();
+        assert!(c.is_empty());
+        assert_eq!(c.version(), 0);
+        assert_eq!(c.log().len(), 1);
+        assert!(c.log()[0].members.is_empty());
+    }
+
+    #[test]
+    fn add_bumps_version_and_logs() {
+        let mut c = CollectionState::new();
+        assert!(c.add(e(1, 0)));
+        assert!(!c.add(e(1, 0))); // no duplicates
+        assert_eq!(c.version(), 1);
+        assert_eq!(c.len(), 1);
+        assert!(c.contains(ObjectId(1)));
+        assert_eq!(c.log().len(), 2);
+    }
+
+    #[test]
+    fn remove_bumps_version() {
+        let mut c = CollectionState::new();
+        c.add(e(1, 0));
+        assert!(c.remove(ObjectId(1)));
+        assert!(!c.remove(ObjectId(1)));
+        assert_eq!(c.version(), 2);
+        assert!(c.is_empty());
+        // Log: initial, after add, after remove.
+        assert_eq!(c.log().len(), 3);
+    }
+
+    #[test]
+    fn snapshot_is_sorted() {
+        let mut c = CollectionState::new();
+        c.add(e(5, 0));
+        c.add(e(1, 1));
+        let snap = c.snapshot();
+        assert_eq!(snap[0].elem, ObjectId(1));
+        assert_eq!(snap[1].elem, ObjectId(5));
+    }
+
+    #[test]
+    fn deferred_removals_are_ghosts_until_applied() {
+        let mut c = CollectionState::new();
+        c.add(e(1, 0));
+        c.add(e(2, 0));
+        assert!(c.defer_remove(ObjectId(1)));
+        assert!(!c.defer_remove(ObjectId(9))); // not a member
+        assert!(c.contains(ObjectId(1)));
+        assert_eq!(c.deferred().collect::<Vec<_>>(), vec![ObjectId(1)]);
+        assert_eq!(c.version(), 2); // no version bump while deferred
+        assert_eq!(c.apply_deferred(), 1);
+        assert!(!c.contains(ObjectId(1)));
+        assert_eq!(c.version(), 3);
+        assert_eq!(c.deferred().count(), 0);
+        // Idempotent.
+        assert_eq!(c.apply_deferred(), 0);
+    }
+
+    #[test]
+    fn sync_applies_only_newer_versions() {
+        let mut c = CollectionState::new();
+        assert!(c.sync_to(3, &[e(1, 0), e(2, 0)]));
+        assert_eq!(c.version(), 3);
+        assert_eq!(c.len(), 2);
+        // Stale sync ignored.
+        assert!(!c.sync_to(2, &[e(9, 0)]));
+        assert_eq!(c.len(), 2);
+        // Same version ignored.
+        assert!(!c.sync_to(3, &[e(9, 0)]));
+        // Newer applies.
+        assert!(c.sync_to(4, &[e(9, 0)]));
+        assert!(c.contains(ObjectId(9)));
+        assert_eq!(c.log().last().unwrap().version, 4);
+    }
+}

@@ -1,0 +1,126 @@
+//! The client/server message protocol.
+
+use crate::collection::MemberEntry;
+use crate::object::{CollectionId, ObjectId, ObjectRecord};
+use crate::query::Query;
+use serde::{Deserialize, Serialize};
+
+/// Requests and replies exchanged with [`crate::server::StoreServer`]s.
+///
+/// One enum covers both directions: the simulator's service interface is
+/// `M -> M`. Servers answer unknown/ill-typed requests with
+/// [`StoreMsg::BadRequest`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum StoreMsg {
+    // ---- requests ----
+    /// Fetch one object by id.
+    GetObject(ObjectId),
+    /// Store (or overwrite) an object.
+    PutObject(ObjectRecord),
+    /// Delete an object.
+    DeleteObject(ObjectId),
+    /// Evaluate a query over this node's local objects.
+    QueryLocal(Query),
+    /// Create an empty collection replica on this node.
+    CreateCollection(CollectionId),
+    /// Read a collection replica's membership.
+    ListMembers(CollectionId),
+    /// Add a member on the primary; the reply carries the new membership.
+    AddMember {
+        /// Target collection.
+        coll: CollectionId,
+        /// The member to add.
+        entry: MemberEntry,
+    },
+    /// Remove a member on the primary; the reply carries the new
+    /// membership.
+    RemoveMember {
+        /// Target collection.
+        coll: CollectionId,
+        /// The member to remove.
+        elem: ObjectId,
+    },
+    /// Overwrite a secondary replica with a newer membership version.
+    SyncMembers {
+        /// Target collection.
+        coll: CollectionId,
+        /// Version being pushed.
+        version: u64,
+        /// Full membership at that version.
+        members: Vec<MemberEntry>,
+    },
+    /// Block collection mutations (strong baseline). `token` identifies
+    /// the holder.
+    AcquireReadLock {
+        /// Target collection.
+        coll: CollectionId,
+        /// Lock-holder token.
+        token: u64,
+    },
+    /// Release a previously-acquired read lock.
+    ReleaseReadLock {
+        /// Target collection.
+        coll: CollectionId,
+        /// Lock-holder token.
+        token: u64,
+    },
+    /// Defer member removals while held (§3.3 grow guard): the set only
+    /// grows until every guard is released.
+    AcquireGrowGuard {
+        /// Target collection.
+        coll: CollectionId,
+        /// Guard-holder token.
+        token: u64,
+    },
+    /// Release a grow guard; when the last one goes, deferred removals
+    /// land ("ghost collection").
+    ReleaseGrowGuard {
+        /// Target collection.
+        coll: CollectionId,
+        /// Guard-holder token.
+        token: u64,
+    },
+
+    // ---- replies ----
+    /// Successful fetch.
+    Object(ObjectRecord),
+    /// The object does not exist on this node.
+    NotFound(ObjectId),
+    /// Generic success.
+    Ack,
+    /// Membership read or post-mutation membership.
+    Members {
+        /// Replica's version.
+        version: u64,
+        /// Membership at that version.
+        entries: Vec<MemberEntry>,
+    },
+    /// Local query results.
+    Matches(Vec<ObjectId>),
+    /// The collection is read-locked; the mutation was refused.
+    Locked,
+    /// The collection does not exist on this node.
+    NoSuchCollection(CollectionId),
+    /// The request was not understood.
+    BadRequest,
+}
+
+impl StoreMsg {
+    /// Approximate wire size in bytes, for bandwidth-charged simulations
+    /// (`weakset_sim::world::World::set_bandwidth`). Control messages are
+    /// small and constant; object and membership transfers scale with
+    /// their payloads.
+    pub fn wire_size(&self) -> usize {
+        const HEADER: usize = 32;
+        match self {
+            StoreMsg::Object(rec) | StoreMsg::PutObject(rec) => {
+                HEADER + rec.name.len() + rec.size()
+                    + rec.attrs.iter().map(|(k, v)| k.len() + v.len()).sum::<usize>()
+            }
+            StoreMsg::Members { entries, .. } => HEADER + entries.len() * 12,
+            StoreMsg::SyncMembers { members, .. } => HEADER + members.len() * 12,
+            StoreMsg::Matches(ids) => HEADER + ids.len() * 8,
+            _ => HEADER,
+        }
+    }
+}

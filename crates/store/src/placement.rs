@@ -1,0 +1,86 @@
+//! Placement policies: which node a new object lands on.
+
+use weakset_sim::node::NodeId;
+use weakset_sim::rng::SimRng;
+
+/// Chooses home nodes for newly-created objects.
+#[derive(Clone, Debug)]
+pub enum Placement {
+    /// Cycle through the node list.
+    RoundRobin {
+        /// Next index to hand out.
+        next: usize,
+    },
+    /// Every object goes to one node.
+    Pinned(NodeId),
+    /// Uniformly random node.
+    Random,
+}
+
+impl Placement {
+    /// A round-robin policy starting at the first node.
+    pub fn round_robin() -> Self {
+        Placement::RoundRobin { next: 0 }
+    }
+
+    /// Picks a home node from `nodes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is empty (there is nowhere to place the object).
+    pub fn choose(&mut self, nodes: &[NodeId], rng: &mut SimRng) -> NodeId {
+        assert!(!nodes.is_empty(), "no candidate nodes for placement");
+        match self {
+            Placement::RoundRobin { next } => {
+                let n = nodes[*next % nodes.len()];
+                *next += 1;
+                n
+            }
+            Placement::Pinned(n) => *n,
+            Placement::Random => nodes[rng.index(nodes.len())],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nodes() -> Vec<NodeId> {
+        (0..3).map(NodeId).collect()
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let mut p = Placement::round_robin();
+        let mut rng = SimRng::new(0);
+        let picks: Vec<u32> = (0..5).map(|_| p.choose(&nodes(), &mut rng).0).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1]);
+    }
+
+    #[test]
+    fn pinned_always_same() {
+        let mut p = Placement::Pinned(NodeId(2));
+        let mut rng = SimRng::new(0);
+        for _ in 0..4 {
+            assert_eq!(p.choose(&nodes(), &mut rng), NodeId(2));
+        }
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let mut rng1 = SimRng::new(5);
+        let mut rng2 = SimRng::new(5);
+        let mut p = Placement::Random;
+        let a: Vec<u32> = (0..8).map(|_| p.choose(&nodes(), &mut rng1).0).collect();
+        let b: Vec<u32> = (0..8).map(|_| p.choose(&nodes(), &mut rng2).0).collect();
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&x| x < 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "no candidate nodes")]
+    fn empty_candidates_panic() {
+        Placement::Random.choose(&[], &mut SimRng::new(0));
+    }
+}

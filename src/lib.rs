@@ -1,0 +1,23 @@
+//! # weak-sets
+//!
+//! Umbrella crate for the reproduction of Wing & Steere, *Specifying Weak
+//! Sets* (ICDCS 1995). Re-exports every sub-crate; see the README for the
+//! architecture and `examples/` for runnable walkthroughs.
+
+#![forbid(unsafe_code)]
+
+pub use weakset;
+pub use weakset_fs;
+pub use weakset_rt;
+pub use weakset_sim;
+pub use weakset_spec;
+pub use weakset_store;
+
+/// Everything most programs need.
+pub mod prelude {
+    pub use weakset::prelude::*;
+    pub use weakset_fs::prelude::*;
+    pub use weakset_sim::prelude::*;
+    pub use weakset_spec::prelude::*;
+    pub use weakset_store::prelude::*;
+}

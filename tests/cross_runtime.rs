@@ -1,0 +1,147 @@
+//! Cross-runtime validation: the deterministic simulator and the real
+//! OS-thread runtime must agree about the semantics — every recorded
+//! run, in either substrate, satisfies the same figures.
+
+use weak_sets::prelude::*;
+use weakset_rt::prelude::*;
+
+/// Runs comparable scenarios in both runtimes and checks the same spec.
+#[test]
+fn snapshot_semantics_agree_across_runtimes() {
+    // Simulator side.
+    let mut topo = Topology::new();
+    let cn = topo.add_node("client", 0);
+    let s = topo.add_node("server", 1);
+    let mut world = StoreWorld::new(
+        WorldConfig::seeded(1),
+        topo,
+        LatencyModel::Constant(SimDuration::from_millis(2)),
+    );
+    world.install_service(s, Box::new(StoreServer::new()));
+    let client = StoreClient::new(cn, SimDuration::from_millis(100));
+    let cref = CollectionRef::unreplicated(CollectionId(1), s);
+    client.create_collection(&mut world, &cref).unwrap();
+    let set = WeakSet::new(client, cref);
+    for i in 1..=6u64 {
+        set.add(
+            &mut world,
+            ObjectRecord::new(ObjectId(i), format!("o{i}"), &b"x"[..]),
+            s,
+        )
+        .unwrap();
+    }
+    let mut it = set.elements_observed(Semantics::Snapshot);
+    loop {
+        match it.next(&mut world) {
+            IterStep::Yielded(_) => {}
+            IterStep::Done => break,
+            other => panic!("{other:?}"),
+        }
+    }
+    let sim_comp = it.take_computation(&world).unwrap();
+
+    // Thread side.
+    let srv = SetServer::spawn(ServerConfig {
+        seed: 1,
+        max_delay_us: 10,
+    });
+    let c = srv.client();
+    for i in 1..=6u64 {
+        c.add(i).unwrap();
+    }
+    let mut tit = ThreadedElements::new(srv.client(), RtSemantics::Snapshot);
+    tit.observe(ThreadObserver::new(srv.log(), srv.unreachable_table()));
+    loop {
+        match tit.next().unwrap() {
+            RtStep::Yielded(_) => {}
+            RtStep::Done => break,
+            other => panic!("{other:?}"),
+        }
+    }
+    let rt_comp = tit.take_computation().unwrap();
+    srv.shutdown();
+
+    for comp in [&sim_comp, &rt_comp] {
+        check_computation(Figure::Fig1, comp).assert_ok();
+        check_computation(Figure::Fig3, comp).assert_ok();
+        check_computation(Figure::Fig4, comp).assert_ok();
+        assert_eq!(comp.runs[0].yielded_set().len(), 6);
+    }
+}
+
+#[test]
+fn optimistic_blocking_agrees_across_runtimes() {
+    // Simulator: one unreachable element blocks the run.
+    let mut topo = Topology::new();
+    let cn = topo.add_node("client", 0);
+    let s0 = topo.add_node("s0", 1);
+    let s1 = topo.add_node("s1", 2);
+    let mut world = StoreWorld::new(
+        WorldConfig::seeded(2),
+        topo,
+        LatencyModel::Constant(SimDuration::from_millis(2)),
+    );
+    world.install_service(s0, Box::new(StoreServer::new()));
+    world.install_service(s1, Box::new(StoreServer::new()));
+    let client = StoreClient::new(cn, SimDuration::from_millis(100));
+    let cref = CollectionRef::unreplicated(CollectionId(1), s0);
+    client.create_collection(&mut world, &cref).unwrap();
+    let set = WeakSet::new(client, cref);
+    set.add(&mut world, ObjectRecord::new(ObjectId(1), "a", &b""[..]), s0)
+        .unwrap();
+    set.add(&mut world, ObjectRecord::new(ObjectId(2), "b", &b""[..]), s1)
+        .unwrap();
+    world.topology_mut().partition(&[s1]);
+    let mut it = set.elements_observed(Semantics::Optimistic);
+    assert!(matches!(it.next(&mut world), IterStep::Yielded(_)));
+    assert_eq!(it.next(&mut world), IterStep::Blocked);
+    world.topology_mut().heal_partition();
+    assert!(matches!(it.next(&mut world), IterStep::Yielded(_)));
+    assert_eq!(it.next(&mut world), IterStep::Done);
+    let sim_comp = it.take_computation(&world).unwrap();
+
+    // Threads: same story via the reachability fault table.
+    let srv = SetServer::spawn(ServerConfig::default());
+    let c = srv.client();
+    c.add(1).unwrap();
+    c.add(2).unwrap();
+    c.set_reachable(2, false).unwrap();
+    let mut tit = ThreadedElements::new(srv.client(), RtSemantics::Optimistic);
+    tit.observe(ThreadObserver::new(srv.log(), srv.unreachable_table()));
+    tit.block_attempts = 2;
+    tit.retry_interval = std::time::Duration::from_micros(20);
+    assert_eq!(tit.next().unwrap(), RtStep::Yielded(1));
+    assert_eq!(tit.next().unwrap(), RtStep::Blocked);
+    c.set_reachable(2, true).unwrap();
+    assert_eq!(tit.next().unwrap(), RtStep::Yielded(2));
+    assert_eq!(tit.next().unwrap(), RtStep::Done);
+    let rt_comp = tit.take_computation().unwrap();
+    srv.shutdown();
+
+    for comp in [&sim_comp, &rt_comp] {
+        check_computation(Figure::Fig6, comp).assert_ok();
+        // Both runs block exactly once.
+        let blocks = comp.runs[0]
+            .invocations
+            .iter()
+            .filter(|i| i.outcome == Outcome::Blocked)
+            .count();
+        assert_eq!(blocks, 1);
+    }
+}
+
+#[test]
+fn adversarial_thread_interleavings_conform_like_scripted_sim_runs() {
+    // The sim gives one deterministic interleaving; the thread runtime
+    // explores whatever the OS produces. Both must satisfy Figure 6.
+    for seed in 0..3 {
+        let result = run_scenario(&Scenario {
+            semantics: RtSemantics::Optimistic,
+            profile: MutatorProfile::Churn,
+            inject_faults: true,
+            seed,
+            ..Default::default()
+        });
+        check_computation(Figure::Fig6, &result.computation).assert_ok();
+    }
+}

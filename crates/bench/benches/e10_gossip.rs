@@ -1,0 +1,25 @@
+//! Criterion bench for E10: anti-entropy convergence across fan-outs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use weakset_bench::experiments::e10_gossip;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e10_gossip_convergence");
+    g.bench_with_input(BenchmarkId::from_parameter("sweep"), &(), |b, ()| {
+        b.iter(|| {
+            let points = e10_gossip::convergence_points();
+            assert!(points.iter().all(|p| p.rounds > 0));
+        });
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench
+}
+criterion_main!(benches);

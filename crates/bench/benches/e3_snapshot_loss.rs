@@ -15,9 +15,14 @@ fn bench(c: &mut Criterion) {
                 if churn > 0 {
                     let now = w.world.now();
                     schedule_churn_over(
-                        &mut w, &set, now,
+                        &mut w,
+                        &set,
+                        now,
                         SimDuration::from_millis(20),
-                        churn, 0.5, 40, churn as u64,
+                        churn,
+                        0.5,
+                        40,
+                        churn as u64,
                     );
                 }
                 let (_, end) = set.collect(&mut w.world, Semantics::Snapshot);

@@ -9,21 +9,25 @@ use weakset_sim::time::SimDuration;
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("e5_optimistic_heal");
     for heal_ms in [100u64, 500] {
-        g.bench_with_input(BenchmarkId::from_parameter(heal_ms), &heal_ms, |b, &heal_ms| {
-            b.iter(|| {
-                let mut w = wan(5, 8, SimDuration::from_millis(5));
-                let set = populated_set(&mut w, 32, SimDuration::from_millis(100));
-                let side: Vec<_> = w.servers[4..].to_vec();
-                w.world.topology_mut().partition(&side);
-                let heal_at = w.world.now() + SimDuration::from_millis(heal_ms);
-                w.world.install_plan(&FaultPlan::none().heal_at(heal_at));
-                let mut it = set.elements(Semantics::Optimistic);
-                let (yields, step, _) =
-                    drive(&mut w.world, &mut it, 40, SimDuration::from_millis(50));
-                assert_eq!(step, IterStep::Done);
-                assert_eq!(yields, 32);
-            });
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(heal_ms),
+            &heal_ms,
+            |b, &heal_ms| {
+                b.iter(|| {
+                    let mut w = wan(5, 8, SimDuration::from_millis(5));
+                    let set = populated_set(&mut w, 32, SimDuration::from_millis(100));
+                    let side: Vec<_> = w.servers[4..].to_vec();
+                    w.world.topology_mut().partition(&side);
+                    let heal_at = w.world.now() + SimDuration::from_millis(heal_ms);
+                    w.world.install_plan(&FaultPlan::none().heal_at(heal_at));
+                    let mut it = set.elements(Semantics::Optimistic);
+                    let (yields, step, _) =
+                        drive(&mut w.world, &mut it, 40, SimDuration::from_millis(50));
+                    assert_eq!(step, IterStep::Done);
+                    assert_eq!(yields, 32);
+                });
+            },
+        );
     }
     g.finish();
 }

@@ -12,7 +12,9 @@ use weakset_store::prelude::{StoreServer, StoreWorld};
 fn fs_world(n_files: usize) -> (StoreWorld, FileSystem) {
     let mut topo = Topology::new();
     let client = topo.add_node("client", 0);
-    let vols: Vec<_> = (0..8).map(|i| topo.add_node(format!("vol{i}"), i + 1)).collect();
+    let vols: Vec<_> = (0..8)
+        .map(|i| topo.add_node(format!("vol{i}"), i + 1))
+        .collect();
     let mut config = WorldConfig::seeded(6);
     config.trace = false;
     let mut world = StoreWorld::new(
@@ -31,7 +33,8 @@ fn fs_world(n_files: usize) -> (StoreWorld, FileSystem) {
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("e6_listing");
-    for n in [64usize] {
+    {
+        let n = 64usize;
         g.bench_with_input(BenchmarkId::new("ls", n), &n, |b, &n| {
             b.iter(|| {
                 let (mut w, fs) = fs_world(n);
@@ -43,7 +46,14 @@ fn bench(c: &mut Criterion) {
             b.iter(|| {
                 let (mut w, fs) = fs_world(n);
                 let mut listing = fs
-                    .dynls(&mut w, &FsPath::root(), PrefetchConfig { window: 16, ..Default::default() })
+                    .dynls(
+                        &mut w,
+                        &FsPath::root(),
+                        PrefetchConfig {
+                            window: 16,
+                            ..Default::default()
+                        },
+                    )
                     .expect("healthy");
                 let (entries, end) = listing.drain_available(&mut w);
                 assert_eq!(end, DynLsStep::Complete);

@@ -16,8 +16,9 @@ fn bench(c: &mut Criterion) {
             b.iter(|| {
                 let mut topo = Topology::new();
                 let client = topo.add_node("client", 0);
-                let vols: Vec<_> =
-                    (0..8).map(|i| topo.add_node(format!("vol{i}"), i + 1)).collect();
+                let vols: Vec<_> = (0..8)
+                    .map(|i| topo.add_node(format!("vol{i}"), i + 1))
+                    .collect();
                 let mut config = WorldConfig::seeded(7);
                 config.trace = false;
                 let mut w = StoreWorld::new(

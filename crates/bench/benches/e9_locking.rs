@@ -7,7 +7,10 @@ use weakset_sim::time::SimDuration;
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("e9_strong_vs_weak");
-    for (name, semantics) in [("locked", Semantics::Locked), ("snapshot", Semantics::Snapshot)] {
+    for (name, semantics) in [
+        ("locked", Semantics::Locked),
+        ("snapshot", Semantics::Snapshot),
+    ] {
         g.bench_with_input(BenchmarkId::from_parameter(name), &semantics, |b, &s| {
             b.iter(|| {
                 let mut w = wan(9, 4, SimDuration::from_millis(5));

@@ -11,8 +11,8 @@ use crate::report::Table;
 use crate::scenarios::{populated_set, schedule_growth, wan};
 use weakset::prelude::*;
 use weakset_sim::time::SimDuration;
-use weakset_store::prelude::ReadPolicy;
 use weakset_spec::checker::{check_computation, Figure};
+use weakset_store::prelude::ReadPolicy;
 
 const N_INITIAL: usize = 10;
 /// Consumer cost per yield ≈ membership read + fetch = 2 RTT = 20ms at
@@ -156,7 +156,9 @@ pub fn quorum_points() -> Vec<PolicyPoint> {
                 replicas: vec![w.servers[1], w.servers[2]],
             };
             let client = StoreClient::new(w.client_node, SimDuration::from_millis(200));
-            client.create_collection(&mut w.world, &cref).expect("healthy");
+            client
+                .create_collection(&mut w.world, &cref)
+                .expect("healthy");
             let elem_home = w.servers[3];
             for i in 1..=16u64 {
                 client
@@ -167,7 +169,14 @@ pub fn quorum_points() -> Vec<PolicyPoint> {
                     )
                     .expect("healthy");
                 client
-                    .add_member(&mut w.world, &cref, MemberEntry { elem: ObjectId(i), home: elem_home })
+                    .add_member(
+                        &mut w.world,
+                        &cref,
+                        MemberEntry {
+                            elem: ObjectId(i),
+                            home: elem_home,
+                        },
+                    )
                     .expect("healthy");
             }
             // Cut the primary 100ms into the run.
@@ -176,8 +185,10 @@ pub fn quorum_points() -> Vec<PolicyPoint> {
                 w.world.now() + SimDuration::from_millis(100),
                 weakset_sim::fault::FaultAction::Partition(vec![victim]),
             );
-            let mut config = IterConfig::default();
-            config.read_policy = policy;
+            let config = IterConfig {
+                read_policy: policy,
+                ..IterConfig::default()
+            };
             let set = weakset::handle::WeakSet::new(client, cref).with_config(config);
             let mut it = set.elements_observed(Semantics::GrowOnly);
             let mut yielded = 0;
@@ -224,7 +235,12 @@ pub fn run() -> Vec<Table> {
 
     let mut t2 = Table::new(
         "E4b (Figure 5): pessimistic abort on unreachable member",
-        &["partition at (ms)", "yielded (of 32)", "failed", "fig5 conforms"],
+        &[
+            "partition at (ms)",
+            "yielded (of 32)",
+            "failed",
+            "fig5 conforms",
+        ],
     );
     for p in failure_points() {
         t2.row(&[
@@ -239,7 +255,12 @@ pub fn run() -> Vec<Table> {
 
     let mut t3 = Table::new(
         "E4c (Figure 5 variant): membership read policy when the primary is cut mid-run",
-        &["read policy", "yielded (of 16)", "terminated", "fig5 conforms"],
+        &[
+            "read policy",
+            "yielded (of 16)",
+            "terminated",
+            "fig5 conforms",
+        ],
     );
     for p in quorum_points() {
         t3.row(&[

@@ -47,8 +47,9 @@ pub fn points() -> Vec<Point> {
             if let Some(h) = heal_after_ms {
                 let at = w.world.now() + SimDuration::from_millis(h);
                 let _ = at; // heal is absolute below for clarity
-                w.world
-                    .install_plan(&FaultPlan::none().heal_at(w.world.now() + SimDuration::from_millis(h)));
+                w.world.install_plan(
+                    &FaultPlan::none().heal_at(w.world.now() + SimDuration::from_millis(h)),
+                );
             }
             let start = w.world.now();
             let mut it = set.elements_observed(Semantics::Optimistic);

@@ -52,8 +52,15 @@ fn fs_world_sized(
     }
     let mut fs = FileSystem::format(&mut world, client, vols[0], SimDuration::from_millis(2_000))
         .expect("healthy world");
-    flat_dir(&mut world, &mut fs, &FsPath::root(), n_files, file_size, &vols)
-        .expect("healthy world");
+    flat_dir(
+        &mut world,
+        &mut fs,
+        &FsPath::root(),
+        n_files,
+        file_size,
+        &vols,
+    )
+    .expect("healthy world");
     (world, fs)
 }
 
@@ -282,8 +289,14 @@ mod tests {
     #[test]
     fn size_sweep_shapes_hold() {
         let ps = size_points();
-        let ls_1k = ps.iter().find(|p| p.file_size == 1_024 && p.method == "ls (strict)").unwrap();
-        let ls_64k = ps.iter().find(|p| p.file_size == 65_536 && p.method == "ls (strict)").unwrap();
+        let ls_1k = ps
+            .iter()
+            .find(|p| p.file_size == 1_024 && p.method == "ls (strict)")
+            .unwrap();
+        let ls_64k = ps
+            .iter()
+            .find(|p| p.file_size == 65_536 && p.method == "ls (strict)")
+            .unwrap();
         // Strict ls pays every transfer serially: 64x the bytes is much
         // slower. The 10ms-per-fetch latency floor dampens the ratio
         // (1KB ≈ 11ms/fetch, 64KB ≈ 76ms/fetch → ~6.8x).
@@ -294,8 +307,14 @@ mod tests {
             ls_1k.total
         );
         for &size in &[1_024usize, 16_384, 65_536] {
-            let ls = ps.iter().find(|p| p.file_size == size && p.method == "ls (strict)").unwrap();
-            let dy = ps.iter().find(|p| p.file_size == size && p.method == "dynls w=8").unwrap();
+            let ls = ps
+                .iter()
+                .find(|p| p.file_size == size && p.method == "ls (strict)")
+                .unwrap();
+            let dy = ps
+                .iter()
+                .find(|p| p.file_size == size && p.method == "dynls w=8")
+                .unwrap();
             let speedup = ls.total.as_micros() as f64 / dy.total.as_micros() as f64;
             assert!(speedup > 4.0, "size={size}: speedup {speedup}");
         }

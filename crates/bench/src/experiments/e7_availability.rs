@@ -177,7 +177,10 @@ pub fn run() -> Vec<Table> {
         &["phase", "entries fetched"],
     );
     t2.row(&["before disconnect".to_string(), m.before.to_string()]);
-    t2.row(&["while disconnected".to_string(), m.while_disconnected.to_string()]);
+    t2.row(&[
+        "while disconnected".to_string(),
+        m.while_disconnected.to_string(),
+    ]);
     t2.row(&["after reconnect".to_string(), m.after.to_string()]);
     t2.note("expected: at most the already-in-flight window drains after disconnect;");
     t2.note("the listing completes after reconnection, nothing lost or duplicated");

@@ -195,7 +195,12 @@ mod tests {
     fn immutable_figures_classify_strong_first_vintage() {
         for r in rows() {
             if matches!(r.figure, Figure::Fig1 | Figure::Fig3) {
-                assert_eq!(r.observed.consistency, Consistency::Strong, "{:?}", r.figure);
+                assert_eq!(
+                    r.observed.consistency,
+                    Consistency::Strong,
+                    "{:?}",
+                    r.figure
+                );
                 assert_eq!(r.observed.currency, Currency::FirstVintage);
             }
         }
@@ -204,7 +209,10 @@ mod tests {
     #[test]
     fn snapshot_under_churn_stays_first_vintage() {
         let rows = rows();
-        let r = rows.iter().find(|r| r.figure == Figure::Fig4).expect("fig4");
+        let r = rows
+            .iter()
+            .find(|r| r.figure == Figure::Fig4)
+            .expect("fig4");
         assert_eq!(r.observed.currency, Currency::FirstVintage);
     }
 

@@ -36,27 +36,28 @@ fn writer_task(wan: &mut Wan, set: &WeakSet, count: usize, interval: SimDuration
         let cref = cref.clone();
         // Loopback environment action (see scenarios::schedule_churn_over):
         // the lock check still happens at the primary.
-        wan.world.spawn_at(at, move |w: &mut weakset_store::prelude::StoreWorld| {
-            let id = ObjectId(50_000 + k as u64);
-            let rec = ObjectRecord::new(id, format!("w{k}"), &b"w"[..]);
-            if let Some(srv) = w.service_mut::<weakset_store::prelude::StoreServer>(home) {
-                srv.apply(weakset_store::msg::StoreMsg::PutObject(rec));
-            }
-            let result = w
-                .service_mut::<weakset_store::prelude::StoreServer>(cref.home)
-                .map(|primary| {
-                    primary.apply(weakset_store::msg::StoreMsg::AddMember {
-                        coll: cref.id,
-                        entry: MemberEntry { elem: id, home },
-                    })
-                });
-            let name = match result {
-                Some(weakset_store::msg::StoreMsg::Members { .. }) => "writer.ok",
-                Some(weakset_store::msg::StoreMsg::Locked) => "writer.stalled",
-                _ => "writer.failed",
-            };
-            w.metrics_mut().incr(name);
-        });
+        wan.world
+            .spawn_at(at, move |w: &mut weakset_store::prelude::StoreWorld| {
+                let id = ObjectId(50_000 + k as u64);
+                let rec = ObjectRecord::new(id, format!("w{k}"), &b"w"[..]);
+                if let Some(srv) = w.service_mut::<weakset_store::prelude::StoreServer>(home) {
+                    srv.apply(weakset_store::msg::StoreMsg::PutObject(rec));
+                }
+                let result = w
+                    .service_mut::<weakset_store::prelude::StoreServer>(cref.home)
+                    .map(|primary| {
+                        primary.apply(weakset_store::msg::StoreMsg::AddMember {
+                            coll: cref.id,
+                            entry: MemberEntry { elem: id, home },
+                        })
+                    });
+                let name = match result {
+                    Some(weakset_store::msg::StoreMsg::Members { .. }) => "writer.ok",
+                    Some(weakset_store::msg::StoreMsg::Locked) => "writer.stalled",
+                    _ => "writer.failed",
+                };
+                w.metrics_mut().incr(name);
+            });
     }
 }
 
@@ -191,7 +192,12 @@ pub fn run() -> Vec<Table> {
     );
     t2.row(&[
         "reader disconnected, lock stuck".to_string(),
-        if h.stalled_while_stuck { "stalled" } else { "ok" }.to_string(),
+        if h.stalled_while_stuck {
+            "stalled"
+        } else {
+            "ok"
+        }
+        .to_string(),
     ]);
     t2.row(&[
         "reader reconnected, lock released".to_string(),

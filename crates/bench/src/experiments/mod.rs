@@ -1,10 +1,11 @@
-//! The experiment suite: one module per figure-level experiment E1-E9
+//! The experiment suite: one module per figure-level experiment E1-E10
 //! (see DESIGN.md §4 for the index and EXPERIMENTS.md for results).
 //!
 //! Every experiment is a pure function of its seeds — rerunning
 //! `cargo run -p weakset-bench --bin experiments` regenerates the same
 //! tables.
 
+pub mod e10_gossip;
 pub mod e1_immutable;
 pub mod e2_immutable_failures;
 pub mod e3_snapshot_loss;
@@ -18,7 +19,7 @@ pub mod e9_locking;
 use crate::report::Table;
 
 /// Experiment ids, in paper order.
-pub const ALL: [&str; 9] = ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9"];
+pub const ALL: [&str; 10] = ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10"];
 
 /// Runs one experiment by id.
 ///
@@ -36,6 +37,7 @@ pub fn run(id: &str) -> Vec<Table> {
         "e7" => e7_availability::run(),
         "e8" => e8_taxonomy::run(),
         "e9" => e9_locking::run(),
+        "e10" => e10_gossip::run(),
         other => panic!("unknown experiment id {other:?} (expected one of {ALL:?})"),
     }
 }

@@ -98,11 +98,8 @@ pub fn schedule_churn_over(
         // event loop for long mutation streams.
         wan.world.spawn_at(at, move |w: &mut StoreWorld| {
             if is_add {
-                let rec = ObjectRecord::new(
-                    ObjectId(fresh),
-                    format!("fresh-{fresh}"),
-                    vec![b'y'; 64],
-                );
+                let rec =
+                    ObjectRecord::new(ObjectId(fresh), format!("fresh-{fresh}"), vec![b'y'; 64]);
                 if let Some(srv) = w.service_mut::<StoreServer>(home) {
                     srv.apply(weakset_store::msg::StoreMsg::PutObject(rec));
                 }
@@ -197,8 +194,7 @@ mod tests {
         let mut w = wan(2, 3, SimDuration::from_millis(2));
         let set = populated_set(&mut w, 9, SimDuration::from_millis(100));
         let mut it = set.elements(Semantics::Optimistic);
-        let (yields, step, blocks) =
-            drive(&mut w.world, &mut it, 3, SimDuration::from_millis(10));
+        let (yields, step, blocks) = drive(&mut w.world, &mut it, 3, SimDuration::from_millis(10));
         assert_eq!(yields, 9);
         assert_eq!(step, IterStep::Done);
         assert_eq!(blocks, 0);

@@ -28,12 +28,66 @@
 //! observed behaviour.
 
 use std::collections::BTreeMap;
+use std::fmt;
 use weakset_sim::node::NodeId;
 use weakset_spec::prelude::{Computation, Outcome, Recorder, SetValue, State};
 use weakset_spec::value::ElemId;
-use weakset_store::collection::MemberEntry;
+use weakset_store::collection::{CollectionState, MemberEntry};
 use weakset_store::object::{CollectionId, ObjectId};
 use weakset_store::prelude::{StoreServer, StoreWorld};
+
+/// Where the observer finds the omniscient membership history: a lookup
+/// from `(world, home node, collection)` to the hosted
+/// [`CollectionState`] whose version log is ground truth.
+///
+/// The default source downcasts the home node's service to a plain
+/// [`StoreServer`]. Deployments wrapping the server inside another
+/// service type — such as the gossip replica nodes of `weakset-gossip` —
+/// supply an accessor that reaches through their wrapper.
+pub struct HistorySource(
+    #[allow(clippy::type_complexity)]
+    Box<dyn for<'a> Fn(&'a StoreWorld, NodeId, CollectionId) -> Option<&'a CollectionState>>,
+);
+
+impl HistorySource {
+    /// A source backed by an arbitrary lookup.
+    pub fn new(
+        f: impl for<'a> Fn(&'a StoreWorld, NodeId, CollectionId) -> Option<&'a CollectionState>
+            + 'static,
+    ) -> Self {
+        HistorySource(Box::new(f))
+    }
+
+    /// The default: the home node runs a bare [`StoreServer`].
+    pub fn plain_store() -> Self {
+        HistorySource::new(|world, home, coll| {
+            world
+                .service::<StoreServer>(home)
+                .and_then(|s| s.collection(coll))
+        })
+    }
+
+    fn lookup<'a>(
+        &self,
+        world: &'a StoreWorld,
+        home: NodeId,
+        coll: CollectionId,
+    ) -> Option<&'a CollectionState> {
+        (self.0)(world, home, coll)
+    }
+}
+
+impl Default for HistorySource {
+    fn default() -> Self {
+        HistorySource::plain_store()
+    }
+}
+
+impl fmt::Debug for HistorySource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("HistorySource(..)")
+    }
+}
 
 /// What one invocation observed, reported by the iterator implementation.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -81,6 +135,7 @@ pub struct RunObserver {
     /// sampling).
     homes: BTreeMap<ObjectId, NodeId>,
     finished: Option<Computation>,
+    source: HistorySource,
 }
 
 fn to_set(members: &[MemberEntry]) -> SetValue {
@@ -101,12 +156,21 @@ impl RunObserver {
             initialized: false,
             homes: BTreeMap::new(),
             finished: None,
+            source: HistorySource::default(),
         }
     }
 
+    /// Replaces the history accessor — required when the home node's
+    /// service is not a bare [`StoreServer`] (e.g. a gossip replica
+    /// wrapping one).
+    #[must_use]
+    pub fn with_history_source(mut self, source: HistorySource) -> Self {
+        self.source = source;
+        self
+    }
+
     fn log_members(&mut self, world: &StoreWorld, version: u64) -> Option<Vec<MemberEntry>> {
-        let server = world.service::<StoreServer>(self.home)?;
-        let coll = server.collection(self.coll)?;
+        let coll = self.source.lookup(world, self.home, self.coll)?;
         coll.log()
             .iter()
             .find(|mv| mv.version == version)
@@ -114,17 +178,13 @@ impl RunObserver {
     }
 
     fn latest_version(&self, world: &StoreWorld) -> u64 {
-        world
-            .service::<StoreServer>(self.home)
-            .and_then(|s| s.collection(self.coll))
+        self.source
+            .lookup(world, self.home, self.coll)
             .map_or(0, |c| c.version())
     }
 
     fn learn_homes(&mut self, world: &StoreWorld) {
-        if let Some(coll) = world
-            .service::<StoreServer>(self.home)
-            .and_then(|s| s.collection(self.coll))
-        {
+        if let Some(coll) = self.source.lookup(world, self.home, self.coll) {
             for mv in coll.log() {
                 for m in &mv.members {
                     self.homes.insert(m.elem, m.home);
@@ -306,8 +366,16 @@ mod tests {
         let mut obs = RunObserver::new(cref.id, home, cn);
         // Simulate an iterator yielding 1 then 2 at version 2, then
         // returning.
-        obs.record_step(&w, Outcome::Yielded(ElemId(1)), &StepEvidence::at_version(2));
-        obs.record_step(&w, Outcome::Yielded(ElemId(2)), &StepEvidence::at_version(2));
+        obs.record_step(
+            &w,
+            Outcome::Yielded(ElemId(1)),
+            &StepEvidence::at_version(2),
+        );
+        obs.record_step(
+            &w,
+            Outcome::Yielded(ElemId(2)),
+            &StepEvidence::at_version(2),
+        );
         obs.record_step(&w, Outcome::Returned, &StepEvidence::at_version(2));
         let comp = obs.finish(&w);
         assert_eq!(comp.runs.len(), 1);
@@ -321,10 +389,18 @@ mod tests {
         let (mut w, cn, home, cref, client) = setup();
         client.add_member(&mut w, &cref, entry(1, home)).unwrap();
         let mut obs = RunObserver::new(cref.id, home, cn);
-        obs.record_step(&w, Outcome::Yielded(ElemId(1)), &StepEvidence::at_version(1));
+        obs.record_step(
+            &w,
+            Outcome::Yielded(ElemId(1)),
+            &StepEvidence::at_version(1),
+        );
         // Growth between invocations.
         client.add_member(&mut w, &cref, entry(2, home)).unwrap();
-        obs.record_step(&w, Outcome::Yielded(ElemId(2)), &StepEvidence::at_version(2));
+        obs.record_step(
+            &w,
+            Outcome::Yielded(ElemId(2)),
+            &StepEvidence::at_version(2),
+        );
         obs.record_step(&w, Outcome::Returned, &StepEvidence::at_version(2));
         let comp = obs.finish(&w);
         // Grow-only constraint holds across the recorded history.
@@ -342,7 +418,11 @@ mod tests {
         client.add_member(&mut w, &cref, entry(2, far)).unwrap();
         w.topology_mut().partition(&[far]);
         let mut obs = RunObserver::new(cref.id, home, cn);
-        obs.record_step(&w, Outcome::Yielded(ElemId(1)), &StepEvidence::at_version(2));
+        obs.record_step(
+            &w,
+            Outcome::Yielded(ElemId(1)),
+            &StepEvidence::at_version(2),
+        );
         // Failing now (elem 2 unreachable) conforms to Fig 4/5; the
         // sampled accessibility shows 2 inaccessible.
         obs.record_step(&w, Outcome::Failed, &StepEvidence::at_version(2));

@@ -162,7 +162,10 @@ impl DynamicSet {
 
     /// Drives the set until it blocks or finishes, collecting what
     /// arrives. Returns the records plus the final step.
-    pub fn drain_available(&mut self, world: &mut StoreWorld) -> (Vec<weakset_store::object::ObjectRecord>, IterStep) {
+    pub fn drain_available(
+        &mut self,
+        world: &mut StoreWorld,
+    ) -> (Vec<weakset_store::object::ObjectRecord>, IterStep) {
         let mut out = Vec::new();
         loop {
             match self.next(world) {
@@ -186,7 +189,9 @@ mod tests {
     fn setup(n: usize) -> (StoreWorld, StoreClient, Vec<NodeId>) {
         let mut t = Topology::new();
         let cn = t.add_node("client", 0);
-        let servers: Vec<_> = (0..n).map(|i| t.add_node(format!("s{i}"), i as u32 + 1)).collect();
+        let servers: Vec<_> = (0..n)
+            .map(|i| t.add_node(format!("s{i}"), i as u32 + 1))
+            .collect();
         let mut w = StoreWorld::new(
             WorldConfig::seeded(37),
             t,
@@ -309,10 +314,21 @@ mod tests {
         for i in 0..3u64 {
             let home = servers[(i % 2) as usize];
             client
-                .put_object(&mut w, home, ObjectRecord::new(ObjectId(i + 1), format!("o{i}"), &b""[..]))
+                .put_object(
+                    &mut w,
+                    home,
+                    ObjectRecord::new(ObjectId(i + 1), format!("o{i}"), &b""[..]),
+                )
                 .unwrap();
             client
-                .add_member(&mut w, &cref, MemberEntry { elem: ObjectId(i + 1), home })
+                .add_member(
+                    &mut w,
+                    &cref,
+                    MemberEntry {
+                        elem: ObjectId(i + 1),
+                        home,
+                    },
+                )
                 .unwrap();
         }
         let mut ds = DynamicSet::open_collection(

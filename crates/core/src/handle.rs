@@ -142,7 +142,11 @@ impl WeakSet {
 
     /// Convenience: drives a fresh iterator to its terminal step,
     /// returning everything yielded plus the terminal step.
-    pub fn collect(&self, world: &mut StoreWorld, semantics: Semantics) -> (Vec<ObjectRecord>, IterStep) {
+    pub fn collect(
+        &self,
+        world: &mut StoreWorld,
+        semantics: Semantics,
+    ) -> (Vec<ObjectRecord>, IterStep) {
         let mut it = self.elements(semantics);
         let mut out = Vec::new();
         let mut blocked = 0usize;
@@ -266,7 +270,9 @@ mod tests {
     fn setup(n: usize) -> (StoreWorld, WeakSet, Vec<NodeId>) {
         let mut t = Topology::new();
         let cn = t.add_node("client", 0);
-        let servers: Vec<_> = (0..n).map(|i| t.add_node(format!("s{i}"), i as u32 + 1)).collect();
+        let servers: Vec<_> = (0..n)
+            .map(|i| t.add_node(format!("s{i}"), i as u32 + 1))
+            .collect();
         let mut w = StoreWorld::new(
             WorldConfig::seeded(29),
             t,
@@ -285,10 +291,18 @@ mod tests {
     fn set_interface_round_trip() {
         let (mut w, set, servers) = setup(2);
         assert_eq!(set.size(&mut w).unwrap(), 0);
-        set.add(&mut w, ObjectRecord::new(ObjectId(1), "a", &b"1"[..]), servers[0])
-            .unwrap();
-        set.add(&mut w, ObjectRecord::new(ObjectId(2), "b", &b"2"[..]), servers[1])
-            .unwrap();
+        set.add(
+            &mut w,
+            ObjectRecord::new(ObjectId(1), "a", &b"1"[..]),
+            servers[0],
+        )
+        .unwrap();
+        set.add(
+            &mut w,
+            ObjectRecord::new(ObjectId(2), "b", &b"2"[..]),
+            servers[1],
+        )
+        .unwrap();
         assert_eq!(set.size(&mut w).unwrap(), 2);
         assert!(set.contains(&mut w, ObjectId(1)).unwrap());
         set.remove(&mut w, ObjectId(1)).unwrap();
@@ -350,7 +364,10 @@ mod tests {
             servers[0],
         );
         assert!(matches!(r, Err(Failure::Store(_))));
-        assert!(matches!(set.size(&mut w), Err(Failure::MembershipUnavailable(_))));
+        assert!(matches!(
+            set.size(&mut w),
+            Err(Failure::MembershipUnavailable(_))
+        ));
     }
 
     #[test]

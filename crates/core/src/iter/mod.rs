@@ -68,11 +68,23 @@ impl Default for IterConfig {
     }
 }
 
+impl IterConfig {
+    /// Defaults with [`ReadPolicy::Leaderless`] membership reads: the
+    /// iterator progresses from any reachable replica — intended for
+    /// deployments whose replicas converge by `weakset-gossip`
+    /// anti-entropy, where the union of reachable replicas is itself a
+    /// valid weak-set observation.
+    pub fn leaderless() -> Self {
+        IterConfig {
+            read_policy: ReadPolicy::Leaderless,
+            ..IterConfig::default()
+        }
+    }
+}
+
 /// Builds the iterator-local cache an [`IterConfig`] asks for.
 pub(crate) fn cache_from(config: &IterConfig) -> Option<weakset_store::cache::ObjectCache> {
-    config
-        .cache_ttl
-        .map(weakset_store::cache::ObjectCache::new)
+    config.cache_ttl.map(weakset_store::cache::ObjectCache::new)
 }
 
 /// Orders fetch candidates per the configured [`FetchOrder`].
@@ -233,9 +245,9 @@ mod tests {
         assert_eq!(outcome_of(&IterStep::Done), Outcome::Returned);
         assert_eq!(outcome_of(&IterStep::Blocked), Outcome::Blocked);
         assert_eq!(
-            outcome_of(&IterStep::Failed(crate::error::Failure::MembersUnreachable {
-                remaining: 1
-            })),
+            outcome_of(&IterStep::Failed(
+                crate::error::Failure::MembersUnreachable { remaining: 1 }
+            )),
             Outcome::Failed
         );
     }

@@ -114,8 +114,14 @@ impl OptimisticElements {
                     .record(world, &step, &StepEvidence::at_version(read.version));
                 return step;
             }
-            order_candidates(world, self.client.node(), &mut candidates, self.config.fetch_order);
-            let (found, unreachable) = fetch_first_reachable(world, &self.client, &candidates, &mut self.cache);
+            order_candidates(
+                world,
+                self.client.node(),
+                &mut candidates,
+                self.config.fetch_order,
+            );
+            let (found, unreachable) =
+                fetch_first_reachable(world, &self.client, &candidates, &mut self.cache);
             last_unreachable = unreachable;
             if let Some(rec) = found {
                 self.yielded.insert(rec.id);
@@ -186,10 +192,19 @@ mod tests {
     use weakset_store::object::{CollectionId, ObjectRecord};
     use weakset_store::prelude::StoreServer;
 
-    fn setup(n: usize) -> (StoreWorld, StoreClient, CollectionRef, Vec<weakset_sim::node::NodeId>) {
+    fn setup(
+        n: usize,
+    ) -> (
+        StoreWorld,
+        StoreClient,
+        CollectionRef,
+        Vec<weakset_sim::node::NodeId>,
+    ) {
         let mut t = Topology::new();
         let cn = t.add_node("client", 0);
-        let servers: Vec<_> = (0..n).map(|i| t.add_node(format!("s{i}"), i as u32 + 1)).collect();
+        let servers: Vec<_> = (0..n)
+            .map(|i| t.add_node(format!("s{i}"), i as u32 + 1))
+            .collect();
         let mut w = StoreWorld::new(
             WorldConfig::seeded(17),
             t,
@@ -204,12 +219,29 @@ mod tests {
         (w, client, cref, servers)
     }
 
-    fn add(w: &mut StoreWorld, client: &StoreClient, cref: &CollectionRef, id: u64, home: weakset_sim::node::NodeId) {
+    fn add(
+        w: &mut StoreWorld,
+        client: &StoreClient,
+        cref: &CollectionRef,
+        id: u64,
+        home: weakset_sim::node::NodeId,
+    ) {
         client
-            .put_object(w, home, ObjectRecord::new(ObjectId(id), format!("o{id}"), &b"x"[..]))
+            .put_object(
+                w,
+                home,
+                ObjectRecord::new(ObjectId(id), format!("o{id}"), &b"x"[..]),
+            )
             .unwrap();
         client
-            .add_member(w, cref, MemberEntry { elem: ObjectId(id), home })
+            .add_member(
+                w,
+                cref,
+                MemberEntry {
+                    elem: ObjectId(id),
+                    home,
+                },
+            )
             .unwrap();
     }
 
@@ -244,10 +276,14 @@ mod tests {
         let (mut w, client, cref, servers) = setup(1);
         add(&mut w, &client, &cref, 1, servers[0]);
         add(&mut w, &client, &cref, 2, servers[0]);
-        let mut it = OptimisticElements::new(client.clone(), cref.clone(), IterConfig {
-            fetch_order: super::super::FetchOrder::IdOrder,
-            ..Default::default()
-        });
+        let mut it = OptimisticElements::new(
+            client.clone(),
+            cref.clone(),
+            IterConfig {
+                fetch_order: super::super::FetchOrder::IdOrder,
+                ..Default::default()
+            },
+        );
         it.observe(RunObserver::new(cref.id, cref.home, client.node()));
         assert_eq!(it.next(&mut w).elem(), Some(ObjectId(1)));
         // Concurrent: remove 2, add 3.
@@ -297,7 +333,11 @@ mod tests {
         let before = w.now();
         assert_eq!(it.next(&mut w), IterStep::Blocked);
         // 3 sleeps of 10ms plus 4 failure detections of 2ms each.
-        assert!(w.now() >= before + SimDuration::from_millis(30), "{}", w.now());
+        assert!(
+            w.now() >= before + SimDuration::from_millis(30),
+            "{}",
+            w.now()
+        );
         assert!(w.now() < SimTime::from_secs(1));
     }
 

@@ -117,8 +117,14 @@ impl SnapshotElements {
                 .record(world, &step, &StepEvidence::at_version(version));
             return step;
         }
-        order_candidates(world, self.client.node(), &mut candidates, self.config.fetch_order);
-        let (found, unreachable) = fetch_first_reachable(world, &self.client, &candidates, &mut self.cache);
+        order_candidates(
+            world,
+            self.client.node(),
+            &mut candidates,
+            self.config.fetch_order,
+        );
+        let (found, unreachable) =
+            fetch_first_reachable(world, &self.client, &candidates, &mut self.cache);
         match found {
             Some(rec) => {
                 self.yielded.insert(rec.id);
@@ -161,7 +167,14 @@ mod tests {
     use weakset_store::object::{CollectionId, ObjectRecord};
     use weakset_store::prelude::StoreServer;
 
-    fn setup(n_servers: usize) -> (StoreWorld, StoreClient, CollectionRef, Vec<weakset_sim::node::NodeId>) {
+    fn setup(
+        n_servers: usize,
+    ) -> (
+        StoreWorld,
+        StoreClient,
+        CollectionRef,
+        Vec<weakset_sim::node::NodeId>,
+    ) {
         let mut t = Topology::new();
         let cn = t.add_node("client", 0);
         let servers: Vec<_> = (0..n_servers)
@@ -181,12 +194,29 @@ mod tests {
         (w, client, cref, servers)
     }
 
-    fn add(w: &mut StoreWorld, client: &StoreClient, cref: &CollectionRef, id: u64, home: weakset_sim::node::NodeId) {
+    fn add(
+        w: &mut StoreWorld,
+        client: &StoreClient,
+        cref: &CollectionRef,
+        id: u64,
+        home: weakset_sim::node::NodeId,
+    ) {
         client
-            .put_object(w, home, ObjectRecord::new(ObjectId(id), format!("o{id}"), &b"x"[..]))
+            .put_object(
+                w,
+                home,
+                ObjectRecord::new(ObjectId(id), format!("o{id}"), &b"x"[..]),
+            )
             .unwrap();
         client
-            .add_member(w, cref, MemberEntry { elem: ObjectId(id), home })
+            .add_member(
+                w,
+                cref,
+                MemberEntry {
+                    elem: ObjectId(id),
+                    home,
+                },
+            )
             .unwrap();
     }
 
@@ -234,10 +264,14 @@ mod tests {
         let (mut w, client, cref, servers) = setup(1);
         add(&mut w, &client, &cref, 1, servers[0]);
         add(&mut w, &client, &cref, 2, servers[0]);
-        let mut it = SnapshotElements::new(client.clone(), cref.clone(), IterConfig {
-            fetch_order: super::super::FetchOrder::IdOrder,
-            ..Default::default()
-        });
+        let mut it = SnapshotElements::new(
+            client.clone(),
+            cref.clone(),
+            IterConfig {
+                fetch_order: super::super::FetchOrder::IdOrder,
+                ..Default::default()
+            },
+        );
         it.observe(RunObserver::new(cref.id, cref.home, client.node()));
         assert_eq!(it.next(&mut w).elem(), Some(ObjectId(1)));
         // Remove membership of 2 (object stays): the snapshot still
@@ -263,7 +297,10 @@ mod tests {
         // is already taken anyway.
         let step = it.next(&mut w);
         assert!(
-            matches!(step, IterStep::Failed(Failure::MembersUnreachable { remaining: 1 })),
+            matches!(
+                step,
+                IterStep::Failed(Failure::MembersUnreachable { remaining: 1 })
+            ),
             "{step:?}"
         );
         let comp = it.take_computation(&w).unwrap();
@@ -279,7 +316,10 @@ mod tests {
         let mut it = SnapshotElements::new(client.clone(), cref.clone(), IterConfig::default());
         it.observe(RunObserver::new(cref.id, cref.home, client.node()));
         let step = it.next(&mut w);
-        assert!(matches!(step, IterStep::Failed(Failure::MembershipUnavailable(_))));
+        assert!(matches!(
+            step,
+            IterStep::Failed(Failure::MembershipUnavailable(_))
+        ));
         let comp = it.take_computation(&w).unwrap();
         check_computation(Figure::Fig3, &comp).assert_ok();
     }

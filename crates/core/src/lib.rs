@@ -83,7 +83,7 @@ pub mod strong;
 /// One-stop imports for weak-set users.
 pub mod prelude {
     pub use crate::builder::WeakSetBuilder;
-    pub use crate::conformance::{RunObserver, StepEvidence};
+    pub use crate::conformance::{HistorySource, RunObserver, StepEvidence};
     pub use crate::dynamic_set::DynamicSet;
     pub use crate::error::{Failure, IterStep};
     pub use crate::handle::{Elements, WeakSet};

@@ -113,7 +113,11 @@ impl PrefetchEngine {
             let Some(entry) = self.queue.pop_front() else {
                 break;
             };
-            let token = world.send(self.client_node, entry.home, StoreMsg::GetObject(entry.elem));
+            let token = world.send(
+                self.client_node,
+                entry.home,
+                StoreMsg::GetObject(entry.elem),
+            );
             self.inflight.push(Inflight {
                 token,
                 entry,

@@ -161,8 +161,14 @@ impl LockedElements {
                 .record(world, &step, &StepEvidence::at_version(self.version));
             return step;
         }
-        order_candidates(world, self.client.node(), &mut candidates, self.config.fetch_order);
-        let (found, unreachable) = fetch_first_reachable(world, &self.client, &candidates, &mut self.cache);
+        order_candidates(
+            world,
+            self.client.node(),
+            &mut candidates,
+            self.config.fetch_order,
+        );
+        let (found, unreachable) =
+            fetch_first_reachable(world, &self.client, &candidates, &mut self.cache);
         match found {
             Some(rec) => {
                 self.yielded.insert(rec.id);
@@ -206,10 +212,19 @@ mod tests {
     use weakset_store::object::{CollectionId, ObjectRecord};
     use weakset_store::prelude::{StoreError, StoreServer};
 
-    fn setup(n: usize) -> (StoreWorld, StoreClient, CollectionRef, Vec<weakset_sim::node::NodeId>) {
+    fn setup(
+        n: usize,
+    ) -> (
+        StoreWorld,
+        StoreClient,
+        CollectionRef,
+        Vec<weakset_sim::node::NodeId>,
+    ) {
         let mut t = Topology::new();
         let cn = t.add_node("client", 0);
-        let servers: Vec<_> = (0..n).map(|i| t.add_node(format!("s{i}"), i as u32 + 1)).collect();
+        let servers: Vec<_> = (0..n)
+            .map(|i| t.add_node(format!("s{i}"), i as u32 + 1))
+            .collect();
         let mut w = StoreWorld::new(
             WorldConfig::seeded(23),
             t,
@@ -224,12 +239,29 @@ mod tests {
         (w, client, cref, servers)
     }
 
-    fn add(w: &mut StoreWorld, client: &StoreClient, cref: &CollectionRef, id: u64, home: weakset_sim::node::NodeId) {
+    fn add(
+        w: &mut StoreWorld,
+        client: &StoreClient,
+        cref: &CollectionRef,
+        id: u64,
+        home: weakset_sim::node::NodeId,
+    ) {
         client
-            .put_object(w, home, ObjectRecord::new(ObjectId(id), format!("o{id}"), &b"x"[..]))
+            .put_object(
+                w,
+                home,
+                ObjectRecord::new(ObjectId(id), format!("o{id}"), &b"x"[..]),
+            )
             .unwrap();
         client
-            .add_member(w, cref, MemberEntry { elem: ObjectId(id), home })
+            .add_member(
+                w,
+                cref,
+                MemberEntry {
+                    elem: ObjectId(id),
+                    home,
+                },
+            )
             .unwrap();
     }
 

@@ -26,7 +26,9 @@ use weakset_sim::node::NodeId;
 use weakset_sim::time::SimDuration;
 use weakset_store::collection::MemberEntry;
 use weakset_store::object::{CollectionId, ObjectId, ObjectRecord};
-use weakset_store::prelude::{CollectionRef, Query, ReadPolicy, StoreClient, StoreError, StoreWorld};
+use weakset_store::prelude::{
+    CollectionRef, Query, ReadPolicy, StoreClient, StoreError, StoreWorld,
+};
 
 /// What kind of thing a directory entry names.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -91,7 +93,10 @@ impl fmt::Display for FsError {
             FsError::AlreadyExists(p) => write!(f, "already exists: {p}"),
             FsError::Store(e) => write!(f, "store failure: {e}"),
             FsError::Incomplete { fetched, total } => {
-                write!(f, "listing incomplete: {fetched} of {total} entries fetched")
+                write!(
+                    f,
+                    "listing incomplete: {fetched} of {total} entries fetched"
+                )
             }
         }
     }
@@ -204,7 +209,9 @@ impl FileSystem {
     }
 
     fn parent_of(&self, path: &FsPath) -> Result<CollectionRef, FsError> {
-        let parent = path.parent().ok_or_else(|| FsError::AlreadyExists(path.clone()))?;
+        let parent = path
+            .parent()
+            .ok_or_else(|| FsError::AlreadyExists(path.clone()))?;
         self.dirs
             .get(&parent)
             .cloned()
@@ -244,14 +251,8 @@ impl FileSystem {
             .with_attr("kind", "dir")
             .with_attr("coll", coll.0.to_string());
         self.client.put_object(world, home, rec)?;
-        self.client.add_member(
-            world,
-            &parent,
-            MemberEntry {
-                elem: marker,
-                home,
-            },
-        )?;
+        self.client
+            .add_member(world, &parent, MemberEntry { elem: marker, home })?;
         self.dirs.insert(path.clone(), cref.clone());
         Ok(cref)
     }
@@ -298,7 +299,8 @@ impl FileSystem {
         self.client.put_object(world, home, rec)?;
         self.client
             .add_member(world, &parent, MemberEntry { elem: id, home })?;
-        self.files.insert(path.clone(), MemberEntry { elem: id, home });
+        self.files
+            .insert(path.clone(), MemberEntry { elem: id, home });
         Ok(id)
     }
 
@@ -310,7 +312,11 @@ impl FileSystem {
     /// [`FsError::NotFound`] for unknown paths, [`FsError::Store`] on
     /// communication failure.
     pub fn unlink(&mut self, world: &mut StoreWorld, path: &FsPath) -> Result<(), FsError> {
-        let entry = self.files.get(path).copied().ok_or(FsError::NotFound(path.clone()))?;
+        let entry = self
+            .files
+            .get(path)
+            .copied()
+            .ok_or(FsError::NotFound(path.clone()))?;
         let parent = self.parent_of(path)?;
         self.client.remove_member(world, &parent, entry.elem)?;
         let _ = self.client.delete_object(world, entry.home, entry.elem);
@@ -388,8 +394,7 @@ impl FileSystem {
         let mut rec = self.client.fetch_object(world, entry.home, entry.elem)?;
         rec.name = to.name().expect("non-root").to_string();
         self.client.put_object(world, entry.home, rec)?;
-        self.client
-            .remove_member(world, &old_parent, entry.elem)?;
+        self.client.remove_member(world, &old_parent, entry.elem)?;
         self.client.add_member(world, &new_parent, entry)?;
         self.files.remove(from);
         self.files.insert(to.clone(), entry);
@@ -401,8 +406,15 @@ impl FileSystem {
     /// # Errors
     ///
     /// [`FsError::NotFound`] / [`FsError::Store`].
-    pub fn read_file(&self, world: &mut StoreWorld, path: &FsPath) -> Result<ObjectRecord, FsError> {
-        let entry = self.files.get(path).ok_or(FsError::NotFound(path.clone()))?;
+    pub fn read_file(
+        &self,
+        world: &mut StoreWorld,
+        path: &FsPath,
+    ) -> Result<ObjectRecord, FsError> {
+        let entry = self
+            .files
+            .get(path)
+            .ok_or(FsError::NotFound(path.clone()))?;
         Ok(self.client.fetch_object(world, entry.home, entry.elem)?)
     }
 
@@ -416,9 +428,7 @@ impl FileSystem {
     /// when any entry fetch fails — partial listings are not returned.
     pub fn ls(&self, world: &mut StoreWorld, path: &FsPath) -> Result<Vec<DirEntry>, FsError> {
         let cref = self.dirs.get(path).ok_or(FsError::NotFound(path.clone()))?;
-        let read = self
-            .client
-            .read_members(world, cref, ReadPolicy::Primary)?;
+        let read = self.client.read_members(world, cref, ReadPolicy::Primary)?;
         let total = read.entries.len();
         let mut out = Vec::with_capacity(total);
         for m in &read.entries {
@@ -643,7 +653,9 @@ mod tests {
     fn setup(n: usize) -> (StoreWorld, FileSystem, Vec<NodeId>) {
         let mut t = Topology::new();
         let cn = t.add_node("client", 0);
-        let servers: Vec<_> = (0..n).map(|i| t.add_node(format!("vol{i}"), i as u32 + 1)).collect();
+        let servers: Vec<_> = (0..n)
+            .map(|i| t.add_node(format!("vol{i}"), i as u32 + 1))
+            .collect();
         let mut w = StoreWorld::new(
             WorldConfig::seeded(41),
             t,
@@ -712,7 +724,10 @@ mod tests {
         let rec = fs.read_file(&mut w, &p).unwrap();
         assert_eq!(&rec.payload[..], b"payload");
         fs.unlink(&mut w, &p).unwrap();
-        assert!(matches!(fs.read_file(&mut w, &p), Err(FsError::NotFound(_))));
+        assert!(matches!(
+            fs.read_file(&mut w, &p),
+            Err(FsError::NotFound(_))
+        ));
         assert!(fs.ls(&mut w, &FsPath::root()).unwrap().is_empty());
     }
 
@@ -759,12 +774,30 @@ mod tests {
         let pics = FsPath::parse("/docs/pics").unwrap();
         fs.mkdir(&mut w, &docs, servers[1]).unwrap();
         fs.mkdir(&mut w, &pics, servers[2]).unwrap();
-        fs.create_file_with_attrs(&mut w, &docs.join("a.face"), b"A", servers[0], &[("owner", "wing")])
-            .unwrap();
-        fs.create_file_with_attrs(&mut w, &pics.join("b.face"), b"B", servers[1], &[("owner", "wing")])
-            .unwrap();
-        fs.create_file_with_attrs(&mut w, &pics.join("c.txt"), b"C", servers[2], &[("owner", "steere")])
-            .unwrap();
+        fs.create_file_with_attrs(
+            &mut w,
+            &docs.join("a.face"),
+            b"A",
+            servers[0],
+            &[("owner", "wing")],
+        )
+        .unwrap();
+        fs.create_file_with_attrs(
+            &mut w,
+            &pics.join("b.face"),
+            b"B",
+            servers[1],
+            &[("owner", "wing")],
+        )
+        .unwrap();
+        fs.create_file_with_attrs(
+            &mut w,
+            &pics.join("c.txt"),
+            b"C",
+            servers[2],
+            &[("owner", "steere")],
+        )
+        .unwrap();
         let mut stream = fs
             .find(
                 &mut w,
@@ -790,17 +823,28 @@ mod tests {
         let b = FsPath::parse("/b").unwrap();
         fs.mkdir(&mut w, &a, servers[0]).unwrap();
         fs.mkdir(&mut w, &b, servers[1]).unwrap();
-        fs.create_file(&mut w, &a.join("inside"), b"x", servers[0]).unwrap();
-        fs.create_file(&mut w, &b.join("outside"), b"x", servers[1]).unwrap();
+        fs.create_file(&mut w, &a.join("inside"), b"x", servers[0])
+            .unwrap();
+        fs.create_file(&mut w, &b.join("outside"), b"x", servers[1])
+            .unwrap();
         let mut stream = fs
-            .find(&mut w, &a, &Query::All, weakset::prelude::PrefetchConfig::default())
+            .find(
+                &mut w,
+                &a,
+                &Query::All,
+                weakset::prelude::PrefetchConfig::default(),
+            )
             .unwrap();
         let (hits, _) = stream.drain_available(&mut w);
         assert_eq!(hits.len(), 1);
         assert_eq!(hits[0].name, "inside");
         assert!(matches!(
-            fs.find(&mut w, &FsPath::parse("/missing").unwrap(), &Query::All,
-                    weakset::prelude::PrefetchConfig::default()),
+            fs.find(
+                &mut w,
+                &FsPath::parse("/missing").unwrap(),
+                &Query::All,
+                weakset::prelude::PrefetchConfig::default()
+            ),
             Err(FsError::NotFound(_))
         ));
     }
@@ -810,12 +854,18 @@ mod tests {
         let (mut w, mut fs, servers) = setup(3);
         let far = FsPath::parse("/far").unwrap();
         fs.mkdir(&mut w, &far, servers[2]).unwrap();
-        fs.create_file(&mut w, &far.join("hidden"), b"x", servers[2]).unwrap();
+        fs.create_file(&mut w, &far.join("hidden"), b"x", servers[2])
+            .unwrap();
         fs.create_file(&mut w, &FsPath::parse("/near").unwrap(), b"x", servers[0])
             .unwrap();
         w.topology_mut().partition(&[servers[2]]);
         let mut stream = fs
-            .find(&mut w, &FsPath::root(), &Query::All, weakset::prelude::PrefetchConfig::default())
+            .find(
+                &mut w,
+                &FsPath::root(),
+                &Query::All,
+                weakset::prelude::PrefetchConfig::default(),
+            )
             .unwrap();
         assert_eq!(stream.dirs_skipped(), 1);
         let (hits, end) = stream.drain_available(&mut w);
@@ -847,8 +897,10 @@ mod tests {
         let mut fs = fs.with_dir_replicas(vec![servers[1], servers[2]]);
         let d = FsPath::parse("/shared").unwrap();
         fs.mkdir(&mut w, &d, servers[0]).unwrap();
-        fs.create_file(&mut w, &d.join("a"), b"x", servers[1]).unwrap();
-        fs.create_file(&mut w, &d.join("b"), b"y", servers[2]).unwrap();
+        fs.create_file(&mut w, &d.join("a"), b"x", servers[1])
+            .unwrap();
+        fs.create_file(&mut w, &d.join("b"), b"y", servers[2])
+            .unwrap();
         // The directory's primary (servers[0]) goes down.
         w.topology_mut().crash(servers[0]);
         // Primary-policy listing dies at open...
@@ -902,7 +954,10 @@ mod tests {
         let new = b.join("final.txt");
         fs.rename(&mut w, &old, &new).unwrap();
         // Old path gone, new path live with the new name and old bytes.
-        assert!(matches!(fs.read_file(&mut w, &old), Err(FsError::NotFound(_))));
+        assert!(matches!(
+            fs.read_file(&mut w, &old),
+            Err(FsError::NotFound(_))
+        ));
         let rec = fs.read_file(&mut w, &new).unwrap();
         assert_eq!(&rec.payload[..], b"text");
         assert_eq!(rec.name, "final.txt");

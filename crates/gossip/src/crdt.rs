@@ -1,0 +1,331 @@
+//! Delta-state CRDTs for weak-set membership.
+//!
+//! Two flavours, matching the paper's two specification figures:
+//!
+//! * [`GSet`] — a grow-only set (Figure 5). Merge is set union, so along
+//!   any replica's timeline and across any exchange `s_i ⊆ s_j` for
+//!   `i ≤ j`: exactly the monotonicity Fig. 5's `ensures` clause demands.
+//! * [`ORSet`] — an observed-remove set (Figure 6) in the *optimized*
+//!   formulation: live entries tagged with dots plus a version vector of
+//!   every dot ever observed. A removal deletes the observed dots of an
+//!   element; a concurrent re-add mints a fresh dot, so adds win over
+//!   concurrent removes and membership still converges.
+//!
+//! Both are *delta-state* CRDTs: [`GSet::delta_since`] /
+//! [`ORSet::delta_since`] produce a [`MembershipDelta`] against a peer's
+//! digest so that only entries the peer has not observed cross the wire,
+//! and [`GSet::apply`] / [`ORSet::apply`] join a delta into local state.
+//! Joins are commutative, associative, and idempotent (property-tested in
+//! this crate), which is what makes anti-entropy order-insensitive.
+
+use std::collections::{BTreeMap, BTreeSet};
+use weakset_sim::node::NodeId;
+use weakset_store::collection::MemberEntry;
+use weakset_store::dotted::{Dot, DottedEntry, MembershipDelta, VersionVector};
+use weakset_store::object::ObjectId;
+
+/// A grow-only membership set: dotted entries plus the vector of observed
+/// dots. The dot tags exist purely so digests can compress exchanges;
+/// semantically this is a plain G-Set whose merge is union.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct GSet {
+    entries: BTreeMap<Dot, MemberEntry>,
+    vv: VersionVector,
+}
+
+impl GSet {
+    /// An empty grow-only set.
+    pub fn new() -> Self {
+        GSet::default()
+    }
+
+    /// Adds `entry` as a mutation of `replica`, returning the new dot.
+    pub fn add(&mut self, replica: NodeId, entry: MemberEntry) -> Dot {
+        let dot = self.vv.advance(replica);
+        self.entries.insert(dot, entry);
+        dot
+    }
+
+    /// The current membership (dots deduplicated to values).
+    pub fn elements(&self) -> BTreeSet<MemberEntry> {
+        self.entries.values().copied().collect()
+    }
+
+    /// True when some live entry has this element id.
+    pub fn contains(&self, elem: ObjectId) -> bool {
+        self.entries.values().any(|e| e.elem == elem)
+    }
+
+    /// The digest: every dot this replica has observed.
+    pub fn digest(&self) -> VersionVector {
+        self.vv.clone()
+    }
+
+    /// The delta a peer with `digest` is missing. Grow-only sets never
+    /// remove, so the delta's `live` list is left empty (it carries no
+    /// information the entries themselves do not).
+    pub fn delta_since(&self, digest: &VersionVector) -> MembershipDelta {
+        MembershipDelta {
+            vv: self.vv.clone(),
+            novel: self
+                .entries
+                .iter()
+                .filter(|(&dot, _)| !digest.contains(dot))
+                .map(|(&dot, &entry)| DottedEntry { dot, entry })
+                .collect(),
+            live: Vec::new(),
+        }
+    }
+
+    /// Joins a delta into this set: union of entries, join of vectors.
+    pub fn apply(&mut self, delta: &MembershipDelta) {
+        for de in &delta.novel {
+            self.entries.insert(de.dot, de.entry);
+        }
+        self.vv.join(&delta.vv);
+    }
+
+    /// Full-state join with another replica's set.
+    pub fn merge(&mut self, other: &GSet) {
+        self.apply(&other.delta_since(&VersionVector::new()));
+    }
+
+    /// Number of live dots (not deduplicated values).
+    pub fn dot_count(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// An observed-remove membership set (optimized OR-Set): `entries` holds
+/// the *live* dots, `vv` every dot ever observed. A dot covered by `vv`
+/// but absent from `entries` has been removed; because the vector
+/// remembers it, a late-arriving copy of the add cannot resurrect it.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ORSet {
+    entries: BTreeMap<Dot, MemberEntry>,
+    vv: VersionVector,
+}
+
+impl ORSet {
+    /// An empty observed-remove set.
+    pub fn new() -> Self {
+        ORSet::default()
+    }
+
+    /// Adds `entry` as a mutation of `replica`, returning the new dot.
+    /// Re-adding a removed element mints a fresh dot, which is how adds
+    /// win over concurrent removes.
+    pub fn add(&mut self, replica: NodeId, entry: MemberEntry) -> Dot {
+        let dot = self.vv.advance(replica);
+        self.entries.insert(dot, entry);
+        dot
+    }
+
+    /// Removes every *observed* dot carrying `elem`, returning how many
+    /// were removed. Dots this replica has not yet seen are unaffected
+    /// (observed-remove semantics). The removed dots stay covered by the
+    /// version vector, which is precisely what prevents resurrection.
+    ///
+    /// An effective removal additionally mints one *removal dot* for
+    /// `replica`: a vector advance with no live entry. It records the
+    /// remove event in the digest, so (a) digest dominance implies state
+    /// dominance — a peer whose digest covers ours needs nothing from us
+    /// even after removals — and (b) the digest total counts every
+    /// effective mutation, aligning it with the primary's versioned log.
+    pub fn remove(&mut self, replica: NodeId, elem: ObjectId) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|_, e| e.elem != elem);
+        let killed = before - self.entries.len();
+        if killed > 0 {
+            self.vv.advance(replica);
+        }
+        killed
+    }
+
+    /// The current membership (live dots deduplicated to values).
+    pub fn elements(&self) -> BTreeSet<MemberEntry> {
+        self.entries.values().copied().collect()
+    }
+
+    /// True when some live entry has this element id.
+    pub fn contains(&self, elem: ObjectId) -> bool {
+        self.entries.values().any(|e| e.elem == elem)
+    }
+
+    /// The digest: every dot this replica has observed (live or removed).
+    pub fn digest(&self) -> VersionVector {
+        self.vv.clone()
+    }
+
+    /// The delta a peer with `digest` is missing: entry payloads only for
+    /// dots the digest does not cover, plus this replica's full vector and
+    /// live-dot list so the peer can detect removals (a dot it holds that
+    /// `vv` covers but `live` omits was removed here).
+    pub fn delta_since(&self, digest: &VersionVector) -> MembershipDelta {
+        MembershipDelta {
+            vv: self.vv.clone(),
+            novel: self
+                .entries
+                .iter()
+                .filter(|(&dot, _)| !digest.contains(dot))
+                .map(|(&dot, &entry)| DottedEntry { dot, entry })
+                .collect(),
+            live: self.entries.keys().copied().collect(),
+        }
+    }
+
+    /// Joins a delta into this set — the optimized OR-Set join:
+    ///
+    /// * a novel entry is adopted unless our vector already covers its dot
+    ///   (covered + absent locally = we removed it; do not resurrect);
+    /// * a local live dot is dropped when the sender has observed it but
+    ///   no longer lists it live (the sender removed it);
+    /// * vectors join pointwise.
+    pub fn apply(&mut self, delta: &MembershipDelta) {
+        for de in &delta.novel {
+            if !self.vv.contains(de.dot) {
+                self.entries.insert(de.dot, de.entry);
+            }
+        }
+        let sender_live: BTreeSet<Dot> = delta.live.iter().copied().collect();
+        self.entries
+            .retain(|&dot, _| !delta.vv.contains(dot) || sender_live.contains(&dot));
+        self.vv.join(&delta.vv);
+    }
+
+    /// Full-state join with another replica's set.
+    pub fn merge(&mut self, other: &ORSet) {
+        self.apply(&other.delta_since(&VersionVector::new()));
+    }
+
+    /// Number of live dots (not deduplicated values).
+    pub fn dot_count(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    fn e(id: u64) -> MemberEntry {
+        MemberEntry {
+            elem: ObjectId(id),
+            home: n(0),
+        }
+    }
+
+    #[test]
+    fn gset_grows_and_merges_by_union() {
+        let mut a = GSet::new();
+        let mut b = GSet::new();
+        a.add(n(1), e(1));
+        b.add(n(2), e(2));
+        let snapshot = a.elements();
+        a.merge(&b);
+        b.merge(&a);
+        assert_eq!(a.elements(), b.elements());
+        assert_eq!(a.elements().len(), 2);
+        assert!(
+            snapshot.is_subset(&a.elements()),
+            "Fig. 5: the set only grows"
+        );
+        assert!(a.contains(ObjectId(2)));
+        assert_eq!(a.dot_count(), 2);
+    }
+
+    #[test]
+    fn gset_delta_ships_only_uncovered_dots() {
+        let mut a = GSet::new();
+        a.add(n(1), e(1));
+        a.add(n(1), e(2));
+        let mut b = GSet::new();
+        b.apply(&a.delta_since(&b.digest()));
+        assert_eq!(b.elements(), a.elements());
+        // Nothing new: the next delta is empty.
+        let d = a.delta_since(&b.digest());
+        assert!(d.novel.is_empty());
+        // Applying an old delta again changes nothing (idempotent).
+        let again = a.delta_since(&VersionVector::new());
+        b.apply(&again);
+        assert_eq!(b.elements(), a.elements());
+    }
+
+    #[test]
+    fn orset_remove_deletes_observed_dots_only() {
+        let mut a = ORSet::new();
+        let mut b = ORSet::new();
+        a.add(n(1), e(7));
+        // b adds the same element concurrently under its own dot.
+        b.add(n(2), e(7));
+        // a removes what it observed: its own dot only.
+        assert_eq!(a.remove(n(1), ObjectId(7)), 1);
+        assert!(!a.contains(ObjectId(7)));
+        // After exchanging, b's concurrent add survives: add wins.
+        a.merge(&b);
+        b.merge(&a);
+        assert!(a.contains(ObjectId(7)));
+        assert_eq!(a.elements(), b.elements());
+        // Removing a non-member mints no removal dot.
+        let digest = a.digest();
+        assert_eq!(a.remove(n(1), ObjectId(99)), 0);
+        assert_eq!(a.digest(), digest);
+    }
+
+    #[test]
+    fn orset_removal_propagates_without_resurrection() {
+        let mut a = ORSet::new();
+        let mut b = ORSet::new();
+        a.add(n(1), e(3));
+        b.merge(&a);
+        assert!(b.contains(ObjectId(3)));
+        // b removes after observing; the removal reaches a via the
+        // (vv, live) half of the delta even though no entries ship.
+        b.remove(n(2), ObjectId(3));
+        let d = b.delta_since(&a.digest());
+        assert!(d.novel.is_empty());
+        a.apply(&d);
+        assert!(!a.contains(ObjectId(3)));
+        // A stale full-state delta from before the removal cannot
+        // resurrect the element: the dot is already observed.
+        let mut stale = ORSet::new();
+        stale.add(n(1), e(3)); // same replica id/counter as a's original dot
+        a.apply(&stale.delta_since(&VersionVector::new()));
+        assert!(!a.contains(ObjectId(3)));
+    }
+
+    #[test]
+    fn orset_readd_after_remove_is_a_fresh_dot() {
+        let mut a = ORSet::new();
+        a.add(n(1), e(5));
+        a.remove(n(1), ObjectId(5)); // counter 2: the removal dot
+        let dot = a.add(n(1), e(5));
+        assert_eq!(dot.counter, 3);
+        assert!(a.contains(ObjectId(5)));
+        let mut b = ORSet::new();
+        b.merge(&a);
+        assert!(b.contains(ObjectId(5)));
+        assert_eq!(b.dot_count(), 1);
+    }
+
+    #[test]
+    fn merge_is_commutative_on_a_small_divergence() {
+        let mut a = ORSet::new();
+        let mut b = ORSet::new();
+        a.add(n(1), e(1));
+        a.add(n(1), e(2));
+        a.remove(n(1), ObjectId(1));
+        b.add(n(2), e(1));
+        b.add(n(2), e(9));
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab.elements(), ba.elements());
+        assert_eq!(ab.digest(), ba.digest());
+    }
+}

@@ -1,0 +1,340 @@
+//! The anti-entropy engine: periodic pairwise gossip rounds scheduled on
+//! the simulator's event loop.
+//!
+//! [`install`] spawns a self-rescheduling [`weakset_sim::world::Task`]
+//! that fires every [`GossipConfig::interval`]. Each round, every live
+//! replica picks [`GossipConfig::fanout`] random peers (deterministically,
+//! from the world's seeded RNG) and runs a digest-then-delta exchange in
+//! the configured [`GossipMode`]. Exchanges are plain RPCs on the store
+//! protocol, so partitions, crashes, and lossy links bite gossip exactly
+//! as they bite every other client: a failed exchange is counted and
+//! retried implicitly by the next round.
+//!
+//! Metrics recorded on the world: `gossip.rounds`, `gossip.exchanges`,
+//! `gossip.failures`, `gossip.novel_shipped`, `gossip.push_skipped`.
+
+use crate::replica::GossipNode;
+use std::cell::Cell;
+use std::rc::Rc;
+use weakset_sim::node::NodeId;
+use weakset_sim::rng::SimRng;
+use weakset_sim::time::{SimDuration, SimTime};
+use weakset_sim::world::Task;
+use weakset_store::client::StoreWorld;
+use weakset_store::collection::MemberEntry;
+use weakset_store::dotted::{MembershipDelta, VersionVector};
+use weakset_store::msg::StoreMsg;
+use weakset_store::object::CollectionId;
+
+/// Epidemic exchange style for one round.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum GossipMode {
+    /// The initiator ships its missing dots to the peer (digest request,
+    /// then delta push: two RPCs).
+    Push,
+    /// The initiator asks the peer for its own missing dots (one RPC).
+    Pull,
+    /// Both directions in two RPCs: a pull whose reply reveals the
+    /// peer's digest, then a push of whatever the peer is missing.
+    #[default]
+    PushPull,
+}
+
+/// Tunables for the anti-entropy schedule.
+#[derive(Clone, Copy, Debug)]
+pub struct GossipConfig {
+    /// Peers each replica contacts per round.
+    pub fanout: usize,
+    /// Time between rounds.
+    pub interval: SimDuration,
+    /// Exchange style.
+    pub mode: GossipMode,
+    /// Per-RPC timeout inside an exchange.
+    pub rpc_timeout: SimDuration,
+    /// Stop scheduling rounds after this simulated time (`None`: run
+    /// until [`GossipHandle::stop`]).
+    pub until: Option<SimTime>,
+}
+
+impl Default for GossipConfig {
+    fn default() -> Self {
+        GossipConfig {
+            fanout: 1,
+            interval: SimDuration::from_millis(25),
+            mode: GossipMode::default(),
+            rpc_timeout: SimDuration::from_millis(20),
+            until: None,
+        }
+    }
+}
+
+/// Cancels an installed anti-entropy schedule.
+#[derive(Clone, Debug)]
+pub struct GossipHandle {
+    stop: Rc<Cell<bool>>,
+}
+
+impl GossipHandle {
+    /// Stops the schedule: the next pending round exits without running
+    /// or rescheduling.
+    pub fn stop(&self) {
+        self.stop.set(true);
+    }
+
+    /// True once [`GossipHandle::stop`] has been called.
+    pub fn stopped(&self) -> bool {
+        self.stop.get()
+    }
+}
+
+/// Installs periodic anti-entropy for one collection over `replicas`
+/// (every node must run a [`GossipNode`] hosting the collection). The
+/// first round fires one interval from now. Returns a handle that
+/// cancels the schedule; with `config.until` unset the schedule runs
+/// until stopped, so call [`GossipHandle::stop`] before expecting
+/// [`weakset_sim::world::World::run_to_quiescence`] to terminate.
+pub fn install(
+    world: &mut StoreWorld,
+    coll: CollectionId,
+    replicas: Vec<NodeId>,
+    config: GossipConfig,
+) -> GossipHandle {
+    let stop = Rc::new(Cell::new(false));
+    let round = Round {
+        coll,
+        replicas: Rc::new(replicas),
+        config,
+        rng: world.rng_for("gossip.engine"),
+        stop: Rc::clone(&stop),
+    };
+    world.spawn_in(config.interval, round);
+    GossipHandle { stop }
+}
+
+/// One immediate push-pull exchange between two replicas (no schedule) —
+/// deterministic pairwise sync for tests and targeted repair.
+pub fn sync_pair(
+    world: &mut StoreWorld,
+    coll: CollectionId,
+    a: NodeId,
+    b: NodeId,
+    rpc_timeout: SimDuration,
+) {
+    exchange(world, coll, a, b, GossipMode::PushPull, rpc_timeout);
+}
+
+/// Omniscient convergence check: true when every replica's CRDT exists
+/// and reports the same membership and digest. (Test/experiment helper —
+/// a real deployment cannot observe this.)
+pub fn converged(world: &StoreWorld, coll: CollectionId, replicas: &[NodeId]) -> bool {
+    let mut first: Option<(Vec<MemberEntry>, VersionVector)> = None;
+    for &r in replicas {
+        let Some(crdt) = world.service::<GossipNode>(r).and_then(|g| g.crdt(coll)) else {
+            return false;
+        };
+        let state = (crdt.elements(), crdt.digest());
+        match &first {
+            None => first = Some(state),
+            Some(f) => {
+                if *f != state {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// A replica's current CRDT membership, read omnisciently.
+pub fn elements_at(
+    world: &StoreWorld,
+    node: NodeId,
+    coll: CollectionId,
+) -> Option<Vec<MemberEntry>> {
+    world
+        .service::<GossipNode>(node)
+        .and_then(|g| g.crdt(coll))
+        .map(|c| c.elements())
+}
+
+/// The self-rescheduling round task.
+struct Round {
+    coll: CollectionId,
+    replicas: Rc<Vec<NodeId>>,
+    config: GossipConfig,
+    rng: SimRng,
+    stop: Rc<Cell<bool>>,
+}
+
+impl Task<StoreMsg> for Round {
+    fn label(&self) -> &str {
+        "gossip.round"
+    }
+
+    fn run(mut self: Box<Self>, world: &mut StoreWorld) {
+        if self.stop.get() {
+            return;
+        }
+        if let Some(until) = self.config.until {
+            if world.now() >= until {
+                return;
+            }
+        }
+        world.metrics_mut().incr("gossip.rounds");
+        let nodes: Vec<NodeId> = self.replicas.to_vec();
+        for &origin in &nodes {
+            if !world.topology().is_up(origin) {
+                continue;
+            }
+            let mut peers: Vec<NodeId> = nodes.iter().copied().filter(|&p| p != origin).collect();
+            self.rng.shuffle(&mut peers);
+            peers.truncate(self.config.fanout);
+            for peer in peers {
+                exchange(
+                    world,
+                    self.coll,
+                    origin,
+                    peer,
+                    self.config.mode,
+                    self.config.rpc_timeout,
+                );
+            }
+        }
+        let interval = self.config.interval;
+        world.spawn_in(interval, *self);
+    }
+}
+
+/// Runs one exchange initiated by `origin` towards `peer`.
+fn exchange(
+    world: &mut StoreWorld,
+    coll: CollectionId,
+    origin: NodeId,
+    peer: NodeId,
+    mode: GossipMode,
+    timeout: SimDuration,
+) {
+    world.metrics_mut().incr("gossip.exchanges");
+    match mode {
+        GossipMode::Pull => {
+            pull(world, coll, origin, peer, timeout);
+        }
+        GossipMode::Push => {
+            let Some(peer_digest) = fetch_digest(world, coll, origin, peer, timeout) else {
+                return;
+            };
+            push(world, coll, origin, peer, &peer_digest, timeout);
+        }
+        GossipMode::PushPull => {
+            // The pull reply carries the peer's full vector, which is
+            // exactly the digest the return push needs: two RPCs total.
+            let Some(peer_vv) = pull(world, coll, origin, peer, timeout) else {
+                return;
+            };
+            push(world, coll, origin, peer, &peer_vv, timeout);
+        }
+    }
+}
+
+/// Pull leg: ship our digest, join the peer's delta into local state.
+/// Returns the peer's version vector on success.
+fn pull(
+    world: &mut StoreWorld,
+    coll: CollectionId,
+    origin: NodeId,
+    peer: NodeId,
+    timeout: SimDuration,
+) -> Option<VersionVector> {
+    let digest = local_digest(world, origin, coll)?;
+    match world.rpc(
+        origin,
+        peer,
+        StoreMsg::GossipDeltaReq { coll, digest },
+        timeout,
+    ) {
+        Ok(StoreMsg::GossipDelta { delta, .. }) => {
+            let peer_vv = delta.vv.clone();
+            record_shipped(world, &delta);
+            apply_local(world, origin, coll, delta);
+            Some(peer_vv)
+        }
+        Ok(_) => None,
+        Err(_) => {
+            world.metrics_mut().incr("gossip.failures");
+            None
+        }
+    }
+}
+
+/// Push leg: ship the peer whatever its digest does not cover.
+fn push(
+    world: &mut StoreWorld,
+    coll: CollectionId,
+    origin: NodeId,
+    peer: NodeId,
+    peer_digest: &VersionVector,
+    timeout: SimDuration,
+) {
+    let Some(delta) = local_delta(world, origin, coll, peer_digest) else {
+        world.metrics_mut().incr("gossip.push_skipped");
+        return;
+    };
+    record_shipped(world, &delta);
+    match world.rpc(origin, peer, StoreMsg::GossipPush { coll, delta }, timeout) {
+        Ok(_) => {}
+        Err(_) => world.metrics_mut().incr("gossip.failures"),
+    }
+}
+
+fn fetch_digest(
+    world: &mut StoreWorld,
+    coll: CollectionId,
+    origin: NodeId,
+    peer: NodeId,
+    timeout: SimDuration,
+) -> Option<VersionVector> {
+    match world.rpc(origin, peer, StoreMsg::GossipDigestReq(coll), timeout) {
+        Ok(StoreMsg::GossipDigest { digest, .. }) => Some(digest),
+        Ok(_) => None,
+        Err(_) => {
+            world.metrics_mut().incr("gossip.failures");
+            None
+        }
+    }
+}
+
+fn local_digest(world: &StoreWorld, node: NodeId, coll: CollectionId) -> Option<VersionVector> {
+    world
+        .service::<GossipNode>(node)
+        .and_then(|g| g.crdt(coll))
+        .map(|c| c.digest())
+}
+
+/// The delta `node` would send a peer holding `digest`; `None` when the
+/// CRDT can prove the peer needs nothing.
+fn local_delta(
+    world: &StoreWorld,
+    node: NodeId,
+    coll: CollectionId,
+    digest: &VersionVector,
+) -> Option<MembershipDelta> {
+    let crdt = world.service::<GossipNode>(node)?.crdt(coll)?;
+    if crdt.nothing_for(digest) {
+        return None;
+    }
+    Some(crdt.delta_since(digest))
+}
+
+fn apply_local(world: &mut StoreWorld, node: NodeId, coll: CollectionId, delta: MembershipDelta) {
+    if let Some(g) = world.service_mut::<GossipNode>(node) {
+        // Route through the service's own handler so local joins and
+        // remote pushes share one code path.
+        g.apply(StoreMsg::GossipPush { coll, delta });
+    }
+}
+
+fn record_shipped(world: &mut StoreWorld, delta: &MembershipDelta) {
+    world
+        .metrics_mut()
+        .add("gossip.novel_shipped", delta.novel.len() as u64);
+}

@@ -134,7 +134,10 @@ pub fn run_scenario(s: &Scenario) -> StressResult {
     };
 
     let mut it = ThreadedElements::new(server.client(), s.semantics);
-    it.observe(ThreadObserver::new(server.log(), server.unreachable_table()));
+    it.observe(ThreadObserver::new(
+        server.log(),
+        server.unreachable_table(),
+    ));
     it.block_attempts = 3;
     it.retry_interval = Duration::from_micros(100);
 

@@ -245,13 +245,7 @@ impl ThreadedElements {
         &self.yielded
     }
 
-    fn record(
-        &mut self,
-        step: RtStep,
-        version: u64,
-        reach: &[Elem],
-        unreach: &[Elem],
-    ) -> RtStep {
+    fn record(&mut self, step: RtStep, version: u64, reach: &[Elem], unreach: &[Elem]) -> RtStep {
         if let Some(obs) = &mut self.observer {
             obs.record(step, version, reach, unreach);
         }
@@ -280,6 +274,7 @@ impl ThreadedElements {
     /// # Errors
     ///
     /// [`Disconnected`] if the server shut down mid-run.
+    #[allow(clippy::should_implement_trait)] // fallible: returns Result, not Option
     pub fn next(&mut self) -> Result<RtStep, Disconnected> {
         if self.terminated {
             return Ok(RtStep::Done);

@@ -1,0 +1,159 @@
+//! Offline stand-in for the subset of the `bytes` crate this workspace
+//! uses: an immutable, cheaply clonable byte buffer.
+//!
+//! Backed by `Arc<[u8]>`, so clones are reference-count bumps just like
+//! the real `Bytes`. Zero-copy slicing views are not implemented — the
+//! workspace never sub-slices a `Bytes`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::Arc;
+
+/// A cheaply clonable immutable byte buffer.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    /// Copies a static/borrowed slice into a buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes { data: data.into() }
+    }
+
+    /// Wraps a static slice (copied in this shim; the real crate
+    /// borrows it zero-copy).
+    pub fn from_static(data: &'static [u8]) -> Self {
+        Bytes::copy_from_slice(data)
+    }
+
+    /// Number of bytes in the buffer.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Copies the contents into a `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.to_vec()
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes {
+            data: Arc::from(&[][..]),
+        }
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.data.iter() {
+            for esc in std::ascii::escape_default(b) {
+                write!(f, "{}", esc as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes { data: v.into() }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(s: &[u8]) -> Self {
+        Bytes::copy_from_slice(s)
+    }
+}
+
+impl<const N: usize> From<&[u8; N]> for Bytes {
+    fn from(s: &[u8; N]) -> Self {
+        Bytes::copy_from_slice(s)
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(s: String) -> Self {
+        Bytes {
+            data: s.into_bytes().into(),
+        }
+    }
+}
+
+impl From<&str> for Bytes {
+    fn from(s: &str) -> Self {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_ref() == other
+    }
+}
+
+impl PartialEq<Bytes> for [u8] {
+    fn eq(&self, other: &Bytes) -> bool {
+        self == other.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_views_agree() {
+        let from_vec = Bytes::from(vec![b'h', b'i']);
+        let from_slice = Bytes::from(&b"hi"[..]);
+        let from_str = Bytes::from("hi");
+        assert_eq!(from_vec, from_slice);
+        assert_eq!(from_slice, from_str);
+        assert_eq!(&from_vec[..], b"hi");
+        assert_eq!(from_vec.len(), 2);
+        assert!(!from_vec.is_empty());
+        assert_eq!(from_vec.to_vec(), b"hi".to_vec());
+    }
+
+    #[test]
+    fn clones_share_storage() {
+        let a = Bytes::from(vec![0u8; 1024]);
+        let b = a.clone();
+        assert!(std::ptr::eq(a.as_ref(), b.as_ref()));
+    }
+
+    #[test]
+    fn debug_escapes_non_printable() {
+        let b = Bytes::from(&b"a\x00"[..]);
+        assert_eq!(format!("{b:?}"), "b\"a\\x00\"");
+    }
+}

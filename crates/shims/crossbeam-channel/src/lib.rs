@@ -1,0 +1,164 @@
+//! Offline stand-in for the subset of `crossbeam-channel` this
+//! workspace uses, backed by `std::sync::mpsc`.
+//!
+//! Surface: [`bounded`], [`unbounded`], [`Sender`] (clonable, `Debug`
+//! without `T: Debug`), [`Receiver`], blocking `send`/`recv` with
+//! [`SendError`]/[`RecvError`]. No `select!`, no timeouts — the runtime
+//! crate does not use them.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::mpsc;
+
+macro_rules! fmt_no_t {
+    ($name:literal) => {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(concat!($name, " { .. }"))
+        }
+    };
+}
+
+/// The channel is disconnected; the unsent value is returned.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> std::fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("SendError(..)")
+    }
+}
+
+impl<T> std::fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("sending on a disconnected channel")
+    }
+}
+
+impl<T> std::error::Error for SendError<T> {}
+
+/// The channel is empty and disconnected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecvError;
+
+impl std::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("receiving on an empty and disconnected channel")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+enum SenderInner<T> {
+    Unbounded(mpsc::Sender<T>),
+    Bounded(mpsc::SyncSender<T>),
+}
+
+/// The sending half of a channel. Clonable, like crossbeam's.
+pub struct Sender<T> {
+    inner: SenderInner<T>,
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        let inner = match &self.inner {
+            SenderInner::Unbounded(tx) => SenderInner::Unbounded(tx.clone()),
+            SenderInner::Bounded(tx) => SenderInner::Bounded(tx.clone()),
+        };
+        Sender { inner }
+    }
+}
+
+impl<T> std::fmt::Debug for Sender<T> {
+    fmt_no_t!("Sender");
+}
+
+impl<T> Sender<T> {
+    /// Sends `msg`, blocking on a full bounded channel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SendError`] holding `msg` when all receivers are gone.
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        match &self.inner {
+            SenderInner::Unbounded(tx) => tx.send(msg).map_err(|mpsc::SendError(v)| SendError(v)),
+            SenderInner::Bounded(tx) => tx.send(msg).map_err(|mpsc::SendError(v)| SendError(v)),
+        }
+    }
+}
+
+/// The receiving half of a channel.
+pub struct Receiver<T> {
+    inner: mpsc::Receiver<T>,
+}
+
+impl<T> std::fmt::Debug for Receiver<T> {
+    fmt_no_t!("Receiver");
+}
+
+impl<T> Receiver<T> {
+    /// Blocks until a message arrives.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecvError`] when the channel is empty and all senders
+    /// are gone.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        self.inner.recv().map_err(|mpsc::RecvError| RecvError)
+    }
+
+    /// Returns a message if one is ready, without blocking.
+    pub fn try_recv(&self) -> Option<T> {
+        self.inner.try_recv().ok()
+    }
+}
+
+/// An unbounded FIFO channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = mpsc::channel();
+    (
+        Sender {
+            inner: SenderInner::Unbounded(tx),
+        },
+        Receiver { inner: rx },
+    )
+}
+
+/// A bounded FIFO channel with capacity `cap`.
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = mpsc::sync_channel(cap);
+    (
+        Sender {
+            inner: SenderInner::Bounded(tx),
+        },
+        Receiver { inner: rx },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_roundtrip_across_threads() {
+        let (tx, rx) = unbounded::<u32>();
+        let tx2 = tx.clone();
+        let h = std::thread::spawn(move || {
+            tx2.send(7).unwrap();
+            tx.send(8).unwrap();
+        });
+        assert_eq!(rx.recv(), Ok(7));
+        assert_eq!(rx.recv(), Ok(8));
+        h.join().unwrap();
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn bounded_one_acts_as_rendezvous_slot() {
+        let (tx, rx) = bounded::<&'static str>(1);
+        tx.send("reply").unwrap();
+        assert_eq!(rx.recv(), Ok("reply"));
+        drop(rx);
+        assert!(tx.send("dead").is_err());
+    }
+}

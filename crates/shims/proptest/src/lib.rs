@@ -1,0 +1,163 @@
+//! Offline stand-in for the subset of the `proptest` API this workspace
+//! uses.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **No shrinking.** A failing case reports its deterministic case
+//!   number; rerunning the test replays it exactly (generation is seeded
+//!   from the test-function name and the case index, never from wall
+//!   clock or OS entropy).
+//! * **Strategies are plain generators** (`Strategy::generate`), not
+//!   value trees.
+//! * **Regex string strategies** support exactly the character-class +
+//!   bounded-repetition form used in this workspace
+//!   (`"[a-z0-9._-]{1,12}"`).
+//!
+//! Supported surface: `proptest!` (with `#![proptest_config]`),
+//! `prop_assert!`, `prop_assert_eq!`, `prop_assert_ne!`, `prop_assume!`,
+//! `any::<T>()`, `Just`, ranges, tuples, `prop_map`, `prop_filter`,
+//! `boxed`/`BoxedStrategy`, `strategy::Union`, `collection::{vec,
+//! btree_set}`, `option::of`, `sample::select`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod strategy;
+
+#[macro_use]
+mod macros;
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod sample;
+pub mod string;
+pub mod test_runner;
+
+/// One-stop imports, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+pub use test_runner::{ProptestConfig, TestCaseError};
+
+/// Deterministic per-test random source (SplitMix64 core).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A stream for `(test name, case index)` — fully deterministic.
+    pub fn for_case(name: &str, case: u64) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in name.as_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng {
+            state: h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "empty bound");
+        // Widening-multiply mapping; bias is < 2^-32 for in-repo bounds.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..17, y in 0usize..=4) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y <= 4);
+        }
+
+        #[test]
+        fn maps_and_filters_compose(
+            v in crate::collection::vec((0u32..10).prop_map(|x| x * 2), 1..6)
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 6);
+            prop_assert!(v.iter().all(|x| x % 2 == 0 && *x < 20));
+        }
+
+        #[test]
+        fn union_picks_from_all_arms(
+            x in crate::strategy::Union::new(vec![
+                Just(1u8).boxed(),
+                Just(2u8).boxed(),
+            ])
+        ) {
+            prop_assert!(x == 1 || x == 2);
+        }
+
+        #[test]
+        fn regex_subset_generates_matching(s in "[a-z0-9._-]{1,12}") {
+            prop_assert!(!s.is_empty() && s.len() <= 12);
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase()
+                || c.is_ascii_digit()
+                || c == '.' || c == '_' || c == '-'));
+        }
+
+        #[test]
+        fn options_produce_both_variants(xs in crate::collection::vec(crate::option::of(0u8..5), 64..65)) {
+            // With 64 draws at p(Some) = 3/4, both variants appear with
+            // overwhelming probability under every deterministic seed.
+            prop_assert!(xs.iter().any(Option::is_some));
+            prop_assert!(xs.iter().any(Option::is_none));
+        }
+    }
+
+    #[test]
+    fn assume_rejects_without_failing() {
+        crate::proptest! {
+            #[allow(unused)]
+            fn inner(x in 0u64..10) {
+                crate::prop_assume!(x < 5);
+                crate::prop_assert!(x < 5);
+            }
+        }
+        inner();
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failing_property_panics() {
+        crate::proptest! {
+            #[allow(unused)]
+            fn inner(x in 0u64..10) {
+                crate::prop_assert!(x < 9, "x was {}", x);
+            }
+        }
+        inner();
+    }
+}

@@ -1,0 +1,28 @@
+//! `Option` strategies.
+
+use crate::strategy::{Rejection, Strategy};
+use crate::TestRng;
+
+/// Strategy returned by [`of`].
+#[derive(Clone, Debug)]
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+/// Generates `Some` from `inner` three quarters of the time and `None`
+/// otherwise (real proptest's default weighting).
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Result<Self::Value, Rejection> {
+        if rng.below(4) < 3 {
+            Ok(Some(self.inner.generate(rng)?))
+        } else {
+            Ok(None)
+        }
+    }
+}

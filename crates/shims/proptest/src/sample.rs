@@ -1,0 +1,29 @@
+//! Sampling strategies over fixed collections.
+
+use crate::strategy::{Rejection, Strategy};
+use crate::TestRng;
+
+/// Strategy returned by [`select`].
+#[derive(Clone, Debug)]
+pub struct Select<T: Clone> {
+    items: Vec<T>,
+}
+
+/// Picks uniformly from `items`.
+///
+/// # Panics
+///
+/// Panics (at generation time) if `items` is empty.
+pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+    Select { items }
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> Result<T, Rejection> {
+        assert!(!self.items.is_empty(), "select over empty collection");
+        let idx = rng.below(self.items.len() as u64) as usize;
+        Ok(self.items[idx].clone())
+    }
+}

@@ -1,0 +1,223 @@
+//! Core [`Strategy`] trait and the combinators the workspace uses.
+
+use crate::TestRng;
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+/// A generated case was discarded (filter miss, assume failure, or an
+/// exhausted collection strategy). The runner retries with a fresh seed.
+#[derive(Clone, Debug)]
+pub struct Rejection(pub String);
+
+/// A generator of test values.
+///
+/// Unlike real proptest there is no value tree and no shrinking: a
+/// strategy simply produces a value (or a [`Rejection`]) from a
+/// deterministic [`TestRng`].
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Produces one value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Rejection`] when the draw must be discarded (e.g. a
+    /// `prop_filter` predicate kept failing); the runner retries the
+    /// whole case with the next seed.
+    fn generate(&self, rng: &mut TestRng) -> Result<Self::Value, Rejection>;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keeps only values for which `f` returns true, retrying a bounded
+    /// number of times before rejecting the case.
+    fn prop_filter<R: Into<String>, F: Fn(&Self::Value) -> bool>(
+        self,
+        whence: R,
+        f: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            whence: whence.into(),
+            f,
+        }
+    }
+
+    /// Erases the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// A type-erased strategy, as returned by [`Strategy::boxed`].
+pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> std::fmt::Debug for BoxedStrategy<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("BoxedStrategy(..)")
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> Result<T, Rejection> {
+        self.0.generate(rng)
+    }
+}
+
+/// Always produces a clone of the wrapped value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> Result<T, Rejection> {
+        Ok(self.0.clone())
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> Result<O, Rejection> {
+        self.inner.generate(rng).map(&self.f)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_filter`].
+#[derive(Clone, Debug)]
+pub struct Filter<S, F> {
+    inner: S,
+    whence: String,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Result<S::Value, Rejection> {
+        for _ in 0..256 {
+            let v = self.inner.generate(rng)?;
+            if (self.f)(&v) {
+                return Ok(v);
+            }
+        }
+        Err(Rejection(format!("filter exhausted: {}", self.whence)))
+    }
+}
+
+/// Picks uniformly among several strategies producing the same type.
+#[derive(Clone, Debug)]
+pub struct Union<S> {
+    arms: Vec<S>,
+}
+
+impl<S: Strategy> Union<S> {
+    /// Builds a union over `arms`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arms` is empty.
+    pub fn new(arms: Vec<S>) -> Self {
+        assert!(!arms.is_empty(), "Union requires at least one arm");
+        Union { arms }
+    }
+}
+
+impl<S: Strategy> Strategy for Union<S> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Result<S::Value, Rejection> {
+        let idx = rng.below(self.arms.len() as u64) as usize;
+        self.arms[idx].generate(rng)
+    }
+}
+
+/// Regex-literal string strategies (subset: `[class]{lo,hi}` forms).
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> Result<String, Rejection> {
+        Ok(crate::string::generate_matching(self, rng))
+    }
+}
+
+macro_rules! int_range_strategies {
+    ($($t:ty),+ $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> Result<$t, Rejection> {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                debug_assert!(span <= u64::MAX as u128);
+                let off = rng.below(span as u64) as i128;
+                Ok((self.start as i128 + off) as $t)
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> Result<$t, Rejection> {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                if span > u64::MAX as u128 {
+                    // Only reachable for the full 64-bit domain.
+                    return Ok(rng.next_u64() as $t);
+                }
+                let off = rng.below(span as u64) as i128;
+                Ok((start as i128 + off) as $t)
+            }
+        }
+    )+};
+}
+
+int_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategies {
+    ($($S:ident : $idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Result<Self::Value, Rejection> {
+                Ok(($(self.$idx.generate(rng)?,)+))
+            }
+        }
+    };
+}
+
+tuple_strategies!(A: 0);
+tuple_strategies!(A: 0, B: 1);
+tuple_strategies!(A: 0, B: 1, C: 2);
+tuple_strategies!(A: 0, B: 1, C: 2, D: 3);
+tuple_strategies!(A: 0, B: 1, C: 2, D: 3, E: 4);
+tuple_strategies!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);

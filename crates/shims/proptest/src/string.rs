@@ -1,0 +1,129 @@
+//! Generation for the regex subset used as string strategies.
+//!
+//! Supported patterns: one character class followed by an optional
+//! repetition — `[class]`, `[class]{n}`, `[class]{lo,hi}`, `[class]+`,
+//! `[class]*`. Classes support literal characters, `a-z`-style ranges,
+//! and backslash escapes. Anything else panics with a clear message:
+//! extend this module rather than silently mis-generating.
+
+use crate::TestRng;
+
+struct ClassRepeat {
+    chars: Vec<char>,
+    lo: usize,
+    hi: usize,
+}
+
+fn parse(pattern: &str) -> ClassRepeat {
+    let mut it = pattern.chars().peekable();
+    assert_eq!(
+        it.next(),
+        Some('['),
+        "string strategy shim supports only `[class]{{lo,hi}}` regexes, got {pattern:?}"
+    );
+    let mut chars = Vec::new();
+    loop {
+        let c = it
+            .next()
+            .unwrap_or_else(|| panic!("unterminated character class in {pattern:?}"));
+        match c {
+            ']' => break,
+            '\\' => {
+                let escaped = it
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling escape in {pattern:?}"));
+                chars.push(escaped);
+            }
+            _ => {
+                if it.peek() == Some(&'-') {
+                    let mut lookahead = it.clone();
+                    lookahead.next(); // consume '-'
+                    match lookahead.peek() {
+                        Some(&end) if end != ']' => {
+                            it = lookahead;
+                            it.next(); // consume range end
+                            assert!(c <= end, "inverted range {c}-{end} in {pattern:?}");
+                            chars.extend(c..=end);
+                            continue;
+                        }
+                        _ => {} // trailing '-' is a literal
+                    }
+                }
+                chars.push(c);
+            }
+        }
+    }
+    assert!(!chars.is_empty(), "empty character class in {pattern:?}");
+
+    let rest: String = it.collect();
+    let (lo, hi) = match rest.as_str() {
+        "" => (1, 1),
+        "+" => (1, 8),
+        "*" => (0, 8),
+        r if r.starts_with('{') && r.ends_with('}') => {
+            let body = &r[1..r.len() - 1];
+            if let Some((a, b)) = body.split_once(',') {
+                let lo = a
+                    .trim()
+                    .parse()
+                    .unwrap_or_else(|_| panic!("bad repetition bound in {pattern:?}"));
+                let hi = b
+                    .trim()
+                    .parse()
+                    .unwrap_or_else(|_| panic!("bad repetition bound in {pattern:?}"));
+                assert!(lo <= hi, "inverted repetition in {pattern:?}");
+                (lo, hi)
+            } else {
+                let n = body
+                    .trim()
+                    .parse()
+                    .unwrap_or_else(|_| panic!("bad repetition count in {pattern:?}"));
+                (n, n)
+            }
+        }
+        other => panic!("unsupported regex suffix {other:?} in {pattern:?}"),
+    };
+    ClassRepeat { chars, lo, hi }
+}
+
+/// Generates one string matching `pattern` (within the supported
+/// subset) from `rng`.
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let spec = parse(pattern);
+    let len = spec.lo + rng.below((spec.hi - spec.lo + 1) as u64) as usize;
+    (0..len)
+        .map(|_| spec.chars[rng.below(spec.chars.len() as u64) as usize])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_class_with_ranges_and_literals() {
+        let spec = parse("[a-z0-9._-]{1,12}");
+        assert_eq!(spec.lo, 1);
+        assert_eq!(spec.hi, 12);
+        assert!(spec.chars.contains(&'a'));
+        assert!(spec.chars.contains(&'z'));
+        assert!(spec.chars.contains(&'7'));
+        assert!(spec.chars.contains(&'.'));
+        assert!(spec.chars.contains(&'_'));
+        assert!(spec.chars.contains(&'-'));
+        assert!(!spec.chars.contains(&'A'));
+    }
+
+    #[test]
+    fn bare_class_means_one_char() {
+        let spec = parse("[xy]");
+        assert_eq!((spec.lo, spec.hi), (1, 1));
+        assert_eq!(spec.chars, vec!['x', 'y']);
+    }
+
+    #[test]
+    #[should_panic(expected = "supports only")]
+    fn rejects_unsupported_patterns() {
+        parse("(ab|cd)+");
+    }
+}

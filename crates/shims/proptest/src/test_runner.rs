@@ -1,0 +1,104 @@
+//! Case-loop runner and the config/error types surfaced to tests.
+
+use crate::TestRng;
+
+/// How a property test runs. Only the fields this workspace touches.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the property to pass.
+    pub cases: u32,
+    /// Total rejections (assume/filter misses) tolerated before the run
+    /// aborts as inconclusive.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 64,
+            max_global_rejects: 8192,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// A default config overriding just the case count.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Default::default()
+        }
+    }
+}
+
+/// Why one generated case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The property failed — the whole test fails.
+    Fail(String),
+    /// The case was discarded (`prop_assume!` miss); the runner retries
+    /// with the next seed.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejection with the given reason.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "case failed: {m}"),
+            TestCaseError::Reject(m) => write!(f, "case rejected: {m}"),
+        }
+    }
+}
+
+/// Result of one property-test case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Drives `case_fn` until `config.cases` cases pass, panicking on the
+/// first failure. Each attempt gets a [`TestRng`] seeded from `name` and
+/// the attempt index, so reruns replay identical values.
+///
+/// # Panics
+///
+/// Panics when a case fails, or when rejections exceed
+/// `config.max_global_rejects`.
+pub fn run<F>(config: &ProptestConfig, name: &str, mut case_fn: F)
+where
+    F: FnMut(&mut TestRng) -> TestCaseResult,
+{
+    let mut passed: u32 = 0;
+    let mut rejects: u32 = 0;
+    let mut attempt: u64 = 0;
+    while passed < config.cases {
+        let mut rng = TestRng::for_case(name, attempt);
+        match case_fn(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejects += 1;
+                assert!(
+                    rejects <= config.max_global_rejects,
+                    "proptest '{name}': too many rejected cases \
+                     ({rejects} rejects, {passed} passed)"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest case failed for '{name}' \
+                     (attempt {attempt}, after {passed} passing): {msg}"
+                );
+            }
+        }
+        attempt += 1;
+    }
+}

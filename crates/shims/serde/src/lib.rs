@@ -1,0 +1,84 @@
+//! Offline stand-in for the subset of `serde` this workspace uses.
+//!
+//! The workspace annotates many types with `#[derive(Serialize,
+//! Deserialize)]` but never routes them through a real serializer (no
+//! `serde_json`/`bincode` in the tree). This shim re-exports no-op derive
+//! macros from the sibling `serde_derive` shim and defines just enough of
+//! the trait surface for the one hand-written `#[serde(with = ...)]`
+//! helper module in `weakset-store` to compile.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Serialization backend, mirroring `serde::Serializer` at the smallest
+/// surface the workspace's hand-written impls need.
+pub trait Serializer: Sized {
+    /// Successful result type.
+    type Ok;
+    /// Error type.
+    type Error;
+
+    /// Serializes a byte slice.
+    ///
+    /// # Errors
+    ///
+    /// Backend-defined (no backend exists in this workspace).
+    fn serialize_bytes(self, v: &[u8]) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Deserialization backend, mirroring `serde::Deserializer` at the
+/// smallest surface the workspace's hand-written impls need.
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error;
+
+    /// Deserializes an owned byte buffer.
+    ///
+    /// # Errors
+    ///
+    /// Backend-defined (no backend exists in this workspace).
+    fn deserialize_byte_buf(self) -> Result<Vec<u8>, Self::Error>;
+}
+
+/// A serializable value, mirroring `serde::Serialize`. The derive macro
+/// of the same name (from the shim `serde_derive`) lives in the macro
+/// namespace; this trait lives in the type namespace, exactly as with
+/// the real serde.
+pub trait Serialize {
+    /// Serializes `self`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the serializer's error.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A deserializable value, mirroring `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes a value.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the deserializer's error.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+impl Serialize for [u8] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_bytes(self)
+    }
+}
+
+impl Serialize for Vec<u8> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_bytes(self)
+    }
+}
+
+impl<'de> Deserialize<'de> for Vec<u8> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_byte_buf()
+    }
+}

@@ -1,0 +1,21 @@
+//! Offline no-op stand-in for `serde_derive`.
+//!
+//! Nothing in this workspace actually serializes through serde (there is
+//! no `serde_json`/`bincode` in the dependency tree); the derives are
+//! forward-looking annotations. These macros therefore accept the
+//! `#[derive(Serialize, Deserialize)]` syntax — including `#[serde(...)]`
+//! helper attributes — and emit no code at all.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and emits nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and emits nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -41,7 +41,10 @@ impl LinkState {
     ///
     /// Panics if `p` is not a probability in `[0, 1]`.
     pub fn lossy(p: f64) -> Self {
-        assert!((0.0..=1.0).contains(&p), "drop probability {p} not in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "drop probability {p} not in [0,1]"
+        );
         LinkState {
             up: true,
             drop_prob: p,

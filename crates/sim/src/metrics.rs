@@ -117,7 +117,10 @@ impl Metrics {
 
     /// Records a latency observation under `name`.
     pub fn observe(&mut self, name: &str, d: SimDuration) {
-        self.latencies.entry(name.to_string()).or_default().record(d);
+        self.latencies
+            .entry(name.to_string())
+            .or_default()
+            .record(d);
     }
 
     /// Mutable access to a named latency recorder, creating it if needed.
@@ -199,7 +202,10 @@ mod tests {
         m.observe("fetch", SimDuration::from_micros(7));
         assert_eq!(m.latency("fetch").unwrap().len(), 1);
         assert!(m.latency("other").is_none());
-        assert_eq!(m.latency_mut("fetch").p50(), Some(SimDuration::from_micros(7)));
+        assert_eq!(
+            m.latency_mut("fetch").p50(),
+            Some(SimDuration::from_micros(7))
+        );
     }
 
     #[test]

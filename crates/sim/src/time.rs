@@ -244,7 +244,9 @@ mod tests {
 
     #[test]
     fn checked_add_detects_overflow() {
-        assert!(SimDuration::MAX.checked_add(SimDuration::from_micros(1)).is_none());
+        assert!(SimDuration::MAX
+            .checked_add(SimDuration::from_micros(1))
+            .is_none());
         assert_eq!(
             SimDuration::from_micros(1).checked_add(SimDuration::from_micros(2)),
             Some(SimDuration::from_micros(3))

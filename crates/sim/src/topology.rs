@@ -163,11 +163,7 @@ impl Topology {
     /// True when a *single hop* from `a` to `b` is currently possible:
     /// both nodes up, link up, same partition group.
     pub fn edge_open(&self, a: NodeId, b: NodeId) -> bool {
-        a != b
-            && self.is_up(a)
-            && self.is_up(b)
-            && self.link(a, b).up
-            && self.same_group(a, b)
+        a != b && self.is_up(a) && self.is_up(b) && self.link(a, b).up && self.same_group(a, b)
     }
 
     /// True when messages can currently get from `a` to `b`, routing through

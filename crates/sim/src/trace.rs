@@ -122,10 +122,7 @@ mod tests {
     fn records_in_order() {
         let mut t = Trace::new();
         t.record(SimTime::from_micros(1), TraceEvent::PartitionHealed);
-        t.record(
-            SimTime::from_micros(2),
-            TraceEvent::NodeCrashed(NodeId(0)),
-        );
+        t.record(SimTime::from_micros(2), TraceEvent::NodeCrashed(NodeId(0)));
         assert_eq!(t.len(), 2);
         assert_eq!(t.events()[0].0, SimTime::from_micros(1));
     }

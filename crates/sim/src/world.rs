@@ -23,13 +23,13 @@
 use crate::event::{run_task, EventKind, EventQueue};
 use crate::fault::{FaultAction, FaultPlan};
 use crate::latency::LatencyModel;
+use crate::metrics::Metrics;
 use crate::net::NetError;
 use crate::node::NodeId;
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
 use crate::topology::Topology;
 use crate::trace::{Trace, TraceEvent};
-use crate::metrics::Metrics;
 use std::any::Any;
 use std::collections::HashMap;
 
@@ -140,6 +140,7 @@ pub struct World<M> {
     /// Link throughput in bytes per millisecond; `None` = infinite.
     bandwidth_bytes_per_ms: Option<u64>,
     /// Measures a message's wire size for transfer-time charging.
+    #[allow(clippy::type_complexity)]
     sizer: Option<Box<dyn Fn(&M) -> usize>>,
 }
 
@@ -175,11 +176,7 @@ impl<M: Clone + std::fmt::Debug + 'static> World<M> {
     /// `sizer`. Links have infinite capacity (no queueing between
     /// concurrent transfers); the charge is pure serialization delay, so
     /// big payloads cost more than small ones — the paper's file fetches.
-    pub fn set_bandwidth(
-        &mut self,
-        bytes_per_ms: u64,
-        sizer: impl Fn(&M) -> usize + 'static,
-    ) {
+    pub fn set_bandwidth(&mut self, bytes_per_ms: u64, sizer: impl Fn(&M) -> usize + 'static) {
         assert!(bytes_per_ms > 0, "bandwidth must be positive");
         self.bandwidth_bytes_per_ms = Some(bytes_per_ms);
         self.sizer = Some(Box::new(sizer));
@@ -368,7 +365,8 @@ impl<M: Clone + std::fmt::Debug + 'static> World<M> {
         if !self.topology.is_up(from) {
             return Err(NetError::NodeDown(from));
         }
-        self.trace.record(self.now, TraceEvent::RpcSend { from, to });
+        self.trace
+            .record(self.now, TraceEvent::RpcSend { from, to });
         self.metrics.incr("rpc.sent");
         let started = self.now;
         let deadline = self.now + timeout;
@@ -381,8 +379,14 @@ impl<M: Clone + std::fmt::Debug + 'static> World<M> {
             } else {
                 NetError::NodeDown(to)
             };
-            self.trace
-                .record(self.now, TraceEvent::RpcFailed { from, to, error: err });
+            self.trace.record(
+                self.now,
+                TraceEvent::RpcFailed {
+                    from,
+                    to,
+                    error: err,
+                },
+            );
             self.metrics.incr("rpc.failed");
             return Err(err);
         }
@@ -396,10 +400,11 @@ impl<M: Clone + std::fmt::Debug + 'static> World<M> {
                 .record(self.now, TraceEvent::MessageLost { from, to });
             self.metrics.incr("msg.dropped");
         } else {
-            let lat = self
-                .latency
-                .sample(self.topology.node(from), self.topology.node(to), &mut self.lat_rng)
-                + self.transfer_delay(&msg);
+            let lat = self.latency.sample(
+                self.topology.node(from),
+                self.topology.node(to),
+                &mut self.lat_rng,
+            ) + self.transfer_delay(&msg);
             self.queue.push(
                 self.now + lat,
                 EventKind::Deliver {
@@ -421,8 +426,14 @@ impl<M: Clone + std::fmt::Debug + 'static> World<M> {
                             .observe("rpc.latency", self.now.saturating_since(started));
                     }
                     Err(e) => {
-                        self.trace
-                            .record(self.now, TraceEvent::RpcFailed { from, to, error: *e });
+                        self.trace.record(
+                            self.now,
+                            TraceEvent::RpcFailed {
+                                from,
+                                to,
+                                error: *e,
+                            },
+                        );
                         self.metrics.incr("rpc.failed");
                     }
                 }
@@ -464,7 +475,8 @@ impl<M: Clone + std::fmt::Debug + 'static> World<M> {
     pub fn send(&mut self, from: NodeId, to: NodeId, msg: M) -> ReplyToken {
         let token = ReplyToken(self.next_token);
         self.next_token += 1;
-        self.trace.record(self.now, TraceEvent::RpcSend { from, to });
+        self.trace
+            .record(self.now, TraceEvent::RpcSend { from, to });
         self.metrics.incr("rpc.sent");
         if !self.topology.is_up(from) {
             self.completed.insert(token, Err(NetError::NodeDown(from)));
@@ -489,10 +501,11 @@ impl<M: Clone + std::fmt::Debug + 'static> World<M> {
             self.metrics.incr("msg.dropped");
             return token; // never completes; caller's deadline applies
         }
-        let lat = self
-            .latency
-            .sample(self.topology.node(from), self.topology.node(to), &mut self.lat_rng)
-            + self.transfer_delay(&msg);
+        let lat = self.latency.sample(
+            self.topology.node(from),
+            self.topology.node(to),
+            &mut self.lat_rng,
+        ) + self.transfer_delay(&msg);
         self.queue.push(
             self.now + lat,
             EventKind::Deliver {
@@ -729,11 +742,8 @@ mod tests {
         t.partition(&[s]);
         let mut cfg = WorldConfig::seeded(1);
         cfg.fast_fail = false;
-        let mut w: World<u64> = World::new(
-            cfg,
-            t,
-            LatencyModel::Constant(SimDuration::from_millis(5)),
-        );
+        let mut w: World<u64> =
+            World::new(cfg, t, LatencyModel::Constant(SimDuration::from_millis(5)));
         w.install_service(s, Box::new(PlusOne));
         let r = w.rpc(c, s, 1, SimDuration::from_millis(50));
         assert_eq!(r, Err(NetError::Timeout));
@@ -775,7 +785,11 @@ mod tests {
         let r = w.rpc(c, s, 1, SimDuration::from_millis(30));
         // fast_fail doesn't trigger: the server was up at send time.
         assert_eq!(r, Err(NetError::Timeout));
-        assert_eq!(w.trace().count(|e| matches!(e, TraceEvent::MessageLost { .. })), 1);
+        assert_eq!(
+            w.trace()
+                .count(|e| matches!(e, TraceEvent::MessageLost { .. })),
+            1
+        );
     }
 
     #[test]
@@ -911,7 +925,9 @@ mod tests {
         let mut got = 0;
         let mut pending = tokens.clone();
         while !pending.is_empty() {
-            let done = w.wait_any(&pending, deadline).expect("reply before deadline");
+            let done = w
+                .wait_any(&pending, deadline)
+                .expect("reply before deadline");
             assert_eq!(w.try_take_reply(done), Some(Ok(2)));
             pending.retain(|&t| t != done);
             got += 1;

@@ -72,7 +72,12 @@ fn run_script(s: &WorldScript) -> (u64, Vec<Result<u64, NetError>>) {
         if f == t {
             continue;
         }
-        outs.push(world.rpc(f, t, (f.0 as u64) << 8 | t.0 as u64, SimDuration::from_millis(40)));
+        outs.push(world.rpc(
+            f,
+            t,
+            (f.0 as u64) << 8 | t.0 as u64,
+            SimDuration::from_millis(40),
+        ));
     }
     (world.now().as_micros(), outs)
 }

@@ -347,10 +347,7 @@ mod tests {
             State::fully_accessible(sv(&[1, 2])),
             Outcome::Yielded(ElemId(2)),
         );
-        r.record_invocation(
-            State::fully_accessible(sv(&[1, 2])),
-            Outcome::Returned,
-        );
+        r.record_invocation(State::fully_accessible(sv(&[1, 2])), Outcome::Returned);
         r.end_run();
         let comp = r.finish();
         let fig1 = check_computation(Figure::Fig1, &comp);

@@ -71,8 +71,12 @@ impl ConstraintKind {
     pub fn check(self, comp: &Computation) -> Result<(), ConstraintViolation> {
         match self {
             ConstraintKind::None => Ok(()),
-            ConstraintKind::Immutable => Self::check_window(comp, 0, comp.states.len().saturating_sub(1), true),
-            ConstraintKind::GrowOnly => Self::check_window(comp, 0, comp.states.len().saturating_sub(1), false),
+            ConstraintKind::Immutable => {
+                Self::check_window(comp, 0, comp.states.len().saturating_sub(1), true)
+            }
+            ConstraintKind::GrowOnly => {
+                Self::check_window(comp, 0, comp.states.len().saturating_sub(1), false)
+            }
             ConstraintKind::ImmutableDuringRuns => Self::check_during_runs(comp, true),
             ConstraintKind::GrowOnlyDuringRuns => Self::check_during_runs(comp, false),
         }
@@ -209,7 +213,9 @@ mod tests {
     #[test]
     fn grow_only_during_runs_mirrors() {
         let grow_in_run = with_run(comp_of(&[&[1], &[1, 2], &[]]), 0, 1);
-        assert!(ConstraintKind::GrowOnlyDuringRuns.check(&grow_in_run).is_ok());
+        assert!(ConstraintKind::GrowOnlyDuringRuns
+            .check(&grow_in_run)
+            .is_ok());
         let shrink_in_run = with_run(comp_of(&[&[1, 2], &[1]]), 0, 1);
         assert!(ConstraintKind::GrowOnlyDuringRuns
             .check(&shrink_in_run)

@@ -57,7 +57,9 @@ fn subsets(universe: u64) -> Vec<SetValue> {
 }
 
 fn outcomes(universe: u64) -> Vec<Outcome> {
-    let mut o: Vec<Outcome> = (1..=universe).map(|e| Outcome::Yielded(ElemId(e))).collect();
+    let mut o: Vec<Outcome> = (1..=universe)
+        .map(|e| Outcome::Yielded(ElemId(e)))
+        .collect();
     o.push(Outcome::Returned);
     o.push(Outcome::Failed);
     o.push(Outcome::Blocked);
@@ -153,9 +155,7 @@ pub fn enumerate(bounds: Bounds) -> Vec<Computation> {
 
 /// True when the computation's membership never changes.
 pub fn is_immutable(comp: &Computation) -> bool {
-    comp.states
-        .windows(2)
-        .all(|w| w[0].members == w[1].members)
+    comp.states.windows(2).all(|w| w[0].members == w[1].members)
 }
 
 /// True when every member is accessible in every state.
@@ -194,7 +194,11 @@ mod tests {
     fn enumeration_is_substantial_and_diverse() {
         let all = space();
         assert!(all.len() > 10_000, "{}", all.len());
-        let conforming = |f: Figure| all.iter().filter(|c| check_computation(f, c).is_ok()).count();
+        let conforming = |f: Figure| {
+            all.iter()
+                .filter(|c| check_computation(f, c).is_ok())
+                .count()
+        };
         for fig in Figure::ALL {
             let n = conforming(fig);
             assert!(n > 0, "{fig} has conforming computations");
@@ -303,17 +307,25 @@ mod tests {
     fn the_design_points_are_strictly_ordered() {
         let all = space();
         // Fig 4 conforming but not Fig 3 (mutation happened).
-        assert!(all.iter().any(|c| check_computation(Figure::Fig4, c).is_ok()
-            && !check_computation(Figure::Fig3, c).is_ok()));
+        assert!(all
+            .iter()
+            .any(|c| check_computation(Figure::Fig4, c).is_ok()
+                && !check_computation(Figure::Fig3, c).is_ok()));
         // Fig 6 conforming but not Fig 5 (shrinkage or blocking).
-        assert!(all.iter().any(|c| check_computation(Figure::Fig6, c).is_ok()
-            && !check_computation(Figure::Fig5, c).is_ok()));
+        assert!(all
+            .iter()
+            .any(|c| check_computation(Figure::Fig6, c).is_ok()
+                && !check_computation(Figure::Fig5, c).is_ok()));
         // Fig 3 conforming but not Fig 1 (a legitimate failure).
-        assert!(all.iter().any(|c| check_computation(Figure::Fig3, c).is_ok()
-            && !check_computation(Figure::Fig1, c).is_ok()));
+        assert!(all
+            .iter()
+            .any(|c| check_computation(Figure::Fig3, c).is_ok()
+                && !check_computation(Figure::Fig1, c).is_ok()));
         // Fig 5 conforming but not Fig 4 (picked up a concurrent add).
-        assert!(all.iter().any(|c| check_computation(Figure::Fig5, c).is_ok()
-            && !check_computation(Figure::Fig4, c).is_ok()));
+        assert!(all
+            .iter()
+            .any(|c| check_computation(Figure::Fig5, c).is_ok()
+                && !check_computation(Figure::Fig4, c).is_ok()));
     }
 
     /// The documented Strictness divergence is confined to its corner:

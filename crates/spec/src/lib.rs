@@ -63,8 +63,8 @@ pub mod prelude {
     pub use crate::model::{ModelElements, ModelSet};
     pub use crate::render::{render, render_verdict};
     pub use crate::specs::set_ops::{
-        check_add, check_create, check_remove, check_size, classify_transition,
-        validate_history, ProcError, Transition,
+        check_add, check_create, check_remove, check_size, classify_transition, validate_history,
+        ProcError, Transition,
     };
     pub use crate::specs::{EnsuresCtx, EnsuresError, Strictness};
     pub use crate::state::{Computation, Invocation, IterRun, Outcome, Recorder, State};

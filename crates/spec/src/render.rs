@@ -45,7 +45,11 @@ pub fn render(comp: &Computation) -> String {
                         Outcome::Failed => "FAILS".to_string(),
                         Outcome::Blocked => "blocks".to_string(),
                     };
-                    let _ = writeln!(out, "  run {ri} inv {ii}: σ{} -> σ{}  {o}", inv.pre, inv.post);
+                    let _ = writeln!(
+                        out,
+                        "  run {ri} inv {ii}: σ{} -> σ{}  {o}",
+                        inv.pre, inv.post
+                    );
                 }
             }
         }

@@ -42,7 +42,10 @@ pub fn check_invocation(ctx: &EnsuresCtx<'_>, outcome: Outcome) -> Result<(), En
         Strictness::Liberal => {
             let unyielded_reachable = !reach_first.difference(ctx.yielded_pre).is_empty();
             let unyielded_members = !ctx.s_first.difference(ctx.yielded_pre).is_empty();
-            (unyielded_reachable, !unyielded_reachable && unyielded_members)
+            (
+                unyielded_reachable,
+                !unyielded_reachable && unyielded_members,
+            )
         }
     };
     if yield_branch {
@@ -103,11 +106,7 @@ mod tests {
         let s = sv(&[1, 2, 3]);
         let pre = state(&[1, 2, 3], &[1, 2]);
         let y = sv(&[1, 2]); // everything reachable already yielded
-        assert!(check_invocation(
-            &ctx(&s, &pre, &y, Strictness::Liberal),
-            Outcome::Failed
-        )
-        .is_ok());
+        assert!(check_invocation(&ctx(&s, &pre, &y, Strictness::Liberal), Outcome::Failed).is_ok());
         let r = check_invocation(&ctx(&s, &pre, &y, Strictness::Liberal), Outcome::Returned);
         assert!(matches!(r, Err(EnsuresError::ExpectedFail { .. })));
     }
@@ -117,11 +116,9 @@ mod tests {
         let s = sv(&[1, 2]);
         let pre = state(&[1, 2], &[1, 2]);
         let y = sv(&[1, 2]);
-        assert!(check_invocation(
-            &ctx(&s, &pre, &y, Strictness::Liberal),
-            Outcome::Returned
-        )
-        .is_ok());
+        assert!(
+            check_invocation(&ctx(&s, &pre, &y, Strictness::Liberal), Outcome::Returned).is_ok()
+        );
         let r = check_invocation(&ctx(&s, &pre, &y, Strictness::Liberal), Outcome::Failed);
         assert!(matches!(r, Err(EnsuresError::ExpectedReturn { .. })));
     }

@@ -75,11 +75,7 @@ mod tests {
     use crate::state::{Invocation, State};
     use crate::value::{ElemId, SetValue};
 
-    fn ctx<'a>(
-        s_first: &'a SetValue,
-        pre: &'a State,
-        yielded: &'a SetValue,
-    ) -> EnsuresCtx<'a> {
+    fn ctx<'a>(s_first: &'a SetValue, pre: &'a State, yielded: &'a SetValue) -> EnsuresCtx<'a> {
         EnsuresCtx {
             s_first,
             pre,

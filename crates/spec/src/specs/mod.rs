@@ -182,13 +182,23 @@ mod tests {
 
     #[test]
     fn expect_yield_accepts_eligible_element() {
-        let r = expect_yield(&sv(&[1, 2]), &sv(&[1]), &sv(&[1, 2, 3]), Outcome::Yielded(ElemId(2)));
+        let r = expect_yield(
+            &sv(&[1, 2]),
+            &sv(&[1]),
+            &sv(&[1, 2, 3]),
+            Outcome::Yielded(ElemId(2)),
+        );
         assert!(r.is_ok());
     }
 
     #[test]
     fn expect_yield_rejects_already_yielded() {
-        let r = expect_yield(&sv(&[1, 2]), &sv(&[1]), &sv(&[1, 2]), Outcome::Yielded(ElemId(1)));
+        let r = expect_yield(
+            &sv(&[1, 2]),
+            &sv(&[1]),
+            &sv(&[1, 2]),
+            Outcome::Yielded(ElemId(1)),
+        );
         assert!(matches!(r, Err(EnsuresError::YieldNotAllowed { elem, .. }) if elem == ElemId(1)));
     }
 

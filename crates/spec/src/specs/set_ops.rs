@@ -108,7 +108,10 @@ pub fn check_size(s_pre: &SetValue, i: usize) -> Result<(), ProcError> {
     if i == s_pre.len() {
         Ok(())
     } else {
-        Err(err("size", format!("returned {i}, |s_pre| = {}", s_pre.len())))
+        Err(err(
+            "size",
+            format!("returned {i}, |s_pre| = {}", s_pre.len()),
+        ))
     }
 }
 
@@ -207,7 +210,10 @@ mod tests {
             classify_transition(&sv(&[1]), &sv(&[2, 3])),
             Transition::Other
         );
-        assert_eq!(classify_transition(&sv(&[1, 2]), &sv(&[])), Transition::Other);
+        assert_eq!(
+            classify_transition(&sv(&[1, 2]), &sv(&[])),
+            Transition::Other
+        );
     }
 
     #[test]

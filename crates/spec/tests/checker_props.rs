@@ -28,7 +28,9 @@ enum Mutation {
 fn script(figure: Figure) -> impl Strategy<Value = Script> {
     let mutation = match figure {
         // Respect each figure's constraint.
-        Figure::Fig1 | Figure::Fig3 => proptest::strategy::Union::new(vec![Just(Mutation::None).boxed()]),
+        Figure::Fig1 | Figure::Fig3 => {
+            proptest::strategy::Union::new(vec![Just(Mutation::None).boxed()])
+        }
         Figure::Fig5 => proptest::strategy::Union::new(vec![
             Just(Mutation::None).boxed(),
             (100u64..140).prop_map(Mutation::Add).boxed(),

@@ -112,6 +112,13 @@ pub enum ReadPolicy {
     /// Read a majority and take the newest version (pessimistic but
     /// partition-tolerant up to minority loss).
     Quorum,
+    /// Leaderless: read every reachable replica and take the *union* of
+    /// their memberships (newest version wins for the version number).
+    /// One reachable replica suffices — no primary, no majority. Designed
+    /// for deployments whose replicas converge by anti-entropy gossip
+    /// (`weakset-gossip`): membership is then a join-semilattice, so the
+    /// union of replica states is itself a valid weak-set read.
+    Leaderless,
 }
 
 /// A versioned membership read.
@@ -382,6 +389,34 @@ impl StoreClient {
                     Err(StoreError::NoQuorum { got, need })
                 }
             }
+            ReadPolicy::Leaderless => {
+                // Closest-first so the common case touches nearby replicas
+                // before paying wide-area latencies.
+                let mut nodes = cref.all_nodes();
+                nodes.sort_by_key(|&n| world.estimate_latency(self.node, n));
+                let mut merged: Option<MembershipRead> = None;
+                let mut last_err = StoreError::Net(NetError::Timeout);
+                for node in nodes {
+                    match self.list_one(world, node, cref.id) {
+                        Ok(read) => match &mut merged {
+                            Some(m) => {
+                                m.version = m.version.max(read.version);
+                                m.entries.extend(read.entries);
+                            }
+                            None => merged = Some(read),
+                        },
+                        Err(e) => last_err = e,
+                    }
+                }
+                match merged {
+                    Some(mut m) => {
+                        m.entries.sort_unstable();
+                        m.entries.dedup();
+                        Ok(m)
+                    }
+                    None => Err(last_err),
+                }
+            }
         }
     }
 
@@ -583,7 +618,7 @@ mod tests {
         let read = cl.read_members(&mut w, &cref, ReadPolicy::Any).unwrap();
         assert_eq!(read.version, 1);
         assert_eq!(read.entries.len(), 1); // stale: missing elem 2
-        // Primary policy fails outright.
+                                           // Primary policy fails outright.
         assert!(matches!(
             cl.read_members(&mut w, &cref, ReadPolicy::Primary),
             Err(StoreError::Net(_))
@@ -612,6 +647,51 @@ mod tests {
         let err = cl.read_members(&mut w, &cref, ReadPolicy::Quorum);
         assert_eq!(err, Err(StoreError::NoQuorum { got: 1, need: 2 }));
         assert!(err.unwrap_err().is_failure());
+    }
+
+    #[test]
+    fn leaderless_unions_reachable_replicas() {
+        let (mut w, c, s) = world_with(3);
+        let cl = StoreClient::new(c, SimDuration::from_millis(50));
+        let cref = CollectionRef {
+            id: CollectionId(1),
+            home: s[0],
+            replicas: vec![s[1], s[2]],
+        };
+        cl.create_collection(&mut w, &cref).unwrap();
+        // s[2] misses the first add, s[1] misses the second: no single
+        // replica holds the whole membership.
+        w.topology_mut().partition(&[s[2]]);
+        cl.add_member(&mut w, &cref, entry(1, s[0])).unwrap();
+        w.topology_mut().heal_partition();
+        w.topology_mut().partition(&[s[1]]);
+        cl.add_member(&mut w, &cref, entry(2, s[0])).unwrap();
+        w.topology_mut().heal_partition();
+        // Leaderless with the primary cut off unions the two stale
+        // secondaries back into the full membership.
+        w.topology_mut().partition(&[s[0]]);
+        let read = cl
+            .read_members(&mut w, &cref, ReadPolicy::Leaderless)
+            .unwrap();
+        assert_eq!(read.entries.len(), 2);
+        assert_eq!(read.version, 2);
+        // Quorum cannot form with a second replica also gone; leaderless
+        // still answers from the lone survivor.
+        w.topology_mut().partition(&[s[0], s[1]]);
+        assert!(matches!(
+            cl.read_members(&mut w, &cref, ReadPolicy::Quorum),
+            Err(StoreError::NoQuorum { .. })
+        ));
+        let read = cl
+            .read_members(&mut w, &cref, ReadPolicy::Leaderless)
+            .unwrap();
+        assert_eq!(read.entries.len(), 2, "s2 held the full v2 sync");
+        // Everything gone: the failure exception surfaces.
+        w.topology_mut().partition(&[s[0], s[1], s[2]]);
+        assert!(cl
+            .read_members(&mut w, &cref, ReadPolicy::Leaderless)
+            .unwrap_err()
+            .is_failure());
     }
 
     #[test]

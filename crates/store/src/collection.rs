@@ -36,7 +36,7 @@ pub struct MembershipVersion {
 }
 
 /// The state of one collection replica (primary or secondary).
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct CollectionState {
     members: BTreeMap<ObjectId, NodeId>,
     version: u64,
@@ -46,15 +46,24 @@ pub struct CollectionState {
     deferred: std::collections::BTreeSet<ObjectId>,
 }
 
+impl Default for CollectionState {
+    fn default() -> Self {
+        CollectionState::new()
+    }
+}
+
 impl CollectionState {
     /// A new, empty collection at version 0.
     pub fn new() -> Self {
-        let mut c = CollectionState::default();
-        c.log.push(MembershipVersion {
+        CollectionState {
+            members: BTreeMap::new(),
             version: 0,
-            members: Vec::new(),
-        });
-        c
+            log: vec![MembershipVersion {
+                version: 0,
+                members: Vec::new(),
+            }],
+            deferred: std::collections::BTreeSet::new(),
+        }
     }
 
     /// Current version number.

@@ -1,0 +1,280 @@
+//! Dotted version vectors: the causal metadata that anti-entropy gossip
+//! ships over the wire.
+//!
+//! A *dot* names one mutation event at one replica; a *version vector*
+//! summarises, per replica, how many of its dots have been observed. The
+//! CRDT semantics built on top (grow-only and observed-remove sets) live
+//! in the `weakset-gossip` crate; this module only defines the plain wire
+//! data so the [`crate::msg::StoreMsg`] protocol can carry digests and
+//! deltas without depending on the gossip crate.
+
+use crate::collection::MemberEntry;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use weakset_sim::node::NodeId;
+
+/// One mutation event: the `counter`-th membership change issued by
+/// `replica`. Dots totally order events *per replica* and are globally
+/// unique, which lets replicas exchange exactly the events a peer has
+/// not yet observed.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Dot {
+    /// The replica that issued the mutation.
+    pub replica: NodeId,
+    /// 1-based sequence number of the mutation at that replica.
+    pub counter: u64,
+}
+
+impl fmt::Debug for Dot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.replica.0, self.counter)
+    }
+}
+
+/// A per-replica summary of observed dots: `vv[r] = n` means every dot
+/// `r:1 ..= r:n` has been observed. Joining two vectors takes the
+/// pointwise maximum, so version vectors form a lattice — the digest half
+/// of the digest-then-delta exchange.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VersionVector {
+    counters: BTreeMap<NodeId, u64>,
+}
+
+impl VersionVector {
+    /// The empty vector (no dots observed).
+    pub fn new() -> Self {
+        VersionVector::default()
+    }
+
+    /// The highest observed counter for `replica` (0 when unseen).
+    pub fn get(&self, replica: NodeId) -> u64 {
+        self.counters.get(&replica).copied().unwrap_or(0)
+    }
+
+    /// True when `dot` has been observed.
+    pub fn contains(&self, dot: Dot) -> bool {
+        self.get(dot.replica) >= dot.counter
+    }
+
+    /// Mints the next dot for `replica` and records it as observed.
+    pub fn advance(&mut self, replica: NodeId) -> Dot {
+        let c = self.counters.entry(replica).or_insert(0);
+        *c += 1;
+        Dot {
+            replica,
+            counter: *c,
+        }
+    }
+
+    /// Records `dot` as observed (pointwise max with a single dot).
+    ///
+    /// Gossip only ever delivers deltas alongside the sender's full
+    /// vector, so "observing" a dot may safely imply observing all its
+    /// per-replica predecessors.
+    pub fn observe(&mut self, dot: Dot) {
+        let c = self.counters.entry(dot.replica).or_insert(0);
+        *c = (*c).max(dot.counter);
+    }
+
+    /// Joins with `other`: pointwise maximum (the lattice join).
+    pub fn join(&mut self, other: &VersionVector) {
+        for (&r, &n) in &other.counters {
+            let c = self.counters.entry(r).or_insert(0);
+            *c = (*c).max(n);
+        }
+    }
+
+    /// True when every dot covered by `other` is covered by `self`.
+    pub fn dominates(&self, other: &VersionVector) -> bool {
+        other.counters.iter().all(|(&r, &n)| self.get(r) >= n)
+    }
+
+    /// Total number of dots covered — a scalar, monotone summary used as
+    /// the `version` field of leaderless membership reads (replicas with
+    /// identical vectors report identical totals).
+    pub fn total(&self) -> u64 {
+        self.counters.values().sum()
+    }
+
+    /// Number of replicas with at least one observed dot.
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// True when no dots have been observed.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+
+    /// Iterates `(replica, highest counter)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, u64)> + '_ {
+        self.counters.iter().map(|(&r, &n)| (r, n))
+    }
+}
+
+/// A membership entry tagged with the dot of the add that produced it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct DottedEntry {
+    /// The add event's dot.
+    pub dot: Dot,
+    /// The member that was added.
+    pub entry: MemberEntry,
+}
+
+/// The delta half of a digest-then-delta exchange: everything a receiver
+/// needs to join a peer's state into its own.
+///
+/// `novel` carries only the dotted entries whose dots the requester's
+/// digest did not cover — the member payloads that actually cross the
+/// wire. `vv` is the sender's full version vector and `live` its full
+/// live-dot list; together they let the receiver detect removals (a dot
+/// it holds that `vv` covers but `live` omits was removed at the sender).
+/// Dots are 16 bytes on the simulated wire, so the live list stays cheap
+/// even when no entries need shipping.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct MembershipDelta {
+    /// The sender's full version vector.
+    pub vv: VersionVector,
+    /// Dotted entries the requester had not observed.
+    pub novel: Vec<DottedEntry>,
+    /// Every dot still live (not removed) at the sender.
+    pub live: Vec<Dot>,
+}
+
+impl MembershipDelta {
+    /// Approximate wire size in bytes: 16 per version-vector slot and
+    /// live dot, 28 per novel dotted entry.
+    pub fn wire_size(&self) -> usize {
+        self.vv.len() * 16 + self.novel.len() * 28 + self.live.len() * 16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::ObjectId;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn advance_mints_sequential_dots() {
+        let mut vv = VersionVector::new();
+        assert_eq!(
+            vv.advance(n(1)),
+            Dot {
+                replica: n(1),
+                counter: 1
+            }
+        );
+        assert_eq!(
+            vv.advance(n(1)),
+            Dot {
+                replica: n(1),
+                counter: 2
+            }
+        );
+        assert_eq!(
+            vv.advance(n(2)),
+            Dot {
+                replica: n(2),
+                counter: 1
+            }
+        );
+        assert_eq!(vv.get(n(1)), 2);
+        assert_eq!(vv.total(), 3);
+        assert_eq!(vv.len(), 2);
+        assert!(!vv.is_empty());
+    }
+
+    #[test]
+    fn contains_and_observe() {
+        let mut vv = VersionVector::new();
+        let d3 = Dot {
+            replica: n(1),
+            counter: 3,
+        };
+        assert!(!vv.contains(d3));
+        vv.observe(d3);
+        assert!(vv.contains(Dot {
+            replica: n(1),
+            counter: 2
+        }));
+        assert!(vv.contains(d3));
+        assert!(!vv.contains(Dot {
+            replica: n(1),
+            counter: 4
+        }));
+        // Observing an older dot never regresses.
+        vv.observe(Dot {
+            replica: n(1),
+            counter: 1,
+        });
+        assert_eq!(vv.get(n(1)), 3);
+    }
+
+    #[test]
+    fn join_is_pointwise_max_and_dominates_agrees() {
+        let mut a = VersionVector::new();
+        a.observe(Dot {
+            replica: n(1),
+            counter: 5,
+        });
+        a.observe(Dot {
+            replica: n(2),
+            counter: 1,
+        });
+        let mut b = VersionVector::new();
+        b.observe(Dot {
+            replica: n(1),
+            counter: 2,
+        });
+        b.observe(Dot {
+            replica: n(3),
+            counter: 4,
+        });
+        assert!(!a.dominates(&b));
+        assert!(!b.dominates(&a));
+        a.join(&b);
+        assert_eq!(a.get(n(1)), 5);
+        assert_eq!(a.get(n(2)), 1);
+        assert_eq!(a.get(n(3)), 4);
+        assert!(a.dominates(&b));
+        assert_eq!(a.iter().count(), 3);
+    }
+
+    #[test]
+    fn delta_wire_size_scales_with_contents() {
+        let mut vv = VersionVector::new();
+        let dot = vv.advance(n(1));
+        let delta = MembershipDelta {
+            vv,
+            novel: vec![DottedEntry {
+                dot,
+                entry: MemberEntry {
+                    elem: ObjectId(1),
+                    home: n(9),
+                },
+            }],
+            live: vec![dot],
+        };
+        assert_eq!(delta.wire_size(), 16 + 28 + 16);
+        assert_eq!(MembershipDelta::default().wire_size(), 0);
+    }
+
+    #[test]
+    fn dot_debug_is_compact() {
+        assert_eq!(
+            format!(
+                "{:?}",
+                Dot {
+                    replica: n(3),
+                    counter: 7
+                }
+            ),
+            "3:7"
+        );
+    }
+}

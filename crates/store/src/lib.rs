@@ -19,6 +19,8 @@
 //!   primary/any/quorum membership reads.
 //! * [`collection`] — versioned membership state with a full mutation log
 //!   (the omniscient history that conformance checking replays).
+//! * [`dotted`] — dots, version vectors, and membership deltas: the wire
+//!   data for the `weakset-gossip` anti-entropy protocol.
 //! * [`query`] — predicate queries ("all Chinese restaurant menus").
 //! * [`cache`] — client-side TTL object cache.
 //! * [`placement`] — policies for placing new objects on nodes.
@@ -51,6 +53,7 @@
 pub mod cache;
 pub mod client;
 pub mod collection;
+pub mod dotted;
 pub mod msg;
 pub mod object;
 pub mod placement;
@@ -64,6 +67,7 @@ pub mod prelude {
         CollectionRef, MembershipRead, ReadPolicy, StoreClient, StoreError, StoreWorld,
     };
     pub use crate::collection::{CollectionState, MemberEntry, MembershipVersion};
+    pub use crate::dotted::{Dot, DottedEntry, MembershipDelta, VersionVector};
     pub use crate::msg::StoreMsg;
     pub use crate::object::{CollectionId, ObjectId, ObjectRecord};
     pub use crate::placement::Placement;

@@ -1,6 +1,7 @@
 //! The client/server message protocol.
 
 use crate::collection::MemberEntry;
+use crate::dotted::{MembershipDelta, VersionVector};
 use crate::object::{CollectionId, ObjectId, ObjectRecord};
 use crate::query::Query;
 use serde::{Deserialize, Serialize};
@@ -81,6 +82,27 @@ pub enum StoreMsg {
         token: u64,
     },
 
+    // ---- anti-entropy gossip requests (see weakset-gossip) ----
+    /// Ask a gossip replica for its digest (version vector). Plain
+    /// [`crate::server::StoreServer`]s answer [`StoreMsg::BadRequest`].
+    GossipDigestReq(CollectionId),
+    /// Pull: "here is my digest, send me what I am missing". The reply is
+    /// a [`StoreMsg::GossipDelta`] with only the uncovered dots' entries.
+    GossipDeltaReq {
+        /// Target collection.
+        coll: CollectionId,
+        /// The requester's version vector.
+        digest: VersionVector,
+    },
+    /// Push: deliver a delta for the receiver to join into its state.
+    /// The reply is the receiver's post-join digest.
+    GossipPush {
+        /// Target collection.
+        coll: CollectionId,
+        /// The sender's delta.
+        delta: MembershipDelta,
+    },
+
     // ---- replies ----
     /// Successful fetch.
     Object(ObjectRecord),
@@ -103,6 +125,21 @@ pub enum StoreMsg {
     NoSuchCollection(CollectionId),
     /// The request was not understood.
     BadRequest,
+    /// A gossip replica's digest (reply to [`StoreMsg::GossipDigestReq`]
+    /// and [`StoreMsg::GossipPush`]).
+    GossipDigest {
+        /// The collection the digest describes.
+        coll: CollectionId,
+        /// The replica's version vector.
+        digest: VersionVector,
+    },
+    /// A gossip delta (reply to [`StoreMsg::GossipDeltaReq`]).
+    GossipDelta {
+        /// The collection the delta describes.
+        coll: CollectionId,
+        /// The replying replica's delta against the requester's digest.
+        delta: MembershipDelta,
+    },
 }
 
 impl StoreMsg {
@@ -114,12 +151,24 @@ impl StoreMsg {
         const HEADER: usize = 32;
         match self {
             StoreMsg::Object(rec) | StoreMsg::PutObject(rec) => {
-                HEADER + rec.name.len() + rec.size()
-                    + rec.attrs.iter().map(|(k, v)| k.len() + v.len()).sum::<usize>()
+                HEADER
+                    + rec.name.len()
+                    + rec.size()
+                    + rec
+                        .attrs
+                        .iter()
+                        .map(|(k, v)| k.len() + v.len())
+                        .sum::<usize>()
             }
             StoreMsg::Members { entries, .. } => HEADER + entries.len() * 12,
             StoreMsg::SyncMembers { members, .. } => HEADER + members.len() * 12,
             StoreMsg::Matches(ids) => HEADER + ids.len() * 8,
+            StoreMsg::GossipDeltaReq { digest, .. } | StoreMsg::GossipDigest { digest, .. } => {
+                HEADER + digest.len() * 16
+            }
+            StoreMsg::GossipPush { delta, .. } | StoreMsg::GossipDelta { delta, .. } => {
+                HEADER + delta.wire_size()
+            }
             _ => HEADER,
         }
     }

@@ -59,6 +59,9 @@ pub struct ObjectRecord {
     pub attrs: BTreeMap<String, String>,
 }
 
+// Referenced by the `#[serde(with = ...)]` attribute; the vendored no-op
+// serde derive does not expand code that calls these, so silence dead_code.
+#[allow(dead_code)]
 mod bytes_serde {
     use bytes::Bytes;
     use serde::{Deserialize, Deserializer, Serialize, Serializer};

@@ -32,7 +32,7 @@ impl StoreServer {
 
     /// Pre-creates a collection replica (setup without RPC traffic).
     pub fn preload_collection(&mut self, id: CollectionId) -> &mut CollectionState {
-        self.collections.entry(id).or_insert_with(CollectionState::new)
+        self.collections.entry(id).or_default()
     }
 
     /// Read access to a hosted collection replica.
@@ -95,7 +95,7 @@ impl StoreServer {
                 StoreMsg::Matches(hits)
             }
             StoreMsg::CreateCollection(id) => {
-                self.collections.entry(id).or_insert_with(CollectionState::new);
+                self.collections.entry(id).or_default();
                 StoreMsg::Ack
             }
             StoreMsg::ListMembers(id) => match self.collections.get(&id) {
@@ -164,6 +164,11 @@ impl StoreServer {
                 }
                 StoreMsg::Ack
             }
+            // Plain store servers do not speak the anti-entropy protocol;
+            // gossip requests belong on `weakset-gossip` replica nodes.
+            StoreMsg::GossipDigestReq(_)
+            | StoreMsg::GossipDeltaReq { .. }
+            | StoreMsg::GossipPush { .. } => StoreMsg::BadRequest,
             // Reply variants arriving as requests are protocol errors.
             StoreMsg::Object(_)
             | StoreMsg::NotFound(_)
@@ -172,15 +177,13 @@ impl StoreServer {
             | StoreMsg::Matches(_)
             | StoreMsg::Locked
             | StoreMsg::NoSuchCollection(_)
-            | StoreMsg::BadRequest => StoreMsg::BadRequest,
+            | StoreMsg::BadRequest
+            | StoreMsg::GossipDigest { .. }
+            | StoreMsg::GossipDelta { .. } => StoreMsg::BadRequest,
         }
     }
 
-    fn mutate(
-        &mut self,
-        coll: CollectionId,
-        f: impl FnOnce(&mut CollectionState),
-    ) -> StoreMsg {
+    fn mutate(&mut self, coll: CollectionId, f: impl FnOnce(&mut CollectionState)) -> StoreMsg {
         if self.is_read_locked(coll) {
             return StoreMsg::Locked;
         }
@@ -219,12 +222,18 @@ mod tests {
     fn object_lifecycle() {
         let mut s = StoreServer::new();
         let rec = ObjectRecord::new(ObjectId(1), "a", &b"x"[..]);
-        assert_eq!(s.handle_msg(StoreMsg::PutObject(rec.clone())), StoreMsg::Ack);
+        assert_eq!(
+            s.handle_msg(StoreMsg::PutObject(rec.clone())),
+            StoreMsg::Ack
+        );
         assert_eq!(
             s.handle_msg(StoreMsg::GetObject(ObjectId(1))),
             StoreMsg::Object(rec)
         );
-        assert_eq!(s.handle_msg(StoreMsg::DeleteObject(ObjectId(1))), StoreMsg::Ack);
+        assert_eq!(
+            s.handle_msg(StoreMsg::DeleteObject(ObjectId(1))),
+            StoreMsg::Ack
+        );
         assert_eq!(
             s.handle_msg(StoreMsg::GetObject(ObjectId(1))),
             StoreMsg::NotFound(ObjectId(1))
@@ -344,8 +353,14 @@ mod tests {
         let mut s = StoreServer::new();
         let c = CollectionId(1);
         s.handle_msg(StoreMsg::CreateCollection(c));
-        s.handle_msg(StoreMsg::AddMember { coll: c, entry: entry(1) });
-        s.handle_msg(StoreMsg::AddMember { coll: c, entry: entry(2) });
+        s.handle_msg(StoreMsg::AddMember {
+            coll: c,
+            entry: entry(1),
+        });
+        s.handle_msg(StoreMsg::AddMember {
+            coll: c,
+            entry: entry(2),
+        });
         assert_eq!(
             s.handle_msg(StoreMsg::AcquireGrowGuard { coll: c, token: 9 }),
             StoreMsg::Ack
@@ -353,12 +368,18 @@ mod tests {
         assert!(s.is_grow_guarded(c));
         // Removal is accepted but deferred: still a member, version
         // unchanged (the set only grows).
-        let r = s.handle_msg(StoreMsg::RemoveMember { coll: c, elem: ObjectId(1) });
+        let r = s.handle_msg(StoreMsg::RemoveMember {
+            coll: c,
+            elem: ObjectId(1),
+        });
         assert!(matches!(r, StoreMsg::Members { version: 2, .. }));
         assert!(s.collection(c).unwrap().contains(ObjectId(1)));
         assert_eq!(s.collection(c).unwrap().deferred().count(), 1);
         // Additions still land normally under the guard.
-        s.handle_msg(StoreMsg::AddMember { coll: c, entry: entry(3) });
+        s.handle_msg(StoreMsg::AddMember {
+            coll: c,
+            entry: entry(3),
+        });
         assert_eq!(s.collection(c).unwrap().len(), 3);
         // Release: ghosts are collected.
         s.handle_msg(StoreMsg::ReleaseGrowGuard { coll: c, token: 9 });
@@ -372,10 +393,16 @@ mod tests {
         let mut s = StoreServer::new();
         let c = CollectionId(1);
         s.handle_msg(StoreMsg::CreateCollection(c));
-        s.handle_msg(StoreMsg::AddMember { coll: c, entry: entry(1) });
+        s.handle_msg(StoreMsg::AddMember {
+            coll: c,
+            entry: entry(1),
+        });
         s.handle_msg(StoreMsg::AcquireGrowGuard { coll: c, token: 1 });
         s.handle_msg(StoreMsg::AcquireGrowGuard { coll: c, token: 2 });
-        s.handle_msg(StoreMsg::RemoveMember { coll: c, elem: ObjectId(1) });
+        s.handle_msg(StoreMsg::RemoveMember {
+            coll: c,
+            elem: ObjectId(1),
+        });
         s.handle_msg(StoreMsg::ReleaseGrowGuard { coll: c, token: 1 });
         assert!(s.collection(c).unwrap().contains(ObjectId(1)));
         s.handle_msg(StoreMsg::ReleaseGrowGuard { coll: c, token: 2 });
@@ -386,7 +413,10 @@ mod tests {
     fn grow_guard_on_missing_collection() {
         let mut s = StoreServer::new();
         assert_eq!(
-            s.handle_msg(StoreMsg::AcquireGrowGuard { coll: CollectionId(5), token: 1 }),
+            s.handle_msg(StoreMsg::AcquireGrowGuard {
+                coll: CollectionId(5),
+                token: 1
+            }),
             StoreMsg::NoSuchCollection(CollectionId(5))
         );
     }

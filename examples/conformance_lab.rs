@@ -86,7 +86,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let comp = it.take_computation(&world).expect("observed");
     let conf = check_computation(Figure::Fig6, &comp);
-    println!("\n{}", render_verdict(Figure::Fig6, &comp, &conf).trim_end());
+    println!(
+        "\n{}",
+        render_verdict(Figure::Fig6, &comp, &conf).trim_end()
+    );
     assert!(
         !conf.is_ok(),
         "the stale read must violate Figure 6 — that is the lab's point"

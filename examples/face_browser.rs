@@ -32,7 +32,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Build /afs/cmu/faces with one .face file per person, spread over
     // the department volumes.
-    let mut fs = FileSystem::format(&mut world, browser, volumes[0], SimDuration::from_millis(200))?;
+    let mut fs = FileSystem::format(
+        &mut world,
+        browser,
+        volumes[0],
+        SimDuration::from_millis(200),
+    )?;
     let faces_dir = FsPath::parse("/faces")?;
     fs.mkdir(&mut world, &faces_dir, volumes[0])?;
     let people = [
@@ -46,7 +51,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             volumes[i % volumes.len()],
         )?;
     }
-    println!("{} .face files across {} volumes\n", people.len(), volumes.len());
+    println!(
+        "{} .face files across {} volumes\n",
+        people.len(),
+        volumes.len()
+    );
 
     // The robotics volume is down for maintenance.
     world.topology_mut().crash(volumes[3]);

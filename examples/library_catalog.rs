@@ -53,7 +53,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             main_lib,
             ObjectRecord::new(id, *title, &b"postscript"[..]).with_attr("author", "wing"),
         )?;
-        librarian.add_member(&mut world, &catalog, MemberEntry { elem: id, home: main_lib })?;
+        librarian.add_member(
+            &mut world,
+            &catalog,
+            MemberEntry {
+                elem: id,
+                home: main_lib,
+            },
+        )?;
     }
 
     // Branch B is partitioned when the newest paper is catalogued.
@@ -65,7 +72,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ObjectRecord::new(newest, "Specifying Weak Sets (1995)", &b"postscript"[..])
             .with_attr("author", "wing"),
     )?;
-    librarian.add_member(&mut world, &catalog, MemberEntry { elem: newest, home: main_lib })?;
+    librarian.add_member(
+        &mut world,
+        &catalog,
+        MemberEntry {
+            elem: newest,
+            home: main_lib,
+        },
+    )?;
     world.topology_mut().heal_partition();
     println!("catalogued 3 papers; branch-b missed the 1995 update\n");
 

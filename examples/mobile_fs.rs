@@ -33,7 +33,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     fs.mkdir(&mut world, &dir, office)?;
     for i in 0..12 {
         let vol = if i % 2 == 0 { office } else { archive };
-        fs.create_file(&mut world, &dir.join(format!("draft-{i:02}.tex")), b"\\section{}", vol)?;
+        fs.create_file(
+            &mut world,
+            &dir.join(format!("draft-{i:02}.tex")),
+            b"\\section{}",
+            vol,
+        )?;
     }
 
     let mut traveller = MobileClient::new(laptop);
@@ -72,7 +77,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // A colleague keeps working while we fly.
     let mut colleague_fs = fs.view_from(archive, SimDuration::from_millis(200));
-    colleague_fs.create_file(&mut world, &dir.join("draft-99-final.tex"), b"done!", archive)?;
+    colleague_fs.create_file(
+        &mut world,
+        &dir.join("draft-99-final.tex"),
+        b"done!",
+        archive,
+    )?;
     println!("(a colleague added draft-99-final.tex meanwhile)\n");
 
     // Landing: reconnect and finish the listing.

@@ -38,7 +38,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             home,
         )?;
     }
-    println!("created a weak set with {} elements\n", set.size(&mut world)?);
+    println!(
+        "created a weak set with {} elements\n",
+        set.size(&mut world)?
+    );
 
     // Iterate under each semantics of the paper's design space.
     for semantics in Semantics::ALL {
@@ -62,7 +65,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let conformance = check_computation(Figure::Fig6, &computation);
     println!(
         "\nFigure 6 conformance: {} ({} states, {} invocations recorded)",
-        if conformance.is_ok() { "OK" } else { "VIOLATED" },
+        if conformance.is_ok() {
+            "OK"
+        } else {
+            "VIOLATED"
+        },
         computation.states.len(),
         computation.runs[0].invocations.len(),
     );

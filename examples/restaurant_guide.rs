@@ -39,7 +39,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (hi, &hood) in hoods.iter().enumerate() {
         for k in 0..3 {
             id += 1;
-            let cuisine = if (hi + k) % 2 == 0 { "chinese" } else { "pierogi" };
+            let cuisine = if (hi + k) % 2 == 0 {
+                "chinese"
+            } else {
+                "pierogi"
+            };
             client.put_object(
                 &mut world,
                 hood,

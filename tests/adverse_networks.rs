@@ -123,7 +123,11 @@ fn snapshot_iteration_under_rolling_outages() {
             step => break step,
         }
     };
-    assert_eq!(end, IterStep::Done, "staggered brief outages are routed around");
+    assert_eq!(
+        end,
+        IterStep::Done,
+        "staggered brief outages are routed around"
+    );
     assert_eq!(yields, 12);
     let comp = it.take_computation(&r.world).unwrap();
     check_computation(Figure::Fig3, &comp).assert_ok();

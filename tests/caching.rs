@@ -30,8 +30,10 @@ fn rig(seed: u64, ttl: Option<SimDuration>) -> Rig {
     let client = StoreClient::new(cn, SimDuration::from_millis(150));
     let cref = CollectionRef::unreplicated(CollectionId(1), servers[0]);
     client.create_collection(&mut world, &cref).unwrap();
-    let mut iter_config = IterConfig::default();
-    iter_config.cache_ttl = ttl;
+    let iter_config = IterConfig {
+        cache_ttl: ttl,
+        ..IterConfig::default()
+    };
     let set = WeakSet::new(client, cref).with_config(iter_config);
     for i in 1..=9u64 {
         set.add(

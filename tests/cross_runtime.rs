@@ -87,10 +87,18 @@ fn optimistic_blocking_agrees_across_runtimes() {
     let cref = CollectionRef::unreplicated(CollectionId(1), s0);
     client.create_collection(&mut world, &cref).unwrap();
     let set = WeakSet::new(client, cref);
-    set.add(&mut world, ObjectRecord::new(ObjectId(1), "a", &b""[..]), s0)
-        .unwrap();
-    set.add(&mut world, ObjectRecord::new(ObjectId(2), "b", &b""[..]), s1)
-        .unwrap();
+    set.add(
+        &mut world,
+        ObjectRecord::new(ObjectId(1), "a", &b""[..]),
+        s0,
+    )
+    .unwrap();
+    set.add(
+        &mut world,
+        ObjectRecord::new(ObjectId(2), "b", &b""[..]),
+        s1,
+    )
+    .unwrap();
     world.topology_mut().partition(&[s1]);
     let mut it = set.elements_observed(Semantics::Optimistic);
     assert!(matches!(it.next(&mut world), IterStep::Yielded(_)));

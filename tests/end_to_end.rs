@@ -57,7 +57,11 @@ fn deploy(seed: u64) -> Deployment {
         )
         .unwrap();
     }
-    Deployment { world, set, servers }
+    Deployment {
+        world,
+        set,
+        servers,
+    }
 }
 
 fn apply_env(d: &mut Deployment, env: Env) {

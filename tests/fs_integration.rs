@@ -61,10 +61,9 @@ fn directory_iteration_conforms_as_a_weak_set() {
 fn strict_and_dynamic_listings_agree_when_healthy() {
     let mut d = dfs(2, 16);
     let strict = d.fs.ls(&mut d.world, &FsPath::root()).unwrap();
-    let mut dyn_listing = d
-        .fs
-        .dynls(&mut d.world, &FsPath::root(), PrefetchConfig::default())
-        .unwrap();
+    let mut dyn_listing =
+        d.fs.dynls(&mut d.world, &FsPath::root(), PrefetchConfig::default())
+            .unwrap();
     let (mut entries, end) = dyn_listing.drain_available(&mut d.world);
     assert_eq!(end, DynLsStep::Complete);
     entries.sort_by(|a, b| a.name.cmp(&b.name));
@@ -78,9 +77,8 @@ fn concurrent_creation_during_listing_is_weakly_visible() {
     // A colleague creates files while the listing runs: dynls (snapshot
     // membership at open) misses them; a second listing sees them.
     let mut d = dfs(3, 8);
-    let mut dyn_listing = d
-        .fs
-        .dynls(
+    let mut dyn_listing =
+        d.fs.dynls(
             &mut d.world,
             &FsPath::root(),
             PrefetchConfig {
@@ -117,9 +115,8 @@ fn concurrent_creation_during_listing_is_weakly_visible() {
 fn mobile_disconnect_mid_listing_then_finish() {
     let mut d = dfs(4, 12);
     let mut mc = MobileClient::new(d.laptop);
-    let mut listing = d
-        .fs
-        .dynls(
+    let mut listing =
+        d.fs.dynls(
             &mut d.world,
             &FsPath::root(),
             PrefetchConfig {

@@ -28,8 +28,10 @@ fn rig(seed: u64, guarded: bool) -> Rig {
     let client = StoreClient::new(cn, SimDuration::from_millis(150));
     let cref = CollectionRef::unreplicated(CollectionId(1), server);
     client.create_collection(&mut world, &cref).unwrap();
-    let mut config = IterConfig::default();
-    config.guard_growth = guarded;
+    let config = IterConfig {
+        guard_growth: guarded,
+        ..IterConfig::default()
+    };
     let set = WeakSet::new(client, cref).with_config(config);
     for i in 1..=8u64 {
         set.add(
@@ -123,20 +125,32 @@ fn guard_is_released_on_failure_too() {
     let client = StoreClient::new(cn, SimDuration::from_millis(100));
     let cref = CollectionRef::unreplicated(CollectionId(1), s0);
     client.create_collection(&mut world, &cref).unwrap();
-    let mut config = IterConfig::default();
-    config.guard_growth = true;
+    let config = IterConfig {
+        guard_growth: true,
+        ..IterConfig::default()
+    };
     let set = WeakSet::new(client.clone(), cref.clone()).with_config(config);
-    set.add(&mut world, ObjectRecord::new(ObjectId(1), "a", &b""[..]), s0)
-        .unwrap();
-    set.add(&mut world, ObjectRecord::new(ObjectId(2), "b", &b""[..]), s1)
-        .unwrap();
+    set.add(
+        &mut world,
+        ObjectRecord::new(ObjectId(1), "a", &b""[..]),
+        s0,
+    )
+    .unwrap();
+    set.add(
+        &mut world,
+        ObjectRecord::new(ObjectId(2), "b", &b""[..]),
+        s1,
+    )
+    .unwrap();
     let mut it = set.elements(Semantics::GrowOnly);
     assert!(matches!(it.next(&mut world), IterStep::Yielded(_)));
     // s1 becomes unreachable: the pessimistic run fails and releases.
     world.topology_mut().partition(&[s1]);
     assert!(matches!(it.next(&mut world), IterStep::Failed(_)));
     // A removal now lands immediately (no guard held).
-    client.remove_member(&mut world, &cref, ObjectId(1)).unwrap();
+    client
+        .remove_member(&mut world, &cref, ObjectId(1))
+        .unwrap();
     let read = client
         .read_members(&mut world, &cref, ReadPolicy::Primary)
         .unwrap();

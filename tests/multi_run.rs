@@ -176,11 +176,13 @@ fn three_runs_in_one_computation() {
         let mut it = r.set.elements(Semantics::GrowOnly);
         match obs.take() {
             Some(o) => it.observe(o),
-            None => it = {
-                let mut it = r.set.elements_observed(Semantics::GrowOnly);
-                let _ = &mut it;
-                it
-            },
+            None => {
+                it = {
+                    let mut it = r.set.elements_observed(Semantics::GrowOnly);
+                    let _ = &mut it;
+                    it
+                }
+            }
         }
         let got = drain(&mut r, &mut it);
         assert_eq!(got.len(), 2 + round);

@@ -60,9 +60,9 @@ fn add_and_remove_satisfy_their_ensures_clauses() {
         (true, 2),
         (true, 3),
         (false, 2),
-        (true, 2),   // re-add
-        (true, 2),   // duplicate add: identity
-        (false, 9),  // remove non-member: identity
+        (true, 2),  // re-add
+        (true, 2),  // duplicate add: identity
+        (false, 9), // remove non-member: identity
         (false, 1),
         (false, 3),
     ];

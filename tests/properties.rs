@@ -26,13 +26,15 @@ fn env_script() -> impl Strategy<Value = EnvScript> {
         proptest::option::of((1u64..300, 301u64..900, 0usize..4)),
         1u64..10,
     )
-        .prop_map(|(seed, n_elems, mutations, partition, latency_ms)| EnvScript {
-            seed,
-            n_elems,
-            mutations,
-            partition,
-            latency_ms,
-        })
+        .prop_map(
+            |(seed, n_elems, mutations, partition, latency_ms)| EnvScript {
+                seed,
+                n_elems,
+                mutations,
+                partition,
+                latency_ms,
+            },
+        )
 }
 
 struct Built {
@@ -116,10 +118,7 @@ fn build(script: &EnvScript) -> Built {
     Built { world, set }
 }
 
-fn drive_observed(
-    built: &mut Built,
-    semantics: Semantics,
-) -> (Computation, IterStep) {
+fn drive_observed(built: &mut Built, semantics: Semantics) -> (Computation, IterStep) {
     let mut it = built.set.elements_observed(semantics);
     let mut blocks = 0;
     let end = loop {

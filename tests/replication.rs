@@ -192,10 +192,17 @@ fn availability_ranking_under_primary_outage() {
     let mut r = rig(5);
     make_replica_stale(&mut r);
     r.world.topology_mut().crash(r.primary);
-    let p = r.client.read_members(&mut r.world, &r.cref, ReadPolicy::Primary);
+    let p = r
+        .client
+        .read_members(&mut r.world, &r.cref, ReadPolicy::Primary);
     assert!(p.is_err());
-    let q = r.client.read_members(&mut r.world, &r.cref, ReadPolicy::Quorum);
+    let q = r
+        .client
+        .read_members(&mut r.world, &r.cref, ReadPolicy::Quorum);
     assert!(matches!(q, Err(StoreError::NoQuorum { got: 1, need: 2 })));
-    let a = r.client.read_members(&mut r.world, &r.cref, ReadPolicy::Any).unwrap();
+    let a = r
+        .client
+        .read_members(&mut r.world, &r.cref, ReadPolicy::Any)
+        .unwrap();
     assert_eq!(a.entries.len(), 3); // stale but available
 }

@@ -1,0 +1,33 @@
+//! Criterion bench for the DST fuzzer: end-to-end scenario throughput
+//! (generate + execute + oracle-check), the number that sizes the CI
+//! fuzz gate's iteration budget.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use weakset_dst::prelude::{execute, generate, mix};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dst_fuzz_throughput");
+    for &seed in &[1u64, 42] {
+        g.bench_with_input(BenchmarkId::from_parameter(seed), &seed, |b, &seed| {
+            let mut iter = 0u64;
+            b.iter(|| {
+                let scenario = generate(mix(seed, iter));
+                iter = iter.wrapping_add(1);
+                let report = execute(&scenario);
+                assert!(report.violations.is_empty(), "{:?}", report.violations);
+                report.trace_hash
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench
+}
+criterion_main!(benches);

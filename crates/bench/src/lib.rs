@@ -1,7 +1,7 @@
 //! # weakset-bench
 //!
-//! The experiment harness for the weak-sets reproduction: nine
-//! deterministic experiments (E1-E9) mapping the paper's figures and
+//! The experiment harness for the weak-sets reproduction: ten
+//! deterministic experiments (E1-E10) mapping the paper's figures and
 //! claims to regenerable tables (see DESIGN.md §4 and EXPERIMENTS.md),
 //! plus Criterion micro-benchmarks under `benches/`.
 //!

@@ -171,10 +171,7 @@ impl RunObserver {
 
     fn log_members(&mut self, world: &StoreWorld, version: u64) -> Option<Vec<MemberEntry>> {
         let coll = self.source.lookup(world, self.home, self.coll)?;
-        coll.log()
-            .iter()
-            .find(|mv| mv.version == version)
-            .map(|mv| mv.members.clone())
+        coll.members_at(version).map(<[MemberEntry]>::to_vec)
     }
 
     fn latest_version(&self, world: &StoreWorld) -> u64 {

@@ -1,7 +1,7 @@
 //! The `WeakSet` handle: the paper's set interface (`create`, `add`,
 //! `remove`, `size`, `elements`) bound to a distributed collection.
 
-use crate::conformance::RunObserver;
+use crate::conformance::{HistorySource, RunObserver};
 use crate::error::{Failure, IterStep};
 use crate::iter::grow_only::GrowElements;
 use crate::iter::optimistic::OptimisticElements;
@@ -137,6 +137,19 @@ impl WeakSet {
             self.cref.home,
             self.client.node(),
         ));
+        it
+    }
+
+    /// Opens an observed iterator whose observer reads the omniscient
+    /// membership history through a custom [`HistorySource`] — required
+    /// when the home node's service wraps the store (e.g. the gossip
+    /// replica nodes of `weakset-gossip`).
+    pub fn elements_observed_via(&self, semantics: Semantics, source: HistorySource) -> Elements {
+        let mut it = self.elements(semantics);
+        it.observe(
+            RunObserver::new(self.cref.id, self.cref.home, self.client.node())
+                .with_history_source(source),
+        );
         it
     }
 

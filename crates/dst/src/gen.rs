@@ -1,0 +1,302 @@
+//! Scenario generation: one seed, one scenario, always the same one.
+//!
+//! The generator samples the design space — deployment, semantics, read
+//! policy, workload, fault schedule — but stays inside the *soundness
+//! envelope*: the set of configurations whose runs the figures accept
+//! whenever the implementation is correct. Outside that envelope the
+//! conformance monitor truthfully reports violations that are properties
+//! of the configuration (e.g. stale quorum reads under concurrent faults
+//! and mutations), not implementation bugs, which would drown the fuzzer
+//! in noise. The envelope:
+//!
+//! - **Plain** deployments read `Primary` or `Quorum`; `Quorum` scenarios
+//!   carry mutations or faults, never both (a quorum that excludes the
+//!   primary may serve stale membership while it diverges).
+//! - **Gossip** deployments read `Primary` or `Leaderless`, mutate by
+//!   adds only, and schedule every add well before iteration starts so
+//!   anti-entropy has converged the replicas (stale replicas would make
+//!   leaderless union reads time-travel). Locked semantics is not
+//!   deployed over gossip.
+//! - Removals never drain the set: at most `setup.len() - 1` distinct
+//!   victims, so a pessimistic first-invocation failure always has an
+//!   unyielded member to justify it.
+//! - Grow-only iteration over a shrinking workload always holds the §3.3
+//!   grow guard, so the relaxed per-run grow-only constraint is sound.
+//! - Every fault heals itself (outage restarts, partition window heals,
+//!   flap ends up), so optimistic runs can always be driven to
+//!   termination.
+
+use crate::scenario::{Chaos, Deployment, FaultSpec, Op, Scenario};
+use weakset::prelude::{FetchOrder, Semantics};
+use weakset_sim::rng::SimRng;
+use weakset_store::prelude::ReadPolicy;
+
+/// Derives an independent scenario seed from a base seed and an
+/// iteration index (splitmix64 finalizer).
+pub fn mix(seed: u64, iter: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(iter.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        .wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Generates the scenario for `seed`. Pure: the same seed always yields
+/// the same scenario, and the generated scenario never sets
+/// [`Chaos::PhantomYield`].
+pub fn generate(seed: u64) -> Scenario {
+    let mut rng = SimRng::for_label(seed, "dst.gen");
+    if rng.chance(0.35) {
+        gen_gossip(seed, &mut rng)
+    } else {
+        gen_plain(seed, &mut rng)
+    }
+}
+
+fn pick_fetch_order(rng: &mut SimRng) -> FetchOrder {
+    if rng.chance(0.5) {
+        FetchOrder::ClosestFirst
+    } else {
+        FetchOrder::IdOrder
+    }
+}
+
+fn gen_setup(rng: &mut SimRng, servers: usize, max: u64) -> Vec<(u64, usize)> {
+    let n = rng.range_u64(1, max + 1);
+    (1..=n).map(|id| (id, rng.index(servers))).collect()
+}
+
+fn gen_faults(
+    rng: &mut SimRng,
+    servers: usize,
+    max_faults: u64,
+    lo_ms: u64,
+    hi_ms: u64,
+) -> Vec<FaultSpec> {
+    let n = rng.range_u64(0, max_faults + 1);
+    (0..n)
+        .map(|_| {
+            let at_ms = rng.range_u64(lo_ms, hi_ms);
+            match rng.index(3) {
+                0 => FaultSpec::Outage {
+                    at_ms,
+                    node: rng.index(servers),
+                    for_ms: rng.range_u64(10, 41),
+                },
+                1 => {
+                    // A nonempty proper subset of the servers; the client
+                    // always stays on the majority side.
+                    let size = rng.range_u64(1, servers as u64) as usize;
+                    let mut idx: Vec<usize> = (0..servers).collect();
+                    rng.shuffle(&mut idx);
+                    let mut side: Vec<usize> = idx.into_iter().take(size).collect();
+                    side.sort_unstable();
+                    FaultSpec::Partition {
+                        at_ms,
+                        side,
+                        for_ms: rng.range_u64(10, 41),
+                    }
+                }
+                _ => {
+                    let a = rng.index(servers);
+                    let mut b = rng.index(servers);
+                    if b == a {
+                        b = (a + 1) % servers;
+                    }
+                    FaultSpec::Flap {
+                        at_ms,
+                        a,
+                        b,
+                        down_ms: rng.range_u64(1, 5),
+                        up_ms: rng.range_u64(3, 9),
+                        cycles: rng.range_u64(1, 4) as usize,
+                    }
+                }
+            }
+        })
+        .collect()
+}
+
+fn gen_plain(seed: u64, rng: &mut SimRng) -> Scenario {
+    let servers = rng.range_u64(2, 5) as usize;
+    let semantics = Semantics::ALL[rng.index(Semantics::ALL.len())];
+    let read_policy = if rng.chance(0.3) {
+        ReadPolicy::Quorum
+    } else {
+        ReadPolicy::Primary
+    };
+    let start_ms = rng.range_u64(10, 31);
+    let setup = gen_setup(rng, servers, 6);
+
+    let mut ops = Vec::new();
+    let n_ops = rng.range_u64(0, 6);
+    let mut victims: Vec<u64> = setup.iter().map(|&(e, _)| e).collect();
+    let mut next_id = 100;
+    for _ in 0..n_ops {
+        let at_ms = rng.range_u64(2, 111);
+        // Keep at least one member un-removed so a pessimistic failure
+        // can always point at an unyielded member.
+        if victims.len() > 1 && rng.chance(0.4) {
+            let v = victims.remove(rng.index(victims.len()));
+            ops.push(Op::Remove { at_ms, elem: v });
+        } else {
+            ops.push(Op::Add {
+                at_ms,
+                elem: next_id,
+                home: rng.index(servers),
+            });
+            next_id += 1;
+        }
+    }
+    ops.sort_by_key(Op::at_ms);
+
+    let mut faults = gen_faults(rng, servers, 3, 5, 101);
+    if read_policy == ReadPolicy::Quorum && !ops.is_empty() {
+        // Quorum reads are only fresh while either replicas stay in sync
+        // (no faults) or membership stays put (no ops).
+        faults.clear();
+    }
+
+    Scenario {
+        seed,
+        servers,
+        deployment: Deployment::Plain,
+        semantics,
+        read_policy,
+        guard_growth: semantics == Semantics::GrowOnly
+            && ops.iter().any(|o| matches!(o, Op::Remove { .. })),
+        fetch_order: pick_fetch_order(rng),
+        think_ms: rng.range_u64(1, 5),
+        budget: rng.range_u64(24, 41) as usize,
+        start_ms,
+        setup,
+        ops,
+        faults,
+        chaos: Chaos::None,
+    }
+}
+
+fn gen_gossip(seed: u64, rng: &mut SimRng) -> Scenario {
+    let servers = rng.range_u64(3, 5) as usize;
+    let semantics = [
+        Semantics::Snapshot,
+        Semantics::GrowOnly,
+        Semantics::Optimistic,
+    ][rng.index(3)];
+    let read_policy = if rng.chance(0.5) {
+        ReadPolicy::Leaderless
+    } else {
+        ReadPolicy::Primary
+    };
+    // Adds land by 20 ms; anti-entropy (5 ms rounds) has ≥ 40 ms to
+    // converge every replica before iteration starts.
+    let start_ms = rng.range_u64(60, 81);
+    let setup = gen_setup(rng, servers, 5);
+    let n_ops = rng.range_u64(0, 5);
+    let mut ops: Vec<Op> = (0..n_ops)
+        .map(|i| Op::Add {
+            at_ms: rng.range_u64(2, 21),
+            elem: 100 + i,
+            home: rng.index(servers),
+        })
+        .collect();
+    ops.sort_by_key(Op::at_ms);
+    let faults = gen_faults(rng, servers, 2, start_ms, start_ms + 51);
+
+    Scenario {
+        seed,
+        servers,
+        deployment: Deployment::Gossip {
+            grow_only: rng.chance(0.5),
+        },
+        semantics,
+        read_policy,
+        guard_growth: false,
+        fetch_order: pick_fetch_order(rng),
+        think_ms: rng.range_u64(1, 5),
+        budget: rng.range_u64(24, 41) as usize,
+        start_ms,
+        setup,
+        ops,
+        faults,
+        chaos: Chaos::None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        for seed in 0..50 {
+            assert_eq!(generate(seed), generate(seed), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn generated_scenarios_respect_the_envelope() {
+        for i in 0..300 {
+            let s = generate(mix(7, i));
+            assert!(!s.setup.is_empty());
+            assert_eq!(s.chaos, Chaos::None);
+            let removals = s
+                .ops
+                .iter()
+                .filter(|o| matches!(o, Op::Remove { .. }))
+                .count();
+            assert!(removals < s.setup.len().max(1));
+            match s.deployment {
+                Deployment::Plain => {
+                    assert!(matches!(
+                        s.read_policy,
+                        ReadPolicy::Primary | ReadPolicy::Quorum
+                    ));
+                    if s.read_policy == ReadPolicy::Quorum && !s.ops.is_empty() {
+                        assert!(s.faults.is_empty());
+                    }
+                    if s.semantics == Semantics::GrowOnly && removals > 0 {
+                        assert!(s.guard_growth);
+                    }
+                }
+                Deployment::Gossip { .. } => {
+                    assert_ne!(s.semantics, Semantics::Locked);
+                    assert!(matches!(
+                        s.read_policy,
+                        ReadPolicy::Primary | ReadPolicy::Leaderless
+                    ));
+                    for op in &s.ops {
+                        assert!(matches!(op, Op::Add { .. }));
+                        assert!(op.at_ms() + 40 <= s.start_ms);
+                    }
+                    for f in &s.faults {
+                        let at = match f {
+                            FaultSpec::Outage { at_ms, .. }
+                            | FaultSpec::Partition { at_ms, .. }
+                            | FaultSpec::Flap { at_ms, .. } => *at_ms,
+                        };
+                        assert!(at >= s.start_ms);
+                    }
+                }
+            }
+            for f in &s.faults {
+                if let FaultSpec::Partition { side, .. } = f {
+                    assert!(!side.is_empty() && side.len() < s.servers);
+                }
+                if let FaultSpec::Flap { a, b, .. } = f {
+                    assert_ne!(a, b);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mix_separates_iterations() {
+        let a = mix(42, 0);
+        let b = mix(42, 1);
+        let c = mix(43, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+}

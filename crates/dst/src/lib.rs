@@ -1,0 +1,41 @@
+//! # weakset-dst — deterministic simulation fuzzer
+//!
+//! Randomized end-to-end testing for the weak-set stack: a seeded
+//! generator ([`gen`]) picks a topology, a deployment (plain store or
+//! gossip replication), an iterator design point (all four semantics ×
+//! read policies), a mutation workload, and an adversarial fault
+//! schedule; a deterministic executor ([`run`]) drives the run inside
+//! `weakset-sim`; and a conformance oracle ([`oracle`]) machine-checks
+//! the recorded history against the matching figure of *Specifying Weak
+//! Sets* (Wing & Steere, ICDCS 1995), plus cross-run invariants (gossip
+//! replicas converge after every heal, optimistic iterators never fail).
+//!
+//! Because a scenario fully determines its run, a violation shrinks
+//! ([`shrink`]) to a locally minimal scenario and ships as a
+//! self-contained artifact ([`repro`]) that replays as an ordinary test.
+//!
+//! The `weakset-dst` binary is the CI gate:
+//!
+//! ```text
+//! cargo run -p weakset-dst -- --iters 500 --seed 42
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gen;
+pub mod oracle;
+pub mod repro;
+pub mod run;
+pub mod scenario;
+pub mod shrink;
+
+/// One-stop imports for fuzzer tests and harnesses.
+pub mod prelude {
+    pub use crate::gen::{generate, mix};
+    pub use crate::oracle::{check, spec_for};
+    pub use crate::repro::{artifact_path, load, replay, write_artifact};
+    pub use crate::run::{execute, RunReport, COLL};
+    pub use crate::scenario::{Chaos, Deployment, FaultSpec, Op, Scenario};
+    pub use crate::shrink::shrink;
+}

@@ -1,0 +1,111 @@
+//! The fuzz gate binary: generate and execute N scenarios, shrink and
+//! persist any violation, exit nonzero if anything failed.
+//!
+//! ```text
+//! weakset-dst [--iters N] [--seed S | --seed-from-env] [--out DIR]
+//! ```
+//!
+//! `--seed-from-env` reads the base seed from `$DST_SEED` (decimal, or
+//! any string — non-numeric values are hashed), so CI can vary coverage
+//! per run while every failure stays replayable from the printed seed.
+
+use std::path::PathBuf;
+use weakset_dst::prelude::*;
+
+fn hash_str(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+struct Args {
+    iters: u64,
+    seed: u64,
+    out: PathBuf,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut iters = 200u64;
+    let mut seed = 1u64;
+    let mut out = PathBuf::from("dst");
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        let mut value = |name: &str| argv.next().ok_or(format!("{name} needs a value"));
+        match arg.as_str() {
+            "--iters" => {
+                iters = value("--iters")?
+                    .parse()
+                    .map_err(|e| format!("--iters: {e}"))?;
+            }
+            "--seed" => {
+                seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--seed-from-env" => {
+                let raw = std::env::var("DST_SEED").unwrap_or_default();
+                seed = raw.parse().unwrap_or_else(|_| hash_str(&raw));
+            }
+            "--out" => out = PathBuf::from(value("--out")?),
+            "--help" | "-h" => {
+                return Err(
+                    "usage: weakset-dst [--iters N] [--seed S | --seed-from-env] [--out DIR]"
+                        .into(),
+                );
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    Ok(Args { iters, seed, out })
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+
+    let mut combined: u64 = 0;
+    let mut failures = 0u64;
+    for i in 0..args.iters {
+        let scenario = generate(mix(args.seed, i));
+        let report = execute(&scenario);
+        combined = combined.rotate_left(1) ^ report.trace_hash;
+        if report.violations.is_empty() {
+            continue;
+        }
+        failures += 1;
+        eprintln!(
+            "FAIL seed {} (iter {i}): {}",
+            scenario.seed,
+            report.violations.join("; ")
+        );
+        let (small, execs) = shrink(&scenario);
+        let small_report = execute(&small);
+        eprintln!(
+            "  shrunk in {execs} executions to {} setup / {} ops / {} faults ({})",
+            small.setup.len(),
+            small.ops.len(),
+            small.faults.len(),
+            small_report.violations.join("; ")
+        );
+        match write_artifact(&args.out, &small, &small_report.violations) {
+            Ok(path) => eprintln!("  repro artifact: {}", path.display()),
+            Err(e) => eprintln!("  could not write repro artifact: {e}"),
+        }
+    }
+
+    println!(
+        "weakset-dst: {} scenario(s) from seed {}, combined trace hash {combined:016x}, {failures} failure(s)",
+        args.iters, args.seed
+    );
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,118 @@
+//! The conformance oracle: which figure a scenario's computation must
+//! satisfy, and under which constraint reading.
+//!
+//! | Semantics   | Figure | Constraint                                   |
+//! |-------------|--------|----------------------------------------------|
+//! | Snapshot    | Fig. 4 | none (mutations may be lost)                 |
+//! | GrowOnly    | Fig. 5 | grow-only; per-run (§3.3) when the workload  |
+//! |             |        | shrinks under a grow guard                   |
+//! | Optimistic  | Fig. 6 | none, plus: never fails, and every yield was |
+//! |             |        | a member at some point during the run        |
+//! | Locked      | Fig. 3 | immutable; per-run (§3.1) when the workload  |
+//! |             |        | mutates outside the locked window            |
+
+use crate::scenario::Scenario;
+use weakset::prelude::Semantics;
+use weakset_spec::checker::{check_computation_with, Figure};
+use weakset_spec::constraint::ConstraintKind;
+use weakset_spec::specs::fig6;
+use weakset_spec::state::Computation;
+
+/// The figure and constraint reading a scenario is judged against.
+pub fn spec_for(s: &Scenario) -> (Figure, ConstraintKind) {
+    match s.semantics {
+        Semantics::Snapshot => (Figure::Fig4, ConstraintKind::None),
+        Semantics::GrowOnly => (
+            Figure::Fig5,
+            if s.has_removals() {
+                ConstraintKind::GrowOnlyDuringRuns
+            } else {
+                ConstraintKind::GrowOnly
+            },
+        ),
+        Semantics::Optimistic => (Figure::Fig6, ConstraintKind::None),
+        Semantics::Locked => (
+            Figure::Fig3,
+            if s.ops.is_empty() {
+                ConstraintKind::Immutable
+            } else {
+                ConstraintKind::ImmutableDuringRuns
+            },
+        ),
+    }
+}
+
+/// Checks a recorded computation against the scenario's spec, returning
+/// one human-readable message per violation class found.
+pub fn check(s: &Scenario, comp: &Computation) -> Vec<String> {
+    let mut out = Vec::new();
+    let (figure, constraint) = spec_for(s);
+    let conf = check_computation_with(figure, constraint, comp);
+    if !conf.is_ok() {
+        out.push(format!("{figure}: {}", conf.summary()));
+    }
+    if s.semantics == Semantics::Optimistic {
+        for (i, run) in comp.runs.iter().enumerate() {
+            if run.failed() {
+                out.push(format!("run {i}: optimistic iterator signalled failure"));
+            }
+            if !fig6::yields_were_members(comp, run) {
+                out.push(format!(
+                    "run {i}: optimistic yield of an element that was never a member"
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::generate;
+    use crate::scenario::{Chaos, Deployment, Op};
+    use weakset_store::prelude::ReadPolicy;
+
+    #[test]
+    fn spec_table_matches_the_paper() {
+        let base = generate(1);
+        let s = |sem, ops: Vec<Op>| Scenario {
+            semantics: sem,
+            ops,
+            deployment: Deployment::Plain,
+            read_policy: ReadPolicy::Primary,
+            chaos: Chaos::None,
+            ..base.clone()
+        };
+        let rm = Op::Remove { at_ms: 5, elem: 1 };
+        let add = Op::Add {
+            at_ms: 5,
+            elem: 100,
+            home: 0,
+        };
+        assert_eq!(
+            spec_for(&s(Semantics::Snapshot, vec![rm])),
+            (Figure::Fig4, ConstraintKind::None)
+        );
+        assert_eq!(
+            spec_for(&s(Semantics::GrowOnly, vec![add])),
+            (Figure::Fig5, ConstraintKind::GrowOnly)
+        );
+        assert_eq!(
+            spec_for(&s(Semantics::GrowOnly, vec![rm])),
+            (Figure::Fig5, ConstraintKind::GrowOnlyDuringRuns)
+        );
+        assert_eq!(
+            spec_for(&s(Semantics::Optimistic, vec![])),
+            (Figure::Fig6, ConstraintKind::None)
+        );
+        assert_eq!(
+            spec_for(&s(Semantics::Locked, vec![])),
+            (Figure::Fig3, ConstraintKind::Immutable)
+        );
+        assert_eq!(
+            spec_for(&s(Semantics::Locked, vec![add])),
+            (Figure::Fig3, ConstraintKind::ImmutableDuringRuns)
+        );
+    }
+}

@@ -1,0 +1,470 @@
+//! The deterministic executor: build a world from a [`Scenario`], drive
+//! one observed iterator run through the scheduled workload and fault
+//! schedule, and machine-check the recorded history.
+//!
+//! Everything is a pure function of the scenario — the simulator clock,
+//! RNG streams, fault schedule and workload are all seeded from it — so
+//! two executions of the same scenario produce byte-identical traces
+//! ([`RunReport::trace_hash`]). That determinism is what makes shrinking
+//! (`shrink`) and repro artifacts (`repro`) possible.
+//!
+//! Workload ops are applied at *invocation boundaries* through ordinary
+//! client RPCs (never by poking server state directly), so every
+//! linearization the conformance observer reconstructs is one the client
+//! could really have seen; op errors are deliberately ignored — a locked
+//! or guarded collection rejecting a mutation is the semantics working,
+//! and a crashed primary timing one out is the fault schedule working.
+
+use crate::oracle;
+use crate::scenario::{Chaos, Deployment, FaultSpec, Op, Scenario};
+use weakset::prelude::{Elements, HistorySource, IterConfig, IterStep, Semantics, WeakSet};
+use weakset_gossip::prelude::{engine, GossipConfig, GossipNode, GossipSemantics};
+use weakset_sim::fault::FaultPlan;
+use weakset_sim::latency::LatencyModel;
+use weakset_sim::node::NodeId;
+use weakset_sim::time::{SimDuration, SimTime};
+use weakset_sim::topology::Topology;
+use weakset_sim::world::WorldConfig;
+use weakset_spec::prelude::{Computation, ElemId, Invocation, Outcome};
+use weakset_store::object::{CollectionId, ObjectId, ObjectRecord};
+use weakset_store::prelude::{CollectionRef, ReadPolicy, StoreClient, StoreServer, StoreWorld};
+
+/// The collection every scenario iterates over.
+pub const COLL: CollectionId = CollectionId(1);
+
+/// Bound on driver patience: how many 5 ms waits the driver tolerates
+/// while blocked or stalled before declaring the run wedged. All
+/// generated faults self-heal well inside this window.
+const MAX_WAITS: usize = 400;
+
+/// What one execution produced.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// The scenario seed.
+    pub seed: u64,
+    /// FNV-1a hash of the full simulator trace — byte-identical traces
+    /// hash equal, so equal hashes across two executions certify
+    /// determinism.
+    pub trace_hash: u64,
+    /// Element ids yielded, in yield order.
+    pub yielded: Vec<u64>,
+    /// Iterator invocations issued (including blocked ones).
+    pub steps: usize,
+    /// Every oracle violation, human-readable. Empty means the run
+    /// conformed to its figure.
+    pub violations: Vec<String>,
+    /// The recorded computation, for post-mortems.
+    pub computation: Option<Computation>,
+}
+
+fn ms(v: u64) -> SimDuration {
+    SimDuration::from_millis(v)
+}
+
+/// Applies every op scheduled at or before `limit_ms`, advancing the
+/// clock to each op's due time first. Used before the run starts and to
+/// drain leftovers after it ends.
+fn advance_and_apply(
+    w: &mut StoreWorld,
+    set: &WeakSet,
+    servers: &[NodeId],
+    ops: &[Op],
+    next: &mut usize,
+    t0: SimTime,
+    limit_ms: u64,
+) {
+    while *next < ops.len() && ops[*next].at_ms() <= limit_ms {
+        let due = t0 + ms(ops[*next].at_ms());
+        if w.now() < due {
+            w.run_until(due);
+        }
+        apply_op(w, set, servers, ops[*next]);
+        *next += 1;
+    }
+}
+
+/// Applies every op whose due time has already passed, without advancing
+/// the clock. Used between iterator invocations.
+fn apply_due(
+    w: &mut StoreWorld,
+    set: &WeakSet,
+    servers: &[NodeId],
+    ops: &[Op],
+    next: &mut usize,
+    t0: SimTime,
+) {
+    let elapsed_ms = w.now().saturating_since(t0).as_millis();
+    while *next < ops.len() && ops[*next].at_ms() <= elapsed_ms {
+        apply_op(w, set, servers, ops[*next]);
+        *next += 1;
+    }
+}
+
+fn apply_op(w: &mut StoreWorld, set: &WeakSet, servers: &[NodeId], op: Op) {
+    match op {
+        Op::Add { elem, home, .. } => {
+            let rec = ObjectRecord::new(ObjectId(elem), format!("e{elem}"), &b"dst"[..]);
+            let _ = set.add(w, rec, servers[home % servers.len()]);
+        }
+        Op::Remove { elem, .. } => {
+            let _ = set.remove(w, ObjectId(elem));
+        }
+    }
+}
+
+/// The primary's current membership, read omnisciently (driver-side
+/// ground truth, never visible to the iterator under test).
+fn primary_members(w: &StoreWorld, s: &Scenario, home: NodeId) -> Vec<u64> {
+    let state = match s.deployment {
+        Deployment::Plain => w
+            .service::<StoreServer>(home)
+            .and_then(|sv| sv.collection(COLL)),
+        Deployment::Gossip { .. } => GossipNode::collection_history(w, home, COLL),
+    };
+    state
+        .map(|c| c.snapshot().iter().map(|m| m.elem.0).collect())
+        .unwrap_or_default()
+}
+
+/// Whether a membership read under `policy` can currently succeed, judged
+/// omnisciently from the topology.
+fn membership_readable(
+    w: &StoreWorld,
+    policy: ReadPolicy,
+    client: NodeId,
+    cref: &CollectionRef,
+) -> bool {
+    let t = w.topology();
+    let live = |n: NodeId| t.is_up(n) && t.reachable(client, n);
+    match policy {
+        ReadPolicy::Primary => live(cref.home),
+        ReadPolicy::Quorum => {
+            let all = cref.all_nodes();
+            all.iter().filter(|&&n| live(n)).count() * 2 > all.len()
+        }
+        ReadPolicy::Any | ReadPolicy::Leaderless => cref.all_nodes().iter().any(|&n| live(n)),
+    }
+}
+
+fn build_plan(s: &Scenario, servers: &[NodeId], t0: SimTime) -> FaultPlan {
+    let node = |i: usize| servers[i % servers.len()];
+    let mut plan = FaultPlan::none();
+    for f in &s.faults {
+        plan = match f {
+            FaultSpec::Outage {
+                at_ms,
+                node: n,
+                for_ms,
+            } => plan.outage(t0 + ms(*at_ms), node(*n), ms(*for_ms)),
+            FaultSpec::Partition {
+                at_ms,
+                side,
+                for_ms,
+            } => {
+                let side: Vec<NodeId> = side.iter().map(|&i| node(i)).collect();
+                plan.partition_window(t0 + ms(*at_ms), &side, ms(*for_ms))
+            }
+            FaultSpec::Flap {
+                at_ms,
+                a,
+                b,
+                down_ms,
+                up_ms,
+                cycles,
+            } => plan.flap_link(
+                t0 + ms(*at_ms),
+                node(*a),
+                node(*b),
+                ms(*down_ms),
+                ms(*up_ms),
+                *cycles,
+            ),
+        };
+    }
+    plan
+}
+
+/// Executes a scenario end to end and checks every oracle. Deterministic:
+/// same scenario in, same [`RunReport`] (including `trace_hash`) out.
+pub fn execute(s: &Scenario) -> RunReport {
+    let mut violations: Vec<String> = Vec::new();
+
+    // World and deployment.
+    let mut t = Topology::new();
+    let cn = t.add_node("client", 0);
+    let servers: Vec<NodeId> = (0..s.servers.max(1))
+        .map(|i| t.add_node(format!("s{i}"), i as u32 + 1))
+        .collect();
+    let mut w = StoreWorld::new(
+        WorldConfig::seeded(s.seed),
+        t,
+        LatencyModel::Constant(ms(1)),
+    );
+    match s.deployment {
+        Deployment::Plain => {
+            for &sv in &servers {
+                w.install_service(sv, Box::new(StoreServer::new()));
+            }
+        }
+        Deployment::Gossip { grow_only } => {
+            let gsem = if grow_only {
+                GossipSemantics::GrowOnly
+            } else {
+                GossipSemantics::GrowShrink
+            };
+            for &sv in &servers {
+                w.install_service(
+                    sv,
+                    Box::new(GossipNode::new(sv).with_default_semantics(gsem)),
+                );
+            }
+        }
+    }
+    let client = StoreClient::new(cn, ms(50));
+    let cref = CollectionRef {
+        id: COLL,
+        home: servers[0],
+        replicas: servers[1..].to_vec(),
+    };
+    client
+        .create_collection(&mut w, &cref)
+        .expect("collection creation precedes all faults");
+
+    let set = WeakSet::new(client.clone(), cref.clone()).with_config(IterConfig {
+        read_policy: s.read_policy,
+        fetch_order: s.fetch_order,
+        guard_growth: s.guard_growth,
+        ..IterConfig::default()
+    });
+
+    // Initial membership, before the run origin.
+    for &(elem, home) in &s.setup {
+        let rec = ObjectRecord::new(ObjectId(elem), format!("e{elem}"), &b"dst"[..]);
+        set.add(&mut w, rec, servers[home % servers.len()])
+            .expect("setup add precedes all faults");
+    }
+
+    // Gossip deployments anti-entropy for the whole run.
+    let handle = match s.deployment {
+        Deployment::Plain => None,
+        Deployment::Gossip { .. } => Some(engine::install(
+            &mut w,
+            COLL,
+            cref.all_nodes(),
+            GossipConfig {
+                interval: ms(5),
+                fanout: 2,
+                ..GossipConfig::default()
+            },
+        )),
+    };
+
+    // Run origin: fault schedule and workload are offsets from here.
+    let t0 = w.now();
+    w.install_plan(&build_plan(s, &servers, t0));
+
+    let mut ops = s.ops.clone();
+    ops.sort_by_key(Op::at_ms);
+    let mut next_op = 0usize;
+    advance_and_apply(&mut w, &set, &servers, &ops, &mut next_op, t0, s.start_ms);
+    let at_start = t0 + ms(s.start_ms);
+    if w.now() < at_start {
+        w.run_until(at_start);
+    }
+
+    // The observed iterator under test.
+    let mut it: Elements = match s.deployment {
+        Deployment::Plain => set.elements_observed(s.semantics),
+        Deployment::Gossip { .. } => set.elements_observed_via(
+            s.semantics,
+            HistorySource::new(GossipNode::collection_history),
+        ),
+    };
+
+    let mut yielded: Vec<u64> = Vec::new();
+    let mut steps = 0usize;
+    let mut waits = 0usize;
+    let budget = s.budget.max(1);
+    loop {
+        apply_due(&mut w, &set, &servers, &ops, &mut next_op, t0);
+
+        // Tail guard for the semantics that read membership on every
+        // invocation: when everything the set currently holds has been
+        // yielded and membership is unreadable, the only legal step is
+        // `Return` — which requires a successful read. Wait for the
+        // (self-healing) fault to clear instead of forcing an illegal
+        // terminal step. Omniscient, driver-only knowledge.
+        if matches!(s.semantics, Semantics::Optimistic | Semantics::GrowOnly) {
+            let members = primary_members(&w, s, cref.home);
+            let all_yielded = members.iter().all(|m| yielded.contains(m));
+            if all_yielded && !membership_readable(&w, s.read_policy, cn, &cref) {
+                waits += 1;
+                if waits > MAX_WAITS {
+                    violations.push("driver wedged: membership never became readable".into());
+                    break;
+                }
+                w.sleep(ms(5));
+                continue;
+            }
+        }
+
+        steps += 1;
+        match it.next(&mut w) {
+            IterStep::Yielded(rec) => {
+                waits = 0;
+                yielded.push(rec.id.0);
+                if yielded.len() >= budget {
+                    break;
+                }
+                w.sleep(ms(s.think_ms));
+            }
+            IterStep::Done => break,
+            IterStep::Failed(f) => {
+                if s.semantics == Semantics::Optimistic {
+                    violations.push(format!("optimistic iterator signalled failure: {f}"));
+                }
+                break;
+            }
+            IterStep::Blocked => {
+                waits += 1;
+                if waits > MAX_WAITS {
+                    violations.push("driver wedged: iterator blocked past every heal".into());
+                    break;
+                }
+                w.sleep(ms(5));
+            }
+        }
+        if steps > 4 * MAX_WAITS {
+            violations.push("driver wedged: invocation budget exhausted".into());
+            break;
+        }
+    }
+
+    // Drain the schedule: leftover ops, fault heals, gossip convergence.
+    advance_and_apply(&mut w, &set, &servers, &ops, &mut next_op, t0, u64::MAX);
+    let drained = t0 + ms(s.horizon_ms() + 60);
+    if w.now() < drained {
+        w.run_until(drained);
+    }
+    if let Some(handle) = handle {
+        let mut ok = engine::converged(&w, COLL, &cref.all_nodes());
+        for _ in 0..40 {
+            if ok {
+                break;
+            }
+            w.sleep(ms(20));
+            ok = engine::converged(&w, COLL, &cref.all_nodes());
+        }
+        if !ok {
+            violations.push("gossip replicas failed to converge after all faults healed".into());
+        }
+        handle.stop();
+    }
+    w.run_to_quiescence();
+
+    let mut computation = it.take_computation(&w);
+    if s.chaos == Chaos::PhantomYield {
+        inject_phantom_yield(computation.as_mut(), &mut violations);
+    }
+    if let Some(comp) = &computation {
+        violations.extend(oracle::check(s, comp));
+    } else {
+        violations.push("observer produced no computation".into());
+    }
+
+    RunReport {
+        seed: s.seed,
+        trace_hash: w.trace_hash(),
+        yielded,
+        steps,
+        violations,
+        computation,
+    }
+}
+
+/// [`Chaos::PhantomYield`]: forge a yield of an element that was never a
+/// member into the last recorded run. Every figure rejects it, so the
+/// violation pipeline (shrink, artifact, replay) always has work.
+fn inject_phantom_yield(computation: Option<&mut Computation>, violations: &mut Vec<String>) {
+    let forged = computation.and_then(|comp| {
+        let idx = comp.states.len().checked_sub(1)?;
+        let run = comp.runs.last_mut()?;
+        run.invocations.push(Invocation {
+            pre: idx,
+            post: idx,
+            outcome: Outcome::Yielded(ElemId(999_999)),
+        });
+        Some(())
+    });
+    if forged.is_none() {
+        violations.push("chaos: no recorded run to sabotage".into());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, mix};
+
+    /// A small, fault-free plain scenario for targeted tests.
+    fn quiet(semantics: Semantics) -> Scenario {
+        Scenario {
+            seed: 7,
+            servers: 2,
+            deployment: Deployment::Plain,
+            semantics,
+            read_policy: ReadPolicy::Primary,
+            guard_growth: false,
+            fetch_order: weakset::prelude::FetchOrder::IdOrder,
+            think_ms: 1,
+            budget: 16,
+            start_ms: 10,
+            setup: vec![(1, 0), (2, 1), (3, 0)],
+            ops: Vec::new(),
+            faults: Vec::new(),
+            chaos: Chaos::None,
+        }
+    }
+
+    #[test]
+    fn quiet_runs_conform_for_every_semantics() {
+        for sem in Semantics::ALL {
+            let report = execute(&quiet(sem));
+            assert!(
+                report.violations.is_empty(),
+                "{sem}: {:?}",
+                report.violations
+            );
+            let mut got = report.yielded.clone();
+            got.sort_unstable();
+            assert_eq!(got, vec![1, 2, 3], "{sem}");
+        }
+    }
+
+    #[test]
+    fn phantom_yield_chaos_is_always_caught() {
+        for sem in Semantics::ALL {
+            let sabotaged = Scenario {
+                chaos: Chaos::PhantomYield,
+                ..quiet(sem)
+            };
+            let report = execute(&sabotaged);
+            assert!(
+                !report.violations.is_empty(),
+                "{sem}: sabotage went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn generated_scenarios_replay_to_the_same_hash() {
+        for i in 0..3 {
+            let s = generate(mix(11, i));
+            let a = execute(&s);
+            let b = execute(&s);
+            assert_eq!(a.trace_hash, b.trace_hash, "seed {}", s.seed);
+            assert_eq!(a.yielded, b.yielded);
+            assert_eq!(a.violations, b.violations);
+        }
+    }
+}

@@ -1,0 +1,817 @@
+//! The fuzzer's unit of work: a fully self-contained [`Scenario`].
+//!
+//! A scenario captures everything a run needs — topology size,
+//! deployment, iterator semantics and configuration, the mutation
+//! workload, and the fault schedule — as plain data. The same scenario
+//! always produces the same run (see `run::execute`), which is what makes
+//! shrinking and repro artifacts possible.
+//!
+//! Scenarios serialize to a RON-like text form ([`Scenario::to_ron`] /
+//! [`Scenario::from_ron`]) written by hand so repro artifacts need no
+//! external serialization crate. Fault and op node fields are *server
+//! indices* (0-based, primary is server 0), not simulator `NodeId`s, so
+//! an artifact stays meaningful on its own.
+
+use weakset::prelude::{FetchOrder, Semantics};
+use weakset_store::prelude::ReadPolicy;
+
+/// How the servers are deployed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Deployment {
+    /// Bare `StoreServer`s: primary-serialized mutations, best-effort
+    /// synchronous replica sync.
+    Plain,
+    /// `GossipNode`s converging by anti-entropy.
+    Gossip {
+        /// Use the grow-only G-Set CRDT instead of the OR-Set.
+        grow_only: bool,
+    },
+}
+
+/// One workload mutation, scheduled at a millisecond offset from the
+/// start of the run (after setup).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Store an object on server `home` and add it to the set.
+    Add {
+        /// Offset from the run origin, in milliseconds.
+        at_ms: u64,
+        /// Element id.
+        elem: u64,
+        /// Home server index.
+        home: usize,
+    },
+    /// Remove an element from the set.
+    Remove {
+        /// Offset from the run origin, in milliseconds.
+        at_ms: u64,
+        /// Element id.
+        elem: u64,
+    },
+}
+
+impl Op {
+    /// The op's scheduled offset.
+    pub fn at_ms(&self) -> u64 {
+        match *self {
+            Op::Add { at_ms, .. } | Op::Remove { at_ms, .. } => at_ms,
+        }
+    }
+}
+
+/// One scheduled fault. All variants are self-healing: an outage
+/// restarts, a partition heals, a flap ends with the link up.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FaultSpec {
+    /// Crash server `node` at `at_ms`, restart it `for_ms` later.
+    Outage {
+        /// Offset from the run origin, in milliseconds.
+        at_ms: u64,
+        /// Server index to crash.
+        node: usize,
+        /// Downtime in milliseconds.
+        for_ms: u64,
+    },
+    /// Partition the given servers away from everyone else, healing
+    /// `for_ms` later.
+    Partition {
+        /// Offset from the run origin, in milliseconds.
+        at_ms: u64,
+        /// Server indices on the isolated side.
+        side: Vec<usize>,
+        /// Window length in milliseconds.
+        for_ms: u64,
+    },
+    /// Flap the link between servers `a` and `b`.
+    Flap {
+        /// Offset from the run origin, in milliseconds.
+        at_ms: u64,
+        /// One endpoint (server index).
+        a: usize,
+        /// The other endpoint (server index).
+        b: usize,
+        /// Down phase length in milliseconds.
+        down_ms: u64,
+        /// Up phase length in milliseconds.
+        up_ms: u64,
+        /// Number of down/up cycles.
+        cycles: usize,
+    },
+}
+
+impl FaultSpec {
+    /// When the fault has fully healed, as an offset from the run origin.
+    pub fn end_ms(&self) -> u64 {
+        match *self {
+            FaultSpec::Outage { at_ms, for_ms, .. } => at_ms + for_ms,
+            FaultSpec::Partition { at_ms, for_ms, .. } => at_ms + for_ms,
+            FaultSpec::Flap {
+                at_ms,
+                down_ms,
+                up_ms,
+                cycles,
+                ..
+            } => at_ms + (down_ms + up_ms) * cycles as u64,
+        }
+    }
+}
+
+/// Deliberate spec sabotage, for exercising the violation path. Never
+/// produced by the generator; only tests set it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Chaos {
+    /// No sabotage.
+    None,
+    /// After the run, forge a yield of element 999999 — an element that
+    /// was never a member — into the recorded computation. Every figure
+    /// rejects it, deterministically.
+    PhantomYield,
+}
+
+/// A complete, replayable fuzz case.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Scenario {
+    /// Simulation seed (latency jitter, RNG streams).
+    pub seed: u64,
+    /// Number of store servers (server 0 is the collection primary).
+    pub servers: usize,
+    /// Server deployment.
+    pub deployment: Deployment,
+    /// Iterator semantics under test.
+    pub semantics: Semantics,
+    /// Membership read policy.
+    pub read_policy: ReadPolicy,
+    /// Hold a §3.3 grow guard for the run (grow-only semantics only).
+    pub guard_growth: bool,
+    /// Fetch candidate ordering.
+    pub fetch_order: FetchOrder,
+    /// Client think time between invocations, in milliseconds.
+    pub think_ms: u64,
+    /// Maximum yields before the driver abandons the run (non-terminal
+    /// runs are legal prefixes).
+    pub budget: usize,
+    /// When iteration starts, as an offset from the run origin.
+    pub start_ms: u64,
+    /// Initial membership: `(element id, home server index)` pairs, added
+    /// before the run origin.
+    pub setup: Vec<(u64, usize)>,
+    /// Scheduled workload mutations.
+    pub ops: Vec<Op>,
+    /// Scheduled faults.
+    pub faults: Vec<FaultSpec>,
+    /// Deliberate sabotage (tests only).
+    pub chaos: Chaos,
+}
+
+impl Scenario {
+    /// True when any scheduled op is a removal.
+    pub fn has_removals(&self) -> bool {
+        self.ops.iter().any(|o| matches!(o, Op::Remove { .. }))
+    }
+
+    /// The last scheduled event's offset (ops, faults, or iteration
+    /// start), used to size the post-run drain.
+    pub fn horizon_ms(&self) -> u64 {
+        let ops = self.ops.iter().map(Op::at_ms).max().unwrap_or(0);
+        let faults = self.faults.iter().map(FaultSpec::end_ms).max().unwrap_or(0);
+        ops.max(faults).max(self.start_ms)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Serialization (RON-like, hand-rolled)
+// ---------------------------------------------------------------------
+
+fn semantics_name(s: Semantics) -> &'static str {
+    match s {
+        Semantics::Snapshot => "Snapshot",
+        Semantics::GrowOnly => "GrowOnly",
+        Semantics::Optimistic => "Optimistic",
+        Semantics::Locked => "Locked",
+    }
+}
+
+fn policy_name(p: ReadPolicy) -> &'static str {
+    match p {
+        ReadPolicy::Primary => "Primary",
+        ReadPolicy::Any => "Any",
+        ReadPolicy::Quorum => "Quorum",
+        ReadPolicy::Leaderless => "Leaderless",
+    }
+}
+
+fn order_name(o: FetchOrder) -> &'static str {
+    match o {
+        FetchOrder::ClosestFirst => "ClosestFirst",
+        FetchOrder::IdOrder => "IdOrder",
+    }
+}
+
+impl Scenario {
+    /// Renders the scenario in its artifact text form.
+    pub fn to_ron(&self) -> String {
+        let mut s = String::new();
+        s.push_str("Scenario(\n");
+        s.push_str(&format!("    seed: {},\n", self.seed));
+        s.push_str(&format!("    servers: {},\n", self.servers));
+        match self.deployment {
+            Deployment::Plain => s.push_str("    deployment: Plain,\n"),
+            Deployment::Gossip { grow_only } => {
+                s.push_str(&format!(
+                    "    deployment: Gossip(grow_only: {grow_only}),\n"
+                ));
+            }
+        }
+        s.push_str(&format!(
+            "    semantics: {},\n",
+            semantics_name(self.semantics)
+        ));
+        s.push_str(&format!(
+            "    read_policy: {},\n",
+            policy_name(self.read_policy)
+        ));
+        s.push_str(&format!("    guard_growth: {},\n", self.guard_growth));
+        s.push_str(&format!(
+            "    fetch_order: {},\n",
+            order_name(self.fetch_order)
+        ));
+        s.push_str(&format!("    think_ms: {},\n", self.think_ms));
+        s.push_str(&format!("    budget: {},\n", self.budget));
+        s.push_str(&format!("    start_ms: {},\n", self.start_ms));
+        s.push_str("    setup: [");
+        for (i, (elem, home)) in self.setup.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!("({elem}, {home})"));
+        }
+        s.push_str("],\n    ops: [");
+        for (i, op) in self.ops.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            match *op {
+                Op::Add { at_ms, elem, home } => {
+                    s.push_str(&format!("Add(at_ms: {at_ms}, elem: {elem}, home: {home})"));
+                }
+                Op::Remove { at_ms, elem } => {
+                    s.push_str(&format!("Remove(at_ms: {at_ms}, elem: {elem})"));
+                }
+            }
+        }
+        s.push_str("],\n    faults: [");
+        for (i, f) in self.faults.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            match f {
+                FaultSpec::Outage {
+                    at_ms,
+                    node,
+                    for_ms,
+                } => {
+                    s.push_str(&format!(
+                        "Outage(at_ms: {at_ms}, node: {node}, for_ms: {for_ms})"
+                    ));
+                }
+                FaultSpec::Partition {
+                    at_ms,
+                    side,
+                    for_ms,
+                } => {
+                    s.push_str(&format!("Partition(at_ms: {at_ms}, side: ["));
+                    for (j, n) in side.iter().enumerate() {
+                        if j > 0 {
+                            s.push_str(", ");
+                        }
+                        s.push_str(&n.to_string());
+                    }
+                    s.push_str(&format!("], for_ms: {for_ms})"));
+                }
+                FaultSpec::Flap {
+                    at_ms,
+                    a,
+                    b,
+                    down_ms,
+                    up_ms,
+                    cycles,
+                } => {
+                    s.push_str(&format!(
+                        "Flap(at_ms: {at_ms}, a: {a}, b: {b}, down_ms: {down_ms}, up_ms: {up_ms}, cycles: {cycles})"
+                    ));
+                }
+            }
+        }
+        s.push_str("],\n");
+        match self.chaos {
+            Chaos::None => s.push_str("    chaos: None,\n"),
+            Chaos::PhantomYield => s.push_str("    chaos: PhantomYield,\n"),
+        }
+        s.push_str(")\n");
+        s
+    }
+
+    /// Parses the artifact text form. Fields must appear in the order
+    /// [`Scenario::to_ron`] writes them; `// ...` comments are ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first syntax problem.
+    pub fn from_ron(text: &str) -> Result<Scenario, String> {
+        let tokens = tokenize(text)?;
+        let mut p = Parser { tokens, pos: 0 };
+        let s = p.scenario()?;
+        p.expect_end()?;
+        Ok(s)
+    }
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Num(u64),
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Comma,
+    Colon,
+}
+
+fn tokenize(text: &str) -> Result<Vec<Tok>, String> {
+    let mut out = Vec::new();
+    let mut chars = text.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                chars.next();
+            }
+            '/' => {
+                chars.next();
+                if chars.peek() == Some(&'/') {
+                    for nc in chars.by_ref() {
+                        if nc == '\n' {
+                            break;
+                        }
+                    }
+                } else {
+                    return Err("stray '/'".into());
+                }
+            }
+            '(' => {
+                chars.next();
+                out.push(Tok::LParen);
+            }
+            ')' => {
+                chars.next();
+                out.push(Tok::RParen);
+            }
+            '[' => {
+                chars.next();
+                out.push(Tok::LBracket);
+            }
+            ']' => {
+                chars.next();
+                out.push(Tok::RBracket);
+            }
+            ',' => {
+                chars.next();
+                out.push(Tok::Comma);
+            }
+            ':' => {
+                chars.next();
+                out.push(Tok::Colon);
+            }
+            '0'..='9' => {
+                let mut n: u64 = 0;
+                while let Some(&d) = chars.peek() {
+                    if let Some(v) = d.to_digit(10) {
+                        n = n
+                            .checked_mul(10)
+                            .and_then(|n| n.checked_add(v as u64))
+                            .ok_or("number overflows u64")?;
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Tok::Num(n));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut id = String::new();
+                while let Some(&a) = chars.peek() {
+                    if a.is_ascii_alphanumeric() || a == '_' {
+                        id.push(a);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Tok::Ident(id));
+            }
+            other => return Err(format!("unexpected character {other:?}")),
+        }
+    }
+    Ok(out)
+}
+
+struct Parser {
+    tokens: Vec<Tok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn next(&mut self) -> Result<Tok, String> {
+        let t = self
+            .tokens
+            .get(self.pos)
+            .cloned()
+            .ok_or("unexpected end of input")?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos)
+    }
+
+    fn expect(&mut self, want: Tok) -> Result<(), String> {
+        let got = self.next()?;
+        if got == want {
+            Ok(())
+        } else {
+            Err(format!("expected {want:?}, got {got:?}"))
+        }
+    }
+
+    fn expect_end(&mut self) -> Result<(), String> {
+        if self.pos == self.tokens.len() {
+            Ok(())
+        } else {
+            Err(format!("trailing input at token {}", self.pos))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, String> {
+        match self.next()? {
+            Tok::Ident(s) => Ok(s),
+            other => Err(format!("expected identifier, got {other:?}")),
+        }
+    }
+
+    fn num(&mut self) -> Result<u64, String> {
+        match self.next()? {
+            Tok::Num(n) => Ok(n),
+            other => Err(format!("expected number, got {other:?}")),
+        }
+    }
+
+    fn keyword(&mut self, want: &str) -> Result<(), String> {
+        let got = self.ident()?;
+        if got == want {
+            Ok(())
+        } else {
+            Err(format!("expected field '{want}', got '{got}'"))
+        }
+    }
+
+    /// `name: <num>` followed by a comma.
+    fn num_field(&mut self, name: &str) -> Result<u64, String> {
+        self.keyword(name)?;
+        self.expect(Tok::Colon)?;
+        let n = self.num()?;
+        self.expect(Tok::Comma)?;
+        Ok(n)
+    }
+
+    fn bool_field(&mut self, name: &str) -> Result<bool, String> {
+        self.keyword(name)?;
+        self.expect(Tok::Colon)?;
+        let b = self.bool_value()?;
+        self.expect(Tok::Comma)?;
+        Ok(b)
+    }
+
+    fn bool_value(&mut self) -> Result<bool, String> {
+        match self.ident()?.as_str() {
+            "true" => Ok(true),
+            "false" => Ok(false),
+            other => Err(format!("expected bool, got '{other}'")),
+        }
+    }
+
+    fn ident_field(&mut self, name: &str) -> Result<String, String> {
+        self.keyword(name)?;
+        self.expect(Tok::Colon)?;
+        let v = self.ident()?;
+        self.expect(Tok::Comma)?;
+        Ok(v)
+    }
+
+    fn scenario(&mut self) -> Result<Scenario, String> {
+        self.keyword("Scenario")?;
+        self.expect(Tok::LParen)?;
+        let seed = self.num_field("seed")?;
+        let servers = self.num_field("servers")? as usize;
+        if servers == 0 {
+            return Err("servers must be at least 1".into());
+        }
+        self.keyword("deployment")?;
+        self.expect(Tok::Colon)?;
+        let deployment = match self.ident()?.as_str() {
+            "Plain" => Deployment::Plain,
+            "Gossip" => {
+                self.expect(Tok::LParen)?;
+                self.keyword("grow_only")?;
+                self.expect(Tok::Colon)?;
+                let grow_only = self.bool_value()?;
+                self.expect(Tok::RParen)?;
+                Deployment::Gossip { grow_only }
+            }
+            other => return Err(format!("unknown deployment '{other}'")),
+        };
+        self.expect(Tok::Comma)?;
+        let semantics = match self.ident_field("semantics")?.as_str() {
+            "Snapshot" => Semantics::Snapshot,
+            "GrowOnly" => Semantics::GrowOnly,
+            "Optimistic" => Semantics::Optimistic,
+            "Locked" => Semantics::Locked,
+            other => return Err(format!("unknown semantics '{other}'")),
+        };
+        let read_policy = match self.ident_field("read_policy")?.as_str() {
+            "Primary" => ReadPolicy::Primary,
+            "Any" => ReadPolicy::Any,
+            "Quorum" => ReadPolicy::Quorum,
+            "Leaderless" => ReadPolicy::Leaderless,
+            other => return Err(format!("unknown read policy '{other}'")),
+        };
+        let guard_growth = self.bool_field("guard_growth")?;
+        let fetch_order = match self.ident_field("fetch_order")?.as_str() {
+            "ClosestFirst" => FetchOrder::ClosestFirst,
+            "IdOrder" => FetchOrder::IdOrder,
+            other => return Err(format!("unknown fetch order '{other}'")),
+        };
+        let think_ms = self.num_field("think_ms")?;
+        let budget = self.num_field("budget")? as usize;
+        let start_ms = self.num_field("start_ms")?;
+
+        self.keyword("setup")?;
+        self.expect(Tok::Colon)?;
+        self.expect(Tok::LBracket)?;
+        let mut setup = Vec::new();
+        while self.peek() != Some(&Tok::RBracket) {
+            self.expect(Tok::LParen)?;
+            let elem = self.num()?;
+            self.expect(Tok::Comma)?;
+            let home = self.num()? as usize;
+            self.expect(Tok::RParen)?;
+            setup.push((elem, home));
+            if self.peek() == Some(&Tok::Comma) {
+                self.next()?;
+            }
+        }
+        self.expect(Tok::RBracket)?;
+        self.expect(Tok::Comma)?;
+
+        self.keyword("ops")?;
+        self.expect(Tok::Colon)?;
+        self.expect(Tok::LBracket)?;
+        let mut ops = Vec::new();
+        while self.peek() != Some(&Tok::RBracket) {
+            match self.ident()?.as_str() {
+                "Add" => {
+                    self.expect(Tok::LParen)?;
+                    let at_ms = self.num_field("at_ms")?;
+                    self.keyword("elem")?;
+                    self.expect(Tok::Colon)?;
+                    let elem = self.num()?;
+                    self.expect(Tok::Comma)?;
+                    self.keyword("home")?;
+                    self.expect(Tok::Colon)?;
+                    let home = self.num()? as usize;
+                    self.expect(Tok::RParen)?;
+                    ops.push(Op::Add { at_ms, elem, home });
+                }
+                "Remove" => {
+                    self.expect(Tok::LParen)?;
+                    let at_ms = self.num_field("at_ms")?;
+                    self.keyword("elem")?;
+                    self.expect(Tok::Colon)?;
+                    let elem = self.num()?;
+                    self.expect(Tok::RParen)?;
+                    ops.push(Op::Remove { at_ms, elem });
+                }
+                other => return Err(format!("unknown op '{other}'")),
+            }
+            if self.peek() == Some(&Tok::Comma) {
+                self.next()?;
+            }
+        }
+        self.expect(Tok::RBracket)?;
+        self.expect(Tok::Comma)?;
+
+        self.keyword("faults")?;
+        self.expect(Tok::Colon)?;
+        self.expect(Tok::LBracket)?;
+        let mut faults = Vec::new();
+        while self.peek() != Some(&Tok::RBracket) {
+            match self.ident()?.as_str() {
+                "Outage" => {
+                    self.expect(Tok::LParen)?;
+                    let at_ms = self.num_field("at_ms")?;
+                    let node = self.num_field("node")? as usize;
+                    self.keyword("for_ms")?;
+                    self.expect(Tok::Colon)?;
+                    let for_ms = self.num()?;
+                    self.expect(Tok::RParen)?;
+                    faults.push(FaultSpec::Outage {
+                        at_ms,
+                        node,
+                        for_ms,
+                    });
+                }
+                "Partition" => {
+                    self.expect(Tok::LParen)?;
+                    let at_ms = self.num_field("at_ms")?;
+                    self.keyword("side")?;
+                    self.expect(Tok::Colon)?;
+                    self.expect(Tok::LBracket)?;
+                    let mut side = Vec::new();
+                    while self.peek() != Some(&Tok::RBracket) {
+                        side.push(self.num()? as usize);
+                        if self.peek() == Some(&Tok::Comma) {
+                            self.next()?;
+                        }
+                    }
+                    self.expect(Tok::RBracket)?;
+                    self.expect(Tok::Comma)?;
+                    self.keyword("for_ms")?;
+                    self.expect(Tok::Colon)?;
+                    let for_ms = self.num()?;
+                    self.expect(Tok::RParen)?;
+                    faults.push(FaultSpec::Partition {
+                        at_ms,
+                        side,
+                        for_ms,
+                    });
+                }
+                "Flap" => {
+                    self.expect(Tok::LParen)?;
+                    let at_ms = self.num_field("at_ms")?;
+                    let a = self.num_field("a")? as usize;
+                    let b = self.num_field("b")? as usize;
+                    let down_ms = self.num_field("down_ms")?;
+                    let up_ms = self.num_field("up_ms")?;
+                    self.keyword("cycles")?;
+                    self.expect(Tok::Colon)?;
+                    let cycles = self.num()? as usize;
+                    self.expect(Tok::RParen)?;
+                    faults.push(FaultSpec::Flap {
+                        at_ms,
+                        a,
+                        b,
+                        down_ms,
+                        up_ms,
+                        cycles,
+                    });
+                }
+                other => return Err(format!("unknown fault '{other}'")),
+            }
+            if self.peek() == Some(&Tok::Comma) {
+                self.next()?;
+            }
+        }
+        self.expect(Tok::RBracket)?;
+        self.expect(Tok::Comma)?;
+
+        let chaos = match self.ident_field("chaos")?.as_str() {
+            "None" => Chaos::None,
+            "PhantomYield" => Chaos::PhantomYield,
+            other => return Err(format!("unknown chaos '{other}'")),
+        };
+        self.expect(Tok::RParen)?;
+        Ok(Scenario {
+            seed,
+            servers,
+            deployment,
+            semantics,
+            read_policy,
+            guard_growth,
+            fetch_order,
+            think_ms,
+            budget,
+            start_ms,
+            setup,
+            ops,
+            faults,
+            chaos,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Scenario {
+        Scenario {
+            seed: 42,
+            servers: 3,
+            deployment: Deployment::Gossip { grow_only: false },
+            semantics: Semantics::GrowOnly,
+            read_policy: ReadPolicy::Leaderless,
+            guard_growth: true,
+            fetch_order: FetchOrder::IdOrder,
+            think_ms: 2,
+            budget: 16,
+            start_ms: 60,
+            setup: vec![(1, 0), (2, 1)],
+            ops: vec![
+                Op::Add {
+                    at_ms: 5,
+                    elem: 3,
+                    home: 2,
+                },
+                Op::Remove { at_ms: 80, elem: 1 },
+            ],
+            faults: vec![
+                FaultSpec::Outage {
+                    at_ms: 65,
+                    node: 1,
+                    for_ms: 20,
+                },
+                FaultSpec::Partition {
+                    at_ms: 70,
+                    side: vec![0, 2],
+                    for_ms: 15,
+                },
+                FaultSpec::Flap {
+                    at_ms: 62,
+                    a: 0,
+                    b: 1,
+                    down_ms: 2,
+                    up_ms: 5,
+                    cycles: 3,
+                },
+            ],
+            chaos: Chaos::None,
+        }
+    }
+
+    #[test]
+    fn round_trips() {
+        let s = sample();
+        let text = s.to_ron();
+        let back = Scenario::from_ron(&text).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn round_trips_with_empty_lists() {
+        let s = Scenario {
+            setup: Vec::new(),
+            ops: Vec::new(),
+            faults: Vec::new(),
+            chaos: Chaos::PhantomYield,
+            ..sample()
+        };
+        let back = Scenario::from_ron(&s.to_ron()).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn comments_are_ignored() {
+        let mut text = String::from("// repro artifact\n");
+        text.push_str(&sample().to_ron());
+        assert_eq!(Scenario::from_ron(&text).unwrap(), sample());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Scenario::from_ron("Scenario(seed: x)").is_err());
+        assert!(Scenario::from_ron("").is_err());
+        let mut trailing = sample().to_ron();
+        trailing.push_str("extra");
+        assert!(Scenario::from_ron(&trailing).is_err());
+    }
+
+    #[test]
+    fn horizon_and_removal_helpers() {
+        let s = sample();
+        assert!(s.has_removals());
+        // Last event: partition heals at 85, remove at 80, flap ends at 83.
+        assert_eq!(s.horizon_ms(), 85);
+        assert_eq!(
+            FaultSpec::Flap {
+                at_ms: 62,
+                a: 0,
+                b: 1,
+                down_ms: 2,
+                up_ms: 5,
+                cycles: 3
+            }
+            .end_ms(),
+            83
+        );
+    }
+}

@@ -202,6 +202,21 @@ impl GossipNode {
         self.handle_msg(msg)
     }
 
+    /// Omniscient accessor for the collection's primary-path state (the
+    /// version log that conformance checking replays), reaching through
+    /// the [`GossipNode`] wrapper on `node`. Wrap it in a
+    /// `HistorySource::new` closure to observe iterator runs over gossip
+    /// deployments.
+    pub fn collection_history(
+        world: &weakset_sim::world::World<StoreMsg>,
+        node: NodeId,
+        coll: CollectionId,
+    ) -> Option<&weakset_store::collection::CollectionState> {
+        world
+            .service::<GossipNode>(node)
+            .and_then(|g| g.inner().collection(coll))
+    }
+
     fn member_of_inner(&self, coll: CollectionId, elem: ObjectId) -> bool {
         self.inner
             .collection(coll)

@@ -112,6 +112,29 @@ impl Trace {
     pub fn clear(&mut self) {
         self.events.clear();
     }
+
+    /// A 64-bit FNV-1a digest of the whole trace.
+    ///
+    /// The hash folds every event's time and debug rendering, so two runs
+    /// have equal hashes exactly when they recorded the same events in the
+    /// same order at the same simulated times. This is the determinism
+    /// fingerprint `weakset-dst` compares across replays: any stray
+    /// system entropy or iteration-order dependence in the simulator shows
+    /// up as a digest mismatch for a fixed seed.
+    pub fn hash(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut fold = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+        };
+        for (at, ev) in &self.events {
+            fold(&at.as_micros().to_le_bytes());
+            fold(format!("{ev:?}").as_bytes());
+        }
+        h
+    }
 }
 
 #[cfg(test)]

@@ -294,6 +294,14 @@ impl<M: Clone + std::fmt::Debug + 'static> World<M> {
         self.trace.record(self.now, TraceEvent::Note(msg.into()));
     }
 
+    /// The determinism fingerprint of everything recorded so far: a stable
+    /// digest of the trace (see [`Trace::hash`]). Two runs of the same
+    /// `(seed, workload, fault plan)` must report equal fingerprints;
+    /// `weakset-dst` fails a run whose replay diverges.
+    pub fn trace_hash(&self) -> u64 {
+        self.trace.hash()
+    }
+
     /// Advances simulated time to `deadline`, firing every event scheduled
     /// before or at it.
     pub fn run_until(&mut self, deadline: SimTime) {

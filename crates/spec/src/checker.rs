@@ -144,6 +144,18 @@ impl Conformance {
         self.violations.is_empty()
     }
 
+    /// A one-line human-readable report: `"ok"`, or the violation count
+    /// followed by each violation. Used by harnesses (e.g. `weakset-dst`)
+    /// that fold conformance results into run reports and repro artifacts.
+    pub fn summary(&self) -> String {
+        if self.is_ok() {
+            "ok".to_string()
+        } else {
+            let items: Vec<String> = self.violations.iter().map(|v| v.to_string()).collect();
+            format!("{} violation(s): {}", items.len(), items.join("; "))
+        }
+    }
+
     /// Panics with a readable report if the computation does not conform.
     ///
     /// # Panics
@@ -166,6 +178,20 @@ impl Conformance {
 /// against a figure, using the default liberal reading.
 pub fn check_computation(figure: Figure, comp: &Computation) -> Conformance {
     Checker::new(figure).check(comp)
+}
+
+/// Checks a computation against a figure under an overridden constraint —
+/// the entry point for the relaxed per-run readings (§3.1's
+/// [`ConstraintKind::ImmutableDuringRuns`] for the locked baseline, §3.3's
+/// [`ConstraintKind::GrowOnlyDuringRuns`] for guarded grow-only runs),
+/// where the environment only promises the constraint while an iterator
+/// run is open.
+pub fn check_computation_with(
+    figure: Figure,
+    constraint: ConstraintKind,
+    comp: &Computation,
+) -> Conformance {
+    Checker::new(figure).with_constraint(constraint).check(comp)
 }
 
 /// A configurable conformance checker.

@@ -55,7 +55,9 @@ pub mod value;
 
 /// One-stop imports for specification users.
 pub mod prelude {
-    pub use crate::checker::{check_computation, Checker, Conformance, Figure, Violation};
+    pub use crate::checker::{
+        check_computation, check_computation_with, Checker, Conformance, Figure, Violation,
+    };
     pub use crate::constraint::{ConstraintKind, ConstraintViolation};
     pub use crate::explore::{
         enumerate, is_block_free, is_failure_free, is_fully_accessible, is_immutable, Bounds,

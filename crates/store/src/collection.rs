@@ -146,6 +146,17 @@ impl CollectionState {
         &self.log
     }
 
+    /// The logged membership at exactly `version`, if that version was
+    /// ever recorded (replica sync can skip versions). This is the lookup
+    /// conformance observers use to evaluate a spec pre-state at an
+    /// invocation's linearization point.
+    pub fn members_at(&self, version: u64) -> Option<&[MemberEntry]> {
+        self.log
+            .iter()
+            .find(|mv| mv.version == version)
+            .map(|mv| mv.members.as_slice())
+    }
+
     /// Defers the removal of a member (grow-guard mode, §3.3): the member
     /// remains visible as a "ghost" until [`CollectionState::apply_deferred`]
     /// runs. Returns true when the element is a member (so there is
@@ -242,6 +253,22 @@ mod tests {
         assert_eq!(c.deferred().count(), 0);
         // Idempotent.
         assert_eq!(c.apply_deferred(), 0);
+    }
+
+    #[test]
+    fn members_at_looks_up_logged_versions() {
+        let mut c = CollectionState::new();
+        c.add(e(1, 0));
+        c.add(e(2, 0));
+        assert_eq!(c.members_at(0), Some(&[][..]));
+        assert_eq!(c.members_at(1), Some(&[e(1, 0)][..]));
+        assert_eq!(c.members_at(2), Some(&[e(1, 0), e(2, 0)][..]));
+        assert_eq!(c.members_at(9), None);
+        // Sync can skip versions; the gap stays unknown.
+        let mut s = CollectionState::new();
+        s.sync_to(3, &[e(7, 1)]);
+        assert_eq!(s.members_at(2), None);
+        assert_eq!(s.members_at(3), Some(&[e(7, 1)][..]));
     }
 
     #[test]

@@ -1,0 +1,117 @@
+//! The perf regression gate: diffs current `BENCH_*.json` snapshots
+//! against checked-in baselines and fails on objective regressions.
+//!
+//! ```text
+//! cargo run -p weakset-bench --bin compare -- --baseline . --current target/bench
+//! cargo run -p weakset-bench --bin compare -- --tolerance 0.10 ...
+//! ```
+//!
+//! Only *objectives* are gated (each knows whether lower or higher is
+//! better); raw counters and latencies are context. A current snapshot
+//! missing an objective the baseline has, or vice versa, is an error —
+//! schema drift must be deliberate (regenerate the baselines).
+//!
+//! Exit status: 0 clean, 1 on any regression beyond the tolerance
+//! (default 25%) or schema mismatch.
+
+use std::path::{Path, PathBuf};
+use weakset_bench::snapshot::SCENARIOS;
+use weakset_obs::ObsSnapshot;
+
+fn load(dir: &Path, file: &str) -> Result<ObsSnapshot, String> {
+    let path = dir.join(file);
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+    ObsSnapshot::from_json(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn main() {
+    let mut baseline = PathBuf::from(".");
+    let mut current = PathBuf::from("target/bench");
+    let mut tolerance = 0.25f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--baseline" => {
+                baseline = PathBuf::from(args.next().expect("--baseline requires a directory"))
+            }
+            "--current" => {
+                current = PathBuf::from(args.next().expect("--current requires a directory"))
+            }
+            "--tolerance" => {
+                tolerance = args
+                    .next()
+                    .expect("--tolerance requires a value")
+                    .parse()
+                    .expect("--tolerance must be a fraction, e.g. 0.25");
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: compare [--baseline DIR] [--current DIR] [--tolerance FRAC]");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut failures = 0usize;
+    let mut checked = 0usize;
+    for id in SCENARIOS {
+        let file = format!("BENCH_{id}.json");
+        let (base, cur) = match (load(&baseline, &file), load(&current, &file)) {
+            (Ok(b), Ok(c)) => (b, c),
+            (b, c) => {
+                for r in [b, c] {
+                    if let Err(e) = r {
+                        eprintln!("FAIL {id}: {e}");
+                    }
+                }
+                failures += 1;
+                continue;
+            }
+        };
+        for (name, base_obj) in &base.objectives {
+            checked += 1;
+            let Some(cur_obj) = cur.objectives.get(name) else {
+                eprintln!("FAIL {id}/{name}: objective missing from current snapshot");
+                failures += 1;
+                continue;
+            };
+            if cur_obj.direction != base_obj.direction {
+                eprintln!("FAIL {id}/{name}: objective direction changed");
+                failures += 1;
+                continue;
+            }
+            let regression = base_obj.regression(cur_obj.value);
+            if regression > tolerance {
+                eprintln!(
+                    "FAIL {id}/{name}: {:.3} -> {:.3} ({:+.1}% past the {:.0}% tolerance, {})",
+                    base_obj.value,
+                    cur_obj.value,
+                    regression * 100.0,
+                    tolerance * 100.0,
+                    base_obj.direction,
+                );
+                failures += 1;
+            } else {
+                println!(
+                    "ok   {id}/{name}: {:.3} -> {:.3}",
+                    base_obj.value, cur_obj.value
+                );
+            }
+        }
+        for name in cur.objectives.keys() {
+            if !base.objectives.contains_key(name) {
+                eprintln!(
+                    "FAIL {id}/{name}: objective missing from baseline (regenerate baselines)"
+                );
+                failures += 1;
+            }
+        }
+    }
+    println!("{checked} objectives checked, {failures} failures");
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

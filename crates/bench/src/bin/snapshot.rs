@@ -1,0 +1,57 @@
+//! Emits machine-readable perf snapshots: one `BENCH_<scenario>.json`
+//! per scenario (E1–E10 plus `fuzz`).
+//!
+//! ```text
+//! cargo run -p weakset-bench --bin snapshot            # all, into cwd
+//! cargo run -p weakset-bench --bin snapshot -- --out target/bench e1 e10
+//! cargo run -p weakset-bench --bin snapshot -- --seed 7
+//! ```
+//!
+//! Snapshots are deterministic: the same seed produces byte-identical
+//! files, so diffs against the checked-in baselines are meaningful.
+
+use std::path::PathBuf;
+use weakset_bench::snapshot::{build, DEFAULT_SEED, SCENARIOS};
+
+fn main() {
+    let mut out = PathBuf::from(".");
+    let mut seed = DEFAULT_SEED;
+    let mut ids: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => {
+                out = PathBuf::from(args.next().expect("--out requires a directory"));
+            }
+            "--seed" => {
+                seed = args
+                    .next()
+                    .expect("--seed requires a value")
+                    .parse()
+                    .expect("--seed must be an unsigned integer");
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: snapshot [--out DIR] [--seed N] [scenario...]");
+                eprintln!("scenarios: {}", SCENARIOS.join(" "));
+                return;
+            }
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        ids = SCENARIOS.iter().map(ToString::to_string).collect();
+    }
+    std::fs::create_dir_all(&out).expect("create output directory");
+    for id in &ids {
+        let snap = build(id, seed);
+        let path = out.join(snap.file_name());
+        std::fs::write(&path, snap.to_json()).expect("write snapshot");
+        println!(
+            "{} ({} counters, {} latencies, {} objectives)",
+            path.display(),
+            snap.counters.len(),
+            snap.latencies.len(),
+            snap.objectives.len()
+        );
+    }
+}

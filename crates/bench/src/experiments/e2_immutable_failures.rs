@@ -21,7 +21,7 @@ const TRIALS: u64 = 10;
 
 /// One sweep point (aggregated over trials).
 pub struct Point {
-    /// Servers partitioned away (of [`N_SERVERS`]).
+    /// Servers partitioned away (of `N_SERVERS`).
     pub cut: usize,
     /// Trials that terminated normally.
     pub returned: usize,

@@ -1,0 +1,395 @@
+//! Machine-readable benchmark snapshots (`BENCH_<scenario>.json`).
+//!
+//! One small, fully instrumented workload per experiment E1–E10 plus a
+//! `fuzz` scenario measuring DST throughput and shrink cost. Each
+//! builder runs its workload in a seeded world, freezes the world's
+//! [`MetricsRegistry`] into an [`ObsSnapshot`], and attaches the named
+//! perf *objectives* the CI `compare` gate enforces (everything else in
+//! the snapshot is context, not gated).
+//!
+//! Determinism contract: no wall-clock value ever enters a snapshot —
+//! only counters, high-water gauges, and simulated-microsecond
+//! latencies — so two runs with the same seed serialize
+//! byte-identically.
+
+use crate::scenarios::{drive, populated_set, schedule_churn, wan, wan_with_model};
+use weakset::prelude::*;
+use weakset::semantics::Semantics;
+use weakset_dst::prelude::{execute, generate, mix, shrink, Chaos};
+use weakset_gossip::prelude::{engine, GossipConfig, GossipNode};
+use weakset_obs::{Direction, MetricsRegistry, ObsSnapshot};
+use weakset_sim::latency::LatencyModel;
+use weakset_sim::time::SimDuration;
+use weakset_sim::topology::Topology;
+use weakset_sim::world::WorldConfig;
+use weakset_store::object::{CollectionId, ObjectId, ObjectRecord};
+use weakset_store::prelude::{CollectionRef, ReadPolicy, StoreClient, StoreWorld};
+
+/// Every snapshot scenario id, in emission order.
+pub const SCENARIOS: [&str; 11] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "fuzz",
+];
+
+/// The seed every checked-in baseline was produced with.
+pub const DEFAULT_SEED: u64 = 42;
+
+fn ms(v: u64) -> SimDuration {
+    SimDuration::from_millis(v)
+}
+
+/// Builds the snapshot for one scenario id.
+///
+/// # Panics
+///
+/// Panics on an unknown id.
+pub fn build(id: &str, seed: u64) -> ObsSnapshot {
+    match id {
+        "e1" => e1_immutable(seed),
+        "e2" => e2_immutable_failures(seed),
+        "e3" => e3_snapshot_loss(seed),
+        "e4" => e4_growonly(seed),
+        "e5" => e5_optimistic(seed),
+        "e6" => e6_latency(seed),
+        "e7" => e7_availability(seed),
+        "e8" => e8_taxonomy(seed),
+        "e9" => e9_locking(seed),
+        "e10" => e10_gossip(seed),
+        "fuzz" => fuzz(seed),
+        other => panic!("unknown snapshot scenario {other:?} (expected one of {SCENARIOS:?})"),
+    }
+}
+
+/// Builds every scenario's snapshot, in [`SCENARIOS`] order.
+pub fn build_all(seed: u64) -> Vec<ObsSnapshot> {
+    SCENARIOS.iter().map(|id| build(id, seed)).collect()
+}
+
+/// Sum of counters whose name ends with `suffix` (e.g. `.yielded`
+/// across all figures).
+fn sum_suffix(snap: &ObsSnapshot, suffix: &str) -> f64 {
+    snap.counters
+        .iter()
+        .filter(|(k, _)| k.ends_with(suffix))
+        .map(|(_, &v)| v as f64)
+        .sum()
+}
+
+fn counter(snap: &ObsSnapshot, name: &str) -> f64 {
+    snap.counters.get(name).copied().unwrap_or(0) as f64
+}
+
+/// The two objectives every scenario carries: RPC traffic and scheduler
+/// work for the same logical workload. Both shrinking means the stack
+/// got cheaper.
+fn with_common_objectives(snap: ObsSnapshot) -> ObsSnapshot {
+    let rpc = counter(&snap, "rpc.sent");
+    let events = counter(&snap, "sim.dispatch.total");
+    snap.with_objective("rpc_sent", rpc, Direction::LowerIsBetter)
+        .with_objective("sim_events", events, Direction::LowerIsBetter)
+}
+
+fn with_yield_objective(snap: ObsSnapshot) -> ObsSnapshot {
+    let yields = sum_suffix(&snap, ".yielded");
+    with_common_objectives(snap).with_objective("yields", yields, Direction::HigherIsBetter)
+}
+
+/// E1 — immutable set on a healthy WAN: full snapshot iteration.
+fn e1_immutable(seed: u64) -> ObsSnapshot {
+    let mut w = wan(seed, 4, ms(5));
+    let set = populated_set(&mut w, 24, ms(100));
+    let mut it = set.elements(Semantics::Snapshot);
+    drive(&mut w.world, &mut it, 3, ms(10));
+    with_yield_objective(w.world.metrics().snapshot("e1", seed))
+}
+
+/// E2 — immutable set with failures: one of four servers is down for
+/// the whole run; the pessimistic iterator reports what it cannot
+/// reach.
+fn e2_immutable_failures(seed: u64) -> ObsSnapshot {
+    let mut w = wan(seed, 4, ms(5));
+    let set = populated_set(&mut w, 24, ms(100));
+    w.world.topology_mut().crash(w.servers[3]);
+    let mut it = set.elements(Semantics::Snapshot);
+    drive(&mut w.world, &mut it, 3, ms(10));
+    with_yield_objective(w.world.metrics().snapshot("e2", seed))
+}
+
+/// E3 — snapshot semantics under churn: mutations land mid-iteration
+/// and the snapshot misses them (the paper's loss of mutations).
+fn e3_snapshot_loss(seed: u64) -> ObsSnapshot {
+    let mut w = wan(seed, 3, ms(5));
+    let set = populated_set(&mut w, 18, ms(100));
+    let now = w.world.now();
+    schedule_churn(&mut w, &set, now, ms(4), 30, 0.5, seed);
+    let mut it = set.elements(Semantics::Snapshot);
+    drive(&mut w.world, &mut it, 3, ms(10));
+    with_yield_objective(w.world.metrics().snapshot("e3", seed))
+}
+
+/// E4 — grow-only pessimistic iteration while the set only grows.
+fn e4_growonly(seed: u64) -> ObsSnapshot {
+    let mut w = wan(seed, 3, ms(5));
+    let set = populated_set(&mut w, 12, ms(100));
+    let now = w.world.now();
+    schedule_churn(&mut w, &set, now, ms(4), 20, 1.1, seed); // pure adds
+    let mut it = set.elements(Semantics::GrowOnly);
+    drive(&mut w.world, &mut it, 3, ms(10));
+    with_yield_objective(w.world.metrics().snapshot("e4", seed))
+}
+
+/// E5 — optimistic iteration riding out a mid-run crash: the iterator
+/// blocks instead of failing, then resumes after the restart.
+fn e5_optimistic(seed: u64) -> ObsSnapshot {
+    let mut w = wan(seed, 2, ms(5));
+    let set = populated_set(&mut w, 12, ms(50));
+    let mut it = set.elements(Semantics::Optimistic);
+    // Yield a prefix, lose a server, let the iterator block, heal,
+    // finish.
+    for _ in 0..4 {
+        it.next(&mut w.world);
+    }
+    w.world.topology_mut().crash(w.servers[1]);
+    drive(&mut w.world, &mut it, 3, ms(10));
+    w.world.topology_mut().restart(w.servers[1]);
+    drive(&mut w.world, &mut it, 5, ms(10));
+    with_yield_objective(w.world.metrics().snapshot("e5", seed))
+}
+
+/// E6 — fetch ordering over a distance-graded WAN: closest-first keeps
+/// per-invocation latency down.
+fn e6_latency(seed: u64) -> ObsSnapshot {
+    let mut w = wan_with_model(
+        seed,
+        5,
+        LatencyModel::SiteDistance {
+            base: ms(1),
+            per_hop: ms(8),
+        },
+    );
+    let set = populated_set(&mut w, 20, ms(400));
+    let mut it = set.elements(Semantics::Snapshot);
+    drive(&mut w.world, &mut it, 3, ms(10));
+    let snap = w.world.metrics().snapshot("e6", seed);
+    let p50 = snap
+        .latencies
+        .get("iter.fig4.invocation_us")
+        .map(|s| s.p50_us as f64)
+        .unwrap_or(0.0);
+    with_yield_objective(snap).with_objective("invocation_p50_us", p50, Direction::LowerIsBetter)
+}
+
+/// E7 — membership availability: reads under all four policies against
+/// a three-replica collection with a partitioned minority.
+fn e7_availability(seed: u64) -> ObsSnapshot {
+    let mut w = wan(seed, 3, ms(5));
+    let client = StoreClient::new(w.client_node, ms(100));
+    let cref = CollectionRef {
+        id: CollectionId(1),
+        home: w.servers[0],
+        replicas: w.servers[1..].to_vec(),
+    };
+    client
+        .create_collection(&mut w.world, &cref)
+        .expect("healthy world at setup");
+    let set = WeakSet::new(client.clone(), cref.clone());
+    for i in 0..9u64 {
+        set.add(
+            &mut w.world,
+            ObjectRecord::new(ObjectId(i + 1), format!("obj-{i}"), vec![b'x'; 64]),
+            w.servers[(i % 3) as usize],
+        )
+        .expect("healthy world at setup");
+    }
+    // Partition the primary away; quorum and leaderless keep answering.
+    let primary = w.servers[0];
+    w.world.topology_mut().partition(&[primary]);
+    for _ in 0..4 {
+        for policy in [
+            ReadPolicy::Primary,
+            ReadPolicy::Any,
+            ReadPolicy::Quorum,
+            ReadPolicy::Leaderless,
+        ] {
+            let _ = client.read_members(&mut w.world, &cref, policy);
+        }
+    }
+    w.world.topology_mut().heal_partition();
+    let snap = w.world.metrics().snapshot("e7", seed);
+    let ok = sum_suffix(&snap, ".ok");
+    with_common_objectives(snap).with_objective("reads_ok", ok, Direction::HigherIsBetter)
+}
+
+/// E8 — the design-space taxonomy: one full run per semantics on the
+/// same world.
+fn e8_taxonomy(seed: u64) -> ObsSnapshot {
+    let mut w = wan(seed, 3, ms(5));
+    let set = populated_set(&mut w, 12, ms(100));
+    for sem in Semantics::ALL {
+        let mut it = set.elements(sem);
+        drive(&mut w.world, &mut it, 3, ms(10));
+    }
+    with_yield_objective(w.world.metrics().snapshot("e8", seed))
+}
+
+/// E9 — the locked strong baseline: writers stall while a locked
+/// iteration holds the read lock.
+fn e9_locking(seed: u64) -> ObsSnapshot {
+    let mut w = wan(seed, 2, ms(5));
+    let set = populated_set(&mut w, 10, ms(100));
+    let mut it = set.elements(Semantics::Locked);
+    // Interleave writes with the locked iteration: they bounce off the
+    // read lock (store.write.err) until the iterator returns.
+    for i in 0..10u64 {
+        it.next(&mut w.world);
+        let _ = set.add(
+            &mut w.world,
+            ObjectRecord::new(ObjectId(100 + i), format!("late-{i}"), vec![b'z'; 16]),
+            w.servers[0],
+        );
+    }
+    drive(&mut w.world, &mut it, 3, ms(10));
+    with_yield_objective(w.world.metrics().snapshot("e9", seed))
+}
+
+/// E10 — anti-entropy gossip: replicas diverge behind a partition, then
+/// converge by digest-then-delta exchange. Objectives watch the wire.
+fn e10_gossip(seed: u64) -> ObsSnapshot {
+    let mut topo = Topology::new();
+    let client_node = topo.add_node("client", 0);
+    let servers: Vec<_> = (0..3)
+        .map(|i| topo.add_node(format!("replica-{i}"), i as u32 + 1))
+        .collect();
+    let mut config = WorldConfig::seeded(seed);
+    config.trace = false;
+    let mut world = StoreWorld::new(config, topo, LatencyModel::Constant(ms(3)));
+    for &s in &servers {
+        world.install_service(s, Box::new(GossipNode::new(s)));
+    }
+    let client = StoreClient::new(client_node, ms(50));
+    let cref = CollectionRef {
+        id: CollectionId(1),
+        home: servers[0],
+        replicas: servers[1..].to_vec(),
+    };
+    client
+        .create_collection(&mut world, &cref)
+        .expect("healthy world at setup");
+    let set = WeakSet::new(client, cref.clone());
+    for i in 0..8u64 {
+        set.add(
+            &mut world,
+            ObjectRecord::new(ObjectId(i + 1), format!("obj-{i}"), vec![b'x'; 64]),
+            servers[(i % 3) as usize],
+        )
+        .expect("healthy world at setup");
+    }
+    // Diverge one replica behind a partition, then let gossip repair it.
+    world.topology_mut().partition(&[servers[2]]);
+    for i in 8..12u64 {
+        let _ = set.add(
+            &mut world,
+            ObjectRecord::new(ObjectId(i + 1), format!("obj-{i}"), vec![b'x'; 64]),
+            servers[0],
+        );
+    }
+    world.topology_mut().heal_partition();
+    let until = world.now() + ms(400);
+    engine::install(
+        &mut world,
+        cref.id,
+        cref.all_nodes(),
+        GossipConfig {
+            interval: ms(10),
+            fanout: 1,
+            until: Some(until),
+            ..GossipConfig::default()
+        },
+    );
+    world.run_to_quiescence();
+    let converged = engine::converged(&world, cref.id, &cref.all_nodes());
+    world
+        .metrics_mut()
+        .gauge_set("gossip.converged", u64::from(converged));
+    let snap = world.metrics().snapshot("e10", seed);
+    let wire = counter(&snap, "gossip.digest_bytes") + counter(&snap, "gossip.delta_bytes");
+    let stale = counter(&snap, "gossip.replica_stale_rounds");
+    with_common_objectives(snap)
+        .with_objective("gossip_wire_bytes", wire, Direction::LowerIsBetter)
+        .with_objective("stale_replica_rounds", stale, Direction::LowerIsBetter)
+}
+
+/// `fuzz` — DST throughput: a fixed batch of generated scenarios plus
+/// one forced-violation shrink. Throughput is expressed in simulated
+/// time (steps per simulated second), so the snapshot stays
+/// byte-identical across machines.
+fn fuzz(seed: u64) -> ObsSnapshot {
+    let mut agg = MetricsRegistry::new();
+    let mut steps = 0u64;
+    let mut sim_us = 0u64;
+    for i in 0..12 {
+        let s = generate(mix(seed, i));
+        let report = execute(&s);
+        agg.merge(&report.metrics);
+        agg.incr("dst.scenarios");
+        agg.add("dst.steps", report.steps as u64);
+        agg.add("dst.violations", report.violations.len() as u64);
+        steps += report.steps as u64;
+        sim_us += report.sim_time_us;
+    }
+    // A guaranteed violation exercises the shrinker; its cost in
+    // executions is the metric.
+    let mut sabotaged = generate(mix(seed, 0));
+    sabotaged.chaos = Chaos::PhantomYield;
+    let (minimal, execs) = shrink(&sabotaged);
+    agg.add("dst.shrink.execs", execs as u64);
+    agg.add("dst.shrink.final_ops", minimal.ops.len() as u64);
+
+    let snap = agg.snapshot("fuzz", seed);
+    let per_sim_sec = if sim_us == 0 {
+        0.0
+    } else {
+        steps as f64 / (sim_us as f64 / 1_000_000.0)
+    };
+    with_common_objectives(snap)
+        .with_objective("steps_per_sim_sec", per_sim_sec, Direction::HigherIsBetter)
+        .with_objective("shrink_execs", execs as f64, Direction::LowerIsBetter)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_scenario_builds_and_round_trips() {
+        for id in SCENARIOS {
+            let snap = build(id, 7);
+            assert_eq!(snap.scenario, id);
+            assert!(!snap.objectives.is_empty(), "{id}: no objectives");
+            let json = snap.to_json();
+            let back = ObsSnapshot::from_json(&json).expect(id);
+            assert_eq!(back.to_json(), json, "{id}: not canonical");
+        }
+    }
+
+    #[test]
+    fn same_seed_means_identical_snapshot() {
+        for id in ["e1", "e7", "e10"] {
+            assert_eq!(build(id, 5).to_json(), build(id, 5).to_json(), "{id}");
+        }
+    }
+
+    #[test]
+    fn iteration_scenarios_actually_yield() {
+        let snap = build("e1", 3);
+        assert!(sum_suffix(&snap, ".yielded") > 0.0);
+        assert!(snap.latencies.contains_key("iter.fig4.invocation_us"));
+    }
+
+    #[test]
+    fn gossip_scenario_converges_and_measures_the_wire() {
+        let snap = build("e10", 11);
+        assert_eq!(snap.gauges.get("gossip.converged"), Some(&1));
+        assert!(counter(&snap, "gossip.delta_bytes") > 0.0);
+        assert!(counter(&snap, "gossip.digest_bytes") > 0.0);
+    }
+}

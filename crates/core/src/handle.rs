@@ -206,14 +206,30 @@ impl Elements {
         }
     }
 
-    /// One invocation.
+    /// One invocation. Each call records per-figure observability: an
+    /// `iter.<fig>.invocation_us` latency sample plus a counter for the
+    /// paper's `terminates` outcome it produced
+    /// (`yielded`/`returned`/`failed`/`blocked`).
     pub fn next(&mut self, world: &mut StoreWorld) -> IterStep {
-        match self {
+        let started = world.now();
+        let step = match self {
             Elements::Snapshot(it) => it.next(world),
             Elements::GrowOnly(it) => it.next(world),
             Elements::Optimistic(it) => it.next(world),
             Elements::Locked(it) => it.next(world),
-        }
+        };
+        let fig = self.semantics().figure().key();
+        let elapsed = world.now().saturating_since(started).as_micros();
+        let outcome = match &step {
+            IterStep::Yielded(_) => "yielded",
+            IterStep::Done => "returned",
+            IterStep::Failed(_) => "failed",
+            IterStep::Blocked => "blocked",
+        };
+        let m = world.metrics_mut();
+        m.observe(&format!("iter.{fig}.invocation_us"), elapsed);
+        m.incr(&format!("iter.{fig}.{outcome}"));
+        step
     }
 
     /// Attaches a conformance observer.

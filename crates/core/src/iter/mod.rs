@@ -120,8 +120,11 @@ pub(crate) fn fetch_first_reachable(
         if let Some(c) = cache.as_mut() {
             let now = world.now();
             if let Some(rec) = c.get(now, m.elem) {
-                return (Some(rec.clone()), unreachable);
+                let rec = rec.clone();
+                world.metrics_mut().incr("store.cache.hit");
+                return (Some(rec), unreachable);
             }
+            world.metrics_mut().incr("store.cache.miss");
         }
         match client.fetch_object(world, m.home, m.elem) {
             Ok(rec) => {

@@ -55,6 +55,11 @@ pub struct RunReport {
     pub violations: Vec<String>,
     /// The recorded computation, for post-mortems.
     pub computation: Option<Computation>,
+    /// Simulated time consumed by the run, in microseconds.
+    pub sim_time_us: u64,
+    /// The world's full metrics registry at end of run — every counter,
+    /// gauge, and latency the instrumented stack recorded.
+    pub metrics: weakset_sim::metrics::Metrics,
 }
 
 fn ms(v: u64) -> SimDuration {
@@ -379,6 +384,8 @@ pub fn execute(s: &Scenario) -> RunReport {
         steps,
         violations,
         computation,
+        sim_time_us: w.now().as_micros(),
+        metrics: w.metrics().clone(),
     }
 }
 

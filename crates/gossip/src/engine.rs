@@ -11,7 +11,11 @@
 //! retried implicitly by the next round.
 //!
 //! Metrics recorded on the world: `gossip.rounds`, `gossip.exchanges`,
-//! `gossip.failures`, `gossip.novel_shipped`, `gossip.push_skipped`.
+//! `gossip.failures`, `gossip.novel_shipped`, `gossip.push_skipped`,
+//! `gossip.digest_bytes`, `gossip.delta_bytes` (wire cost of digests vs
+//! deltas), and convergence lag (`gossip.replica_stale_rounds` — one
+//! per replica per round whose digest trails the join of all live
+//! replicas — plus the `gossip.stale_replicas.max` high-water gauge).
 
 use crate::replica::GossipNode;
 use std::cell::Cell;
@@ -200,9 +204,31 @@ impl Task<StoreMsg> for Round {
                 );
             }
         }
+        record_convergence_lag(world, self.coll, &nodes);
         let interval = self.config.interval;
         world.spawn_in(interval, *self);
     }
+}
+
+/// After each round, counts replicas whose digest still trails the join
+/// of all live replicas' digests — the per-round convergence lag.
+fn record_convergence_lag(world: &mut StoreWorld, coll: CollectionId, replicas: &[NodeId]) {
+    let digests: Vec<VersionVector> = replicas
+        .iter()
+        .filter(|&&r| world.topology().is_up(r))
+        .filter_map(|&r| local_digest(world, r, coll))
+        .collect();
+    if digests.len() < 2 {
+        return;
+    }
+    let mut joined = VersionVector::default();
+    for d in &digests {
+        joined.join(d);
+    }
+    let stale = digests.iter().filter(|d| !d.dominates(&joined)).count() as u64;
+    let m = world.metrics_mut();
+    m.add("gossip.replica_stale_rounds", stale);
+    m.gauge_max("gossip.stale_replicas.max", stale);
 }
 
 /// Runs one exchange initiated by `origin` towards `peer`.
@@ -246,6 +272,7 @@ fn pull(
     timeout: SimDuration,
 ) -> Option<VersionVector> {
     let digest = local_digest(world, origin, coll)?;
+    record_digest(world, &digest);
     match world.rpc(
         origin,
         peer,
@@ -294,7 +321,10 @@ fn fetch_digest(
     timeout: SimDuration,
 ) -> Option<VersionVector> {
     match world.rpc(origin, peer, StoreMsg::GossipDigestReq(coll), timeout) {
-        Ok(StoreMsg::GossipDigest { digest, .. }) => Some(digest),
+        Ok(StoreMsg::GossipDigest { digest, .. }) => {
+            record_digest(world, &digest);
+            Some(digest)
+        }
         Ok(_) => None,
         Err(_) => {
             world.metrics_mut().incr("gossip.failures");
@@ -334,7 +364,15 @@ fn apply_local(world: &mut StoreWorld, node: NodeId, coll: CollectionId, delta: 
 }
 
 fn record_shipped(world: &mut StoreWorld, delta: &MembershipDelta) {
+    let m = world.metrics_mut();
+    m.add("gossip.novel_shipped", delta.novel.len() as u64);
+    m.add("gossip.delta_bytes", delta.wire_size() as u64);
+}
+
+/// Charges a version vector crossing the wire: one (node, counter) pair
+/// of two u64s per entry.
+fn record_digest(world: &mut StoreWorld, vv: &VersionVector) {
     world
         .metrics_mut()
-        .add("gossip.novel_shipped", delta.novel.len() as u64);
+        .add("gossip.digest_bytes", 16 * vv.len() as u64);
 }

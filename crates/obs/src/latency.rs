@@ -1,0 +1,263 @@
+//! Latency recording, generalized from the simulator's original
+//! `metrics.rs`: a population of microsecond samples with nearest-rank
+//! quantiles.
+//!
+//! The sort guard lives in exactly one place (`LatencyRecorder::sorted`):
+//! every order-dependent query goes through it, so samples are re-sorted
+//! at most once per batch of recordings no matter how many quantiles are
+//! asked for.
+
+use std::fmt;
+
+/// Records a population of latencies (microseconds) and answers summary
+/// queries.
+///
+/// ```
+/// use weakset_obs::LatencyRecorder;
+/// let mut r = LatencyRecorder::new();
+/// for us in [30, 10, 20] {
+///     r.record(us);
+/// }
+/// assert_eq!(r.p50(), Some(20));
+/// assert_eq!(r.min(), Some(10));
+/// assert_eq!(r.max(), Some(30));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LatencyRecorder {
+    samples: Vec<u64>,
+    dirty: bool,
+}
+
+impl LatencyRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one observation, in microseconds.
+    pub fn record(&mut self, us: u64) {
+        self.samples.push(us);
+        self.dirty = true;
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The single sort guard: every order-dependent query funnels
+    /// through here, so a batch of recordings costs at most one sort.
+    fn sorted(&mut self) -> &[u64] {
+        if self.dirty {
+            self.samples.sort_unstable();
+            self.dirty = false;
+        }
+        &self.samples
+    }
+
+    /// The `q`-quantile (`0.0 ≤ q ≤ 1.0`) by nearest-rank, or `None` if
+    /// empty. `q` is clamped: `quantile(0.0)` is the minimum,
+    /// `quantile(1.0)` the maximum.
+    pub fn quantile(&mut self, q: f64) -> Option<u64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let n = self.samples.len();
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * n as f64).ceil() as usize).max(1) - 1;
+        Some(self.sorted()[rank.min(n - 1)])
+    }
+
+    /// Median, in microseconds.
+    pub fn p50(&mut self) -> Option<u64> {
+        self.quantile(0.50)
+    }
+
+    /// 99th percentile, in microseconds.
+    pub fn p99(&mut self) -> Option<u64> {
+        self.quantile(0.99)
+    }
+
+    /// Smallest observation.
+    pub fn min(&mut self) -> Option<u64> {
+        self.sorted().first().copied()
+    }
+
+    /// Largest observation.
+    pub fn max(&mut self) -> Option<u64> {
+        self.sorted().last().copied()
+    }
+
+    /// Arithmetic mean (truncated), or `None` if empty.
+    pub fn mean(&self) -> Option<u64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let sum: u128 = self.samples.iter().map(|&s| s as u128).sum();
+        Some((sum / self.samples.len() as u128) as u64)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.samples
+            .iter()
+            .fold(0u64, |acc, &s| acc.saturating_add(s))
+    }
+
+    /// Appends every sample of `other` (aggregation across runs).
+    pub fn merge(&mut self, other: &LatencyRecorder) {
+        self.samples.extend_from_slice(&other.samples);
+        self.dirty = self.dirty || !other.samples.is_empty();
+    }
+
+    /// Freezes the population into a [`LatencySummary`].
+    pub fn summary(&mut self) -> LatencySummary {
+        LatencySummary {
+            count: self.len() as u64,
+            min_us: self.min().unwrap_or(0),
+            p50_us: self.p50().unwrap_or(0),
+            p99_us: self.p99().unwrap_or(0),
+            max_us: self.max().unwrap_or(0),
+            mean_us: self.mean().unwrap_or(0),
+        }
+    }
+}
+
+/// A frozen summary of a latency population, in microseconds. All
+/// fields are zero when `count` is zero.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Number of observations.
+    pub count: u64,
+    /// Smallest observation.
+    pub min_us: u64,
+    /// Median.
+    pub p50_us: u64,
+    /// 99th percentile.
+    pub p99_us: u64,
+    /// Largest observation.
+    pub max_us: u64,
+    /// Truncated arithmetic mean.
+    pub mean_us: u64,
+}
+
+impl fmt::Display for LatencySummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} p50={}us p99={}us max={}us",
+            self.count, self.p50_us, self.p99_us, self.max_us
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_recorder_returns_none() {
+        let mut r = LatencyRecorder::new();
+        assert!(r.is_empty());
+        assert_eq!(r.quantile(0.5), None);
+        assert_eq!(r.p50(), None);
+        assert_eq!(r.p99(), None);
+        assert_eq!(r.min(), None);
+        assert_eq!(r.max(), None);
+        assert_eq!(r.mean(), None);
+        assert_eq!(r.sum(), 0);
+        assert_eq!(r.summary(), LatencySummary::default());
+    }
+
+    #[test]
+    fn single_sample_answers_every_quantile() {
+        let mut r = LatencyRecorder::new();
+        r.record(7);
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(r.quantile(q), Some(7), "q={q}");
+        }
+        assert_eq!(r.min(), Some(7));
+        assert_eq!(r.max(), Some(7));
+        assert_eq!(r.mean(), Some(7));
+    }
+
+    #[test]
+    fn extreme_quantiles_are_min_and_max() {
+        let mut r = LatencyRecorder::new();
+        for us in [50, 10, 40, 20, 30] {
+            r.record(us);
+        }
+        assert_eq!(r.quantile(0.0), Some(10));
+        assert_eq!(r.quantile(1.0), Some(50));
+        // Out-of-range values clamp rather than panic.
+        assert_eq!(r.quantile(-3.0), Some(10));
+        assert_eq!(r.quantile(9.0), Some(50));
+    }
+
+    #[test]
+    fn nearest_rank_matches_reference() {
+        let mut r = LatencyRecorder::new();
+        for us in [10u64, 20, 30, 40, 50, 60, 70, 80, 90, 100] {
+            r.record(us);
+        }
+        assert_eq!(r.p50(), Some(50));
+        assert_eq!(r.p99(), Some(100));
+        assert_eq!(r.quantile(0.1), Some(10));
+        assert_eq!(r.mean(), Some(55));
+        assert_eq!(r.sum(), 550);
+    }
+
+    #[test]
+    fn recording_after_query_resorts_once() {
+        let mut r = LatencyRecorder::new();
+        r.record(30);
+        assert_eq!(r.max(), Some(30));
+        r.record(10); // marks dirty again
+        assert_eq!(r.min(), Some(10));
+        assert_eq!(r.max(), Some(30));
+    }
+
+    #[test]
+    fn merge_concatenates_populations() {
+        let mut a = LatencyRecorder::new();
+        a.record(10);
+        let mut b = LatencyRecorder::new();
+        b.record(30);
+        b.record(20);
+        a.merge(&b);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.p50(), Some(20));
+        // Merging an empty recorder does not dirty a clean one.
+        let empty = LatencyRecorder::new();
+        a.merge(&empty);
+        assert!(!a.dirty);
+    }
+
+    #[test]
+    fn summary_freezes_everything() {
+        let mut r = LatencyRecorder::new();
+        for us in [10, 20, 30] {
+            r.record(us);
+        }
+        let s = r.summary();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.min_us, 10);
+        assert_eq!(s.p50_us, 20);
+        assert_eq!(s.max_us, 30);
+        assert_eq!(s.mean_us, 20);
+        assert!(s.to_string().contains("n=3"));
+    }
+
+    #[test]
+    fn sum_saturates() {
+        let mut r = LatencyRecorder::new();
+        r.record(u64::MAX);
+        r.record(5);
+        assert_eq!(r.sum(), u64::MAX);
+    }
+}

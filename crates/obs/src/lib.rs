@@ -1,0 +1,71 @@
+//! # weakset-obs
+//!
+//! The workspace-wide observability layer for the weak-sets
+//! reproduction: a zero-dependency metrics registry, a structured event
+//! sink keyed by simulated time, and machine-readable benchmark
+//! snapshots.
+//!
+//! The paper's iterator semantics are defined by *observable* run
+//! behaviour — which elements are yielded, when an invocation returns,
+//! suspends, or fails, and what was reachable at each step. This crate
+//! makes that behaviour (and the cost of producing it) first-class
+//! data instead of ad-hoc prints:
+//!
+//! * [`MetricsRegistry`] — named counters, high-water gauges, and
+//!   latency recorders. Every layer of the stack (simulator, store,
+//!   gossip, iterators, DST) records here; the simulator's `World`
+//!   carries one per run.
+//! * [`EventSink`] — structured events and spans keyed by simulated
+//!   microseconds, disabled by default so quiescent runs pay nothing.
+//! * [`ObsSnapshot`] — a frozen, serializable view of a registry plus
+//!   named perf *objectives* (each tagged lower- or higher-is-better),
+//!   written to `BENCH_<scenario>.json` by `weakset-bench --bin
+//!   snapshot` and diffed against checked-in baselines by `--bin
+//!   compare`.
+//!
+//! Everything here is deterministic given deterministic inputs: maps
+//! are ordered, serialization is canonical, and no wall-clock time is
+//! ever recorded — two runs with the same seed produce byte-identical
+//! snapshots.
+//!
+//! ## Example
+//!
+//! ```
+//! use weakset_obs::{Direction, MetricsRegistry};
+//!
+//! let mut m = MetricsRegistry::new();
+//! m.incr("rpc.sent");
+//! m.observe("rpc.latency", 1_500);
+//! m.gauge_max("queue.depth", 7);
+//!
+//! let snap = m
+//!     .snapshot("demo", 42)
+//!     .with_objective("p50_rpc_us", 1_500.0, Direction::LowerIsBetter);
+//! let json = snap.to_json();
+//! let back = weakset_obs::ObsSnapshot::from_json(&json).unwrap();
+//! assert_eq!(back.to_json(), json);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod json;
+pub mod latency;
+pub mod registry;
+pub mod sink;
+pub mod snapshot;
+
+pub use json::Json;
+pub use latency::{LatencyRecorder, LatencySummary};
+pub use registry::MetricsRegistry;
+pub use sink::{EventSink, ObsEvent, SpanId};
+pub use snapshot::{Direction, Objective, ObsSnapshot};
+
+/// One-stop imports for observability users.
+pub mod prelude {
+    pub use crate::json::Json;
+    pub use crate::latency::{LatencyRecorder, LatencySummary};
+    pub use crate::registry::MetricsRegistry;
+    pub use crate::sink::{EventSink, ObsEvent, SpanId};
+    pub use crate::snapshot::{Direction, Objective, ObsSnapshot};
+}

@@ -63,7 +63,7 @@ pub mod prelude {
     pub use crate::fault::{FaultAction, FaultPlan};
     pub use crate::latency::LatencyModel;
     pub use crate::link::LinkState;
-    pub use crate::metrics::Metrics;
+    pub use crate::metrics::{EventSink, LatencyRecorder, LatencySummary, Metrics, ObsSnapshot};
     pub use crate::net::NetError;
     pub use crate::node::{Node, NodeId, NodeStatus};
     pub use crate::rng::SimRng;

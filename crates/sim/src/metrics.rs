@@ -1,162 +1,29 @@
-//! Lightweight run metrics: counters and latency summaries.
+//! Run metrics, re-exported from the workspace-wide observability
+//! layer.
+//!
+//! The original ad-hoc counter/latency implementation that lived here
+//! was absorbed into [`weakset_obs`] and generalized (gauges, merge,
+//! snapshots, a single de-duplicated sort guard in
+//! [`LatencyRecorder`]). The simulator keeps this module as the
+//! canonical import path — `World` still owns a [`Metrics`] per run —
+//! and all latencies are recorded in integer microseconds
+//! (`SimDuration::as_micros`), the simulator's native resolution.
 
-use crate::time::SimDuration;
-use std::collections::BTreeMap;
-use std::fmt;
+pub use weakset_obs::{
+    Direction, EventSink, LatencyRecorder, LatencySummary, Objective, ObsEvent, ObsSnapshot, SpanId,
+};
 
-/// Records a population of latencies and answers summary queries.
-#[derive(Clone, Debug, Default)]
-pub struct LatencyRecorder {
-    samples: Vec<u64>, // microseconds
-    sorted: bool,
-}
-
-impl LatencyRecorder {
-    /// An empty recorder.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Adds one observation.
-    pub fn record(&mut self, d: SimDuration) {
-        self.samples.push(d.as_micros());
-        self.sorted = false;
-    }
-
-    /// Number of observations.
-    pub fn len(&self) -> usize {
-        self.samples.len()
-    }
-
-    /// True when nothing has been recorded.
-    pub fn is_empty(&self) -> bool {
-        self.samples.is_empty()
-    }
-
-    fn ensure_sorted(&mut self) {
-        if !self.sorted {
-            self.samples.sort_unstable();
-            self.sorted = true;
-        }
-    }
-
-    /// The `q`-quantile (0.0 ≤ q ≤ 1.0) by nearest-rank, or `None` if empty.
-    pub fn quantile(&mut self, q: f64) -> Option<SimDuration> {
-        if self.samples.is_empty() {
-            return None;
-        }
-        self.ensure_sorted();
-        let q = q.clamp(0.0, 1.0);
-        let rank = ((q * self.samples.len() as f64).ceil() as usize).max(1) - 1;
-        Some(SimDuration::from_micros(
-            self.samples[rank.min(self.samples.len() - 1)],
-        ))
-    }
-
-    /// Median latency.
-    pub fn p50(&mut self) -> Option<SimDuration> {
-        self.quantile(0.50)
-    }
-
-    /// 99th-percentile latency.
-    pub fn p99(&mut self) -> Option<SimDuration> {
-        self.quantile(0.99)
-    }
-
-    /// Arithmetic mean, or `None` if empty.
-    pub fn mean(&self) -> Option<SimDuration> {
-        if self.samples.is_empty() {
-            return None;
-        }
-        let sum: u128 = self.samples.iter().map(|&s| s as u128).sum();
-        Some(SimDuration::from_micros(
-            (sum / self.samples.len() as u128) as u64,
-        ))
-    }
-
-    /// Largest observation.
-    pub fn max(&mut self) -> Option<SimDuration> {
-        self.ensure_sorted();
-        self.samples.last().map(|&s| SimDuration::from_micros(s))
-    }
-
-    /// Smallest observation.
-    pub fn min(&mut self) -> Option<SimDuration> {
-        self.ensure_sorted();
-        self.samples.first().map(|&s| SimDuration::from_micros(s))
-    }
-}
-
-/// Named counters plus named latency recorders for a run.
-#[derive(Clone, Debug, Default)]
-pub struct Metrics {
-    counters: BTreeMap<String, u64>,
-    latencies: BTreeMap<String, LatencyRecorder>,
-}
-
-impl Metrics {
-    /// Empty metrics.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Adds `delta` to a named counter (creating it at zero).
-    pub fn add(&mut self, name: &str, delta: u64) {
-        *self.counters.entry(name.to_string()).or_insert(0) += delta;
-    }
-
-    /// Increments a named counter by one.
-    pub fn incr(&mut self, name: &str) {
-        self.add(name, 1);
-    }
-
-    /// Reads a counter (zero if never touched).
-    pub fn counter(&self, name: &str) -> u64 {
-        self.counters.get(name).copied().unwrap_or(0)
-    }
-
-    /// Records a latency observation under `name`.
-    pub fn observe(&mut self, name: &str, d: SimDuration) {
-        self.latencies
-            .entry(name.to_string())
-            .or_default()
-            .record(d);
-    }
-
-    /// Mutable access to a named latency recorder, creating it if needed.
-    pub fn latency_mut(&mut self, name: &str) -> &mut LatencyRecorder {
-        self.latencies.entry(name.to_string()).or_default()
-    }
-
-    /// Read-only access to a named latency recorder if it exists.
-    pub fn latency(&self, name: &str) -> Option<&LatencyRecorder> {
-        self.latencies.get(name)
-    }
-
-    /// All counters in name order.
-    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
-        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
-    }
-}
-
-impl fmt::Display for Metrics {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        for (k, v) in &self.counters {
-            writeln!(f, "{k}: {v}")?;
-        }
-        for (k, r) in &self.latencies {
-            let mut r = r.clone();
-            if let (Some(p50), Some(p99)) = (r.p50(), r.p99()) {
-                writeln!(f, "{k}: n={} p50={p50} p99={p99}", r.len())?;
-            }
-        }
-        Ok(())
-    }
-}
+/// Named counters, gauges, and latency recorders for a run.
+///
+/// An alias for [`weakset_obs::MetricsRegistry`]; see its docs for the
+/// full API. Latency observations are plain `u64` microseconds — use
+/// `SimDuration::as_micros()` at the call site.
+pub type Metrics = weakset_obs::MetricsRegistry;
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::time::SimDuration;
 
     #[test]
     fn counters_accumulate() {
@@ -168,53 +35,22 @@ mod tests {
     }
 
     #[test]
-    fn quantiles_nearest_rank() {
+    fn sim_durations_observe_as_micros() {
+        let mut m = Metrics::new();
+        m.observe("fetch", SimDuration::from_millis(2).as_micros());
+        assert_eq!(m.latency_mut("fetch").p50(), Some(2_000));
+        assert_eq!(m.latency("fetch").map(LatencyRecorder::len), Some(1));
+        assert!(m.latency("other").is_none());
+    }
+
+    #[test]
+    fn quantiles_match_previous_nearest_rank_behaviour() {
         let mut r = LatencyRecorder::new();
         for us in [10u64, 20, 30, 40, 50, 60, 70, 80, 90, 100] {
-            r.record(SimDuration::from_micros(us));
+            r.record(us);
         }
-        assert_eq!(r.p50(), Some(SimDuration::from_micros(50)));
-        assert_eq!(r.quantile(1.0), Some(SimDuration::from_micros(100)));
-        assert_eq!(r.quantile(0.0), Some(SimDuration::from_micros(10)));
-        assert_eq!(r.min(), Some(SimDuration::from_micros(10)));
-        assert_eq!(r.max(), Some(SimDuration::from_micros(100)));
-    }
-
-    #[test]
-    fn empty_recorder_returns_none() {
-        let mut r = LatencyRecorder::new();
-        assert!(r.p50().is_none());
-        assert!(r.mean().is_none());
-        assert!(r.is_empty());
-    }
-
-    #[test]
-    fn mean_is_exact_for_uniform() {
-        let mut r = LatencyRecorder::new();
-        r.record(SimDuration::from_micros(10));
-        r.record(SimDuration::from_micros(30));
-        assert_eq!(r.mean(), Some(SimDuration::from_micros(20)));
-    }
-
-    #[test]
-    fn observe_routes_to_named_recorder() {
-        let mut m = Metrics::new();
-        m.observe("fetch", SimDuration::from_micros(7));
-        assert_eq!(m.latency("fetch").unwrap().len(), 1);
-        assert!(m.latency("other").is_none());
-        assert_eq!(
-            m.latency_mut("fetch").p50(),
-            Some(SimDuration::from_micros(7))
-        );
-    }
-
-    #[test]
-    fn display_lists_everything() {
-        let mut m = Metrics::new();
-        m.incr("x");
-        m.observe("l", SimDuration::from_micros(5));
-        let s = m.to_string();
-        assert!(s.contains("x: 1"));
-        assert!(s.contains("l: n=1"));
+        assert_eq!(r.p50(), Some(50));
+        assert_eq!(r.quantile(0.0), Some(10));
+        assert_eq!(r.quantile(1.0), Some(100));
     }
 }

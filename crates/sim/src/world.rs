@@ -23,7 +23,7 @@
 use crate::event::{run_task, EventKind, EventQueue};
 use crate::fault::{FaultAction, FaultPlan};
 use crate::latency::LatencyModel;
-use crate::metrics::Metrics;
+use crate::metrics::{EventSink, Metrics};
 use crate::net::NetError;
 use crate::node::NodeId;
 use crate::rng::SimRng;
@@ -137,6 +137,7 @@ pub struct World<M> {
     config: WorldConfig,
     trace: Trace,
     metrics: Metrics,
+    events: EventSink,
     /// Link throughput in bytes per millisecond; `None` = infinite.
     bandwidth_bytes_per_ms: Option<u64>,
     /// Measures a message's wire size for transfer-time charging.
@@ -166,6 +167,7 @@ impl<M: Clone + std::fmt::Debug + 'static> World<M> {
             config,
             trace,
             metrics: Metrics::new(),
+            events: EventSink::new(),
             bandwidth_bytes_per_ms: None,
             sizer: None,
         }
@@ -225,6 +227,18 @@ impl<M: Clone + std::fmt::Debug + 'static> World<M> {
     /// Mutable run metrics (for client-side instrumentation).
     pub fn metrics_mut(&mut self) -> &mut Metrics {
         &mut self.metrics
+    }
+
+    /// The structured event sink. Disabled by default; enable with
+    /// [`World::events_mut`] + [`EventSink::set_enabled`] to record
+    /// fault transitions and task runs keyed by sim time.
+    pub fn events(&self) -> &EventSink {
+        &self.events
+    }
+
+    /// Mutable access to the event sink (enable/disable, client spans).
+    pub fn events_mut(&mut self) -> &mut EventSink {
+        &mut self.events
     }
 
     /// A fresh deterministic RNG stream labelled for a consumer (workload
@@ -430,8 +444,10 @@ impl<M: Clone + std::fmt::Debug + 'static> World<M> {
                     Ok(_) => {
                         self.trace.record(self.now, TraceEvent::RpcOk { from, to });
                         self.metrics.incr("rpc.ok");
-                        self.metrics
-                            .observe("rpc.latency", self.now.saturating_since(started));
+                        self.metrics.observe(
+                            "rpc.latency",
+                            self.now.saturating_since(started).as_micros(),
+                        );
                     }
                     Err(e) => {
                         self.trace.record(
@@ -557,8 +573,12 @@ impl<M: Clone + std::fmt::Debug + 'static> World<M> {
     }
 
     fn dispatch(&mut self, kind: EventKind<M>) {
+        self.metrics.incr("sim.dispatch.total");
+        self.metrics
+            .gauge_max("sim.queue.depth.max", self.queue.len() as u64);
         match kind {
             EventKind::CompleteError { token, error } => {
+                self.metrics.incr("sim.dispatch.complete_error");
                 self.completed.insert(token, Err(error));
                 self.metrics.incr("rpc.failed");
             }
@@ -568,6 +588,7 @@ impl<M: Clone + std::fmt::Debug + 'static> World<M> {
                 msg,
                 token,
             } => {
+                self.metrics.incr("sim.dispatch.deliver");
                 // Mid-flight state changes: the message dies if the route or
                 // the server vanished while it travelled.
                 if !self.topology.is_up(to) || !self.topology.reachable(from, to) {
@@ -622,6 +643,7 @@ impl<M: Clone + std::fmt::Debug + 'static> World<M> {
                 msg,
                 token,
             } => {
+                self.metrics.incr("sim.dispatch.reply");
                 if !self.topology.is_up(to) || !self.topology.reachable(from, to) {
                     self.trace
                         .record(self.now, TraceEvent::MessageLost { from, to });
@@ -630,9 +652,16 @@ impl<M: Clone + std::fmt::Debug + 'static> World<M> {
                 }
                 self.completed.insert(token, Ok(msg));
             }
-            EventKind::Fault(action) => self.apply_fault(action),
+            EventKind::Fault(action) => {
+                self.metrics.incr("sim.dispatch.fault");
+                self.apply_fault(action);
+            }
             EventKind::Task(task) => {
+                self.metrics.incr("sim.dispatch.task");
                 let label = task.label().to_string();
+                if self.events.is_enabled() {
+                    self.events.event(self.now.as_micros(), "sim.task", &label);
+                }
                 self.trace.record(self.now, TraceEvent::TaskRan { label });
                 run_task(task, self);
             }
@@ -640,6 +669,20 @@ impl<M: Clone + std::fmt::Debug + 'static> World<M> {
     }
 
     fn apply_fault(&mut self, action: FaultAction) {
+        let (kind, detail) = match &action {
+            FaultAction::Crash(n) => ("sim.fault.crash", format!("{n:?}")),
+            FaultAction::Restart(n) => ("sim.fault.restart", format!("{n:?}")),
+            FaultAction::SetLink(a, b, _) => ("sim.fault.set_link", format!("{a:?}->{b:?}")),
+            FaultAction::Partition(side) => {
+                ("sim.fault.partition", format!("{} nodes", side.len()))
+            }
+            FaultAction::HealPartition => ("sim.fault.heal_partition", String::new()),
+            FaultAction::SetGroup(n, _) => ("sim.fault.set_group", format!("{n:?}")),
+        };
+        self.metrics.incr(kind);
+        if self.events.is_enabled() {
+            self.events.event(self.now.as_micros(), kind, &detail);
+        }
         match action {
             FaultAction::Crash(n) => {
                 self.topology.crash(n);

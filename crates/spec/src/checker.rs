@@ -33,6 +33,18 @@ impl Figure {
         Figure::Fig6,
     ];
 
+    /// Stable lowercase key (`"fig1"`..`"fig6"`), used as the
+    /// metric-name segment for per-figure observability.
+    pub fn key(self) -> &'static str {
+        match self {
+            Figure::Fig1 => "fig1",
+            Figure::Fig3 => "fig3",
+            Figure::Fig4 => "fig4",
+            Figure::Fig5 => "fig5",
+            Figure::Fig6 => "fig6",
+        }
+    }
+
     /// The `constraint` clause this figure's type specification carries.
     pub fn constraint(self) -> ConstraintKind {
         match self {

@@ -121,6 +121,19 @@ pub enum ReadPolicy {
     Leaderless,
 }
 
+impl ReadPolicy {
+    /// Stable lowercase label, used as the metric-name segment for
+    /// per-policy instrumentation (`store.read.<label>.us`).
+    pub fn label(self) -> &'static str {
+        match self {
+            ReadPolicy::Primary => "primary",
+            ReadPolicy::Any => "any",
+            ReadPolicy::Quorum => "quorum",
+            ReadPolicy::Leaderless => "leaderless",
+        }
+    }
+}
+
 /// A versioned membership read.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct MembershipRead {
@@ -216,11 +229,21 @@ impl StoreClient {
         home: NodeId,
         id: ObjectId,
     ) -> Result<ObjectRecord, StoreError> {
-        match self.call(world, home, StoreMsg::GetObject(id))? {
+        let started = world.now();
+        let result = match self.call(world, home, StoreMsg::GetObject(id))? {
             StoreMsg::Object(rec) => Ok(rec),
             StoreMsg::NotFound(id) => Err(StoreError::NotFound(id)),
             _ => Err(StoreError::Protocol),
-        }
+        };
+        let elapsed = world.now().saturating_since(started).as_micros();
+        let m = world.metrics_mut();
+        m.observe("store.fetch.us", elapsed);
+        m.incr(if result.is_ok() {
+            "store.fetch.ok"
+        } else {
+            "store.fetch.err"
+        });
+        result
     }
 
     /// Deletes an object from a node.
@@ -320,7 +343,17 @@ impl StoreClient {
         cref: &CollectionRef,
         msg: StoreMsg,
     ) -> Result<u64, StoreError> {
-        let (version, entries) = match self.call(world, cref.home, msg)? {
+        let started = world.now();
+        let primary = self.call(world, cref.home, msg);
+        let elapsed = world.now().saturating_since(started).as_micros();
+        let m = world.metrics_mut();
+        m.observe("store.write.us", elapsed);
+        m.incr(if primary.is_ok() {
+            "store.write.ok"
+        } else {
+            "store.write.err"
+        });
+        let (version, entries) = match primary? {
             StoreMsg::Members { version, entries } => (version, entries),
             StoreMsg::Locked => return Err(StoreError::Locked),
             StoreMsg::NoSuchCollection(c) => return Err(StoreError::NoSuchCollection(c)),
@@ -329,7 +362,7 @@ impl StoreClient {
         for &replica in &cref.replicas {
             // Best effort: a stale replica is the paper's "one node may
             // have more up-to-date information than another".
-            let _ = self.call(
+            let synced = self.call(
                 world,
                 replica,
                 StoreMsg::SyncMembers {
@@ -338,6 +371,11 @@ impl StoreClient {
                     members: entries.clone(),
                 },
             );
+            world.metrics_mut().incr(if synced.is_ok() {
+                "store.replica_sync.sent"
+            } else {
+                "store.replica_sync.failed"
+            });
         }
         Ok(version)
     }
@@ -350,6 +388,25 @@ impl StoreClient {
     /// [`StoreError::NoQuorum`] when [`ReadPolicy::Quorum`] cannot gather a
     /// majority.
     pub fn read_members(
+        &self,
+        world: &mut StoreWorld,
+        cref: &CollectionRef,
+        policy: ReadPolicy,
+    ) -> Result<MembershipRead, StoreError> {
+        let started = world.now();
+        let result = self.read_members_inner(world, cref, policy);
+        let elapsed = world.now().saturating_since(started).as_micros();
+        let m = world.metrics_mut();
+        m.observe(&format!("store.read.{}.us", policy.label()), elapsed);
+        m.incr(&format!(
+            "store.read.{}.{}",
+            policy.label(),
+            if result.is_ok() { "ok" } else { "err" }
+        ));
+        result
+    }
+
+    fn read_members_inner(
         &self,
         world: &mut StoreWorld,
         cref: &CollectionRef,
@@ -376,6 +433,7 @@ impl StoreClient {
                 let mut best: Option<MembershipRead> = None;
                 let mut got = 0;
                 for node in nodes {
+                    world.metrics_mut().incr("store.read.quorum.contacts");
                     if let Ok(read) = self.list_one(world, node, cref.id) {
                         got += 1;
                         if best.as_ref().is_none_or(|b| read.version > b.version) {

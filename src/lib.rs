@@ -9,6 +9,7 @@
 pub use weakset;
 pub use weakset_fs;
 pub use weakset_gossip;
+pub use weakset_obs;
 pub use weakset_rt;
 pub use weakset_sim;
 pub use weakset_spec;
@@ -19,6 +20,7 @@ pub mod prelude {
     pub use weakset::prelude::*;
     pub use weakset_fs::prelude::*;
     pub use weakset_gossip::prelude::*;
+    pub use weakset_obs::prelude::*;
     pub use weakset_sim::prelude::*;
     pub use weakset_spec::prelude::*;
     pub use weakset_store::prelude::*;

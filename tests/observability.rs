@@ -1,0 +1,130 @@
+//! Observability integration tests: the instrumented metrics must agree
+//! with the ground-truth `Trace` of the same run, and snapshots must be
+//! deterministic (same seed ⇒ byte-identical JSON) and round-trippable.
+
+use weak_sets::prelude::*;
+use weak_sets::weakset_sim::trace::TraceEvent;
+
+struct Rig {
+    world: StoreWorld,
+    set: WeakSet,
+}
+
+/// A seeded workload with enough variety to touch most counters: writes
+/// across three servers, a crash fault mid-run, and a Snapshot iteration.
+fn run_workload(seed: u64) -> Rig {
+    let mut topo = Topology::new();
+    let laptop = topo.add_node("laptop", 0);
+    let servers: Vec<NodeId> = (0..3)
+        .map(|i| topo.add_node(format!("server-{i}"), i + 1))
+        .collect();
+    let mut world = StoreWorld::new(
+        WorldConfig::seeded(seed),
+        topo,
+        LatencyModel::Uniform {
+            lo: SimDuration::from_millis(1),
+            hi: SimDuration::from_millis(9),
+        },
+    );
+    for &s in &servers {
+        world.install_service(s, Box::new(StoreServer::new()));
+    }
+    let set = WeakSetBuilder::new(CollectionId(1), servers[0])
+        .client_node(laptop)
+        .timeout(SimDuration::from_millis(100))
+        .create(&mut world)
+        .unwrap();
+    for i in 0..12u64 {
+        let home = servers[(i % 3) as usize];
+        set.add(
+            &mut world,
+            ObjectRecord::new(ObjectId(i + 1), format!("o{i}"), &b"x"[..]),
+            home,
+        )
+        .unwrap();
+    }
+    world.schedule_fault(
+        world.now() + SimDuration::from_millis(1),
+        FaultAction::Crash(servers[2]),
+    );
+    let _ = set.collect(&mut world, Semantics::Snapshot);
+    Rig { world, set }
+}
+
+/// The metrics registry and the event trace are independent recorders of
+/// the same run; their counts of the same phenomena must agree exactly.
+#[test]
+fn counters_agree_with_trace() {
+    let rig = run_workload(99);
+    let w = &rig.world;
+    let m = w.metrics();
+    let t = w.trace();
+    assert!(t.is_enabled(), "workload must keep the trace on");
+
+    let sent = t.count(|e| matches!(e, TraceEvent::RpcSend { .. }));
+    let ok = t.count(|e| matches!(e, TraceEvent::RpcOk { .. }));
+    let failed = t.count(|e| matches!(e, TraceEvent::RpcFailed { .. }));
+    let crashes = t.count(|e| matches!(e, TraceEvent::NodeCrashed(_)));
+
+    assert_eq!(m.counter("rpc.sent"), sent as u64);
+    assert_eq!(m.counter("rpc.ok"), ok as u64);
+    assert_eq!(m.counter("rpc.failed"), failed as u64);
+    assert_eq!(m.counter("sim.fault.crash"), crashes as u64);
+    // Every completed RPC contributes one latency sample.
+    assert_eq!(m.latency("rpc.latency").map_or(0, |l| l.len()), ok);
+    // Delivered requests and their replies are dispatched separately.
+    assert_eq!(m.counter("sim.dispatch.deliver"), ok as u64);
+    assert_eq!(m.counter("sim.dispatch.reply"), ok as u64);
+}
+
+/// Store- and iterator-level counters line up with what the workload did.
+#[test]
+fn stack_counters_reflect_the_workload() {
+    let rig = run_workload(99);
+    let m = rig.world.metrics();
+    assert_eq!(m.counter("store.write.ok"), 12);
+    assert_eq!(m.counter("store.read.primary.ok"), 1);
+    // One Snapshot (Figure 4) run: every yield is a fetched element, and
+    // the run ended exactly once (returned, failed, or blocked).
+    assert_eq!(m.counter("iter.fig4.yielded"), m.counter("store.fetch.ok"));
+    assert_eq!(
+        m.counter("iter.fig4.returned")
+            + m.counter("iter.fig4.failed")
+            + m.counter("iter.fig4.blocked"),
+        1
+    );
+}
+
+/// Same seed ⇒ identical snapshot, different seed ⇒ (at least) different
+/// latency distributions.
+#[test]
+fn snapshots_are_deterministic_in_the_seed() {
+    let a = run_workload(7).world.metrics().snapshot("det", 7);
+    let b = run_workload(7).world.metrics().snapshot("det", 7);
+    assert_eq!(a.to_json(), b.to_json());
+
+    let c = run_workload(8).world.metrics().snapshot("det", 8);
+    assert_ne!(a.to_json(), c.to_json());
+}
+
+/// A snapshot taken from a real run survives a JSON round-trip intact.
+#[test]
+fn snapshot_round_trips_through_json() {
+    let rig = run_workload(21);
+    let snap = rig
+        .world
+        .metrics()
+        .snapshot("roundtrip", 21)
+        .with_objective(
+            "yields",
+            rig.world.metrics().counter("iter.fig4.yielded") as f64,
+            Direction::HigherIsBetter,
+        );
+    let json = snap.to_json();
+    let back = ObsSnapshot::from_json(&json).unwrap();
+    assert_eq!(back.to_json(), json);
+    assert_eq!(back.scenario, "roundtrip");
+    assert_eq!(back.seed, 21);
+    assert_eq!(back.objectives.len(), 1);
+    drop(rig.set);
+}

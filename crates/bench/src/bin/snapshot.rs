@@ -1,5 +1,5 @@
 //! Emits machine-readable perf snapshots: one `BENCH_<scenario>.json`
-//! per scenario (E1–E10 plus `fuzz`).
+//! per scenario (E1–E11 plus `fuzz`).
 //!
 //! ```text
 //! cargo run -p weakset-bench --bin snapshot            # all, into cwd

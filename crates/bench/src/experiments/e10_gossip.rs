@@ -34,9 +34,7 @@ const INTERVAL_MS: u64 = 20;
 fn gossip_world(n_replicas: usize, seed: u64) -> (StoreWorld, StoreClient, CollectionRef) {
     let mut topo = Topology::new();
     let cn = topo.add_node("client", 0);
-    let servers: Vec<NodeId> = (0..n_replicas)
-        .map(|i| topo.add_node(format!("s{i}"), i as u32 + 1))
-        .collect();
+    let servers: Vec<NodeId> = topo.add_servers("s", n_replicas);
     let mut config = WorldConfig::seeded(seed);
     config.trace = false;
     let mut world = StoreWorld::new(

@@ -34,9 +34,7 @@ fn fs_world_sized(
 ) -> (StoreWorld, FileSystem) {
     let mut topo = Topology::new();
     let client = topo.add_node("client", 0);
-    let vols: Vec<NodeId> = (0..N_VOLUMES)
-        .map(|i| topo.add_node(format!("vol{i}"), i as u32 + 1))
-        .collect();
+    let vols: Vec<NodeId> = topo.add_servers("vol", N_VOLUMES);
     let mut config = WorldConfig::seeded(seed);
     config.trace = false;
     let mut world = StoreWorld::new(

@@ -22,9 +22,7 @@ const N_VOLUMES: usize = 8;
 fn fs_world(seed: u64) -> (StoreWorld, FileSystem, Vec<NodeId>, NodeId) {
     let mut topo = Topology::new();
     let client = topo.add_node("laptop", 0);
-    let vols: Vec<NodeId> = (0..N_VOLUMES)
-        .map(|i| topo.add_node(format!("vol{i}"), i as u32 + 1))
-        .collect();
+    let vols: Vec<NodeId> = topo.add_servers("vol", N_VOLUMES);
     let mut config = WorldConfig::seeded(seed);
     config.trace = false;
     let mut world = StoreWorld::new(

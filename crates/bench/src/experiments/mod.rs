@@ -1,4 +1,4 @@
-//! The experiment suite: one module per figure-level experiment E1-E10
+//! The experiment suite: one module per figure-level experiment E1-E11
 //! (see DESIGN.md §4 for the index and EXPERIMENTS.md for results).
 //!
 //! Every experiment is a pure function of its seeds — rerunning
@@ -6,6 +6,7 @@
 //! tables.
 
 pub mod e10_gossip;
+pub mod e11_sharded;
 pub mod e1_immutable;
 pub mod e2_immutable_failures;
 pub mod e3_snapshot_loss;
@@ -19,7 +20,9 @@ pub mod e9_locking;
 use crate::report::Table;
 
 /// Experiment ids, in paper order.
-pub const ALL: [&str; 10] = ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10"];
+pub const ALL: [&str; 11] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11",
+];
 
 /// Runs one experiment by id.
 ///
@@ -38,6 +41,7 @@ pub fn run(id: &str) -> Vec<Table> {
         "e8" => e8_taxonomy::run(),
         "e9" => e9_locking::run(),
         "e10" => e10_gossip::run(),
+        "e11" => e11_sharded::run(),
         other => panic!("unknown experiment id {other:?} (expected one of {ALL:?})"),
     }
 }

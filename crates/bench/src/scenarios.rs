@@ -30,9 +30,7 @@ pub fn wan(seed: u64, n_servers: usize, one_way: SimDuration) -> Wan {
 pub fn wan_with_model(seed: u64, n_servers: usize, latency: LatencyModel) -> Wan {
     let mut topo = Topology::new();
     let client_node = topo.add_node("client", 0);
-    let servers: Vec<NodeId> = (0..n_servers)
-        .map(|i| topo.add_node(format!("server-{i}"), i as u32 + 1))
-        .collect();
+    let servers: Vec<NodeId> = topo.add_servers("server-", n_servers);
     let mut config = WorldConfig::seeded(seed);
     config.trace = false;
     config.default_timeout = SimDuration::from_millis(200);

@@ -1,6 +1,6 @@
 //! Machine-readable benchmark snapshots (`BENCH_<scenario>.json`).
 //!
-//! One small, fully instrumented workload per experiment E1–E10 plus a
+//! One small, fully instrumented workload per experiment E1–E11 plus a
 //! `fuzz` scenario measuring DST throughput and shrink cost. Each
 //! builder runs its workload in a seeded world, freezes the world's
 //! [`MetricsRegistry`] into an [`ObsSnapshot`], and attaches the named
@@ -26,8 +26,8 @@ use weakset_store::object::{CollectionId, ObjectId, ObjectRecord};
 use weakset_store::prelude::{CollectionRef, ReadPolicy, StoreClient, StoreWorld};
 
 /// Every snapshot scenario id, in emission order.
-pub const SCENARIOS: [&str; 11] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "fuzz",
+pub const SCENARIOS: [&str; 12] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "fuzz",
 ];
 
 /// The seed every checked-in baseline was produced with.
@@ -54,6 +54,7 @@ pub fn build(id: &str, seed: u64) -> ObsSnapshot {
         "e8" => e8_taxonomy(seed),
         "e9" => e9_locking(seed),
         "e10" => e10_gossip(seed),
+        "e11" => e11_sharded(seed),
         "fuzz" => fuzz(seed),
         other => panic!("unknown snapshot scenario {other:?} (expected one of {SCENARIOS:?})"),
     }
@@ -256,9 +257,7 @@ fn e9_locking(seed: u64) -> ObsSnapshot {
 fn e10_gossip(seed: u64) -> ObsSnapshot {
     let mut topo = Topology::new();
     let client_node = topo.add_node("client", 0);
-    let servers: Vec<_> = (0..3)
-        .map(|i| topo.add_node(format!("replica-{i}"), i as u32 + 1))
-        .collect();
+    let servers: Vec<_> = topo.add_servers("replica-", 3);
     let mut config = WorldConfig::seeded(seed);
     config.trace = false;
     let mut world = StoreWorld::new(config, topo, LatencyModel::Constant(ms(3)));
@@ -316,6 +315,68 @@ fn e10_gossip(seed: u64) -> ObsSnapshot {
     with_common_objectives(snap)
         .with_objective("gossip_wire_bytes", wire, Direction::LowerIsBetter)
         .with_objective("stale_replica_rounds", stale, Direction::LowerIsBetter)
+}
+
+/// E11 — sharded batched reads: four shards co-located on one
+/// three-node quorum group, read first shard-by-shard (the
+/// pre-batching client, one round-trip per shard) and then through one
+/// batch envelope per node. The gated objective is the batched path's
+/// speedup over the sequential rounds.
+fn e11_sharded(seed: u64) -> ObsSnapshot {
+    const SHARDS: usize = 4;
+    const ROUNDS: usize = 4;
+    let mut w = wan(seed, 3, ms(5));
+    let client = StoreClient::new(w.client_node, ms(200));
+    let groups: Vec<ShardGroup> = (0..SHARDS)
+        .map(|_| ShardGroup {
+            home: w.servers[0],
+            replicas: w.servers[1..].to_vec(),
+        })
+        .collect();
+    let config = IterConfig {
+        read_policy: ReadPolicy::Quorum,
+        ..IterConfig::default()
+    };
+    let set = ShardedWeakSet::create(
+        &mut w.world,
+        CollectionId(1),
+        client.clone(),
+        &groups,
+        config,
+    )
+    .expect("healthy world at setup");
+    for i in 0..24u64 {
+        set.add(
+            &mut w.world,
+            ObjectRecord::new(ObjectId(i + 1), format!("obj-{i}"), vec![b'x'; 64]),
+            w.servers[(i % 3) as usize],
+        )
+        .expect("healthy world at setup");
+    }
+
+    let t0 = w.world.now();
+    for _ in 0..ROUNDS {
+        for i in 0..set.shard_count() {
+            client
+                .read_members(&mut w.world, set.shard(i).cref(), ReadPolicy::Quorum)
+                .expect("healthy world");
+        }
+    }
+    let sequential = w.world.now().saturating_since(t0);
+    let t1 = w.world.now();
+    for _ in 0..ROUNDS {
+        for r in set.read_all_batched(&mut w.world) {
+            r.expect("healthy world");
+        }
+    }
+    let batched = w.world.now().saturating_since(t1);
+
+    let speedup = sequential.as_micros() as f64 / batched.as_micros().max(1) as f64;
+    let snap = w.world.metrics().snapshot("e11", seed);
+    let envelopes = counter(&snap, "net.batch.envelopes");
+    with_common_objectives(snap)
+        .with_objective("sharded_read_speedup", speedup, Direction::HigherIsBetter)
+        .with_objective("batch_envelopes", envelopes, Direction::LowerIsBetter)
 }
 
 /// `fuzz` — DST throughput: a fixed batch of generated scenarios plus
@@ -383,6 +444,18 @@ mod tests {
         let snap = build("e1", 3);
         assert!(sum_suffix(&snap, ".yielded") > 0.0);
         assert!(snap.latencies.contains_key("iter.fig4.invocation_us"));
+    }
+
+    #[test]
+    fn sharded_scenario_shows_a_real_batching_win() {
+        let snap = build("e11", 9);
+        let speedup = snap
+            .objectives
+            .get("sharded_read_speedup")
+            .expect("objective present")
+            .value;
+        assert!(speedup > 1.5, "batched reads too slow: {speedup:.2}x");
+        assert!(counter(&snap, "net.batch.envelopes") > 0.0);
     }
 
     #[test]

@@ -189,9 +189,7 @@ mod tests {
     fn setup(n: usize) -> (StoreWorld, StoreClient, Vec<NodeId>) {
         let mut t = Topology::new();
         let cn = t.add_node("client", 0);
-        let servers: Vec<_> = (0..n)
-            .map(|i| t.add_node(format!("s{i}"), i as u32 + 1))
-            .collect();
+        let servers: Vec<_> = t.add_servers("s", n);
         let mut w = StoreWorld::new(
             WorldConfig::seeded(37),
             t,

@@ -78,6 +78,7 @@ pub mod handle;
 pub mod iter;
 pub mod prefetch;
 pub mod semantics;
+pub mod shard;
 pub mod strong;
 
 /// One-stop imports for weak-set users.
@@ -90,5 +91,8 @@ pub mod prelude {
     pub use crate::iter::{FetchOrder, IterConfig};
     pub use crate::prefetch::{PrefetchConfig, PrefetchEngine, PrefetchStep};
     pub use crate::semantics::Semantics;
+    pub use crate::shard::{
+        shard_collection_id, ShardGroup, ShardRouter, ShardedElements, ShardedWeakSet,
+    };
     pub use crate::strong::LockedElements;
 }

@@ -186,9 +186,7 @@ mod tests {
     fn setup(n_servers: usize, latency_ms: u64) -> (StoreWorld, NodeId, Vec<NodeId>) {
         let mut t = Topology::new();
         let cn = t.add_node("client", 0);
-        let servers: Vec<_> = (0..n_servers)
-            .map(|i| t.add_node(format!("s{i}"), i as u32 + 1))
-            .collect();
+        let servers: Vec<_> = t.add_servers("s", n_servers);
         let mut w = StoreWorld::new(
             WorldConfig::seeded(31),
             t,

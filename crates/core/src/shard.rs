@@ -1,0 +1,730 @@
+//! Sharded weak sets: one logical set partitioned across shard groups
+//! by a deterministic consistent-hash ring, read in batched quorum
+//! rounds.
+//!
+//! A [`ShardedWeakSet`] splits a collection into `n` sub-collections
+//! (shards), each with its own primary/replica group, and routes every
+//! element to exactly one shard through a [`ShardRouter`]. Because the
+//! routing is a function of the element id alone, shards partition the
+//! element space: no element can appear in two shards, so fanning an
+//! `elements` iteration out across shards and concatenating the yields
+//! preserves each figure's constraint — every per-shard run is itself a
+//! conforming Figure-3/4/5/6 computation over its sub-collection, and
+//! disjointness rules out cross-shard duplicate yields.
+//!
+//! Membership reads ride the batched quorum path
+//! (`StoreClient::read_members_batched`): one envelope per replica node
+//! carries the reads for every shard co-located there, so a whole-set
+//! `size` costs one round-trip per *node* instead of one per shard per
+//! replica.
+
+use crate::conformance::{HistorySource, RunObserver};
+use crate::error::{Failure, IterStep};
+use crate::handle::{Elements, WeakSet};
+use crate::iter::IterConfig;
+use crate::semantics::Semantics;
+use weakset_sim::metrics::shard_key;
+use weakset_sim::node::NodeId;
+use weakset_spec::prelude::Computation;
+use weakset_store::object::{CollectionId, ObjectId, ObjectRecord};
+use weakset_store::prelude::{CollectionRef, StoreClient, StoreWorld};
+
+/// Domain-separation salts so ring points and key hashes never share an
+/// input space.
+const POINT_SALT: u64 = 0x5bd1_e995_9d1b_54d1;
+const KEY_SALT: u64 = 0x94d0_49bb_1331_11eb;
+
+/// SplitMix64: a tiny, stable, dependency-free 64-bit mixer (Steele et
+/// al., "Fast splittable pseudorandom number generators"). Used for the
+/// ring so routing is identical across platforms and runs.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// A deterministic consistent-hash ring mapping element ids to shard
+/// ids.
+///
+/// Each shard owns `vnodes` points on a `u64` ring; an element routes
+/// to the shard owning the first point at or after its own hash
+/// (wrapping). The classic stability property holds by construction:
+/// adding a shard only moves keys *to* the new shard, and removing one
+/// only moves *its* keys — everything else stays put.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardRouter {
+    vnodes: usize,
+    /// Sorted `(point, shard)` pairs; ties break toward the smaller
+    /// shard id (sort order), deterministically.
+    ring: Vec<(u64, u32)>,
+    /// Shard ids present, ascending.
+    shards: Vec<u32>,
+}
+
+impl ShardRouter {
+    /// Ring points per shard. Enough that a four-shard ring splits keys
+    /// within a few percent of evenly.
+    pub const DEFAULT_VNODES: usize = 64;
+
+    /// A ring over shard ids `0..shards` with the default vnode count.
+    pub fn new(shards: usize) -> Self {
+        Self::with_vnodes(shards, Self::DEFAULT_VNODES)
+    }
+
+    /// A ring over shard ids `0..shards` with an explicit vnode count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vnodes` is zero (a shard with no ring presence can
+    /// never be routed to).
+    pub fn with_vnodes(shards: usize, vnodes: usize) -> Self {
+        assert!(vnodes > 0, "a shard needs at least one ring point");
+        let mut r = ShardRouter {
+            vnodes,
+            ring: Vec::new(),
+            shards: Vec::new(),
+        };
+        for id in 0..shards as u32 {
+            r.add_shard(id);
+        }
+        r
+    }
+
+    fn point(shard: u32, vnode: usize) -> u64 {
+        splitmix64(POINT_SALT ^ (u64::from(shard) << 32) ^ vnode as u64)
+    }
+
+    /// Adds a shard's points to the ring. Idempotent.
+    pub fn add_shard(&mut self, id: u32) {
+        if self.shards.contains(&id) {
+            return;
+        }
+        self.shards.push(id);
+        self.shards.sort_unstable();
+        for v in 0..self.vnodes {
+            self.ring.push((Self::point(id, v), id));
+        }
+        self.ring.sort_unstable();
+    }
+
+    /// Removes a shard's points from the ring. Idempotent.
+    pub fn remove_shard(&mut self, id: u32) {
+        self.shards.retain(|&s| s != id);
+        self.ring.retain(|&(_, s)| s != id);
+    }
+
+    /// Shard ids on the ring, ascending.
+    pub fn shards(&self) -> &[u32] {
+        &self.shards
+    }
+
+    /// Number of shards on the ring.
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// True when the ring has no shards.
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// Routes an element to its shard: the owner of the first ring
+    /// point at or after the element's hash, wrapping past the top.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ring is empty.
+    pub fn shard_for(&self, elem: ObjectId) -> u32 {
+        assert!(!self.ring.is_empty(), "routing over an empty ring");
+        let h = splitmix64(KEY_SALT ^ elem.0);
+        let i = self.ring.partition_point(|&(p, _)| p < h);
+        self.ring[i % self.ring.len()].1
+    }
+}
+
+/// The sub-collection id for shard `shard` of the logical collection
+/// `base`. Shard ids get their own block of the collection-id space so
+/// they never collide with `base` itself or with other logical sets'
+/// shards (for bases below 2^53 / 1024).
+pub fn shard_collection_id(base: CollectionId, shard: u32) -> CollectionId {
+    CollectionId(base.0 * 1024 + u64::from(shard) + 1)
+}
+
+/// One shard's replica group: where its sub-collection lives.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardGroup {
+    /// The shard's primary node.
+    pub home: NodeId,
+    /// Secondary replicas of the shard's membership list.
+    pub replicas: Vec<NodeId>,
+}
+
+impl ShardGroup {
+    /// A group with no secondary replicas.
+    pub fn unreplicated(home: NodeId) -> Self {
+        ShardGroup {
+            home,
+            replicas: Vec::new(),
+        }
+    }
+}
+
+/// A weak set partitioned across shard groups.
+///
+/// Mutations route to the owning shard's primary; whole-set membership
+/// reads are batched (one envelope per replica node); iteration fans
+/// out across the shards' own `elements` iterators in shard order.
+#[derive(Clone, Debug)]
+pub struct ShardedWeakSet {
+    client: StoreClient,
+    router: ShardRouter,
+    shards: Vec<WeakSet>,
+}
+
+impl ShardedWeakSet {
+    /// Creates the shard sub-collections (one per group, ids derived
+    /// with [`shard_collection_id`]) and binds the routed set.
+    ///
+    /// # Errors
+    ///
+    /// [`Failure::Store`] when any shard's collection cannot be
+    /// created.
+    pub fn create(
+        world: &mut StoreWorld,
+        base: CollectionId,
+        client: StoreClient,
+        groups: &[ShardGroup],
+        config: IterConfig,
+    ) -> Result<Self, Failure> {
+        let router = ShardRouter::new(groups.len());
+        let mut shards = Vec::with_capacity(groups.len());
+        for (i, g) in groups.iter().enumerate() {
+            let cref = CollectionRef {
+                id: shard_collection_id(base, i as u32),
+                home: g.home,
+                replicas: g.replicas.clone(),
+            };
+            client.create_collection(world, &cref)?;
+            shards.push(WeakSet::new(client.clone(), cref).with_config(config.clone()));
+        }
+        Ok(ShardedWeakSet {
+            client,
+            router,
+            shards,
+        })
+    }
+
+    /// The routing ring.
+    pub fn router(&self) -> &ShardRouter {
+        &self.router
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// One shard's underlying weak set.
+    pub fn shard(&self, index: usize) -> &WeakSet {
+        &self.shards[index]
+    }
+
+    /// The shard index an element routes to.
+    pub fn shard_for(&self, elem: ObjectId) -> usize {
+        self.router.shard_for(elem) as usize
+    }
+
+    /// Stores `rec` on `home` and adds it to its shard.
+    ///
+    /// # Errors
+    ///
+    /// [`Failure::Store`] as for [`WeakSet::add`].
+    pub fn add(
+        &self,
+        world: &mut StoreWorld,
+        rec: ObjectRecord,
+        home: NodeId,
+    ) -> Result<(), Failure> {
+        let shard = self.shard_for(rec.id);
+        self.shards[shard].add(world, rec, home)
+    }
+
+    /// Removes an element from its shard.
+    ///
+    /// # Errors
+    ///
+    /// [`Failure::Store`] as for [`WeakSet::remove`].
+    pub fn remove(&self, world: &mut StoreWorld, elem: ObjectId) -> Result<(), Failure> {
+        let shard = self.shard_for(elem);
+        self.shards[shard].remove(world, elem)
+    }
+
+    /// Membership test: a single-shard read (no fan-out needed, the
+    /// ring says exactly where the element would live).
+    ///
+    /// # Errors
+    ///
+    /// [`Failure::MembershipUnavailable`] when that shard cannot be
+    /// read.
+    pub fn contains(&self, world: &mut StoreWorld, elem: ObjectId) -> Result<bool, Failure> {
+        let shard = self.shard_for(elem);
+        self.shards[shard].contains(world, elem)
+    }
+
+    /// `size`: the whole set's membership count in one batched read
+    /// round across all shards.
+    ///
+    /// # Errors
+    ///
+    /// [`Failure::MembershipUnavailable`] when any shard cannot be
+    /// read under the configured policy.
+    pub fn size(&self, world: &mut StoreWorld) -> Result<usize, Failure> {
+        let mut total = 0;
+        let mut first_err = None;
+        for r in self.read_all_batched(world) {
+            match r {
+                Ok(read) => total += read.entries.len(),
+                Err(e) => first_err = first_err.or(Some(e)),
+            }
+        }
+        match first_err {
+            None => Ok(total),
+            Some(e) => Err(Failure::MembershipUnavailable(e)),
+        }
+    }
+
+    /// One batched membership read covering every shard, with
+    /// per-shard observability: each shard records its read latency
+    /// (`shard.<i>.read.us`), outcome (`shard.<i>.read.ok`/`.err`),
+    /// and how many of its requests shared envelopes this round
+    /// (`shard.<i>.queue.depth.max`).
+    pub fn read_all_batched(
+        &self,
+        world: &mut StoreWorld,
+    ) -> Vec<Result<weakset_store::client::MembershipRead, weakset_store::client::StoreError>> {
+        let policy = self.shards.first().map_or_else(
+            || IterConfig::default().read_policy,
+            |s| s.config().read_policy,
+        );
+        let crefs: Vec<CollectionRef> = self.shards.iter().map(|s| s.cref().clone()).collect();
+        let started = world.now();
+        let results = self.client.read_members_batched(world, &crefs, policy);
+        let elapsed = world.now().saturating_since(started).as_micros();
+        let m = world.metrics_mut();
+        for (i, (r, cref)) in results.iter().zip(&crefs).enumerate() {
+            m.observe(&shard_key(i, "read.us"), elapsed);
+            m.incr(&shard_key(
+                i,
+                if r.is_ok() { "read.ok" } else { "read.err" },
+            ));
+            let contacts = match policy {
+                weakset_store::prelude::ReadPolicy::Primary => 1,
+                _ => 1 + cref.replicas.len(),
+            };
+            m.gauge_max(&shard_key(i, "queue.depth.max"), contacts as u64);
+        }
+        results
+    }
+
+    /// Opens a fan-out `elements` iterator: each shard contributes its
+    /// own iterator of the chosen semantics, driven in shard order, and
+    /// the yields concatenate. Routing disjointness guarantees the
+    /// merged sequence never yields the same element twice.
+    pub fn elements(&self, semantics: Semantics) -> ShardedElements {
+        ShardedElements {
+            iters: self.shards.iter().map(|s| s.elements(semantics)).collect(),
+            current: 0,
+            semantics,
+        }
+    }
+
+    /// Opens a fan-out iterator with a conformance observer attached to
+    /// every shard's run.
+    pub fn elements_observed(&self, semantics: Semantics) -> ShardedElements {
+        let mut it = self.elements(semantics);
+        for (iter, shard) in it.iters.iter_mut().zip(&self.shards) {
+            iter.observe(RunObserver::new(
+                shard.cref().id,
+                shard.cref().home,
+                self.client.node(),
+            ));
+        }
+        it
+    }
+
+    /// Opens an observed fan-out iterator whose per-shard observers
+    /// read omniscient history through custom sources (needed when the
+    /// shard homes run wrapped services, e.g. gossip replicas). The
+    /// closure is called once per shard index.
+    pub fn elements_observed_via(
+        &self,
+        semantics: Semantics,
+        mut source_for: impl FnMut(usize) -> HistorySource,
+    ) -> ShardedElements {
+        let mut it = self.elements(semantics);
+        for (i, (iter, shard)) in it.iters.iter_mut().zip(&self.shards).enumerate() {
+            iter.observe(
+                RunObserver::new(shard.cref().id, shard.cref().home, self.client.node())
+                    .with_history_source(source_for(i)),
+            );
+        }
+        it
+    }
+
+    /// Convenience: drives a fresh fan-out iterator to its terminal
+    /// step, returning everything yielded plus the terminal step.
+    pub fn collect(
+        &self,
+        world: &mut StoreWorld,
+        semantics: Semantics,
+    ) -> (Vec<ObjectRecord>, IterStep) {
+        let retry = self.shards.first().map_or_else(
+            || IterConfig::default().retry_interval,
+            |s| s.config().retry_interval,
+        );
+        let mut it = self.elements(semantics);
+        let mut out = Vec::new();
+        let mut blocked = 0usize;
+        loop {
+            match it.next(world) {
+                IterStep::Yielded(rec) => {
+                    blocked = 0;
+                    out.push(rec);
+                }
+                IterStep::Blocked => {
+                    blocked += 1;
+                    if blocked >= 3 {
+                        return (out, IterStep::Blocked);
+                    }
+                    world.sleep(retry);
+                }
+                step => return (out, step),
+            }
+        }
+    }
+}
+
+/// A fan-out `elements` iterator over a sharded weak set.
+///
+/// Shards are drained in shard order: `next` drives the current shard's
+/// iterator until it returns `Done`, then moves on. A `Failed` or
+/// `Blocked` step surfaces as-is (the current shard's semantics decide
+/// how its own failures present; earlier shards' yields stand, exactly
+/// as a single set's earlier yields stand when a later invocation
+/// fails).
+#[derive(Debug)]
+pub struct ShardedElements {
+    iters: Vec<Elements>,
+    current: usize,
+    semantics: Semantics,
+}
+
+impl ShardedElements {
+    /// Which semantics every per-shard iterator provides.
+    pub fn semantics(&self) -> Semantics {
+        self.semantics
+    }
+
+    /// The shard currently being drained (== `shard_count` once done).
+    pub fn current_shard(&self) -> usize {
+        self.current
+    }
+
+    /// One invocation: the next step from the current shard, advancing
+    /// to the next shard on `Done`.
+    pub fn next(&mut self, world: &mut StoreWorld) -> IterStep {
+        while let Some(it) = self.iters.get_mut(self.current) {
+            match it.next(world) {
+                IterStep::Done => self.current += 1,
+                step => return step,
+            }
+        }
+        IterStep::Done
+    }
+
+    /// Finishes observation on every shard, returning each attached
+    /// observer's computation in shard order (empty when opened
+    /// unobserved).
+    pub fn take_computations(&mut self, world: &StoreWorld) -> Vec<Computation> {
+        self.iters
+            .iter_mut()
+            .filter_map(|it| it.take_computation(world))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::Failure;
+    use proptest::prelude::*;
+    use std::collections::BTreeSet;
+    use weakset_sim::latency::LatencyModel;
+    use weakset_sim::time::SimDuration;
+    use weakset_sim::topology::Topology;
+    use weakset_sim::world::WorldConfig;
+    use weakset_spec::checker::check_computation;
+    use weakset_store::prelude::{ReadPolicy, StoreServer};
+
+    /// `n_shards` groups of `group_size` servers each, plus a client.
+    fn sharded_setup(
+        seed: u64,
+        n_shards: usize,
+        group_size: usize,
+        policy: ReadPolicy,
+    ) -> (StoreWorld, ShardedWeakSet, Vec<ShardGroup>) {
+        let mut t = Topology::new();
+        let cn = t.add_node("client", 0);
+        let groups: Vec<ShardGroup> = (0..n_shards)
+            .map(|g| {
+                let nodes = t.add_servers(&format!("g{g}-"), group_size);
+                ShardGroup {
+                    home: nodes[0],
+                    replicas: nodes[1..].to_vec(),
+                }
+            })
+            .collect();
+        let mut w = StoreWorld::new(
+            WorldConfig::seeded(seed),
+            t,
+            LatencyModel::Constant(SimDuration::from_millis(1)),
+        );
+        for id in w.topology().node_ids().collect::<Vec<_>>() {
+            if id != cn {
+                w.install_service(id, Box::new(StoreServer::new()));
+            }
+        }
+        let client = StoreClient::new(cn, SimDuration::from_millis(50));
+        let config = IterConfig {
+            read_policy: policy,
+            ..IterConfig::default()
+        };
+        let set = ShardedWeakSet::create(&mut w, CollectionId(1), client, &groups, config)
+            .expect("create shards");
+        (w, set, groups)
+    }
+
+    fn populate(world: &mut StoreWorld, set: &ShardedWeakSet, groups: &[ShardGroup], n: u64) {
+        for i in 0..n {
+            let id = ObjectId(i + 1);
+            let home = groups[set.shard_for(id)].home;
+            set.add(
+                world,
+                ObjectRecord::new(id, format!("o{i}"), &b"x"[..]),
+                home,
+            )
+            .unwrap();
+        }
+    }
+
+    #[test]
+    fn router_spreads_keys_and_is_deterministic() {
+        let r = ShardRouter::new(4);
+        let mut seen = BTreeSet::new();
+        for k in 0..512u64 {
+            seen.insert(r.shard_for(ObjectId(k)));
+        }
+        assert_eq!(
+            seen.into_iter().collect::<Vec<_>>(),
+            vec![0, 1, 2, 3],
+            "512 keys cover all four shards"
+        );
+        let r2 = ShardRouter::new(4);
+        for k in 0..512u64 {
+            assert_eq!(r.shard_for(ObjectId(k)), r2.shard_for(ObjectId(k)));
+        }
+    }
+
+    #[test]
+    fn router_add_remove_round_trips() {
+        let mut r = ShardRouter::with_vnodes(3, 8);
+        assert_eq!(r.shards(), &[0, 1, 2]);
+        r.add_shard(1); // idempotent
+        assert_eq!(r.len(), 3);
+        r.remove_shard(1);
+        assert_eq!(r.shards(), &[0, 2]);
+        assert!(!r.is_empty());
+        for k in 0..128u64 {
+            assert_ne!(r.shard_for(ObjectId(k)), 1, "removed shard owns nothing");
+        }
+        r.add_shard(1);
+        let fresh = ShardRouter::with_vnodes(3, 8);
+        assert_eq!(r, fresh, "remove+add restores the exact ring");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty ring")]
+    fn routing_on_empty_ring_panics() {
+        let mut r = ShardRouter::with_vnodes(1, 4);
+        r.remove_shard(0);
+        let _ = r.shard_for(ObjectId(1));
+    }
+
+    #[test]
+    fn sharded_set_interface_round_trip() {
+        let (mut w, set, groups) = sharded_setup(11, 3, 2, ReadPolicy::Quorum);
+        assert_eq!(set.shard_count(), 3);
+        assert_eq!(set.size(&mut w).unwrap(), 0);
+        populate(&mut w, &set, &groups, 12);
+        assert_eq!(set.size(&mut w).unwrap(), 12);
+        assert!(set.contains(&mut w, ObjectId(5)).unwrap());
+        set.remove(&mut w, ObjectId(5)).unwrap();
+        assert!(!set.contains(&mut w, ObjectId(5)).unwrap());
+        assert_eq!(set.size(&mut w).unwrap(), 11);
+        // Members landed on more than one shard (the router spreads).
+        let mut nonempty = 0;
+        for i in 0..set.shard_count() {
+            if set.shard(i).size(&mut w).unwrap() > 0 {
+                nonempty += 1;
+            }
+        }
+        assert!(nonempty >= 2, "12 members should span several shards");
+    }
+
+    #[test]
+    fn per_shard_metrics_are_recorded() {
+        let (mut w, set, groups) = sharded_setup(13, 2, 3, ReadPolicy::Quorum);
+        populate(&mut w, &set, &groups, 6);
+        set.size(&mut w).unwrap();
+        let stats = weakset_sim::metrics::per_shard_stats(w.metrics());
+        assert_eq!(stats.len(), 2);
+        for s in &stats {
+            assert!(s.reads_ok >= 1, "shard {} read ok", s.shard);
+            assert_eq!(s.reads_err, 0);
+            assert!(s.read_p50_us.is_some());
+            assert_eq!(s.queue_depth_max, 3, "home + 2 replicas per envelope");
+        }
+    }
+
+    #[test]
+    fn fan_out_iteration_conforms_per_shard_for_every_semantics() {
+        let (mut w, set, groups) = sharded_setup(17, 3, 1, ReadPolicy::Primary);
+        populate(&mut w, &set, &groups, 9);
+        for sem in Semantics::ALL {
+            let mut it = set.elements_observed(sem);
+            assert_eq!(it.semantics(), sem);
+            let mut got = BTreeSet::new();
+            loop {
+                match it.next(&mut w) {
+                    IterStep::Yielded(rec) => {
+                        assert!(got.insert(rec.id), "{sem}: duplicate yield {:?}", rec.id);
+                    }
+                    IterStep::Done => break,
+                    other => panic!("{sem}: {other:?}"),
+                }
+            }
+            assert_eq!(got.len(), 9, "{sem}");
+            let comps = it.take_computations(&w);
+            assert_eq!(comps.len(), 3, "{sem}: one computation per shard");
+            for comp in &comps {
+                check_computation(sem.figure(), comp).assert_ok();
+            }
+        }
+    }
+
+    #[test]
+    fn shard_failure_surfaces_and_earlier_yields_stand() {
+        let (mut w, set, groups) = sharded_setup(19, 2, 1, ReadPolicy::Primary);
+        populate(&mut w, &set, &groups, 8);
+        // Crash the SECOND shard's home: draining shard 0 succeeds,
+        // then the fan-out fails when it reaches shard 1.
+        w.topology_mut().crash(groups[1].home);
+        let (got, end) = set.collect(&mut w, Semantics::GrowOnly);
+        assert!(matches!(
+            end,
+            IterStep::Failed(Failure::MembershipUnavailable(_))
+        ));
+        let shard0: BTreeSet<ObjectId> = (1..=8)
+            .map(ObjectId)
+            .filter(|&id| set.shard_for(id) == 0)
+            .collect();
+        assert_eq!(
+            got.iter().map(|r| r.id).collect::<BTreeSet<_>>(),
+            shard0,
+            "shard 0 drained fully before the failure"
+        );
+    }
+
+    proptest! {
+        /// Consistent-hash stability: growing the ring only moves keys
+        /// to the new shard; shrinking only moves the removed shard's
+        /// keys.
+        #[test]
+        fn routing_is_stable_under_shard_add_remove(
+            keys in proptest::collection::vec(any::<u64>(), 1..200),
+            shards in 1usize..8,
+        ) {
+            let before = ShardRouter::with_vnodes(shards, 16);
+            let mut grown = before.clone();
+            grown.add_shard(shards as u32);
+            for &k in &keys {
+                let old = before.shard_for(ObjectId(k));
+                let new = grown.shard_for(ObjectId(k));
+                prop_assert!(
+                    new == old || new == shards as u32,
+                    "key {k} moved {old} -> {new}, not to the new shard"
+                );
+            }
+            let victim = (keys[0] % shards as u64) as u32;
+            let mut shrunk = before.clone();
+            shrunk.remove_shard(victim);
+            if !shrunk.is_empty() {
+                for &k in &keys {
+                    let old = before.shard_for(ObjectId(k));
+                    let new = shrunk.shard_for(ObjectId(k));
+                    if old != victim {
+                        prop_assert_eq!(new, old, "unowned key {} moved on remove", k);
+                    } else {
+                        prop_assert_ne!(new, victim);
+                    }
+                }
+            }
+        }
+
+        /// Fig 5 (grow-only) across shards under partitions: with at
+        /// most a minority of each shard group's replicas cut off,
+        /// quorum reads still see every member and the fan-out yields
+        /// EXACTLY the union of the shards' members — every member
+        /// once, no duplicates, no phantoms.
+        #[test]
+        fn multi_shard_grow_only_yields_exactly_the_union_under_partition(
+            seed in 0u64..500,
+            n_members in 0u64..24,
+            cut_mask in 0usize..8,
+            n_shards in 1usize..4,
+        ) {
+            let (mut w, set, groups) =
+                sharded_setup(seed, n_shards, 3, ReadPolicy::Quorum);
+            populate(&mut w, &set, &groups, n_members);
+            // Cut at most ONE replica per shard group (a minority of
+            // its 3 nodes); homes and the client stay connected, so
+            // every member object remains reachable.
+            let cut: Vec<_> = groups
+                .iter()
+                .enumerate()
+                .filter(|(g, _)| cut_mask & (1 << g) != 0)
+                .map(|(_, grp)| grp.replicas[0])
+                .collect();
+            if !cut.is_empty() {
+                w.topology_mut().partition(&cut);
+            }
+            let mut it = set.elements_observed(Semantics::GrowOnly);
+            let mut got = Vec::new();
+            loop {
+                match it.next(&mut w) {
+                    IterStep::Yielded(rec) => got.push(rec.id),
+                    IterStep::Done => break,
+                    other => prop_assert!(false, "unexpected step: {other:?}"),
+                }
+            }
+            let expect: BTreeSet<ObjectId> = (1..=n_members).map(ObjectId).collect();
+            let got_set: BTreeSet<ObjectId> = got.iter().copied().collect();
+            prop_assert_eq!(got.len(), got_set.len(), "duplicate yields");
+            prop_assert_eq!(&got_set, &expect, "yields != union of shard members");
+            for comp in it.take_computations(&w) {
+                check_computation(Semantics::GrowOnly.figure(), &comp).assert_ok();
+            }
+        }
+    }
+}

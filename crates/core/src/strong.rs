@@ -222,9 +222,7 @@ mod tests {
     ) {
         let mut t = Topology::new();
         let cn = t.add_node("client", 0);
-        let servers: Vec<_> = (0..n)
-            .map(|i| t.add_node(format!("s{i}"), i as u32 + 1))
-            .collect();
+        let servers: Vec<_> = t.add_servers("s", n);
         let mut w = StoreWorld::new(
             WorldConfig::seeded(23),
             t,

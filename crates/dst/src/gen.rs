@@ -177,6 +177,87 @@ fn gen_plain(seed: u64, rng: &mut SimRng) -> Scenario {
     }
 }
 
+/// Generates a sharded-deployment scenario for `seed`. Pure, like
+/// [`generate`], but always deploys a `ShardedWeakSet`, so the fuzzer
+/// exercises ring routing, batched membership reads, and fan-out
+/// iteration. A separate entry point — not a new [`generate`] branch —
+/// so every pre-sharding seed keeps producing the identical scenario
+/// (checked-in traces and bench baselines replay byte-for-byte).
+///
+/// The sharded envelope, on top of the plain one:
+///
+/// - Server count is `shards * group_size`, split round-robin, so every
+///   shard group has the same size and `Quorum` means the same thing in
+///   every group.
+/// - Faults are scheduled only under optimistic semantics. The ring may
+///   leave a shard empty (or fully yielded early), and a pessimistic
+///   per-shard run failing with no unyielded member of *its own* shard
+///   would be a truthful figure violation caused by the configuration;
+///   optimistic runs block and retry instead, which every figure
+///   accepts.
+pub fn generate_sharded(seed: u64) -> Scenario {
+    let mut rng = SimRng::for_label(seed, "dst.gen.sharded");
+    let shards = rng.range_u64(2, 4) as usize;
+    let group_size = rng.range_u64(1, 4) as usize;
+    let servers = shards * group_size;
+    let semantics = Semantics::ALL[rng.index(Semantics::ALL.len())];
+    let read_policy = if group_size >= 2 && rng.chance(0.4) {
+        ReadPolicy::Quorum
+    } else {
+        ReadPolicy::Primary
+    };
+    let start_ms = rng.range_u64(10, 31);
+    let setup = gen_setup(&mut rng, servers, 8);
+
+    let mut ops = Vec::new();
+    let n_ops = rng.range_u64(0, 6);
+    let mut victims: Vec<u64> = setup.iter().map(|&(e, _)| e).collect();
+    let mut next_id = 100;
+    for _ in 0..n_ops {
+        let at_ms = rng.range_u64(2, 111);
+        if victims.len() > 1 && rng.chance(0.4) {
+            let v = victims.remove(rng.index(victims.len()));
+            ops.push(Op::Remove { at_ms, elem: v });
+        } else {
+            ops.push(Op::Add {
+                at_ms,
+                elem: next_id,
+                home: rng.index(servers),
+            });
+            next_id += 1;
+        }
+    }
+    ops.sort_by_key(Op::at_ms);
+
+    let mut faults = if semantics == Semantics::Optimistic {
+        gen_faults(&mut rng, servers, 2, 5, 101)
+    } else {
+        Vec::new()
+    };
+    if read_policy == ReadPolicy::Quorum && !ops.is_empty() {
+        // Same freshness rule as plain quorum scenarios, per group.
+        faults.clear();
+    }
+
+    Scenario {
+        seed,
+        servers,
+        deployment: Deployment::Sharded { shards },
+        semantics,
+        read_policy,
+        guard_growth: semantics == Semantics::GrowOnly
+            && ops.iter().any(|o| matches!(o, Op::Remove { .. })),
+        fetch_order: pick_fetch_order(&mut rng),
+        think_ms: rng.range_u64(1, 5),
+        budget: rng.range_u64(24, 41) as usize,
+        start_ms,
+        setup,
+        ops,
+        faults,
+        chaos: Chaos::None,
+    }
+}
+
 fn gen_gossip(seed: u64, rng: &mut SimRng) -> Scenario {
     let servers = rng.range_u64(3, 5) as usize;
     let semantics = [
@@ -260,6 +341,9 @@ mod tests {
                         assert!(s.guard_growth);
                     }
                 }
+                Deployment::Sharded { .. } => {
+                    panic!("generate() never produces sharded deployments (seed stability)")
+                }
                 Deployment::Gossip { .. } => {
                     assert_ne!(s.semantics, Semantics::Locked);
                     assert!(matches!(
@@ -287,6 +371,44 @@ mod tests {
                 if let FaultSpec::Flap { a, b, .. } = f {
                     assert_ne!(a, b);
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_generation_is_deterministic_and_stays_in_the_envelope() {
+        for i in 0..200 {
+            let seed = mix(13, i);
+            let s = generate_sharded(seed);
+            assert_eq!(s, generate_sharded(seed), "seed {seed}");
+            let Deployment::Sharded { shards } = s.deployment else {
+                panic!("seed {seed}: not a sharded deployment");
+            };
+            assert!(shards >= 2);
+            assert_eq!(s.servers % shards, 0, "equal-size shard groups");
+            assert!(!s.setup.is_empty());
+            assert_eq!(s.chaos, Chaos::None);
+            assert!(matches!(
+                s.read_policy,
+                ReadPolicy::Primary | ReadPolicy::Quorum
+            ));
+            if s.read_policy == ReadPolicy::Quorum {
+                assert!(s.servers / shards >= 2, "quorum needs replicated groups");
+                if !s.ops.is_empty() {
+                    assert!(s.faults.is_empty());
+                }
+            }
+            if s.semantics != Semantics::Optimistic {
+                assert!(s.faults.is_empty(), "faults are optimistic-only");
+            }
+            let removals = s
+                .ops
+                .iter()
+                .filter(|o| matches!(o, Op::Remove { .. }))
+                .count();
+            assert!(removals < s.setup.len().max(1));
+            if s.semantics == Semantics::GrowOnly && removals > 0 {
+                assert!(s.guard_growth);
             }
         }
     }

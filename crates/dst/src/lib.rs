@@ -1,9 +1,10 @@
 //! # weakset-dst — deterministic simulation fuzzer
 //!
 //! Randomized end-to-end testing for the weak-set stack: a seeded
-//! generator ([`gen`]) picks a topology, a deployment (plain store or
-//! gossip replication), an iterator design point (all four semantics ×
-//! read policies), a mutation workload, and an adversarial fault
+//! generator ([`gen`]) picks a topology, a deployment (plain store,
+//! gossip replication, or a hash-ring-sharded set read through batched
+//! envelopes), an iterator design point (all four semantics × read
+//! policies), a mutation workload, and an adversarial fault
 //! schedule; a deterministic executor ([`run`]) drives the run inside
 //! `weakset-sim`; and a conformance oracle ([`oracle`]) machine-checks
 //! the recorded history against the matching figure of *Specifying Weak
@@ -32,7 +33,7 @@ pub mod shrink;
 
 /// One-stop imports for fuzzer tests and harnesses.
 pub mod prelude {
-    pub use crate::gen::{generate, mix};
+    pub use crate::gen::{generate, generate_sharded, mix};
     pub use crate::oracle::{check, spec_for};
     pub use crate::repro::{artifact_path, load, replay, write_artifact};
     pub use crate::run::{execute, RunReport, COLL};

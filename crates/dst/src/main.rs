@@ -2,8 +2,12 @@
 //! persist any violation, exit nonzero if anything failed.
 //!
 //! ```text
-//! weakset-dst [--iters N] [--seed S | --seed-from-env] [--out DIR]
+//! weakset-dst [--iters N] [--seed S | --seed-from-env] [--out DIR] [--sharded]
 //! ```
+//!
+//! `--sharded` draws every scenario from the sharded-deployment
+//! generator (hash-ring routing, batched membership reads, fan-out
+//! iteration) instead of the plain/gossip mix.
 //!
 //! `--seed-from-env` reads the base seed from `$DST_SEED` (decimal, or
 //! any string — non-numeric values are hashed), so CI can vary coverage
@@ -25,12 +29,14 @@ struct Args {
     iters: u64,
     seed: u64,
     out: PathBuf,
+    sharded: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut iters = 200u64;
     let mut seed = 1u64;
     let mut out = PathBuf::from("dst");
+    let mut sharded = false;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         let mut value = |name: &str| argv.next().ok_or(format!("{name} needs a value"));
@@ -50,16 +56,22 @@ fn parse_args() -> Result<Args, String> {
                 seed = raw.parse().unwrap_or_else(|_| hash_str(&raw));
             }
             "--out" => out = PathBuf::from(value("--out")?),
+            "--sharded" => sharded = true,
             "--help" | "-h" => {
                 return Err(
-                    "usage: weakset-dst [--iters N] [--seed S | --seed-from-env] [--out DIR]"
+                    "usage: weakset-dst [--iters N] [--seed S | --seed-from-env] [--out DIR] [--sharded]"
                         .into(),
                 );
             }
             other => return Err(format!("unknown argument '{other}'")),
         }
     }
-    Ok(Args { iters, seed, out })
+    Ok(Args {
+        iters,
+        seed,
+        out,
+        sharded,
+    })
 }
 
 fn main() {
@@ -74,7 +86,11 @@ fn main() {
     let mut combined: u64 = 0;
     let mut failures = 0u64;
     for i in 0..args.iters {
-        let scenario = generate(mix(args.seed, i));
+        let scenario = if args.sharded {
+            generate_sharded(mix(args.seed, i))
+        } else {
+            generate(mix(args.seed, i))
+        };
         let report = execute(&scenario);
         combined = combined.rotate_left(1) ^ report.trace_hash;
         if report.violations.is_empty() {

@@ -17,7 +17,10 @@
 
 use crate::oracle;
 use crate::scenario::{Chaos, Deployment, FaultSpec, Op, Scenario};
-use weakset::prelude::{Elements, HistorySource, IterConfig, IterStep, Semantics, WeakSet};
+use weakset::prelude::{
+    Elements, Failure, HistorySource, IterConfig, IterStep, Semantics, ShardGroup, ShardedElements,
+    ShardedWeakSet, WeakSet,
+};
 use weakset_gossip::prelude::{engine, GossipConfig, GossipNode, GossipSemantics};
 use weakset_sim::fault::FaultPlan;
 use weakset_sim::latency::LatencyModel;
@@ -53,8 +56,9 @@ pub struct RunReport {
     /// Every oracle violation, human-readable. Empty means the run
     /// conformed to its figure.
     pub violations: Vec<String>,
-    /// The recorded computation, for post-mortems.
-    pub computation: Option<Computation>,
+    /// The recorded computations, for post-mortems: one per shard under
+    /// a sharded deployment, at most one otherwise.
+    pub computations: Vec<Computation>,
     /// Simulated time consumed by the run, in microseconds.
     pub sim_time_us: u64,
     /// The world's full metrics registry at end of run — every counter,
@@ -66,12 +70,74 @@ fn ms(v: u64) -> SimDuration {
     SimDuration::from_millis(v)
 }
 
+/// The set under test: one plain collection, or a routed sharded set.
+/// Every workload mutation and iterator invocation goes through this, so
+/// the driver is deployment-agnostic past construction.
+enum TestSet {
+    One(WeakSet),
+    Sharded(ShardedWeakSet),
+}
+
+impl TestSet {
+    fn add(&self, w: &mut StoreWorld, rec: ObjectRecord, home: NodeId) -> Result<(), Failure> {
+        match self {
+            TestSet::One(s) => s.add(w, rec, home),
+            TestSet::Sharded(s) => s.add(w, rec, home),
+        }
+    }
+
+    fn remove(&self, w: &mut StoreWorld, elem: ObjectId) -> Result<(), Failure> {
+        match self {
+            TestSet::One(s) => s.remove(w, elem),
+            TestSet::Sharded(s) => s.remove(w, elem),
+        }
+    }
+
+    /// The single underlying set (gossip deployments are never sharded).
+    fn single(&self) -> &WeakSet {
+        match self {
+            TestSet::One(s) => s,
+            TestSet::Sharded(_) => unreachable!("sharded deployments have no single collection"),
+        }
+    }
+
+    fn elements_observed(&self, semantics: Semantics) -> TestElements {
+        match self {
+            TestSet::One(s) => TestElements::One(Box::new(s.elements_observed(semantics))),
+            TestSet::Sharded(s) => TestElements::Sharded(s.elements_observed(semantics)),
+        }
+    }
+}
+
+/// The observed iterator under test: a single run, or a fan-out across
+/// shards (one observed run per shard).
+enum TestElements {
+    One(Box<Elements>),
+    Sharded(ShardedElements),
+}
+
+impl TestElements {
+    fn next(&mut self, w: &mut StoreWorld) -> IterStep {
+        match self {
+            TestElements::One(it) => it.next(w),
+            TestElements::Sharded(it) => it.next(w),
+        }
+    }
+
+    fn take_computations(&mut self, w: &StoreWorld) -> Vec<Computation> {
+        match self {
+            TestElements::One(it) => it.take_computation(w).into_iter().collect(),
+            TestElements::Sharded(it) => it.take_computations(w),
+        }
+    }
+}
+
 /// Applies every op scheduled at or before `limit_ms`, advancing the
 /// clock to each op's due time first. Used before the run starts and to
 /// drain leftovers after it ends.
 fn advance_and_apply(
     w: &mut StoreWorld,
-    set: &WeakSet,
+    set: &TestSet,
     servers: &[NodeId],
     ops: &[Op],
     next: &mut usize,
@@ -92,7 +158,7 @@ fn advance_and_apply(
 /// the clock. Used between iterator invocations.
 fn apply_due(
     w: &mut StoreWorld,
-    set: &WeakSet,
+    set: &TestSet,
     servers: &[NodeId],
     ops: &[Op],
     next: &mut usize,
@@ -105,7 +171,7 @@ fn apply_due(
     }
 }
 
-fn apply_op(w: &mut StoreWorld, set: &WeakSet, servers: &[NodeId], op: Op) {
+fn apply_op(w: &mut StoreWorld, set: &TestSet, servers: &[NodeId], op: Op) {
     match op {
         Op::Add { elem, home, .. } => {
             let rec = ObjectRecord::new(ObjectId(elem), format!("e{elem}"), &b"dst"[..]);
@@ -117,18 +183,30 @@ fn apply_op(w: &mut StoreWorld, set: &WeakSet, servers: &[NodeId], op: Op) {
     }
 }
 
-/// The primary's current membership, read omnisciently (driver-side
-/// ground truth, never visible to the iterator under test).
-fn primary_members(w: &StoreWorld, s: &Scenario, home: NodeId) -> Vec<u64> {
-    let state = match s.deployment {
-        Deployment::Plain => w
-            .service::<StoreServer>(home)
-            .and_then(|sv| sv.collection(COLL)),
-        Deployment::Gossip { .. } => GossipNode::collection_history(w, home, COLL),
+/// The current membership as the shard primaries hold it, read
+/// omnisciently (driver-side ground truth, never visible to the iterator
+/// under test). For a sharded set: the union over the shard homes.
+fn ground_truth_members(w: &StoreWorld, s: &Scenario, set: &TestSet) -> Vec<u64> {
+    let read_home = |home: NodeId, coll: CollectionId| -> Vec<u64> {
+        let state = match s.deployment {
+            Deployment::Plain | Deployment::Sharded { .. } => w
+                .service::<StoreServer>(home)
+                .and_then(|sv| sv.collection(coll)),
+            Deployment::Gossip { .. } => GossipNode::collection_history(w, home, coll),
+        };
+        state
+            .map(|c| c.snapshot().iter().map(|m| m.elem.0).collect())
+            .unwrap_or_default()
     };
-    state
-        .map(|c| c.snapshot().iter().map(|m| m.elem.0).collect())
-        .unwrap_or_default()
+    match set {
+        TestSet::One(ws) => read_home(ws.cref().home, ws.cref().id),
+        TestSet::Sharded(ss) => (0..ss.shard_count())
+            .flat_map(|i| {
+                let cref = ss.shard(i).cref();
+                read_home(cref.home, cref.id)
+            })
+            .collect(),
+    }
 }
 
 /// Whether a membership read under `policy` can currently succeed, judged
@@ -148,6 +226,21 @@ fn membership_readable(
             all.iter().filter(|&&n| live(n)).count() * 2 > all.len()
         }
         ReadPolicy::Any | ReadPolicy::Leaderless => cref.all_nodes().iter().any(|&n| live(n)),
+    }
+}
+
+/// [`membership_readable`] over every collection the set spans (a
+/// sharded read needs every shard readable).
+fn all_membership_readable(
+    w: &StoreWorld,
+    policy: ReadPolicy,
+    client: NodeId,
+    set: &TestSet,
+) -> bool {
+    match set {
+        TestSet::One(ws) => membership_readable(w, policy, client, ws.cref()),
+        TestSet::Sharded(ss) => (0..ss.shard_count())
+            .all(|i| membership_readable(w, policy, client, ss.shard(i).cref())),
     }
 }
 
@@ -197,16 +290,14 @@ pub fn execute(s: &Scenario) -> RunReport {
     // World and deployment.
     let mut t = Topology::new();
     let cn = t.add_node("client", 0);
-    let servers: Vec<NodeId> = (0..s.servers.max(1))
-        .map(|i| t.add_node(format!("s{i}"), i as u32 + 1))
-        .collect();
+    let servers: Vec<NodeId> = t.add_servers("s", s.servers.max(1));
     let mut w = StoreWorld::new(
         WorldConfig::seeded(s.seed),
         t,
         LatencyModel::Constant(ms(1)),
     );
     match s.deployment {
-        Deployment::Plain => {
+        Deployment::Plain | Deployment::Sharded { .. } => {
             for &sv in &servers {
                 w.install_service(sv, Box::new(StoreServer::new()));
             }
@@ -226,21 +317,45 @@ pub fn execute(s: &Scenario) -> RunReport {
         }
     }
     let client = StoreClient::new(cn, ms(50));
-    let cref = CollectionRef {
-        id: COLL,
-        home: servers[0],
-        replicas: servers[1..].to_vec(),
-    };
-    client
-        .create_collection(&mut w, &cref)
-        .expect("collection creation precedes all faults");
-
-    let set = WeakSet::new(client.clone(), cref.clone()).with_config(IterConfig {
+    let config = IterConfig {
         read_policy: s.read_policy,
         fetch_order: s.fetch_order,
         guard_growth: s.guard_growth,
         ..IterConfig::default()
-    });
+    };
+    let set = match s.deployment {
+        Deployment::Sharded { shards } => {
+            // Servers split round-robin into shard groups, so fault and
+            // op server indices keep their meaning: group g is servers
+            // g, g+n, g+2n, ... with the first as the shard primary.
+            let n = shards.clamp(1, servers.len());
+            let groups: Vec<ShardGroup> = (0..n)
+                .map(|g| {
+                    let members: Vec<NodeId> =
+                        (g..servers.len()).step_by(n).map(|i| servers[i]).collect();
+                    ShardGroup {
+                        home: members[0],
+                        replicas: members[1..].to_vec(),
+                    }
+                })
+                .collect();
+            TestSet::Sharded(
+                ShardedWeakSet::create(&mut w, COLL, client.clone(), &groups, config)
+                    .expect("shard creation precedes all faults"),
+            )
+        }
+        Deployment::Plain | Deployment::Gossip { .. } => {
+            let cref = CollectionRef {
+                id: COLL,
+                home: servers[0],
+                replicas: servers[1..].to_vec(),
+            };
+            client
+                .create_collection(&mut w, &cref)
+                .expect("collection creation precedes all faults");
+            TestSet::One(WeakSet::new(client.clone(), cref).with_config(config))
+        }
+    };
 
     // Initial membership, before the run origin.
     for &(elem, home) in &s.setup {
@@ -251,11 +366,11 @@ pub fn execute(s: &Scenario) -> RunReport {
 
     // Gossip deployments anti-entropy for the whole run.
     let handle = match s.deployment {
-        Deployment::Plain => None,
+        Deployment::Plain | Deployment::Sharded { .. } => None,
         Deployment::Gossip { .. } => Some(engine::install(
             &mut w,
             COLL,
-            cref.all_nodes(),
+            set.single().cref().all_nodes(),
             GossipConfig {
                 interval: ms(5),
                 fanout: 2,
@@ -278,12 +393,14 @@ pub fn execute(s: &Scenario) -> RunReport {
     }
 
     // The observed iterator under test.
-    let mut it: Elements = match s.deployment {
-        Deployment::Plain => set.elements_observed(s.semantics),
-        Deployment::Gossip { .. } => set.elements_observed_via(
-            s.semantics,
-            HistorySource::new(GossipNode::collection_history),
-        ),
+    let mut it: TestElements = match s.deployment {
+        Deployment::Plain | Deployment::Sharded { .. } => set.elements_observed(s.semantics),
+        Deployment::Gossip { .. } => {
+            TestElements::One(Box::new(set.single().elements_observed_via(
+                s.semantics,
+                HistorySource::new(GossipNode::collection_history),
+            )))
+        }
     };
 
     let mut yielded: Vec<u64> = Vec::new();
@@ -300,9 +417,9 @@ pub fn execute(s: &Scenario) -> RunReport {
         // (self-healing) fault to clear instead of forcing an illegal
         // terminal step. Omniscient, driver-only knowledge.
         if matches!(s.semantics, Semantics::Optimistic | Semantics::GrowOnly) {
-            let members = primary_members(&w, s, cref.home);
+            let members = ground_truth_members(&w, s, &set);
             let all_yielded = members.iter().all(|m| yielded.contains(m));
-            if all_yielded && !membership_readable(&w, s.read_policy, cn, &cref) {
+            if all_yielded && !all_membership_readable(&w, s.read_policy, cn, &set) {
                 waits += 1;
                 if waits > MAX_WAITS {
                     violations.push("driver wedged: membership never became readable".into());
@@ -352,13 +469,14 @@ pub fn execute(s: &Scenario) -> RunReport {
         w.run_until(drained);
     }
     if let Some(handle) = handle {
-        let mut ok = engine::converged(&w, COLL, &cref.all_nodes());
+        let replicas = set.single().cref().all_nodes();
+        let mut ok = engine::converged(&w, COLL, &replicas);
         for _ in 0..40 {
             if ok {
                 break;
             }
             w.sleep(ms(20));
-            ok = engine::converged(&w, COLL, &cref.all_nodes());
+            ok = engine::converged(&w, COLL, &replicas);
         }
         if !ok {
             violations.push("gossip replicas failed to converge after all faults healed".into());
@@ -367,14 +485,22 @@ pub fn execute(s: &Scenario) -> RunReport {
     }
     w.run_to_quiescence();
 
-    let mut computation = it.take_computation(&w);
+    let mut computations = it.take_computations(&w);
     if s.chaos == Chaos::PhantomYield {
-        inject_phantom_yield(computation.as_mut(), &mut violations);
+        inject_phantom_yield(computations.last_mut(), &mut violations);
     }
-    if let Some(comp) = &computation {
-        violations.extend(oracle::check(s, comp));
-    } else {
+    if computations.is_empty() {
         violations.push("observer produced no computation".into());
+    }
+    let sharded = computations.len() > 1;
+    for (i, comp) in computations.iter().enumerate() {
+        for v in oracle::check(s, comp) {
+            violations.push(if sharded {
+                format!("shard {i}: {v}")
+            } else {
+                v
+            });
+        }
     }
 
     RunReport {
@@ -383,7 +509,7 @@ pub fn execute(s: &Scenario) -> RunReport {
         yielded,
         steps,
         violations,
-        computation,
+        computations,
         sim_time_us: w.now().as_micros(),
         metrics: w.metrics().clone(),
     }
@@ -472,6 +598,106 @@ mod tests {
             assert_eq!(a.trace_hash, b.trace_hash, "seed {}", s.seed);
             assert_eq!(a.yielded, b.yielded);
             assert_eq!(a.violations, b.violations);
+        }
+    }
+
+    /// A fault-free sharded scenario: 6 servers in 3 groups of 2,
+    /// quorum reads, enough setup to populate several shards.
+    fn quiet_sharded(semantics: Semantics) -> Scenario {
+        Scenario {
+            seed: 23,
+            servers: 6,
+            deployment: Deployment::Sharded { shards: 3 },
+            semantics,
+            read_policy: ReadPolicy::Quorum,
+            guard_growth: false,
+            fetch_order: weakset::prelude::FetchOrder::IdOrder,
+            think_ms: 1,
+            budget: 16,
+            start_ms: 10,
+            setup: vec![(1, 0), (2, 1), (3, 2), (4, 3), (5, 4), (6, 5)],
+            ops: Vec::new(),
+            faults: Vec::new(),
+            chaos: Chaos::None,
+        }
+    }
+
+    #[test]
+    fn quiet_sharded_runs_conform_for_every_semantics() {
+        for sem in Semantics::ALL {
+            let report = execute(&quiet_sharded(sem));
+            assert!(
+                report.violations.is_empty(),
+                "{sem}: {:?}",
+                report.violations
+            );
+            let mut got = report.yielded.clone();
+            got.sort_unstable();
+            assert_eq!(got, vec![1, 2, 3, 4, 5, 6], "{sem}");
+            assert_eq!(
+                report.computations.len(),
+                3,
+                "{sem}: one computation per shard"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_phantom_yield_chaos_is_always_caught() {
+        for sem in Semantics::ALL {
+            let sabotaged = Scenario {
+                chaos: Chaos::PhantomYield,
+                ..quiet_sharded(sem)
+            };
+            let report = execute(&sabotaged);
+            assert!(
+                !report.violations.is_empty(),
+                "{sem}: sabotage went undetected"
+            );
+            assert!(
+                report.violations.iter().any(|v| v.starts_with("shard ")),
+                "{sem}: violation not attributed to a shard: {:?}",
+                report.violations
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_optimistic_rides_out_a_shard_primary_outage() {
+        // Crash server 0 (shard 0's primary) mid-run: the optimistic
+        // fan-out blocks while its shard is dark, resumes on restart,
+        // and still drains every member of every shard.
+        let s = Scenario {
+            semantics: Semantics::Optimistic,
+            read_policy: ReadPolicy::Primary,
+            faults: vec![FaultSpec::Outage {
+                at_ms: 12,
+                node: 0,
+                for_ms: 20,
+            }],
+            ..quiet_sharded(Semantics::Optimistic)
+        };
+        let report = execute(&s);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        let mut got = report.yielded.clone();
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn generated_sharded_scenarios_conform_and_replay() {
+        for i in 0..6 {
+            let s = crate::gen::generate_sharded(mix(29, i));
+            let a = execute(&s);
+            assert!(
+                a.violations.is_empty(),
+                "seed {}: {:?}",
+                s.seed,
+                a.violations
+            );
+            let b = execute(&s);
+            assert_eq!(a.trace_hash, b.trace_hash, "seed {}", s.seed);
+            assert_eq!(a.yielded, b.yielded);
         }
     }
 }

@@ -26,6 +26,15 @@ pub enum Deployment {
         /// Use the grow-only G-Set CRDT instead of the OR-Set.
         grow_only: bool,
     },
+    /// A `ShardedWeakSet`: the servers split round-robin into `shards`
+    /// replica groups, each owning one sub-collection; elements route by
+    /// the consistent-hash ring and membership reads ride the batched
+    /// envelope path.
+    Sharded {
+        /// Number of shard groups (clamped to the server count at
+        /// execution time).
+        shards: usize,
+    },
 }
 
 /// One workload mutation, scheduled at a millisecond offset from the
@@ -220,6 +229,9 @@ impl Scenario {
                 s.push_str(&format!(
                     "    deployment: Gossip(grow_only: {grow_only}),\n"
                 ));
+            }
+            Deployment::Sharded { shards } => {
+                s.push_str(&format!("    deployment: Sharded(shards: {shards}),\n"));
             }
         }
         s.push_str(&format!(
@@ -528,6 +540,17 @@ impl Parser {
                 self.expect(Tok::RParen)?;
                 Deployment::Gossip { grow_only }
             }
+            "Sharded" => {
+                self.expect(Tok::LParen)?;
+                self.keyword("shards")?;
+                self.expect(Tok::Colon)?;
+                let shards = self.num()? as usize;
+                if shards == 0 {
+                    return Err("shards must be at least 1".into());
+                }
+                self.expect(Tok::RParen)?;
+                Deployment::Sharded { shards }
+            }
             other => return Err(format!("unknown deployment '{other}'")),
         };
         self.expect(Tok::Comma)?;
@@ -777,6 +800,37 @@ mod tests {
         };
         let back = Scenario::from_ron(&s.to_ron()).unwrap();
         assert_eq!(s, back);
+    }
+
+    #[test]
+    fn sharded_deployment_round_trips() {
+        let s = Scenario {
+            deployment: Deployment::Sharded { shards: 3 },
+            ..sample()
+        };
+        let text = s.to_ron();
+        assert!(text.contains("deployment: Sharded(shards: 3)"));
+        assert_eq!(Scenario::from_ron(&text).unwrap(), s);
+        assert!(Scenario::from_ron(&text.replace("shards: 3", "shards: 0")).is_err());
+    }
+
+    #[test]
+    fn pre_sharding_artifacts_still_parse() {
+        // Artifacts written before the Sharded variant existed carry
+        // Plain or Gossip deployments; both grammars are unchanged.
+        for needle in ["Gossip(grow_only: false)", "Plain"] {
+            let s = if needle == "Plain" {
+                Scenario {
+                    deployment: Deployment::Plain,
+                    ..sample()
+                }
+            } else {
+                sample()
+            };
+            let text = s.to_ron();
+            assert!(text.contains(needle));
+            assert_eq!(Scenario::from_ron(&text).unwrap(), s);
+        }
     }
 
     #[test]

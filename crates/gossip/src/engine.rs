@@ -115,6 +115,33 @@ pub fn install(
     GossipHandle { stop }
 }
 
+/// Installs one independent anti-entropy schedule per shard: each
+/// shard's sub-collection gossips strictly within its own replica
+/// group, never across groups, so a partition (or a hot spot) in one
+/// shard cannot slow convergence of the others. Handles come back in
+/// shard order; stop them individually or all together.
+///
+/// Shard sub-collection ids are the caller's business (sharded weak
+/// sets derive them with `weakset::shard::shard_collection_id`).
+pub fn install_sharded(
+    world: &mut StoreWorld,
+    shards: &[(CollectionId, Vec<NodeId>)],
+    config: GossipConfig,
+) -> Vec<GossipHandle> {
+    shards
+        .iter()
+        .map(|(coll, replicas)| install(world, *coll, replicas.clone(), config))
+        .collect()
+}
+
+/// True when every shard's replica group has converged on its own
+/// sub-collection (see [`converged`]).
+pub fn converged_sharded(world: &StoreWorld, shards: &[(CollectionId, Vec<NodeId>)]) -> bool {
+    shards
+        .iter()
+        .all(|(coll, replicas)| converged(world, *coll, replicas))
+}
+
 /// One immediate push-pull exchange between two replicas (no schedule) —
 /// deterministic pairwise sync for tests and targeted repair.
 pub fn sync_pair(

@@ -305,6 +305,11 @@ impl GossipNode {
                 }
                 reply
             }
+            // Batched parts must re-enter HERE, not the wrapped server,
+            // so CRDT-backed reads stay CRDT-backed inside envelopes.
+            StoreMsg::Batch(parts) => {
+                StoreMsg::BatchReply(parts.into_iter().map(|p| self.handle_msg(p)).collect())
+            }
             // Object traffic, queries, locks, and the rival primary-sync
             // path go straight to the wrapped server.
             other => self.inner.apply(other),

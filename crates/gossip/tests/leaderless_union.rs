@@ -19,9 +19,7 @@ const COLL: CollectionId = CollectionId(1);
 fn setup(seed: u64, n: usize) -> (StoreWorld, StoreClient, CollectionRef) {
     let mut t = Topology::new();
     let cn = t.add_node("client", 0);
-    let servers: Vec<NodeId> = (0..n)
-        .map(|i| t.add_node(format!("s{i}"), i as u32 + 1))
-        .collect();
+    let servers: Vec<NodeId> = t.add_servers("s", n);
     let mut w = StoreWorld::new(
         WorldConfig::seeded(seed),
         t,

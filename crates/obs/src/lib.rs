@@ -52,12 +52,14 @@
 pub mod json;
 pub mod latency;
 pub mod registry;
+pub mod shard;
 pub mod sink;
 pub mod snapshot;
 
 pub use json::Json;
 pub use latency::{LatencyRecorder, LatencySummary};
 pub use registry::MetricsRegistry;
+pub use shard::{per_shard_stats, shard_key, ShardStats};
 pub use sink::{EventSink, ObsEvent, SpanId};
 pub use snapshot::{Direction, Objective, ObsSnapshot};
 
@@ -66,6 +68,7 @@ pub mod prelude {
     pub use crate::json::Json;
     pub use crate::latency::{LatencyRecorder, LatencySummary};
     pub use crate::registry::MetricsRegistry;
+    pub use crate::shard::{per_shard_stats, shard_key, ShardStats};
     pub use crate::sink::{EventSink, ObsEvent, SpanId};
     pub use crate::snapshot::{Direction, Objective, ObsSnapshot};
 }

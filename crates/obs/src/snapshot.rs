@@ -193,7 +193,9 @@ impl ObsSnapshot {
         let schema_version = root
             .get("schema_version")
             .and_then(Json::as_u64)
-            .ok_or("missing field: schema_version")? as u32;
+            .ok_or("missing field: schema_version")?;
+        let schema_version = u32::try_from(schema_version)
+            .map_err(|_| format!("schema_version {schema_version} out of range for u32"))?;
         if schema_version != Self::SCHEMA_VERSION {
             return Err(format!(
                 "unknown schema_version {schema_version} (expected {})",
@@ -350,6 +352,25 @@ mod tests {
             .to_json()
             .replace("\"schema_version\": 1", "\"schema_version\": 999");
         assert!(ObsSnapshot::from_json(&wrong_version).is_err());
+    }
+
+    #[test]
+    fn from_json_rejects_non_u32_schema_versions() {
+        // Out of u32 range: must be a parse error, not a silent
+        // truncation to some in-range value.
+        let too_big = sample()
+            .to_json()
+            .replace("\"schema_version\": 1", "\"schema_version\": 4294967297");
+        let err = ObsSnapshot::from_json(&too_big).unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
+        // Fractional and negative versions are not unsigned integers.
+        for bad in ["1.5", "-1"] {
+            let text = sample().to_json().replace(
+                "\"schema_version\": 1",
+                &format!("\"schema_version\": {bad}"),
+            );
+            assert!(ObsSnapshot::from_json(&text).is_err(), "{bad}");
+        }
     }
 
     #[test]

@@ -64,7 +64,7 @@ pub mod prelude {
     pub use crate::latency::LatencyModel;
     pub use crate::link::LinkState;
     pub use crate::metrics::{EventSink, LatencyRecorder, LatencySummary, Metrics, ObsSnapshot};
-    pub use crate::net::NetError;
+    pub use crate::net::{BatchBuffer, BatchEnvelope, NetError};
     pub use crate::node::{Node, NodeId, NodeStatus};
     pub use crate::rng::SimRng;
     pub use crate::time::{SimDuration, SimTime};

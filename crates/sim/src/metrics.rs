@@ -10,7 +10,8 @@
 //! (`SimDuration::as_micros`), the simulator's native resolution.
 
 pub use weakset_obs::{
-    Direction, EventSink, LatencyRecorder, LatencySummary, Objective, ObsEvent, ObsSnapshot, SpanId,
+    per_shard_stats, shard_key, Direction, EventSink, LatencyRecorder, LatencySummary, Objective,
+    ObsEvent, ObsSnapshot, ShardStats, SpanId,
 };
 
 /// Named counters, gauges, and latency recorders for a run.

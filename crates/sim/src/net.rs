@@ -1,14 +1,97 @@
-//! Network-level failures.
+//! Network-level failures and message coalescing.
 //!
 //! The paper writes `fails` for "the operation terminates with a special
 //! 'failure' exception, denoting any kind of failure, e.g., a timeout, node
 //! crash, or link down". [`NetError`] is that exception, with the cause kept
 //! for diagnostics.
+//!
+//! This module also carries the wire-level *batch envelope*: a message
+//! type that implements [`BatchEnvelope`] can coalesce several sibling
+//! requests for one destination into a single envelope message, which
+//! crosses the network as ONE message — one latency sample, one
+//! transfer-delay charge, one delivery event. [`BatchBuffer`] is the
+//! scheduler-level flush queue that does the grouping.
 
 use crate::node::NodeId;
+use crate::world::{ReplyToken, World};
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
+
+/// A message type whose values can be coalesced into one wire-level
+/// envelope.
+///
+/// Implementations add a `Batch(Vec<M>)`-style variant to their protocol
+/// enum; servers answer an envelope with an envelope of replies in
+/// request order. The simulator charges the envelope as a single
+/// message, so a quorum round-trip can carry reads for every key
+/// co-located on the destination.
+pub trait BatchEnvelope: Sized {
+    /// Wraps sibling requests into one envelope message.
+    fn wrap_batch(parts: Vec<Self>) -> Self;
+    /// Recovers an envelope's parts, or gives the message back when it
+    /// is not an envelope (a plain unbatched reply).
+    fn unwrap_batch(self) -> Result<Vec<Self>, Self>;
+}
+
+/// A scheduler-level flush queue for batched sends.
+///
+/// Client code pushes individual requests keyed by destination; a
+/// [`BatchBuffer::flush`] then launches ONE envelope per destination
+/// (in deterministic `NodeId` order) via [`World::send_batch`] and
+/// returns the in-flight tokens. The buffer never advances simulated
+/// time — pushes are free, and the flush only *launches* messages, so
+/// requests queued in the same scheduling step genuinely share their
+/// round trips.
+#[derive(Debug)]
+pub struct BatchBuffer<M> {
+    from: NodeId,
+    pending: BTreeMap<NodeId, Vec<M>>,
+}
+
+impl<M: Clone + fmt::Debug + BatchEnvelope + 'static> BatchBuffer<M> {
+    /// An empty buffer for requests originating at `from`.
+    pub fn new(from: NodeId) -> Self {
+        BatchBuffer {
+            from,
+            pending: BTreeMap::new(),
+        }
+    }
+
+    /// Queues one request for `to`. Nothing is sent until
+    /// [`BatchBuffer::flush`].
+    pub fn push(&mut self, to: NodeId, msg: M) {
+        self.pending.entry(to).or_default().push(msg);
+    }
+
+    /// Total queued requests across all destinations.
+    pub fn pending_parts(&self) -> usize {
+        self.pending.values().map(Vec::len).sum()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Sends every queued request, one envelope per destination, and
+    /// returns `(destination, token, parts)` per envelope in `NodeId`
+    /// order. Replies arrive as envelopes; unwrap them with
+    /// [`BatchEnvelope::unwrap_batch`] after
+    /// [`World::try_take_reply`].
+    pub fn flush(&mut self, world: &mut World<M>) -> Vec<(NodeId, ReplyToken, usize)> {
+        let pending = std::mem::take(&mut self.pending);
+        pending
+            .into_iter()
+            .map(|(to, parts)| {
+                let n = parts.len();
+                let token = world.send_batch(self.from, to, parts);
+                (to, token, n)
+            })
+            .collect()
+    }
+}
 
 /// Why a remote operation failed.
 ///

@@ -60,8 +60,24 @@ impl SimTime {
         self.0 / 1_000
     }
 
+    /// Time elapsed since `earlier`, or `None` when `earlier` is later
+    /// than `self` (an out-of-order timestamp pair).
+    pub fn checked_duration_since(self, earlier: SimTime) -> Option<SimDuration> {
+        self.0.checked_sub(earlier.0).map(SimDuration)
+    }
+
     /// Time elapsed since `earlier`, or zero if `earlier` is later.
+    ///
+    /// Saturating here means the caller subtracted timestamps out of
+    /// order — on a monotonic event loop that is a causality or
+    /// scheduler-ordering bug upstream, so debug builds assert instead
+    /// of masking it. A caller that genuinely expects reordered
+    /// instants should branch on [`SimTime::checked_duration_since`].
     pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        debug_assert!(
+            earlier.0 <= self.0,
+            "out-of-order timestamps: {earlier:?} is later than {self:?}"
+        );
         SimDuration(self.0.saturating_sub(earlier.0))
     }
 
@@ -197,11 +213,24 @@ mod tests {
     }
 
     #[test]
-    fn saturating_since_is_zero_for_earlier() {
+    fn checked_duration_since_detects_out_of_order() {
         let a = SimTime::from_micros(5);
         let b = SimTime::from_micros(9);
-        assert_eq!(a.saturating_since(b), SimDuration::ZERO);
+        assert_eq!(a.checked_duration_since(b), None);
+        assert_eq!(
+            b.checked_duration_since(a),
+            Some(SimDuration::from_micros(4))
+        );
         assert_eq!(b.saturating_since(a), SimDuration::from_micros(4));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "out-of-order timestamps")]
+    fn saturating_since_asserts_on_out_of_order() {
+        let a = SimTime::from_micros(5);
+        let b = SimTime::from_micros(9);
+        let _ = a.saturating_since(b);
     }
 
     #[test]

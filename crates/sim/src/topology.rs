@@ -63,6 +63,28 @@ impl Topology {
             .collect()
     }
 
+    /// One site past the highest site currently in use (0 when empty).
+    pub fn next_site(&self) -> u32 {
+        self.nodes
+            .iter()
+            .map(|n| n.site().saturating_add(1))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Adds `n` server nodes named `prefix{i}`, each at the next unused
+    /// site, returning their ids. This is THE way to stand up a server
+    /// fleet after the client node: ids and sites both come from the
+    /// topology's own counters, so no caller hand-assigns either (the
+    /// old `i as u32 + 1` convention collided once deployments grew
+    /// several node sets).
+    pub fn add_servers(&mut self, prefix: &str, n: usize) -> Vec<NodeId> {
+        let base = self.next_site();
+        (0..n)
+            .map(|i| self.add_node(format!("{prefix}{i}"), base + i as u32))
+            .collect()
+    }
+
     /// Number of nodes.
     pub fn len(&self) -> usize {
         self.nodes.len()
@@ -307,6 +329,27 @@ mod tests {
         assert_eq!(t.node(ids[2]).site(), 2);
         assert_eq!(t.len(), 4);
         assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn add_servers_continues_site_numbering() {
+        let mut t = Topology::new();
+        assert_eq!(t.next_site(), 0);
+        let client = t.add_node("client", 0);
+        let servers = t.add_servers("s", 3);
+        assert_eq!(t.node(servers[0]).site(), 1);
+        assert_eq!(t.node(servers[2]).site(), 3);
+        assert_eq!(t.node(servers[2]).name(), "s2");
+        // A second fleet lands on fresh sites and fresh ids.
+        let more = t.add_servers("shard", 2);
+        assert_eq!(t.node(more[0]).site(), 4);
+        let mut all = vec![client];
+        all.extend(&servers);
+        all.extend(&more);
+        let mut dedup = all.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), all.len(), "no NodeId collisions");
     }
 
     #[test]

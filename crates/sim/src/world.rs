@@ -24,7 +24,7 @@ use crate::event::{run_task, EventKind, EventQueue};
 use crate::fault::{FaultAction, FaultPlan};
 use crate::latency::LatencyModel;
 use crate::metrics::{EventSink, Metrics};
-use crate::net::NetError;
+use crate::net::{BatchEnvelope, NetError};
 use crate::node::NodeId;
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
@@ -540,6 +540,50 @@ impl<M: Clone + std::fmt::Debug + 'static> World<M> {
             },
         );
         token
+    }
+
+    /// Performs a synchronous *batched* RPC: the parts are wrapped into
+    /// one [`BatchEnvelope`] that crosses the network as a single
+    /// message — one latency sample, one transfer-delay charge — and the
+    /// reply envelope is unwrapped back into per-part replies in request
+    /// order. This is how a quorum round-trip carries reads for every
+    /// key co-located on the destination shard group.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`NetError`] exactly when [`World::rpc`] does; a
+    /// failure loses the whole envelope.
+    pub fn rpc_batch(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        parts: Vec<M>,
+        timeout: SimDuration,
+    ) -> Result<Vec<M>, NetError>
+    where
+        M: BatchEnvelope,
+    {
+        self.metrics.incr("net.batch.envelopes");
+        self.metrics.add("net.batch.parts", parts.len() as u64);
+        let reply = self.rpc(from, to, M::wrap_batch(parts), timeout)?;
+        Ok(match reply.unwrap_batch() {
+            Ok(replies) => replies,
+            Err(single) => vec![single],
+        })
+    }
+
+    /// Launches a batched request asynchronously (see [`World::send`]):
+    /// the parts are wrapped into one envelope and a single token is
+    /// returned. The reply (collected via [`World::try_take_reply`]) is
+    /// an envelope; recover the per-part replies with
+    /// [`BatchEnvelope::unwrap_batch`].
+    pub fn send_batch(&mut self, from: NodeId, to: NodeId, parts: Vec<M>) -> ReplyToken
+    where
+        M: BatchEnvelope,
+    {
+        self.metrics.incr("net.batch.envelopes");
+        self.metrics.add("net.batch.parts", parts.len() as u64);
+        self.send(from, to, M::wrap_batch(parts))
     }
 
     /// Collects the reply for an asynchronously-sent request if it has
@@ -1059,5 +1103,112 @@ mod tests {
         assert!(w.rpc_default(c, s, 1).is_err());
         w.topology_mut().heal_partition();
         assert_eq!(w.rpc_default(c, s, 1), Ok(2));
+    }
+
+    /// A protocol with a batch variant, mirroring how `StoreMsg` opts in.
+    #[derive(Clone, Debug, PartialEq)]
+    enum BMsg {
+        Val(u64),
+        Batch(Vec<BMsg>),
+    }
+    impl crate::net::BatchEnvelope for BMsg {
+        fn wrap_batch(parts: Vec<Self>) -> Self {
+            BMsg::Batch(parts)
+        }
+        fn unwrap_batch(self) -> Result<Vec<Self>, Self> {
+            match self {
+                BMsg::Batch(parts) => Ok(parts),
+                other => Err(other),
+            }
+        }
+    }
+    struct BatchPlusOne;
+    impl Service<BMsg> for BatchPlusOne {
+        fn handle(&mut self, _ctx: &mut ServiceCtx, _from: NodeId, msg: BMsg) -> BMsg {
+            fn one(m: BMsg) -> BMsg {
+                match m {
+                    BMsg::Val(n) => BMsg::Val(n + 1),
+                    BMsg::Batch(parts) => BMsg::Batch(parts.into_iter().map(one).collect()),
+                }
+            }
+            one(msg)
+        }
+    }
+
+    #[test]
+    fn batched_rpc_is_one_round_trip_for_many_parts() {
+        let mut t = Topology::new();
+        let c = t.add_node("c", 0);
+        let s = t.add_node("s", 1);
+        let mut w: World<BMsg> = World::new(
+            WorldConfig::seeded(1),
+            t,
+            LatencyModel::Constant(SimDuration::from_millis(5)),
+        );
+        w.install_service(s, Box::new(BatchPlusOne));
+        let started = w.now();
+        let parts = (0..4).map(BMsg::Val).collect();
+        let replies = w
+            .rpc_batch(c, s, parts, SimDuration::from_millis(200))
+            .unwrap();
+        assert_eq!(
+            replies,
+            (1..5).map(BMsg::Val).collect::<Vec<_>>(),
+            "per-part replies in request order"
+        );
+        // One envelope out + one back: a single 10ms round trip, exactly
+        // as if a lone message had been sent.
+        assert_eq!(
+            w.now().saturating_since(started),
+            SimDuration::from_millis(10)
+        );
+        assert_eq!(w.metrics().counter("net.batch.envelopes"), 1);
+        assert_eq!(w.metrics().counter("net.batch.parts"), 4);
+        assert_eq!(w.metrics().counter("rpc.sent"), 1);
+    }
+
+    #[test]
+    fn batch_buffer_flushes_one_envelope_per_destination() {
+        let mut t = Topology::new();
+        let c = t.add_node("c", 0);
+        let s1 = t.add_node("s1", 1);
+        let s2 = t.add_node("s2", 2);
+        let mut w: World<BMsg> = World::new(
+            WorldConfig::seeded(1),
+            t,
+            LatencyModel::Constant(SimDuration::from_millis(5)),
+        );
+        w.install_service(s1, Box::new(BatchPlusOne));
+        w.install_service(s2, Box::new(BatchPlusOne));
+        let mut buf = crate::net::BatchBuffer::new(c);
+        buf.push(s1, BMsg::Val(10));
+        buf.push(s2, BMsg::Val(20));
+        buf.push(s1, BMsg::Val(11));
+        assert_eq!(buf.pending_parts(), 3);
+        let launched = buf.flush(&mut w);
+        assert!(buf.is_empty());
+        assert_eq!(launched.len(), 2, "one envelope per destination");
+        assert_eq!(launched[0].0, s1);
+        assert_eq!(launched[0].2, 2);
+        // Both envelopes are in flight CONCURRENTLY: waiting for both
+        // still costs one round trip of wall-clock.
+        let started = w.now();
+        let tokens: Vec<ReplyToken> = launched.iter().map(|&(_, t, _)| t).collect();
+        let deadline = w.now() + SimDuration::from_millis(200);
+        let mut remaining = tokens.clone();
+        while !remaining.is_empty() {
+            let done = w.wait_any(&remaining, deadline).expect("reply");
+            remaining.retain(|&t| t != done);
+        }
+        assert_eq!(
+            w.now().saturating_since(started),
+            SimDuration::from_millis(10)
+        );
+        use crate::net::BatchEnvelope as _;
+        let r1 = w.try_take_reply(tokens[0]).unwrap().unwrap();
+        assert_eq!(
+            r1.unwrap_batch().unwrap(),
+            vec![BMsg::Val(11), BMsg::Val(12)]
+        );
     }
 }

@@ -5,12 +5,13 @@ use crate::msg::StoreMsg;
 use crate::object::{CollectionId, ObjectId, ObjectRecord};
 use crate::query::Query;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
-use weakset_sim::net::NetError;
+use weakset_sim::net::{BatchBuffer, BatchEnvelope, NetError};
 use weakset_sim::node::NodeId;
 use weakset_sim::time::SimDuration;
-use weakset_sim::world::World;
+use weakset_sim::world::{ReplyToken, World};
 
 /// The world type every store deployment runs in.
 pub type StoreWorld = World<StoreMsg>;
@@ -478,6 +479,178 @@ impl StoreClient {
         }
     }
 
+    /// Reads the memberships of several co-located collections (shard
+    /// sub-collections) in one round of batched traffic: ONE envelope
+    /// per replica node carries the `ListMembers` for every shard
+    /// hosted there, and all envelopes are in flight concurrently.
+    /// Results come back per shard, in input order, each aggregated
+    /// under `policy` exactly as [`StoreClient::read_members`] would.
+    ///
+    /// Against the sequential path (one round-trip per shard per
+    /// replica), the whole read costs one round-trip per *node* —
+    /// this is the batched-quorum fast path that sharded weak sets
+    /// ride. Retries are not applied here; a lost envelope surfaces
+    /// as a per-shard failure and the caller decides.
+    pub fn read_members_batched(
+        &self,
+        world: &mut StoreWorld,
+        shards: &[CollectionRef],
+        policy: ReadPolicy,
+    ) -> Vec<Result<MembershipRead, StoreError>> {
+        let started = world.now();
+        // Which nodes each shard contacts under this policy.
+        let contacts: Vec<Vec<NodeId>> = shards
+            .iter()
+            .map(|s| match policy {
+                ReadPolicy::Primary => vec![s.home],
+                _ => s.all_nodes(),
+            })
+            .collect();
+        // Group the per-shard requests by destination; remember which
+        // shard index each envelope slot belongs to (reply order ==
+        // request order within an envelope).
+        let mut buf = BatchBuffer::new(self.node);
+        let mut slots: BTreeMap<NodeId, Vec<usize>> = BTreeMap::new();
+        for (i, shard) in shards.iter().enumerate() {
+            for &node in &contacts[i] {
+                slots.entry(node).or_default().push(i);
+                buf.push(node, StoreMsg::ListMembers(shard.id));
+            }
+        }
+        world
+            .metrics_mut()
+            .add("store.read.batched.contacts", buf.pending_parts() as u64);
+        let launched = buf.flush(world);
+        let deadline = world.now() + self.timeout;
+        let mut outstanding: Vec<ReplyToken> = launched.iter().map(|&(_, t, _)| t).collect();
+        while !outstanding.is_empty() {
+            match world.wait_any(&outstanding, deadline) {
+                Some(done) => outstanding.retain(|&t| t != done),
+                None => break,
+            }
+        }
+        // Slice each node's reply envelope back into per-shard reads.
+        let mut reads: Vec<Vec<(NodeId, Result<MembershipRead, StoreError>)>> =
+            vec![Vec::new(); shards.len()];
+        for (node, token, parts) in launched {
+            let outcome = match world.try_take_reply(token) {
+                Some(Ok(msg)) => match msg.unwrap_batch() {
+                    Ok(replies) if replies.len() == parts => Ok(replies),
+                    _ => Err(StoreError::Protocol),
+                },
+                Some(Err(e)) => Err(StoreError::Net(e)),
+                None => Err(StoreError::Net(NetError::Timeout)),
+            };
+            let idxs = &slots[&node];
+            match outcome {
+                Ok(replies) => {
+                    for (&i, part) in idxs.iter().zip(replies) {
+                        let read = match part {
+                            StoreMsg::Members { version, entries } => {
+                                Ok(MembershipRead { version, entries })
+                            }
+                            StoreMsg::NoSuchCollection(c) => Err(StoreError::NoSuchCollection(c)),
+                            _ => Err(StoreError::Protocol),
+                        };
+                        reads[i].push((node, read));
+                    }
+                }
+                Err(e) => {
+                    for &i in idxs {
+                        reads[i].push((node, Err(e.clone())));
+                    }
+                }
+            }
+        }
+        let results: Vec<Result<MembershipRead, StoreError>> = reads
+            .into_iter()
+            .map(|per_node| Self::aggregate_reads(world, self.node, policy, per_node))
+            .collect();
+        let elapsed = world.now().saturating_since(started).as_micros();
+        let m = world.metrics_mut();
+        m.observe(
+            &format!("store.read.batched.{}.us", policy.label()),
+            elapsed,
+        );
+        for r in &results {
+            m.incr(&format!(
+                "store.read.batched.{}.{}",
+                policy.label(),
+                if r.is_ok() { "ok" } else { "err" }
+            ));
+        }
+        results
+    }
+
+    /// Folds one shard's per-replica reads into a single result under
+    /// `policy`, mirroring the aggregation in `read_members_inner`.
+    fn aggregate_reads(
+        world: &StoreWorld,
+        client: NodeId,
+        policy: ReadPolicy,
+        mut per_node: Vec<(NodeId, Result<MembershipRead, StoreError>)>,
+    ) -> Result<MembershipRead, StoreError> {
+        match policy {
+            ReadPolicy::Primary => per_node
+                .pop()
+                .map_or(Err(StoreError::Net(NetError::Timeout)), |(_, r)| r),
+            ReadPolicy::Any => {
+                // Closest-first, as in the sequential path.
+                per_node.sort_by_key(|&(n, _)| world.estimate_latency(client, n));
+                let mut last_err = StoreError::Net(NetError::Timeout);
+                for (_, r) in per_node {
+                    match r {
+                        Ok(read) => return Ok(read),
+                        Err(e) => last_err = e,
+                    }
+                }
+                Err(last_err)
+            }
+            ReadPolicy::Quorum => {
+                let need = per_node.len() / 2 + 1;
+                let mut best: Option<MembershipRead> = None;
+                let mut got = 0;
+                for (_, r) in per_node {
+                    if let Ok(read) = r {
+                        got += 1;
+                        if best.as_ref().is_none_or(|b| read.version > b.version) {
+                            best = Some(read);
+                        }
+                    }
+                }
+                if got >= need {
+                    Ok(best.expect("quorum reached but no reads recorded"))
+                } else {
+                    Err(StoreError::NoQuorum { got, need })
+                }
+            }
+            ReadPolicy::Leaderless => {
+                let mut merged: Option<MembershipRead> = None;
+                let mut last_err = StoreError::Net(NetError::Timeout);
+                for (_, r) in per_node {
+                    match r {
+                        Ok(read) => match &mut merged {
+                            Some(m) => {
+                                m.version = m.version.max(read.version);
+                                m.entries.extend(read.entries);
+                            }
+                            None => merged = Some(read),
+                        },
+                        Err(e) => last_err = e,
+                    }
+                }
+                match merged {
+                    Some(mut m) => {
+                        m.entries.sort_unstable();
+                        m.entries.dedup();
+                        Ok(m)
+                    }
+                    None => Err(last_err),
+                }
+            }
+        }
+    }
+
     fn list_one(
         &self,
         world: &mut StoreWorld,
@@ -600,9 +773,7 @@ mod tests {
     fn world_with(n_servers: usize) -> (StoreWorld, NodeId, Vec<NodeId>) {
         let mut t = Topology::new();
         let client = t.add_node("client", 0);
-        let servers: Vec<NodeId> = (0..n_servers)
-            .map(|i| t.add_node(format!("s{i}"), i as u32 + 1))
-            .collect();
+        let servers: Vec<NodeId> = t.add_servers("s", n_servers);
         let mut w = StoreWorld::new(
             WorldConfig::seeded(7),
             t,
@@ -850,5 +1021,99 @@ mod tests {
             .to_string()
             .contains("1 of 2"));
         assert!(!StoreError::Locked.is_failure());
+    }
+
+    /// Four shard collections, all replicated on the same three nodes.
+    fn sharded_fixture(w: &mut StoreWorld, cl: &StoreClient, s: &[NodeId]) -> Vec<CollectionRef> {
+        (0..4u64)
+            .map(|i| {
+                let cref = CollectionRef {
+                    id: CollectionId(100 + i),
+                    home: s[0],
+                    replicas: vec![s[1], s[2]],
+                };
+                cl.create_collection(w, &cref).unwrap();
+                cl.add_member(w, &cref, entry(10 * i + 1, s[0])).unwrap();
+                cl.add_member(w, &cref, entry(10 * i + 2, s[1])).unwrap();
+                cref
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batched_read_matches_sequential_and_saves_round_trips() {
+        let (mut w, c, s) = world_with(3);
+        let cl = StoreClient::new(c, SimDuration::from_millis(50));
+        let shards = sharded_fixture(&mut w, &cl, &s);
+
+        let sequential: Vec<_> = shards
+            .iter()
+            .map(|cref| cl.read_members(&mut w, cref, ReadPolicy::Quorum).unwrap())
+            .collect();
+        let rpc_before = w.metrics().counter("rpc.sent");
+        let batched = cl.read_members_batched(&mut w, &shards, ReadPolicy::Quorum);
+        let rpc_spent = w.metrics().counter("rpc.sent") - rpc_before;
+
+        for (seq, bat) in sequential.iter().zip(&batched) {
+            assert_eq!(Ok(seq), bat.as_ref(), "same reads either way");
+        }
+        // 4 shards × 3 replicas sequentially = 12 messages; batched,
+        // one envelope per node = 3.
+        assert_eq!(rpc_spent, 3);
+        assert_eq!(w.metrics().counter("net.batch.envelopes"), 3);
+        assert_eq!(w.metrics().counter("net.batch.parts"), 12);
+        assert_eq!(w.metrics().counter("store.read.batched.contacts"), 12);
+        assert_eq!(w.metrics().counter("store.read.batched.quorum.ok"), 4);
+    }
+
+    #[test]
+    fn batched_quorum_takes_newest_and_tolerates_minority_loss() {
+        let (mut w, c, s) = world_with(3);
+        let cl = StoreClient::new(c, SimDuration::from_millis(50));
+        let shards = sharded_fixture(&mut w, &cl, &s);
+        // One shard's replica s[2] misses an update.
+        w.topology_mut().partition(&[s[2]]);
+        cl.add_member(&mut w, &shards[1], entry(99, s[0])).unwrap();
+        w.topology_mut().heal_partition();
+        // The minority replica down: quorum still forms everywhere and
+        // shard 1 reads its newest version.
+        w.topology_mut().partition(&[s[2]]);
+        let reads = cl.read_members_batched(&mut w, &shards, ReadPolicy::Quorum);
+        assert_eq!(reads[1].as_ref().unwrap().version, 3);
+        assert_eq!(reads[1].as_ref().unwrap().entries.len(), 3);
+        for r in &reads {
+            assert!(r.is_ok());
+        }
+        // A majority gone: every shard fails with NoQuorum.
+        w.topology_mut().partition(&[s[1], s[2]]);
+        let reads = cl.read_members_batched(&mut w, &shards, ReadPolicy::Quorum);
+        for r in reads {
+            assert_eq!(r, Err(StoreError::NoQuorum { got: 1, need: 2 }));
+        }
+    }
+
+    #[test]
+    fn batched_leaderless_unions_and_primary_reads_home_only() {
+        let (mut w, c, s) = world_with(3);
+        let cl = StoreClient::new(c, SimDuration::from_millis(50));
+        let shards = sharded_fixture(&mut w, &cl, &s);
+        // Primary policy batches one request per home node only.
+        let rpc_before = w.metrics().counter("rpc.sent");
+        let reads = cl.read_members_batched(&mut w, &shards, ReadPolicy::Primary);
+        assert_eq!(w.metrics().counter("rpc.sent") - rpc_before, 1);
+        for r in &reads {
+            assert_eq!(r.as_ref().unwrap().entries.len(), 2);
+        }
+        // Leaderless with the primary cut off still answers from the
+        // secondaries, per shard.
+        w.topology_mut().partition(&[s[0]]);
+        let reads = cl.read_members_batched(&mut w, &shards, ReadPolicy::Leaderless);
+        for r in &reads {
+            assert_eq!(r.as_ref().unwrap().entries.len(), 2);
+        }
+        let reads = cl.read_members_batched(&mut w, &shards, ReadPolicy::Primary);
+        for r in reads {
+            assert!(r.unwrap_err().is_failure());
+        }
     }
 }

@@ -103,6 +103,15 @@ pub enum StoreMsg {
         delta: MembershipDelta,
     },
 
+    // ---- batching (both directions) ----
+    /// Several co-located requests coalesced into one wire-level
+    /// envelope (`weakset_sim::net::BatchEnvelope`). A server answers
+    /// with a [`StoreMsg::BatchReply`] carrying one reply per part, in
+    /// request order.
+    Batch(Vec<StoreMsg>),
+    /// Per-part replies to a [`StoreMsg::Batch`], in request order.
+    BatchReply(Vec<StoreMsg>),
+
     // ---- replies ----
     /// Successful fetch.
     Object(ObjectRecord),
@@ -169,7 +178,26 @@ impl StoreMsg {
             StoreMsg::GossipPush { delta, .. } | StoreMsg::GossipDelta { delta, .. } => {
                 HEADER + delta.wire_size()
             }
+            // One shared header for the whole envelope; the parts keep
+            // their own sizes. Batching therefore saves (parts - 1)
+            // headers of wire bytes on top of the per-message latency.
+            StoreMsg::Batch(parts) | StoreMsg::BatchReply(parts) => {
+                HEADER + parts.iter().map(StoreMsg::wire_size).sum::<usize>()
+            }
             _ => HEADER,
+        }
+    }
+}
+
+impl weakset_sim::net::BatchEnvelope for StoreMsg {
+    fn wrap_batch(parts: Vec<Self>) -> Self {
+        StoreMsg::Batch(parts)
+    }
+
+    fn unwrap_batch(self) -> Result<Vec<Self>, Self> {
+        match self {
+            StoreMsg::Batch(parts) | StoreMsg::BatchReply(parts) => Ok(parts),
+            other => Err(other),
         }
     }
 }

@@ -164,6 +164,11 @@ impl StoreServer {
                 }
                 StoreMsg::Ack
             }
+            // A batch envelope: answer each part independently, in
+            // request order.
+            StoreMsg::Batch(parts) => {
+                StoreMsg::BatchReply(parts.into_iter().map(|p| self.handle_msg(p)).collect())
+            }
             // Plain store servers do not speak the anti-entropy protocol;
             // gossip requests belong on `weakset-gossip` replica nodes.
             StoreMsg::GossipDigestReq(_)
@@ -178,6 +183,7 @@ impl StoreServer {
             | StoreMsg::Locked
             | StoreMsg::NoSuchCollection(_)
             | StoreMsg::BadRequest
+            | StoreMsg::BatchReply(_)
             | StoreMsg::GossipDigest { .. }
             | StoreMsg::GossipDelta { .. } => StoreMsg::BadRequest,
         }

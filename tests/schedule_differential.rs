@@ -78,8 +78,8 @@ fn check_schedule(base: &Scenario) {
 
     let optimistic = report_for(Semantics::Optimistic);
     let comp = optimistic
-        .computation
-        .as_ref()
+        .computations
+        .first()
         .expect("observed run records a computation");
     for run in &comp.runs {
         assert!(

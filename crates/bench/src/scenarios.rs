@@ -25,8 +25,10 @@ pub fn wan(seed: u64, n_servers: usize, one_way: SimDuration) -> Wan {
     wan_with_model(seed, n_servers, LatencyModel::Constant(one_way))
 }
 
-/// Builds a WAN world with an arbitrary latency model. Tracing is off:
-/// experiment runs can be long.
+/// Builds a WAN world with an arbitrary latency model. The determinism
+/// trace is off (experiment runs can be long) but the causal event sink
+/// is on: every snapshot carries per-kind event counts and
+/// critical-path objectives.
 pub fn wan_with_model(seed: u64, n_servers: usize, latency: LatencyModel) -> Wan {
     let mut topo = Topology::new();
     let client_node = topo.add_node("client", 0);
@@ -35,6 +37,7 @@ pub fn wan_with_model(seed: u64, n_servers: usize, latency: LatencyModel) -> Wan
     config.trace = false;
     config.default_timeout = SimDuration::from_millis(200);
     let mut world = StoreWorld::new(config, topo, latency);
+    world.events_mut().set_enabled(true);
     for &s in &servers {
         world.install_service(s, Box::new(StoreServer::new()));
     }

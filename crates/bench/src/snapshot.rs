@@ -17,7 +17,9 @@ use weakset::prelude::*;
 use weakset::semantics::Semantics;
 use weakset_dst::prelude::{execute, generate, mix, shrink, Chaos};
 use weakset_gossip::prelude::{engine, GossipConfig, GossipNode};
-use weakset_obs::{Direction, MetricsRegistry, ObsSnapshot};
+use weakset_obs::{
+    critical_path, CausalDag, CriticalPath, Direction, MetricsRegistry, ObsEvent, ObsSnapshot,
+};
 use weakset_sim::latency::LatencyModel;
 use weakset_sim::time::SimDuration;
 use weakset_sim::topology::Topology;
@@ -94,13 +96,75 @@ fn with_yield_objective(snap: ObsSnapshot) -> ObsSnapshot {
     with_common_objectives(snap).with_objective("yields", yields, Direction::HigherIsBetter)
 }
 
+/// Closes the world's span ledger and drains the causal event stream,
+/// folding per-kind event counts into the metrics registry
+/// (`events.<kind>`) so trace-volume regressions show up next to every
+/// other counter.
+fn drain_events(world: &mut StoreWorld) -> Vec<ObsEvent> {
+    let at = world.now().as_micros();
+    let unclosed = world.events_mut().finish(at);
+    debug_assert!(unclosed.is_empty(), "unclosed spans: {unclosed:?}");
+    let events = world.events_mut().take_events();
+    for e in &events {
+        world.metrics_mut().incr(&format!("events.{}", e.kind));
+    }
+    events
+}
+
+/// Attaches the gated trace objectives: the critical-path decomposition
+/// of all simulated latency the run's span DAG explains, and the total
+/// event volume (so an instrumentation change that floods the sink
+/// fails the compare gate instead of slipping through).
+fn with_trace_objectives(snap: ObsSnapshot, cp: &CriticalPath, total_events: usize) -> ObsSnapshot {
+    snap.with_objective(
+        "trace.critical_path.network_us",
+        cp.network_us as f64,
+        Direction::LowerIsBetter,
+    )
+    .with_objective(
+        "trace.critical_path.queue_us",
+        cp.queue_us as f64,
+        Direction::LowerIsBetter,
+    )
+    .with_objective(
+        "trace.critical_path.quorum_wait_us",
+        cp.quorum_wait_us as f64,
+        Direction::LowerIsBetter,
+    )
+    .with_objective(
+        "trace.critical_path.gossip_us",
+        cp.gossip_us as f64,
+        Direction::LowerIsBetter,
+    )
+    .with_objective(
+        "trace.critical_path.total_us",
+        cp.total_us() as f64,
+        Direction::LowerIsBetter,
+    )
+    .with_objective(
+        "trace_events",
+        total_events as f64,
+        Direction::LowerIsBetter,
+    )
+}
+
+/// Drains the event stream, takes the metrics snapshot, and attaches
+/// the trace objectives — the common tail of every world-backed
+/// scenario.
+fn snapshot_with_trace(world: &mut StoreWorld, id: &str, seed: u64) -> ObsSnapshot {
+    let events = drain_events(world);
+    let snap = world.metrics().snapshot(id, seed);
+    let cp = critical_path(&CausalDag::from_events(&events));
+    with_trace_objectives(snap, &cp, events.len())
+}
+
 /// E1 — immutable set on a healthy WAN: full snapshot iteration.
 fn e1_immutable(seed: u64) -> ObsSnapshot {
     let mut w = wan(seed, 4, ms(5));
     let set = populated_set(&mut w, 24, ms(100));
     let mut it = set.elements(Semantics::Snapshot);
     drive(&mut w.world, &mut it, 3, ms(10));
-    with_yield_objective(w.world.metrics().snapshot("e1", seed))
+    with_yield_objective(snapshot_with_trace(&mut w.world, "e1", seed))
 }
 
 /// E2 — immutable set with failures: one of four servers is down for
@@ -112,7 +176,7 @@ fn e2_immutable_failures(seed: u64) -> ObsSnapshot {
     w.world.topology_mut().crash(w.servers[3]);
     let mut it = set.elements(Semantics::Snapshot);
     drive(&mut w.world, &mut it, 3, ms(10));
-    with_yield_objective(w.world.metrics().snapshot("e2", seed))
+    with_yield_objective(snapshot_with_trace(&mut w.world, "e2", seed))
 }
 
 /// E3 — snapshot semantics under churn: mutations land mid-iteration
@@ -124,7 +188,7 @@ fn e3_snapshot_loss(seed: u64) -> ObsSnapshot {
     schedule_churn(&mut w, &set, now, ms(4), 30, 0.5, seed);
     let mut it = set.elements(Semantics::Snapshot);
     drive(&mut w.world, &mut it, 3, ms(10));
-    with_yield_objective(w.world.metrics().snapshot("e3", seed))
+    with_yield_objective(snapshot_with_trace(&mut w.world, "e3", seed))
 }
 
 /// E4 — grow-only pessimistic iteration while the set only grows.
@@ -135,7 +199,7 @@ fn e4_growonly(seed: u64) -> ObsSnapshot {
     schedule_churn(&mut w, &set, now, ms(4), 20, 1.1, seed); // pure adds
     let mut it = set.elements(Semantics::GrowOnly);
     drive(&mut w.world, &mut it, 3, ms(10));
-    with_yield_objective(w.world.metrics().snapshot("e4", seed))
+    with_yield_objective(snapshot_with_trace(&mut w.world, "e4", seed))
 }
 
 /// E5 — optimistic iteration riding out a mid-run crash: the iterator
@@ -153,7 +217,7 @@ fn e5_optimistic(seed: u64) -> ObsSnapshot {
     drive(&mut w.world, &mut it, 3, ms(10));
     w.world.topology_mut().restart(w.servers[1]);
     drive(&mut w.world, &mut it, 5, ms(10));
-    with_yield_objective(w.world.metrics().snapshot("e5", seed))
+    with_yield_objective(snapshot_with_trace(&mut w.world, "e5", seed))
 }
 
 /// E6 — fetch ordering over a distance-graded WAN: closest-first keeps
@@ -170,7 +234,7 @@ fn e6_latency(seed: u64) -> ObsSnapshot {
     let set = populated_set(&mut w, 20, ms(400));
     let mut it = set.elements(Semantics::Snapshot);
     drive(&mut w.world, &mut it, 3, ms(10));
-    let snap = w.world.metrics().snapshot("e6", seed);
+    let snap = snapshot_with_trace(&mut w.world, "e6", seed);
     let p50 = snap
         .latencies
         .get("iter.fig4.invocation_us")
@@ -215,7 +279,7 @@ fn e7_availability(seed: u64) -> ObsSnapshot {
         }
     }
     w.world.topology_mut().heal_partition();
-    let snap = w.world.metrics().snapshot("e7", seed);
+    let snap = snapshot_with_trace(&mut w.world, "e7", seed);
     let ok = sum_suffix(&snap, ".ok");
     with_common_objectives(snap).with_objective("reads_ok", ok, Direction::HigherIsBetter)
 }
@@ -229,7 +293,7 @@ fn e8_taxonomy(seed: u64) -> ObsSnapshot {
         let mut it = set.elements(sem);
         drive(&mut w.world, &mut it, 3, ms(10));
     }
-    with_yield_objective(w.world.metrics().snapshot("e8", seed))
+    with_yield_objective(snapshot_with_trace(&mut w.world, "e8", seed))
 }
 
 /// E9 — the locked strong baseline: writers stall while a locked
@@ -249,7 +313,7 @@ fn e9_locking(seed: u64) -> ObsSnapshot {
         );
     }
     drive(&mut w.world, &mut it, 3, ms(10));
-    with_yield_objective(w.world.metrics().snapshot("e9", seed))
+    with_yield_objective(snapshot_with_trace(&mut w.world, "e9", seed))
 }
 
 /// E10 — anti-entropy gossip: replicas diverge behind a partition, then
@@ -261,6 +325,7 @@ fn e10_gossip(seed: u64) -> ObsSnapshot {
     let mut config = WorldConfig::seeded(seed);
     config.trace = false;
     let mut world = StoreWorld::new(config, topo, LatencyModel::Constant(ms(3)));
+    world.events_mut().set_enabled(true);
     for &s in &servers {
         world.install_service(s, Box::new(GossipNode::new(s)));
     }
@@ -309,7 +374,7 @@ fn e10_gossip(seed: u64) -> ObsSnapshot {
     world
         .metrics_mut()
         .gauge_set("gossip.converged", u64::from(converged));
-    let snap = world.metrics().snapshot("e10", seed);
+    let snap = snapshot_with_trace(&mut world, "e10", seed);
     let wire = counter(&snap, "gossip.digest_bytes") + counter(&snap, "gossip.delta_bytes");
     let stale = counter(&snap, "gossip.replica_stale_rounds");
     with_common_objectives(snap)
@@ -372,7 +437,7 @@ fn e11_sharded(seed: u64) -> ObsSnapshot {
     let batched = w.world.now().saturating_since(t1);
 
     let speedup = sequential.as_micros() as f64 / batched.as_micros().max(1) as f64;
-    let snap = w.world.metrics().snapshot("e11", seed);
+    let snap = snapshot_with_trace(&mut w.world, "e11", seed);
     let envelopes = counter(&snap, "net.batch.envelopes");
     with_common_objectives(snap)
         .with_objective("sharded_read_speedup", speedup, Direction::HigherIsBetter)
@@ -387,6 +452,8 @@ fn fuzz(seed: u64) -> ObsSnapshot {
     let mut agg = MetricsRegistry::new();
     let mut steps = 0u64;
     let mut sim_us = 0u64;
+    let mut cp = CriticalPath::default();
+    let mut total_events = 0usize;
     for i in 0..12 {
         let s = generate(mix(seed, i));
         let report = execute(&s);
@@ -396,6 +463,13 @@ fn fuzz(seed: u64) -> ObsSnapshot {
         agg.add("dst.violations", report.violations.len() as u64);
         steps += report.steps as u64;
         sim_us += report.sim_time_us;
+        // Fold each run's causal stream into the aggregate: per-kind
+        // event counts plus the critical-path decomposition.
+        for e in &report.events {
+            agg.incr(&format!("events.{}", e.kind));
+        }
+        cp.absorb(&critical_path(&CausalDag::from_events(&report.events)));
+        total_events += report.events.len();
     }
     // A guaranteed violation exercises the shrinker; its cost in
     // executions is the metric.
@@ -411,9 +485,10 @@ fn fuzz(seed: u64) -> ObsSnapshot {
     } else {
         steps as f64 / (sim_us as f64 / 1_000_000.0)
     };
-    with_common_objectives(snap)
+    let snap = with_common_objectives(snap)
         .with_objective("steps_per_sim_sec", per_sim_sec, Direction::HigherIsBetter)
-        .with_objective("shrink_execs", execs as f64, Direction::LowerIsBetter)
+        .with_objective("shrink_execs", execs as f64, Direction::LowerIsBetter);
+    with_trace_objectives(snap, &cp, total_events)
 }
 
 #[cfg(test)]

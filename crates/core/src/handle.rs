@@ -210,15 +210,43 @@ impl Elements {
     /// `iter.<fig>.invocation_us` latency sample plus a counter for the
     /// paper's `terminates` outcome it produced
     /// (`yielded`/`returned`/`failed`/`blocked`).
+    ///
+    /// Each invocation also opens an `iter.<fig>.invocation` causal
+    /// span: the first invocation roots the computation's trace, later
+    /// invocations parent under that root (or under whatever span is
+    /// already open — the sharded fan-out case), so every store read
+    /// and RPC the step performs joins one cross-node span tree.
     pub fn next(&mut self, world: &mut StoreWorld) -> IterStep {
         let started = world.now();
+        let fig = self.semantics().figure().key();
+        let kind = match fig {
+            "fig3" => "iter.fig3.invocation",
+            "fig4" => "iter.fig4.invocation",
+            "fig5" => "iter.fig5.invocation",
+            "fig6" => "iter.fig6.invocation",
+            _ => "iter.invocation",
+        };
+        let span = if world.current_ctx().is_some() {
+            world.span_enter(kind, String::new)
+        } else {
+            world.span_enter_under(self.trace_root(), kind, String::new)
+        };
+        if self.trace_root().is_none() {
+            self.set_trace_root(world.current_ctx());
+        }
         let step = match self {
             Elements::Snapshot(it) => it.next(world),
             Elements::GrowOnly(it) => it.next(world),
             Elements::Optimistic(it) => it.next(world),
             Elements::Locked(it) => it.next(world),
         };
-        let fig = self.semantics().figure().key();
+        world.trace_event("iter.outcome", || match &step {
+            IterStep::Yielded(rec) => format!("{fig} yielded elem={}", rec.id),
+            IterStep::Done => format!("{fig} returned"),
+            IterStep::Failed(f) => format!("{fig} failed: {f}"),
+            IterStep::Blocked => format!("{fig} blocked"),
+        });
+        world.span_exit(span);
         let elapsed = world.now().saturating_since(started).as_micros();
         let outcome = match &step {
             IterStep::Yielded(_) => "yielded",
@@ -230,6 +258,25 @@ impl Elements {
         m.observe(&format!("iter.{fig}.invocation_us"), elapsed);
         m.incr(&format!("iter.{fig}.{outcome}"));
         step
+    }
+
+    /// The stored trace-root context (set by the first invocation).
+    fn trace_root(&self) -> Option<weakset_sim::metrics::TraceContext> {
+        match self {
+            Elements::Snapshot(it) => it.trace,
+            Elements::GrowOnly(it) => it.trace,
+            Elements::Optimistic(it) => it.trace,
+            Elements::Locked(it) => it.trace,
+        }
+    }
+
+    fn set_trace_root(&mut self, ctx: Option<weakset_sim::metrics::TraceContext>) {
+        match self {
+            Elements::Snapshot(it) => it.trace = ctx,
+            Elements::GrowOnly(it) => it.trace = ctx,
+            Elements::Optimistic(it) => it.trace = ctx,
+            Elements::Locked(it) => it.trace = ctx,
+        }
     }
 
     /// Attaches a conformance observer.

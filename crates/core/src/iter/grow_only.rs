@@ -31,6 +31,9 @@ pub struct GrowElements {
     guard_held: bool,
     cache: Option<weakset_store::cache::ObjectCache>,
     observer: ObserverSlot,
+    /// Causal context of the computation's trace root (the first
+    /// invocation's span); later invocations parent under it.
+    pub(crate) trace: Option<weakset_sim::metrics::TraceContext>,
 }
 
 impl GrowElements {
@@ -46,6 +49,7 @@ impl GrowElements {
             guard_held: false,
             cache,
             observer: ObserverSlot::default(),
+            trace: None,
         }
     }
 

@@ -133,7 +133,14 @@ pub(crate) fn fetch_first_reachable(
                 }
                 return (Some(rec), unreachable);
             }
-            Err(_) => unreachable.push(m.elem),
+            Err(_) => {
+                // Attributed to the current invocation span, so a
+                // failure explanation can name the member and its home.
+                world.trace_event("iter.fetch.unreachable", || {
+                    format!("elem={} home={}", m.elem, m.home)
+                });
+                unreachable.push(m.elem);
+            }
         }
     }
     (None, unreachable)

@@ -29,6 +29,9 @@ pub struct OptimisticElements {
     terminated: bool,
     cache: Option<weakset_store::cache::ObjectCache>,
     observer: ObserverSlot,
+    /// Causal context of the computation's trace root (the first
+    /// invocation's span); later invocations parent under it.
+    pub(crate) trace: Option<weakset_sim::metrics::TraceContext>,
 }
 
 impl OptimisticElements {
@@ -43,6 +46,7 @@ impl OptimisticElements {
             terminated: false,
             cache,
             observer: ObserverSlot::default(),
+            trace: None,
         }
     }
 

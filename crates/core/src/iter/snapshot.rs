@@ -28,6 +28,9 @@ pub struct SnapshotElements {
     terminated: bool,
     cache: Option<weakset_store::cache::ObjectCache>,
     observer: ObserverSlot,
+    /// Causal context of the computation's trace root (the first
+    /// invocation's span); later invocations parent under it.
+    pub(crate) trace: Option<weakset_sim::metrics::TraceContext>,
 }
 
 impl SnapshotElements {
@@ -43,6 +46,7 @@ impl SnapshotElements {
             terminated: false,
             cache,
             observer: ObserverSlot::default(),
+            trace: None,
         }
     }
 

@@ -336,6 +336,7 @@ impl ShardedWeakSet {
             iters: self.shards.iter().map(|s| s.elements(semantics)).collect(),
             current: 0,
             semantics,
+            trace: None,
         }
     }
 
@@ -418,6 +419,10 @@ pub struct ShardedElements {
     iters: Vec<Elements>,
     current: usize,
     semantics: Semantics,
+    /// Causal context of the whole computation's trace root (the first
+    /// fan-out invocation); per-shard invocation spans nest under it so
+    /// one sharded computation is one cross-group trace.
+    trace: Option<weakset_sim::metrics::TraceContext>,
 }
 
 impl ShardedElements {
@@ -432,15 +437,25 @@ impl ShardedElements {
     }
 
     /// One invocation: the next step from the current shard, advancing
-    /// to the next shard on `Done`.
+    /// to the next shard on `Done`. Opens an `iter.sharded.invocation`
+    /// causal span so every per-shard step (and its cross-group RPCs)
+    /// joins a single trace rooted at the first fan-out invocation.
     pub fn next(&mut self, world: &mut StoreWorld) -> IterStep {
-        while let Some(it) = self.iters.get_mut(self.current) {
-            match it.next(world) {
-                IterStep::Done => self.current += 1,
-                step => return step,
-            }
+        let span = world.span_enter_under(self.trace, "iter.sharded.invocation", String::new);
+        if self.trace.is_none() {
+            self.trace = world.current_ctx();
         }
-        IterStep::Done
+        let step = loop {
+            match self.iters.get_mut(self.current) {
+                Some(it) => match it.next(world) {
+                    IterStep::Done => self.current += 1,
+                    step => break step,
+                },
+                None => break IterStep::Done,
+            }
+        };
+        world.span_exit(span);
+        step
     }
 
     /// Finishes observation on every shard, returning each attached

@@ -40,6 +40,9 @@ pub struct LockedElements {
     lock_held: bool,
     cache: Option<weakset_store::cache::ObjectCache>,
     observer: ObserverSlot,
+    /// Causal context of the computation's trace root (the first
+    /// invocation's span); later invocations parent under it.
+    pub(crate) trace: Option<weakset_sim::metrics::TraceContext>,
 }
 
 impl LockedElements {
@@ -57,6 +60,7 @@ impl LockedElements {
             lock_held: false,
             cache,
             observer: ObserverSlot::default(),
+            trace: None,
         }
     }
 

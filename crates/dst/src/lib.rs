@@ -13,7 +13,10 @@
 //!
 //! Because a scenario fully determines its run, a violation shrinks
 //! ([`shrink`]) to a locally minimal scenario and ships as a
-//! self-contained artifact ([`repro`]) that replays as an ordinary test.
+//! self-contained artifact ([`repro`]) that replays as an ordinary test
+//! — together with a causal post-mortem ([`explain`]) walking the run's
+//! happens-before DAG from the failed invocation back to the fault that
+//! caused it.
 //!
 //! The `weakset-dst` binary is the CI gate:
 //!
@@ -24,6 +27,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod explain;
 pub mod gen;
 pub mod oracle;
 pub mod repro;
@@ -33,6 +37,7 @@ pub mod shrink;
 
 /// One-stop imports for fuzzer tests and harnesses.
 pub mod prelude {
+    pub use crate::explain::explain;
     pub use crate::gen::{generate, generate_sharded, mix};
     pub use crate::oracle::{check, spec_for};
     pub use crate::repro::{artifact_path, load, replay, write_artifact};

@@ -1,5 +1,7 @@
 //! The fuzz gate binary: generate and execute N scenarios, shrink and
-//! persist any violation, exit nonzero if anything failed.
+//! persist any violation, exit nonzero if anything failed. Each failure
+//! also ships its causal post-mortem (`explain-<seed>.txt`) and a
+//! Perfetto-loadable trace of the shrunk run (`trace-<seed>.json`).
 //!
 //! ```text
 //! weakset-dst [--iters N] [--seed S | --seed-from-env] [--out DIR] [--sharded]
@@ -114,6 +116,25 @@ fn main() {
         match write_artifact(&args.out, &small, &small_report.violations) {
             Ok(path) => eprintln!("  repro artifact: {}", path.display()),
             Err(e) => eprintln!("  could not write repro artifact: {e}"),
+        }
+        // Explain mode: walk the shrunk run's causal DAG backwards and
+        // ship the post-mortem (plus a Perfetto-loadable trace of the
+        // whole run) next to the repro artifact.
+        if let Some(text) = explain(&small_report) {
+            eprintln!("{text}");
+            let explain_path = args.out.join(format!("explain-{}.txt", small.seed));
+            if let Err(e) = std::fs::write(&explain_path, &text) {
+                eprintln!("  could not write explanation: {e}");
+            } else {
+                eprintln!("  explanation: {}", explain_path.display());
+            }
+            let trace_path = args.out.join(format!("trace-{}.json", small.seed));
+            let trace = weakset_sim::metrics::chrome_trace(&small_report.events);
+            if let Err(e) = std::fs::write(&trace_path, trace) {
+                eprintln!("  could not write trace: {e}");
+            } else {
+                eprintln!("  perfetto trace: {}", trace_path.display());
+            }
         }
     }
 

@@ -64,6 +64,12 @@ pub struct RunReport {
     /// The world's full metrics registry at end of run — every counter,
     /// gauge, and latency the instrumented stack recorded.
     pub metrics: weakset_sim::metrics::Metrics,
+    /// The full causal event stream (spans + attributed point events)
+    /// the run produced. Feed it to [`weakset_sim::metrics::CausalDag`]
+    /// for critical-path analysis, [`crate::explain::explain`] for a
+    /// conformance-failure post-mortem, or
+    /// [`weakset_sim::metrics::chrome_trace`] for a Perfetto export.
+    pub events: Vec<weakset_sim::metrics::ObsEvent>,
 }
 
 fn ms(v: u64) -> SimDuration {
@@ -296,6 +302,11 @@ pub fn execute(s: &Scenario) -> RunReport {
         t,
         LatencyModel::Constant(ms(1)),
     );
+    // Record the causal event stream: explain mode and the Perfetto
+    // exporter both read it off the report. Pure observation — enabling
+    // it never touches the RNG or the event queue, so trace hashes are
+    // unchanged.
+    w.events_mut().set_enabled(true);
     match s.deployment {
         Deployment::Plain | Deployment::Sharded { .. } => {
             for &sv in &servers {
@@ -503,6 +514,17 @@ pub fn execute(s: &Scenario) -> RunReport {
         }
     }
 
+    // Close the span ledger: anything still open is an instrumentation
+    // bug, surfaced both here and as `span.unclosed` events in the
+    // stream.
+    let at = w.now().as_micros();
+    let unclosed = w.events_mut().finish(at);
+    debug_assert!(
+        unclosed.is_empty(),
+        "unclosed spans at end of run: {unclosed:?}"
+    );
+    let events = w.events_mut().take_events();
+
     RunReport {
         seed: s.seed,
         trace_hash: w.trace_hash(),
@@ -512,6 +534,7 @@ pub fn execute(s: &Scenario) -> RunReport {
         computations,
         sim_time_us: w.now().as_micros(),
         metrics: w.metrics().clone(),
+        events,
     }
 }
 
@@ -598,6 +621,15 @@ mod tests {
             assert_eq!(a.trace_hash, b.trace_hash, "seed {}", s.seed);
             assert_eq!(a.yielded, b.yielded);
             assert_eq!(a.violations, b.violations);
+            // The causal stream — and its Perfetto export — is part of
+            // the determinism contract: same seed, same bytes.
+            assert_eq!(a.events, b.events, "seed {}", s.seed);
+            assert_eq!(
+                weakset_sim::metrics::chrome_trace(&a.events),
+                weakset_sim::metrics::chrome_trace(&b.events),
+                "seed {}",
+                s.seed
+            );
         }
     }
 

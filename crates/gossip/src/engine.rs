@@ -212,6 +212,11 @@ impl Task<StoreMsg> for Round {
             }
         }
         world.metrics_mut().incr("gossip.rounds");
+        // Each round is background work: the task dispatch cleared the
+        // causal stack, so this span roots a fresh per-round trace that
+        // every exchange (and its RPCs) nests under.
+        let coll = self.coll;
+        let round_span = world.span_enter("gossip.round", || coll.to_string());
         let nodes: Vec<NodeId> = self.replicas.to_vec();
         for &origin in &nodes {
             if !world.topology().is_up(origin) {
@@ -232,6 +237,7 @@ impl Task<StoreMsg> for Round {
             }
         }
         record_convergence_lag(world, self.coll, &nodes);
+        world.span_exit(round_span);
         let interval = self.config.interval;
         world.spawn_in(interval, *self);
     }
@@ -268,25 +274,25 @@ fn exchange(
     timeout: SimDuration,
 ) {
     world.metrics_mut().incr("gossip.exchanges");
+    let span = world.span_enter("gossip.exchange", || format!("{origin}->{peer}"));
     match mode {
         GossipMode::Pull => {
             pull(world, coll, origin, peer, timeout);
         }
         GossipMode::Push => {
-            let Some(peer_digest) = fetch_digest(world, coll, origin, peer, timeout) else {
-                return;
-            };
-            push(world, coll, origin, peer, &peer_digest, timeout);
+            if let Some(peer_digest) = fetch_digest(world, coll, origin, peer, timeout) {
+                push(world, coll, origin, peer, &peer_digest, timeout);
+            }
         }
         GossipMode::PushPull => {
             // The pull reply carries the peer's full vector, which is
             // exactly the digest the return push needs: two RPCs total.
-            let Some(peer_vv) = pull(world, coll, origin, peer, timeout) else {
-                return;
-            };
-            push(world, coll, origin, peer, &peer_vv, timeout);
+            if let Some(peer_vv) = pull(world, coll, origin, peer, timeout) {
+                push(world, coll, origin, peer, &peer_vv, timeout);
+            }
         }
     }
+    world.span_exit(span);
 }
 
 /// Pull leg: ship our digest, join the peer's delta into local state.

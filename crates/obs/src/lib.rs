@@ -49,6 +49,8 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod causal;
+pub mod export;
 pub mod json;
 pub mod latency;
 pub mod registry;
@@ -56,6 +58,11 @@ pub mod shard;
 pub mod sink;
 pub mod snapshot;
 
+pub use causal::{
+    category_of, critical_path, critical_path_of, CausalDag, CriticalPath, PathCategory, SpanNode,
+    TraceContext, TraceId,
+};
+pub use export::chrome_trace;
 pub use json::Json;
 pub use latency::{LatencyRecorder, LatencySummary};
 pub use registry::MetricsRegistry;
@@ -65,6 +72,11 @@ pub use snapshot::{Direction, Objective, ObsSnapshot};
 
 /// One-stop imports for observability users.
 pub mod prelude {
+    pub use crate::causal::{
+        category_of, critical_path, critical_path_of, CausalDag, CriticalPath, PathCategory,
+        SpanNode, TraceContext, TraceId,
+    };
+    pub use crate::export::chrome_trace;
     pub use crate::json::Json;
     pub use crate::latency::{LatencyRecorder, LatencySummary};
     pub use crate::registry::MetricsRegistry;

@@ -2,9 +2,13 @@
 //!
 //! Disabled by default: a quiescent run records nothing and pays only a
 //! branch per call. When enabled, layers push [`ObsEvent`]s (point
-//! events) and open/close spans; spans are just paired events sharing a
-//! [`SpanId`], so the sink never allocates per-span state.
+//! events) and open/close spans; spans are paired events sharing a
+//! [`SpanId`]. Each span carries an optional parent span and trace id
+//! (see [`TraceContext`]), which is what turns a flat event log into
+//! the happens-before DAG consumed by [`crate::causal`].
 
+use crate::causal::{TraceContext, TraceId};
+use std::collections::BTreeSet;
 use std::fmt;
 
 /// Identifies one span across its `begin`/`end` pair.
@@ -28,6 +32,12 @@ pub struct ObsEvent {
     pub detail: String,
     /// The span this event opens/closes, when it is a span edge.
     pub span: Option<SpanId>,
+    /// The parent span, for span-begin edges and attributed point
+    /// events. `None` for trace roots and unattributed events.
+    pub parent: Option<SpanId>,
+    /// The trace this event belongs to, when it was recorded under a
+    /// [`TraceContext`].
+    pub trace: Option<TraceId>,
 }
 
 /// Collects [`ObsEvent`]s when enabled; a no-op otherwise.
@@ -35,6 +45,10 @@ pub struct ObsEvent {
 pub struct EventSink {
     enabled: bool,
     next_span: u64,
+    next_trace: u64,
+    /// Spans begun but not yet ended, so unbalanced instrumentation is
+    /// caught instead of silently producing a broken DAG.
+    open: BTreeSet<SpanId>,
     events: Vec<ObsEvent>,
 }
 
@@ -64,6 +78,12 @@ impl EventSink {
 
     /// Records a point event. No-op when disabled.
     pub fn event(&mut self, at_us: u64, kind: &str, detail: &str) {
+        self.event_in(at_us, kind, detail, None)
+    }
+
+    /// Records a point event attributed to a trace/parent span. No-op
+    /// when disabled.
+    pub fn event_in(&mut self, at_us: u64, kind: &str, detail: &str, ctx: Option<TraceContext>) {
         if !self.enabled {
             return;
         }
@@ -72,42 +92,113 @@ impl EventSink {
             kind: kind.to_string(),
             detail: detail.to_string(),
             span: None,
+            parent: ctx.map(|c| c.span),
+            trace: ctx.map(|c| c.trace),
         });
     }
 
-    /// Opens a span and returns its id. Span ids are handed out even
-    /// when disabled so call sites never need to branch.
-    pub fn begin(&mut self, at_us: u64, kind: &str, detail: &str) -> SpanId {
+    /// Opens a span under `ctx` (or as a fresh trace root when `ctx` is
+    /// `None`) and returns the context children of the span should
+    /// inherit: the span's own id plus its trace id.
+    ///
+    /// Ids are handed out even when disabled so call sites never need
+    /// to branch; only the event record itself is skipped.
+    pub fn begin_span(
+        &mut self,
+        at_us: u64,
+        kind: &str,
+        detail: &str,
+        ctx: Option<TraceContext>,
+    ) -> TraceContext {
         let id = SpanId(self.next_span);
         self.next_span += 1;
+        let trace = match ctx {
+            Some(c) => c.trace,
+            None => {
+                let t = TraceId(self.next_trace);
+                self.next_trace += 1;
+                t
+            }
+        };
         if self.enabled {
+            self.open.insert(id);
             self.events.push(ObsEvent {
                 at_us,
                 kind: kind.to_string(),
                 detail: detail.to_string(),
                 span: Some(id),
+                parent: ctx.map(|c| c.span),
+                trace: Some(trace),
             });
         }
-        id
+        TraceContext { trace, span: id }
     }
 
-    /// Closes a span previously opened with [`EventSink::begin`].
-    pub fn end(&mut self, at_us: u64, id: SpanId) {
+    /// Closes a span previously opened with [`EventSink::begin_span`].
+    ///
+    /// Debug builds assert the span is actually open (catching double
+    /// closes and closes of never-opened ids); release builds record
+    /// the end edge regardless so a mispaired span is still visible in
+    /// the event log.
+    pub fn end_span(&mut self, at_us: u64, id: SpanId) {
         if !self.enabled {
             return;
         }
+        let was_open = self.open.remove(&id);
+        debug_assert!(was_open, "end_span on span that is not open: {id}");
         self.events.push(ObsEvent {
             at_us,
             kind: "span.end".to_string(),
             detail: String::new(),
             span: Some(id),
+            parent: None,
+            trace: None,
         });
+    }
+
+    /// Opens a root span with no trace context. Prefer
+    /// [`EventSink::begin_span`] when a parent context is available.
+    pub fn begin(&mut self, at_us: u64, kind: &str, detail: &str) -> SpanId {
+        self.begin_span(at_us, kind, detail, None).span
+    }
+
+    /// Closes a span previously opened with [`EventSink::begin`].
+    pub fn end(&mut self, at_us: u64, id: SpanId) {
+        self.end_span(at_us, id)
+    }
+
+    /// Closes every still-open span (recording a `span.unclosed` end
+    /// edge for each) and returns their ids, ascending. An empty return
+    /// means all instrumentation paired its spans; callers that care
+    /// should assert on it.
+    pub fn finish(&mut self, at_us: u64) -> Vec<SpanId> {
+        let unclosed: Vec<SpanId> = std::mem::take(&mut self.open).into_iter().collect();
+        if self.enabled {
+            for &id in &unclosed {
+                self.events.push(ObsEvent {
+                    at_us,
+                    kind: "span.unclosed".to_string(),
+                    detail: String::new(),
+                    span: Some(id),
+                    parent: None,
+                    trace: None,
+                });
+            }
+        }
+        unclosed
     }
 
     /// All recorded events, in recording order (which is sim-time order
     /// when producers record as time advances).
     pub fn events(&self) -> &[ObsEvent] {
         &self.events
+    }
+
+    /// Drains every recorded event, leaving the sink empty but
+    /// configured (enabled flag and id counters are kept). Use this
+    /// instead of cloning `events()` when snapshotting.
+    pub fn take_events(&mut self) -> Vec<ObsEvent> {
+        std::mem::take(&mut self.events)
     }
 
     /// Number of recorded events.
@@ -126,9 +217,10 @@ impl EventSink {
     }
 
     /// Drops every recorded event (keeps the enabled flag and span
-    /// counter).
+    /// counter). Also forgets open-span bookkeeping.
     pub fn clear(&mut self) {
         self.events.clear();
+        self.open.clear();
     }
 }
 
@@ -170,6 +262,7 @@ mod tests {
         assert_ne!(a, b);
         assert_eq!(s.len(), 1, "only the enabled begin recorded");
         assert_eq!(b.to_string(), "span#1");
+        s.end(2, b); // keep the open-span bookkeeping balanced
     }
 
     #[test]
@@ -181,5 +274,65 @@ mod tests {
         assert!(s.is_enabled());
         s.event(2, "k", "");
         assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn spans_carry_parent_and_trace() {
+        let mut s = EventSink::enabled();
+        let root = s.begin_span(0, "iter.fig4.invocation", "", None);
+        let child = s.begin_span(5, "net.rpc", "n0->n1", Some(root));
+        s.event_in(7, "net.rpc.failed", "timeout", Some(child));
+        s.end_span(9, child.span);
+        s.end_span(10, root.span);
+
+        assert_eq!(child.trace, root.trace);
+        let begin_child = &s.events()[1];
+        assert_eq!(begin_child.parent, Some(root.span));
+        assert_eq!(begin_child.trace, Some(root.trace));
+        let point = &s.events()[2];
+        assert_eq!(point.parent, Some(child.span));
+        assert_eq!(point.trace, Some(child.trace));
+
+        let other = s.begin_span(20, "gossip.round", "", None);
+        assert_ne!(other.trace, root.trace, "new root means new trace");
+        s.end_span(21, other.span);
+        assert!(s.finish(22).is_empty());
+    }
+
+    #[test]
+    fn finish_reports_and_closes_unclosed_spans() {
+        let mut s = EventSink::enabled();
+        let a = s.begin_span(0, "op.a", "", None);
+        let b = s.begin_span(1, "op.b", "", Some(a));
+        s.end_span(2, b.span);
+        let unclosed = s.finish(5);
+        assert_eq!(unclosed, vec![a.span]);
+        assert_eq!(s.count_kind("span.unclosed"), 1);
+        // A second finish has nothing left to report.
+        assert!(s.finish(6).is_empty());
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "not open")]
+    fn double_close_is_caught_in_debug_builds() {
+        let mut s = EventSink::enabled();
+        let a = s.begin_span(0, "op", "", None);
+        s.end_span(1, a.span);
+        s.end_span(2, a.span);
+    }
+
+    #[test]
+    fn take_events_drains_without_losing_configuration() {
+        let mut s = EventSink::enabled();
+        let a = s.begin_span(0, "op", "", None);
+        s.end_span(1, a.span);
+        let drained = s.take_events();
+        assert_eq!(drained.len(), 2);
+        assert!(s.is_empty());
+        assert!(s.is_enabled());
+        let b = s.begin_span(2, "op", "", None);
+        assert!(b.span > a.span, "span ids keep advancing after a drain");
+        s.end_span(3, b.span);
     }
 }

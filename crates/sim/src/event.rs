@@ -4,6 +4,7 @@
 //! broken by insertion order, which makes every run deterministic.
 
 use crate::fault::FaultAction;
+use crate::metrics::TraceContext;
 use crate::node::NodeId;
 use crate::time::SimTime;
 use crate::world::{ReplyToken, Task, World};
@@ -12,12 +13,15 @@ use std::collections::BinaryHeap;
 
 /// What happens when an event fires.
 pub(crate) enum EventKind<M> {
-    /// A request message reaches the server node.
+    /// A request message reaches the server node. Carries the causal
+    /// context of the span that launched it, so server-side handling
+    /// parents under the caller's trace.
     Deliver {
         from: NodeId,
         to: NodeId,
         msg: M,
         token: ReplyToken,
+        ctx: Option<TraceContext>,
     },
     /// A reply message reaches the client node.
     ReplyArrive {
@@ -25,12 +29,14 @@ pub(crate) enum EventKind<M> {
         to: NodeId,
         msg: M,
         token: ReplyToken,
+        ctx: Option<TraceContext>,
     },
     /// An asynchronously-sent request completes with a local error
     /// (fast failure detection).
     CompleteError {
         token: ReplyToken,
         error: crate::net::NetError,
+        ctx: Option<TraceContext>,
     },
     /// A fault-plan action takes effect.
     Fault(FaultAction),

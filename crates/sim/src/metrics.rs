@@ -10,8 +10,9 @@
 //! (`SimDuration::as_micros`), the simulator's native resolution.
 
 pub use weakset_obs::{
-    per_shard_stats, shard_key, Direction, EventSink, LatencyRecorder, LatencySummary, Objective,
-    ObsEvent, ObsSnapshot, ShardStats, SpanId,
+    category_of, chrome_trace, critical_path, critical_path_of, per_shard_stats, shard_key,
+    CausalDag, CriticalPath, Direction, EventSink, LatencyRecorder, LatencySummary, Objective,
+    ObsEvent, ObsSnapshot, PathCategory, ShardStats, SpanId, SpanNode, TraceContext, TraceId,
 };
 
 /// Named counters, gauges, and latency recorders for a run.

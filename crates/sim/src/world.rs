@@ -23,7 +23,7 @@
 use crate::event::{run_task, EventKind, EventQueue};
 use crate::fault::{FaultAction, FaultPlan};
 use crate::latency::LatencyModel;
-use crate::metrics::{EventSink, Metrics};
+use crate::metrics::{EventSink, Metrics, SpanId, TraceContext};
 use crate::net::{BatchEnvelope, NetError};
 use crate::node::NodeId;
 use crate::rng::SimRng;
@@ -138,6 +138,11 @@ pub struct World<M> {
     trace: Trace,
     metrics: Metrics,
     events: EventSink,
+    /// Stack of open causal spans for the code currently running; the
+    /// top is the context new spans and outgoing messages inherit.
+    /// Swapped out while dispatched work (tasks, service handlers)
+    /// runs, so background work never parents under the pumping RPC.
+    ctx: Vec<TraceContext>,
     /// Link throughput in bytes per millisecond; `None` = infinite.
     bandwidth_bytes_per_ms: Option<u64>,
     /// Measures a message's wire size for transfer-time charging.
@@ -168,6 +173,7 @@ impl<M: Clone + std::fmt::Debug + 'static> World<M> {
             trace,
             metrics: Metrics::new(),
             events: EventSink::new(),
+            ctx: Vec::new(),
             bandwidth_bytes_per_ms: None,
             sizer: None,
         }
@@ -239,6 +245,59 @@ impl<M: Clone + std::fmt::Debug + 'static> World<M> {
     /// Mutable access to the event sink (enable/disable, client spans).
     pub fn events_mut(&mut self) -> &mut EventSink {
         &mut self.events
+    }
+
+    /// Opens a causal span under the current context (or as a fresh
+    /// trace root when none is open) and makes it the current context.
+    /// `detail` is built lazily so a disabled sink pays no allocation.
+    /// Pair with [`World::span_exit`].
+    pub fn span_enter(&mut self, kind: &str, detail: impl FnOnce() -> String) -> SpanId {
+        let parent = self.ctx.last().copied();
+        self.span_enter_under(parent, kind, detail)
+    }
+
+    /// Opens a causal span under an explicit parent context (e.g. an
+    /// iterator's stored trace root) and makes it the current context.
+    pub fn span_enter_under(
+        &mut self,
+        parent: Option<TraceContext>,
+        kind: &str,
+        detail: impl FnOnce() -> String,
+    ) -> SpanId {
+        let at = self.now.as_micros();
+        let d = if self.events.is_enabled() {
+            detail()
+        } else {
+            String::new()
+        };
+        let ctx = self.events.begin_span(at, kind, &d, parent);
+        self.ctx.push(ctx);
+        ctx.span
+    }
+
+    /// Closes a span opened with [`World::span_enter`] /
+    /// [`World::span_enter_under`] and pops it off the context stack.
+    /// Spans must close in LIFO order.
+    pub fn span_exit(&mut self, id: SpanId) {
+        let top = self.ctx.pop();
+        debug_assert_eq!(top.map(|c| c.span), Some(id), "span_exit out of LIFO order");
+        self.events.end_span(self.now.as_micros(), id);
+    }
+
+    /// The current causal context: the innermost open span, which
+    /// outgoing messages and child spans inherit.
+    pub fn current_ctx(&self) -> Option<TraceContext> {
+        self.ctx.last().copied()
+    }
+
+    /// Records a point event attributed to the current causal context.
+    /// No-op (and no allocation) when the sink is disabled.
+    pub fn trace_event(&mut self, kind: &str, detail: impl FnOnce() -> String) {
+        if self.events.is_enabled() {
+            let d = detail();
+            let ctx = self.current_ctx();
+            self.events.event_in(self.now.as_micros(), kind, &d, ctx);
+        }
     }
 
     /// A fresh deterministic RNG stream labelled for a consumer (workload
@@ -384,6 +443,23 @@ impl<M: Clone + std::fmt::Debug + 'static> World<M> {
         msg: M,
         timeout: SimDuration,
     ) -> Result<M, NetError> {
+        let span = self.span_enter("net.rpc", || format!("{from}->{to}"));
+        let result = self.rpc_inner(from, to, msg, timeout);
+        if let Err(e) = &result {
+            let err = *e;
+            self.trace_event("net.rpc.failed", || format!("{from}->{to}: {err}"));
+        }
+        self.span_exit(span);
+        result
+    }
+
+    fn rpc_inner(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        msg: M,
+        timeout: SimDuration,
+    ) -> Result<M, NetError> {
         if !self.topology.is_up(from) {
             return Err(NetError::NodeDown(from));
         }
@@ -421,12 +497,14 @@ impl<M: Clone + std::fmt::Debug + 'static> World<M> {
             self.trace
                 .record(self.now, TraceEvent::MessageLost { from, to });
             self.metrics.incr("msg.dropped");
+            self.trace_event("net.msg.lost", || format!("{from}->{to}"));
         } else {
             let lat = self.latency.sample(
                 self.topology.node(from),
                 self.topology.node(to),
                 &mut self.lat_rng,
             ) + self.transfer_delay(&msg);
+            let ctx = self.current_ctx();
             self.queue.push(
                 self.now + lat,
                 EventKind::Deliver {
@@ -434,6 +512,7 @@ impl<M: Clone + std::fmt::Debug + 'static> World<M> {
                     to,
                     msg,
                     token,
+                    ctx,
                 },
             );
         }
@@ -512,9 +591,14 @@ impl<M: Clone + std::fmt::Debug + 'static> World<M> {
             } else {
                 NetError::NodeDown(to)
             };
+            let ctx = self.current_ctx();
             self.queue.push(
                 self.now + self.config.detect_delay,
-                EventKind::CompleteError { token, error: err },
+                EventKind::CompleteError {
+                    token,
+                    error: err,
+                    ctx,
+                },
             );
             return token;
         }
@@ -523,6 +607,7 @@ impl<M: Clone + std::fmt::Debug + 'static> World<M> {
             self.trace
                 .record(self.now, TraceEvent::MessageLost { from, to });
             self.metrics.incr("msg.dropped");
+            self.trace_event("net.msg.lost", || format!("{from}->{to}"));
             return token; // never completes; caller's deadline applies
         }
         let lat = self.latency.sample(
@@ -530,6 +615,7 @@ impl<M: Clone + std::fmt::Debug + 'static> World<M> {
             self.topology.node(to),
             &mut self.lat_rng,
         ) + self.transfer_delay(&msg);
+        let ctx = self.current_ctx();
         self.queue.push(
             self.now + lat,
             EventKind::Deliver {
@@ -537,6 +623,7 @@ impl<M: Clone + std::fmt::Debug + 'static> World<M> {
                 to,
                 msg,
                 token,
+                ctx,
             },
         );
         token
@@ -621,8 +708,16 @@ impl<M: Clone + std::fmt::Debug + 'static> World<M> {
         self.metrics
             .gauge_max("sim.queue.depth.max", self.queue.len() as u64);
         match kind {
-            EventKind::CompleteError { token, error } => {
+            EventKind::CompleteError { token, error, ctx } => {
                 self.metrics.incr("sim.dispatch.complete_error");
+                if self.events.is_enabled() {
+                    self.events.event_in(
+                        self.now.as_micros(),
+                        "net.send.failed",
+                        &error.to_string(),
+                        ctx,
+                    );
+                }
                 self.completed.insert(token, Err(error));
                 self.metrics.incr("rpc.failed");
             }
@@ -631,6 +726,7 @@ impl<M: Clone + std::fmt::Debug + 'static> World<M> {
                 to,
                 msg,
                 token,
+                ctx,
             } => {
                 self.metrics.incr("sim.dispatch.deliver");
                 // Mid-flight state changes: the message dies if the route or
@@ -639,6 +735,14 @@ impl<M: Clone + std::fmt::Debug + 'static> World<M> {
                     self.trace
                         .record(self.now, TraceEvent::MessageLost { from, to });
                     self.metrics.incr("msg.dropped");
+                    if self.events.is_enabled() {
+                        self.events.event_in(
+                            self.now.as_micros(),
+                            "net.msg.lost",
+                            &format!("{from}->{to}"),
+                            ctx,
+                        );
+                    }
                     return;
                 }
                 let Some(mut svc) = self.services.remove(&to) else {
@@ -647,6 +751,11 @@ impl<M: Clone + std::fmt::Debug + 'static> World<M> {
                     self.metrics.incr("msg.no_service");
                     return;
                 };
+                // Handlers run under the *message's* context, not
+                // whatever span the pumping client has open.
+                let saved = std::mem::take(&mut self.ctx);
+                self.ctx.extend(ctx);
+                let span = self.span_enter("svc.handle", || to.to_string());
                 let reply = {
                     let mut ctx = ServiceCtx {
                         now: self.now,
@@ -655,6 +764,8 @@ impl<M: Clone + std::fmt::Debug + 'static> World<M> {
                     };
                     svc.handle(&mut ctx, from, msg)
                 };
+                self.span_exit(span);
+                self.ctx = saved;
                 self.services.insert(to, svc);
                 self.trace
                     .record(self.now, TraceEvent::RpcHandled { from, to });
@@ -664,6 +775,14 @@ impl<M: Clone + std::fmt::Debug + 'static> World<M> {
                     self.trace
                         .record(self.now, TraceEvent::MessageLost { from: to, to: from });
                     self.metrics.incr("msg.dropped");
+                    if self.events.is_enabled() {
+                        self.events.event_in(
+                            self.now.as_micros(),
+                            "net.msg.lost",
+                            &format!("{to}->{from}"),
+                            ctx,
+                        );
+                    }
                     return;
                 }
                 let lat = self.latency.sample(
@@ -678,6 +797,7 @@ impl<M: Clone + std::fmt::Debug + 'static> World<M> {
                         to: from,
                         msg: reply,
                         token,
+                        ctx,
                     },
                 );
             }
@@ -686,12 +806,21 @@ impl<M: Clone + std::fmt::Debug + 'static> World<M> {
                 to,
                 msg,
                 token,
+                ctx,
             } => {
                 self.metrics.incr("sim.dispatch.reply");
                 if !self.topology.is_up(to) || !self.topology.reachable(from, to) {
                     self.trace
                         .record(self.now, TraceEvent::MessageLost { from, to });
                     self.metrics.incr("msg.dropped");
+                    if self.events.is_enabled() {
+                        self.events.event_in(
+                            self.now.as_micros(),
+                            "net.msg.lost",
+                            &format!("{from}->{to}"),
+                            ctx,
+                        );
+                    }
                     return;
                 }
                 self.completed.insert(token, Ok(msg));
@@ -707,21 +836,31 @@ impl<M: Clone + std::fmt::Debug + 'static> World<M> {
                     self.events.event(self.now.as_micros(), "sim.task", &label);
                 }
                 self.trace.record(self.now, TraceEvent::TaskRan { label });
+                // Background work roots its own traces: run it with an
+                // empty context stack.
+                let saved = std::mem::take(&mut self.ctx);
                 run_task(task, self);
+                self.ctx = saved;
             }
         }
     }
 
     fn apply_fault(&mut self, action: FaultAction) {
         let (kind, detail) = match &action {
-            FaultAction::Crash(n) => ("sim.fault.crash", format!("{n:?}")),
-            FaultAction::Restart(n) => ("sim.fault.restart", format!("{n:?}")),
-            FaultAction::SetLink(a, b, _) => ("sim.fault.set_link", format!("{a:?}->{b:?}")),
+            FaultAction::Crash(n) => ("sim.fault.crash", n.to_string()),
+            FaultAction::Restart(n) => ("sim.fault.restart", n.to_string()),
+            FaultAction::SetLink(a, b, state) => (
+                "sim.fault.set_link",
+                format!("{a}->{b} {}", if state.up { "up" } else { "down" }),
+            ),
             FaultAction::Partition(side) => {
-                ("sim.fault.partition", format!("{} nodes", side.len()))
+                // Name the isolated side so failure explanations can tie
+                // an unreachable member back to this exact event.
+                let nodes: Vec<String> = side.iter().map(|n| n.to_string()).collect();
+                ("sim.fault.partition", format!("[{}]", nodes.join(",")))
             }
             FaultAction::HealPartition => ("sim.fault.heal_partition", String::new()),
-            FaultAction::SetGroup(n, _) => ("sim.fault.set_group", format!("{n:?}")),
+            FaultAction::SetGroup(n, _) => ("sim.fault.set_group", n.to_string()),
         };
         self.metrics.incr(kind);
         if self.events.is_enabled() {
@@ -1094,6 +1233,74 @@ mod tests {
             w.now().saturating_since(started),
             SimDuration::from_micros(10_001)
         );
+    }
+
+    #[test]
+    fn rpc_spans_link_client_and_server() {
+        let (mut w, c, s) = two_node_world();
+        w.events_mut().set_enabled(true);
+        let root = w.span_enter("iter.fig4.invocation", String::new);
+        w.rpc_default(c, s, 1).unwrap();
+        w.span_exit(root);
+        let at = w.now().as_micros();
+        assert!(w.events_mut().finish(at).is_empty());
+        let events = w.events_mut().take_events();
+        let dag = crate::metrics::CausalDag::from_events(&events);
+        assert_eq!(dag.roots().len(), 1, "one trace rooted at the invocation");
+        let root_node = dag.span(dag.roots()[0]).unwrap();
+        assert_eq!(root_node.kind, "iter.fig4.invocation");
+        let rpc = dag.span(root_node.children[0]).unwrap();
+        assert_eq!(rpc.kind, "net.rpc");
+        assert_eq!(rpc.detail, "n0->n1");
+        assert_eq!(rpc.duration_us(), 10_000, "one 5ms-each-way round trip");
+        let handle = dag.span(rpc.children[0]).unwrap();
+        assert_eq!(handle.kind, "svc.handle");
+        assert_eq!(handle.detail, "n1");
+        assert_eq!(
+            handle.trace, root_node.trace,
+            "server work joins the caller's trace"
+        );
+    }
+
+    #[test]
+    fn failed_rpc_records_attributed_failure_event() {
+        let (mut w, c, s) = two_node_world();
+        w.events_mut().set_enabled(true);
+        w.topology_mut().partition(&[s]);
+        assert!(w.rpc_default(c, s, 1).is_err());
+        let at = w.now().as_micros();
+        assert!(w.events_mut().finish(at).is_empty());
+        let events = w.events_mut().take_events();
+        let dag = crate::metrics::CausalDag::from_events(&events);
+        let failures = dag.points_under(dag.roots()[0]);
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].kind, "net.rpc.failed");
+        assert!(failures[0].detail.contains("no route from n0 to n1"));
+    }
+
+    #[test]
+    fn background_tasks_root_their_own_traces() {
+        let (mut w, c, s) = two_node_world();
+        w.events_mut().set_enabled(true);
+        // A concurrent task fires mid-RPC and performs its own RPC; its
+        // spans must not parent under the pumping client's span.
+        w.spawn_at(SimTime::from_millis(2), move |w: &mut World<u64>| {
+            let _ = w.rpc_default(c, s, 100);
+        });
+        let outer = w.span_enter("iter.fig5.invocation", String::new);
+        w.rpc(c, s, 1, SimDuration::from_millis(200)).unwrap();
+        w.span_exit(outer);
+        let at = w.now().as_micros();
+        assert!(w.events_mut().finish(at).is_empty());
+        let events = w.events_mut().take_events();
+        let dag = crate::metrics::CausalDag::from_events(&events);
+        assert_eq!(dag.roots().len(), 2, "client trace + background trace");
+        let traces: Vec<_> = dag
+            .roots()
+            .iter()
+            .map(|&r| dag.span(r).unwrap().trace)
+            .collect();
+        assert_ne!(traces[0], traces[1]);
     }
 
     #[test]

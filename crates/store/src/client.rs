@@ -231,7 +231,18 @@ impl StoreClient {
         id: ObjectId,
     ) -> Result<ObjectRecord, StoreError> {
         let started = world.now();
-        let result = match self.call(world, home, StoreMsg::GetObject(id))? {
+        // Network errors return before the metrics below: the store
+        // fetch never happened, so only the causal stream records it
+        // (`store.fetch.us`/`.err` stay store-level signals).
+        let reply = self
+            .call(world, home, StoreMsg::GetObject(id))
+            .inspect_err(|e| {
+                let msg = e.to_string();
+                world.trace_event("store.fetch.failed", || {
+                    format!("object={id} home={home}: {msg}")
+                });
+            })?;
+        let result = match reply {
             StoreMsg::Object(rec) => Ok(rec),
             StoreMsg::NotFound(id) => Err(StoreError::NotFound(id)),
             _ => Err(StoreError::Protocol),
@@ -395,7 +406,21 @@ impl StoreClient {
         policy: ReadPolicy,
     ) -> Result<MembershipRead, StoreError> {
         let started = world.now();
+        let span_kind = match policy {
+            ReadPolicy::Primary => "store.read.primary",
+            ReadPolicy::Any => "store.read.any",
+            ReadPolicy::Quorum => "store.read.quorum",
+            ReadPolicy::Leaderless => "store.read.leaderless",
+        };
+        let span = world.span_enter(span_kind, || cref.id.to_string());
         let result = self.read_members_inner(world, cref, policy);
+        if let Err(e) = &result {
+            let msg = e.to_string();
+            world.trace_event("store.read.failed", || {
+                format!("{} {}: {}", policy.label(), cref.id, msg)
+            });
+        }
+        world.span_exit(span);
         let elapsed = world.now().saturating_since(started).as_micros();
         let m = world.metrics_mut();
         m.observe(&format!("store.read.{}.us", policy.label()), elapsed);
@@ -498,6 +523,10 @@ impl StoreClient {
         policy: ReadPolicy,
     ) -> Vec<Result<MembershipRead, StoreError>> {
         let started = world.now();
+        let n_shards = shards.len();
+        let span = world.span_enter("store.read.batched", || {
+            format!("{} shards, {}", n_shards, policy.label())
+        });
         // Which nodes each shard contacts under this policy.
         let contacts: Vec<Vec<NodeId>> = shards
             .iter()
@@ -566,6 +595,15 @@ impl StoreClient {
             .into_iter()
             .map(|per_node| Self::aggregate_reads(world, self.node, policy, per_node))
             .collect();
+        for (shard, r) in shards.iter().zip(&results) {
+            if let Err(e) = r {
+                let msg = e.to_string();
+                world.trace_event("store.read.failed", || {
+                    format!("batched {} {}: {}", policy.label(), shard.id, msg)
+                });
+            }
+        }
+        world.span_exit(span);
         let elapsed = world.now().saturating_since(started).as_micros();
         let m = world.metrics_mut();
         m.observe(

@@ -1,6 +1,7 @@
 //! Observability tour: run a small weak-set workload, then inspect the
-//! metrics registry, the structured event sink, and a machine-readable
-//! `ObsSnapshot` of the run.
+//! metrics registry, the structured event sink, the causal span DAG
+//! (with its critical-path decomposition and a Perfetto-loadable trace
+//! export), and a machine-readable `ObsSnapshot` of the run.
 //!
 //! Run with: `cargo run --example observability_tour`
 
@@ -56,12 +57,57 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("--- metrics ---\n{}", world.metrics());
 
     // 2. The event sink: structured events keyed by simulated time.
-    println!("--- events ---");
-    for ev in world.events().events() {
+    //    Point events only here — spans are summarized via the DAG below.
+    println!("--- events (points) ---");
+    for ev in world.events().events().iter().filter(|e| e.span.is_none()) {
         println!("{:>8}us {} {}", ev.at_us, ev.kind, ev.detail);
     }
 
-    // 3. A snapshot: everything above frozen into a deterministic,
+    // 3. The causal DAG: every `elements` computation is one cross-node
+    //    trace. Walk the roots, decompose each trace's simulated latency
+    //    along its critical path, and export the whole run as a Chrome
+    //    trace-event file loadable in https://ui.perfetto.dev.
+    let at = world.now().as_micros();
+    let unclosed = world.events_mut().finish(at);
+    assert!(unclosed.is_empty(), "unclosed spans: {unclosed:?}");
+    let dag = CausalDag::from_events(world.events().events());
+    println!("\n--- causal traces ---");
+    let mut trivial = 0usize;
+    for &root in dag.roots() {
+        let span = dag.span(root).expect("root is in the DAG");
+        let n_spans = dag.descendants(root).len();
+        if n_spans <= 2 {
+            trivial += 1; // single setup RPCs: count, don't list
+            continue;
+        }
+        let cp = critical_path_of(&dag, root);
+        println!(
+            "{} {} [{} spans]: {}us on the critical path \
+             (network {}us, queue {}us, quorum-wait {}us, gossip {}us)",
+            span.trace
+                .map(|t| t.to_string())
+                .unwrap_or_else(|| "(untraced)".into()),
+            span.kind,
+            n_spans,
+            cp.total_us(),
+            cp.network_us,
+            cp.queue_us,
+            cp.quorum_wait_us,
+            cp.gossip_us,
+        );
+    }
+    println!("(+ {trivial} single-RPC traces from workload setup)");
+    let perfetto = chrome_trace(world.events().events());
+    let path = std::env::temp_dir().join("weakset-tour-trace.json");
+    std::fs::write(&path, &perfetto)?;
+    println!(
+        "perfetto trace: {} events, {} bytes -> {} (open in ui.perfetto.dev)",
+        world.events().len(),
+        perfetto.len(),
+        path.display()
+    );
+
+    // 4. A snapshot: everything above frozen into a deterministic,
     //    machine-readable document (this is what `weakset-bench --bin
     //    snapshot` writes as BENCH_<scenario>.json).
     let snap = world.metrics().snapshot("tour", 7).with_objective(

@@ -128,3 +128,271 @@ fn snapshot_round_trips_through_json() {
     assert_eq!(back.objectives.len(), 1);
     drop(rig.set);
 }
+
+// ---------------------------------------------------------------------
+// Causal span trees: every `elements` computation is one cross-node
+// trace — the first invocation roots it, later invocations parent under
+// that root, and the network/server work each invocation triggered
+// hangs beneath it.
+// ---------------------------------------------------------------------
+
+/// A world with the causal sink on: one client, `n` servers, `2n`
+/// elements spread round-robin.
+fn span_rig(seed: u64, n: usize) -> (StoreWorld, WeakSet, Vec<NodeId>) {
+    let mut topo = Topology::new();
+    let laptop = topo.add_node("laptop", 0);
+    let servers: Vec<NodeId> = (0..n as u32)
+        .map(|i| topo.add_node(format!("server-{i}"), i + 1))
+        .collect();
+    let mut world = StoreWorld::new(
+        WorldConfig::seeded(seed),
+        topo,
+        LatencyModel::Constant(SimDuration::from_millis(2)),
+    );
+    world.events_mut().set_enabled(true);
+    for &s in &servers {
+        world.install_service(s, Box::new(StoreServer::new()));
+    }
+    let set = WeakSetBuilder::new(CollectionId(1), servers[0])
+        .client_node(laptop)
+        .timeout(SimDuration::from_millis(100))
+        .create(&mut world)
+        .unwrap();
+    for i in 0..(2 * n as u64) {
+        let home = servers[(i as usize) % n];
+        set.add(
+            &mut world,
+            ObjectRecord::new(ObjectId(i + 1), format!("o{i}"), &b"x"[..]),
+            home,
+        )
+        .unwrap();
+    }
+    (world, set, servers)
+}
+
+/// Closes the span ledger (asserting nothing leaked) and builds the DAG.
+fn dag_of(world: &mut StoreWorld) -> CausalDag {
+    let at = world.now().as_micros();
+    let unclosed = world.events_mut().finish(at);
+    assert!(unclosed.is_empty(), "unclosed spans: {unclosed:?}");
+    CausalDag::from_events(&world.events_mut().take_events())
+}
+
+/// The invocation spans of `kind`, asserting they form one trace: one
+/// root (the first invocation) and every later invocation a child of it.
+fn assert_one_computation_trace(dag: &CausalDag, kind: &str) -> SpanId {
+    let invocations: Vec<&SpanNode> = dag.spans().filter(|s| s.kind == kind).collect();
+    assert!(!invocations.is_empty(), "no {kind} spans recorded");
+    let roots: Vec<&&SpanNode> = invocations.iter().filter(|s| s.parent.is_none()).collect();
+    assert_eq!(roots.len(), 1, "{kind}: exactly one trace root expected");
+    let root = roots[0];
+    for inv in &invocations {
+        assert_eq!(
+            inv.trace, root.trace,
+            "{kind}: invocation {} is in a different trace",
+            inv.id
+        );
+        if inv.id != root.id {
+            assert_eq!(
+                inv.parent,
+                Some(root.id),
+                "{kind}: invocation {} does not parent under the root",
+                inv.id
+            );
+        }
+    }
+    root.id
+}
+
+/// Fig 4 (snapshot): a clean run is one trace whose invocations carry
+/// the server handling and network legs beneath them.
+#[test]
+fn fig4_snapshot_run_is_one_cross_node_trace() {
+    let (mut world, set, _servers) = span_rig(5, 3);
+    let mut it = set.elements(Semantics::Snapshot);
+    while !matches!(it.next(&mut world), IterStep::Done) {}
+    let dag = dag_of(&mut world);
+    let root = assert_one_computation_trace(&dag, "iter.fig4.invocation");
+    let kinds: Vec<&str> = dag
+        .descendants(root)
+        .into_iter()
+        .filter_map(|id| dag.span(id))
+        .map(|s| s.kind.as_str())
+        .collect();
+    assert!(kinds.contains(&"net.rpc"), "no network leg under the root");
+    assert!(
+        kinds.contains(&"svc.handle"),
+        "no server leg under the root"
+    );
+    assert!(
+        kinds.contains(&"store.read.primary"),
+        "no membership read under the root"
+    );
+}
+
+/// Fig 3 (fail-stop): a locked run that hits a crashed member home
+/// fails, and the failure evidence sits under the failing invocation.
+#[test]
+fn fig3_failure_evidence_hangs_under_the_failing_invocation() {
+    let (mut world, set, servers) = span_rig(6, 3);
+    world.topology_mut().crash(servers[2]);
+    let mut it = set.elements(Semantics::Locked);
+    loop {
+        match it.next(&mut world) {
+            IterStep::Failed(_) => break,
+            IterStep::Done => panic!("run must fail: a member home is down"),
+            _ => {}
+        }
+    }
+    let dag = dag_of(&mut world);
+    assert_one_computation_trace(&dag, "iter.fig3.invocation");
+    let failed_outcome = dag
+        .points()
+        .iter()
+        .find(|e| e.kind == "iter.outcome" && e.detail.starts_with("fig3 failed:"))
+        .expect("failed outcome recorded");
+    let inv = failed_outcome.parent.expect("outcome attributed to a span");
+    assert_eq!(dag.span(inv).unwrap().kind, "iter.fig3.invocation");
+    assert!(
+        dag.points_under(inv)
+            .iter()
+            .any(|e| e.kind == "iter.fetch.unreachable"),
+        "no unreachable-member evidence under the failing invocation"
+    );
+}
+
+/// Fig 5 (grow-only): same single-trace shape, pessimistic failure.
+#[test]
+fn fig5_growonly_run_is_one_trace_and_fails_pessimistically() {
+    let (mut world, set, servers) = span_rig(7, 3);
+    world.topology_mut().crash(servers[1]);
+    let mut it = set.elements(Semantics::GrowOnly);
+    loop {
+        match it.next(&mut world) {
+            IterStep::Failed(_) => break,
+            IterStep::Done => panic!("run must fail: a member home is down"),
+            _ => {}
+        }
+    }
+    let dag = dag_of(&mut world);
+    assert_one_computation_trace(&dag, "iter.fig5.invocation");
+    assert!(dag
+        .points()
+        .iter()
+        .any(|e| e.kind == "iter.outcome" && e.detail.starts_with("fig5 failed:")));
+}
+
+/// Fig 6 (optimistic): a run suspended by a crash and resumed after the
+/// restart is STILL one trace — the blocked invocations and the
+/// post-resume invocations all parent under the same root.
+#[test]
+fn fig6_suspend_resume_stays_one_trace() {
+    let (mut world, set, servers) = span_rig(8, 2);
+    let mut it = set.elements(Semantics::Optimistic);
+    // Yield a prefix, then lose a server: the run suspends (blocks).
+    assert!(matches!(it.next(&mut world), IterStep::Yielded(_)));
+    world.topology_mut().crash(servers[1]);
+    let mut blocked = 0;
+    loop {
+        match it.next(&mut world) {
+            IterStep::Blocked => {
+                blocked += 1;
+                break;
+            }
+            IterStep::Yielded(_) => {}
+            step => panic!("optimistic run must block, not {step:?}"),
+        }
+    }
+    // Heal and resume to completion.
+    world.topology_mut().restart(servers[1]);
+    while !matches!(it.next(&mut world), IterStep::Done) {}
+    assert!(blocked > 0);
+    let dag = dag_of(&mut world);
+    let root = assert_one_computation_trace(&dag, "iter.fig6.invocation");
+    let under = dag.points_under(root);
+    assert!(
+        under
+            .iter()
+            .any(|e| e.kind == "iter.outcome" && e.detail == "fig6 blocked"),
+        "suspension not recorded in the trace"
+    );
+    assert!(
+        under
+            .iter()
+            .any(|e| e.kind == "iter.outcome" && e.detail == "fig6 returned"),
+        "resumption to completion not recorded in the trace"
+    );
+}
+
+/// Sharded fan-out: one computation crossing several shard groups is one
+/// trace — the sharded invocations root it and every per-shard
+/// invocation (and its server legs on different shard homes) joins it.
+#[test]
+fn sharded_computation_is_one_trace_across_shard_groups() {
+    let mut topo = Topology::new();
+    let laptop = topo.add_node("laptop", 0);
+    let servers: Vec<NodeId> = (0..3)
+        .map(|i| topo.add_node(format!("server-{i}"), i + 1))
+        .collect();
+    let mut world = StoreWorld::new(
+        WorldConfig::seeded(9),
+        topo,
+        LatencyModel::Constant(SimDuration::from_millis(2)),
+    );
+    world.events_mut().set_enabled(true);
+    for &s in &servers {
+        world.install_service(s, Box::new(StoreServer::new()));
+    }
+    let client = StoreClient::new(laptop, SimDuration::from_millis(100));
+    let groups: Vec<ShardGroup> = servers
+        .iter()
+        .map(|&home| ShardGroup {
+            home,
+            replicas: Vec::new(),
+        })
+        .collect();
+    let set = ShardedWeakSet::create(
+        &mut world,
+        CollectionId(1),
+        client,
+        &groups,
+        IterConfig::default(),
+    )
+    .unwrap();
+    for i in 0..9u64 {
+        set.add(
+            &mut world,
+            ObjectRecord::new(ObjectId(i + 1), format!("o{i}"), &b"x"[..]),
+            servers[(i % 3) as usize],
+        )
+        .unwrap();
+    }
+    let mut it = set.elements(Semantics::Snapshot);
+    while !matches!(it.next(&mut world), IterStep::Done) {}
+
+    let dag = dag_of(&mut world);
+    let root = assert_one_computation_trace(&dag, "iter.sharded.invocation");
+    let root_trace = dag.span(root).unwrap().trace;
+    // Every per-shard invocation joined the sharded computation's trace.
+    let per_shard: Vec<&SpanNode> = dag
+        .spans()
+        .filter(|s| s.kind == "iter.fig4.invocation")
+        .collect();
+    assert!(per_shard.len() >= 3, "expected runs on several shards");
+    for s in &per_shard {
+        assert_eq!(s.trace, root_trace, "shard run escaped the trace");
+    }
+    // ... and the server legs under the trace touch more than one shard
+    // group's home.
+    let handled_on: std::collections::BTreeSet<String> = dag
+        .descendants(root)
+        .into_iter()
+        .filter_map(|id| dag.span(id))
+        .filter(|s| s.kind == "svc.handle")
+        .map(|s| s.detail.clone())
+        .collect();
+    assert!(
+        handled_on.len() >= 2,
+        "one computation should span multiple shard groups, saw {handled_on:?}"
+    );
+}

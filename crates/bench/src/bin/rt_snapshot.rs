@@ -1,0 +1,194 @@
+//! Real-clock runtime benchmark: drives the threaded backend with
+//! concurrent client threads and emits `BENCH_rt.json` — membership-read
+//! throughput (ops/sec) and read-latency p99 per read policy.
+//!
+//! ```text
+//! cargo run --release -p weakset-bench --bin rt_snapshot
+//! cargo run --release -p weakset-bench --bin rt_snapshot -- --out target/bench --threads 4 --ops 2000
+//! ```
+//!
+//! Unlike the simulator snapshots (E1–E11), these numbers come from the
+//! wall clock on real OS threads and real mailboxes, so they vary with
+//! the machine and the scheduler. The CI compare gate therefore treats
+//! `BENCH_rt.json` as *report-only*: deltas are printed next to the
+//! gated objectives but never fail the build.
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+use weakset_obs::{Direction, MetricsRegistry};
+use weakset_runtime::prelude::*;
+use weakset_sim::node::NodeId;
+use weakset_sim::time::SimDuration;
+use weakset_store::collection::MemberEntry;
+use weakset_store::msg::StoreMsg;
+use weakset_store::object::{CollectionId, ObjectId, ObjectRecord};
+use weakset_store::prelude::{CollectionRef, ReadPolicy, StoreClient, StoreServer};
+
+const COLL: CollectionId = CollectionId(1);
+const MEMBERS: u64 = 64;
+
+fn policy_label(p: ReadPolicy) -> &'static str {
+    match p {
+        ReadPolicy::Primary => "primary",
+        ReadPolicy::Any => "any",
+        ReadPolicy::Quorum => "quorum",
+        ReadPolicy::Leaderless => "leaderless",
+    }
+}
+
+fn main() {
+    let mut out = PathBuf::from(".");
+    let mut seed = 42u64;
+    let mut threads = 4usize;
+    let mut ops = 2000usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out = PathBuf::from(args.next().expect("--out requires a directory")),
+            "--seed" => {
+                seed = args
+                    .next()
+                    .expect("--seed requires a value")
+                    .parse()
+                    .expect("--seed must be an unsigned integer");
+            }
+            "--threads" => {
+                threads = args
+                    .next()
+                    .expect("--threads requires a value")
+                    .parse()
+                    .expect("--threads must be a positive integer");
+            }
+            "--ops" => {
+                ops = args
+                    .next()
+                    .expect("--ops requires a value")
+                    .parse()
+                    .expect("--ops must be a positive integer");
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: rt_snapshot [--out DIR] [--seed N] [--threads T] [--ops N]");
+                return;
+            }
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+
+    // One fleet for the whole run: three store servers hosting a
+    // replicated collection, pre-populated with MEMBERS elements.
+    let mut rt = ThreadedRuntime::<StoreMsg>::new(seed);
+    let servers: Vec<NodeId> = (0..3).map(|i| rt.add_node(format!("s{i}"))).collect();
+    for &s in &servers {
+        rt.install_service(s, Box::new(StoreServer::new()));
+    }
+    let setup_node = rt.add_node("setup");
+    let setup = StoreClient::new(setup_node, SimDuration::from_millis(500));
+    let cref = CollectionRef {
+        id: COLL,
+        home: servers[0],
+        replicas: servers[1..].to_vec(),
+    };
+    setup.create_collection(&mut rt, &cref).unwrap();
+    for i in 1..=MEMBERS {
+        let home = servers[(i % 3) as usize];
+        setup
+            .put_object(
+                &mut rt,
+                home,
+                ObjectRecord::new(ObjectId(i), format!("o{i}"), &b"payload"[..]),
+            )
+            .unwrap();
+        setup
+            .add_member(
+                &mut rt,
+                &cref,
+                MemberEntry {
+                    elem: ObjectId(i),
+                    home,
+                },
+            )
+            .unwrap();
+    }
+
+    let mut master = MetricsRegistry::new();
+    let mut snap = master.snapshot("rt", seed);
+    for policy in [
+        ReadPolicy::Primary,
+        ReadPolicy::Quorum,
+        ReadPolicy::Leaderless,
+    ] {
+        let label = policy_label(policy);
+        // One client node (and thus one mailbox identity) per worker
+        // thread, each driving its own cloned runtime view.
+        let worker_nodes: Vec<NodeId> = (0..threads)
+            .map(|t| rt.add_node(format!("load.{label}.{t}")))
+            .collect();
+        let started = Instant::now();
+        let handles: Vec<_> = worker_nodes
+            .into_iter()
+            .map(|node| {
+                let mut view = rt.clone();
+                let cref = cref.clone();
+                let metric = format!("rt.read.{label}.us");
+                std::thread::spawn(move || {
+                    let client = StoreClient::new(node, SimDuration::from_millis(500));
+                    for _ in 0..ops {
+                        let t0 = Instant::now();
+                        let read = client
+                            .read_members(&mut view, &cref, policy)
+                            .expect("read against a healthy fleet");
+                        assert_eq!(read.entries.len() as u64, MEMBERS);
+                        view.metrics_mut()
+                            .observe(&metric, t0.elapsed().as_micros() as u64);
+                    }
+                    view
+                })
+            })
+            .collect();
+        for h in handles {
+            let view = h.join().expect("worker thread panicked");
+            master.merge(view.metrics());
+        }
+        let elapsed = started.elapsed().as_secs_f64();
+        let total_ops = (threads * ops) as u64;
+        let ops_per_sec = total_ops as f64 / elapsed.max(f64::EPSILON);
+        master.add(&format!("rt.read.{label}.ops"), total_ops);
+        let p99 = master
+            .latency_mut(&format!("rt.read.{label}.us"))
+            .p99()
+            .unwrap_or(0);
+        println!("{label:>10}: {ops_per_sec:>10.0} ops/sec, read p99 {p99} us");
+        snap = snap
+            .with_objective(
+                &format!("rt.{label}.ops_per_sec"),
+                ops_per_sec,
+                Direction::HigherIsBetter,
+            )
+            .with_objective(
+                &format!("rt.{label}.read_p99_us"),
+                p99 as f64,
+                Direction::LowerIsBetter,
+            );
+    }
+    master.merge(rt.metrics());
+    if let Err(hung) = rt.shutdown(Duration::from_secs(10)) {
+        eprintln!("warning: node threads still running at shutdown: {hung:?}");
+    }
+
+    // Re-freeze with the merged counters/latencies, keeping the
+    // objectives attached above.
+    let objectives = snap.objectives.clone();
+    let mut frozen = master.snapshot("rt", seed);
+    frozen.objectives = objectives;
+
+    std::fs::create_dir_all(&out).expect("create output directory");
+    let path = out.join(frozen.file_name());
+    std::fs::write(&path, frozen.to_json()).expect("write snapshot");
+    println!(
+        "{} ({} counters, {} latencies, {} objectives)",
+        path.display(),
+        frozen.counters.len(),
+        frozen.latencies.len(),
+        frozen.objectives.len()
+    );
+}

@@ -6,7 +6,7 @@ use crate::iter::{FetchOrder, IterConfig};
 use weakset_sim::node::NodeId;
 use weakset_sim::time::SimDuration;
 use weakset_store::object::CollectionId;
-use weakset_store::prelude::{CollectionRef, ReadPolicy, StoreClient, StoreWorld};
+use weakset_store::prelude::{CollectionRef, ReadPolicy, StoreClient, StoreRt};
 
 /// Configures a [`WeakSet`]: where the collection lives, who operates on
 /// it, and how iteration behaves.
@@ -15,7 +15,7 @@ use weakset_store::prelude::{CollectionRef, ReadPolicy, StoreClient, StoreWorld}
 /// # use weakset::builder::WeakSetBuilder;
 /// # use weakset_store::prelude::*;
 /// # use weakset_sim::prelude::*;
-/// # fn demo(world: &mut StoreWorld, client_node: NodeId, home: NodeId, replica: NodeId)
+/// # fn demo(world: &mut StoreRt, client_node: NodeId, home: NodeId, replica: NodeId)
 /// #     -> Result<(), weakset::error::Failure> {
 /// let set = WeakSetBuilder::new(CollectionId(1), home)
 ///     .client_node(client_node)
@@ -115,7 +115,7 @@ impl WeakSetBuilder {
     /// # Errors
     ///
     /// [`Failure::Store`] when any replica cannot be created.
-    pub fn create(self, world: &mut StoreWorld) -> Result<WeakSet, Failure> {
+    pub fn create(self, world: &mut StoreRt) -> Result<WeakSet, Failure> {
         let cref = self.collection_ref();
         let client = StoreClient::new(self.client_node.unwrap_or(self.home), self.timeout);
         client.create_collection(world, &cref)?;
@@ -137,6 +137,7 @@ mod tests {
     use weakset_sim::topology::Topology;
     use weakset_sim::world::WorldConfig;
     use weakset_store::prelude::StoreServer;
+    use weakset_store::prelude::StoreWorld;
 
     #[test]
     fn builds_and_creates() {

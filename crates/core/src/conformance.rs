@@ -29,16 +29,22 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use weakset_runtime::prelude::*;
 use weakset_sim::node::NodeId;
 use weakset_spec::prelude::{Computation, Outcome, Recorder, SetValue, State};
 use weakset_spec::value::ElemId;
 use weakset_store::collection::{CollectionState, MemberEntry};
 use weakset_store::object::{CollectionId, ObjectId};
-use weakset_store::prelude::{StoreServer, StoreWorld};
+use weakset_store::prelude::{StoreRt, StoreServer};
 
-/// Where the observer finds the omniscient membership history: a lookup
-/// from `(world, home node, collection)` to the hosted
-/// [`CollectionState`] whose version log is ground truth.
+/// Where the observer finds the omniscient membership history: a
+/// visitor over the hosted [`CollectionState`] whose version log is
+/// ground truth, keyed by `(world, home node, collection)`.
+///
+/// This is a visitor rather than a borrowing lookup because on the
+/// threaded runtime backend the state lives behind a lock — a borrow
+/// cannot escape the accessor, but a visit can happen inside it on
+/// either backend.
 ///
 /// The default source downcasts the home node's service to a plain
 /// [`StoreServer`]. Deployments wrapping the server inside another
@@ -46,34 +52,46 @@ use weakset_store::prelude::{StoreServer, StoreWorld};
 /// supply an accessor that reaches through their wrapper.
 pub struct HistorySource(
     #[allow(clippy::type_complexity)]
-    Box<dyn for<'a> Fn(&'a StoreWorld, NodeId, CollectionId) -> Option<&'a CollectionState>>,
+    Box<dyn Fn(&StoreRt, NodeId, CollectionId, &mut dyn FnMut(&CollectionState))>,
 );
 
 impl HistorySource {
-    /// A source backed by an arbitrary lookup.
+    /// A source backed by an arbitrary accessor: call `visit` with the
+    /// collection's state when it exists, do nothing otherwise.
     pub fn new(
-        f: impl for<'a> Fn(&'a StoreWorld, NodeId, CollectionId) -> Option<&'a CollectionState>
-            + 'static,
+        f: impl Fn(&StoreRt, NodeId, CollectionId, &mut dyn FnMut(&CollectionState)) + 'static,
     ) -> Self {
         HistorySource(Box::new(f))
     }
 
     /// The default: the home node runs a bare [`StoreServer`].
     pub fn plain_store() -> Self {
-        HistorySource::new(|world, home, coll| {
-            world
-                .service::<StoreServer>(home)
-                .and_then(|s| s.collection(coll))
+        HistorySource::new(|world, home, coll, visit| {
+            world.with_service(home, |s: &StoreServer| {
+                if let Some(state) = s.collection(coll) {
+                    visit(state);
+                }
+            });
         })
     }
 
-    fn lookup<'a>(
+    /// Reads one value out of the collection's state, or `None` when the
+    /// home hosts no such collection.
+    fn inspect<R>(
         &self,
-        world: &'a StoreWorld,
+        world: &StoreRt,
         home: NodeId,
         coll: CollectionId,
-    ) -> Option<&'a CollectionState> {
-        (self.0)(world, home, coll)
+        f: impl FnOnce(&CollectionState) -> R,
+    ) -> Option<R> {
+        let mut f = Some(f);
+        let mut out = None;
+        (self.0)(world, home, coll, &mut |state| {
+            if let Some(f) = f.take() {
+                out = Some(f(state));
+            }
+        });
+        out
     }
 }
 
@@ -169,36 +187,39 @@ impl RunObserver {
         self
     }
 
-    fn log_members(&mut self, world: &StoreWorld, version: u64) -> Option<Vec<MemberEntry>> {
-        let coll = self.source.lookup(world, self.home, self.coll)?;
-        coll.members_at(version).map(<[MemberEntry]>::to_vec)
-    }
-
-    fn latest_version(&self, world: &StoreWorld) -> u64 {
+    fn log_members(&mut self, world: &StoreRt, version: u64) -> Option<Vec<MemberEntry>> {
         self.source
-            .lookup(world, self.home, self.coll)
-            .map_or(0, |c| c.version())
+            .inspect(world, self.home, self.coll, |coll| {
+                coll.members_at(version).map(<[MemberEntry]>::to_vec)
+            })
+            .flatten()
     }
 
-    fn learn_homes(&mut self, world: &StoreWorld) {
-        if let Some(coll) = self.source.lookup(world, self.home, self.coll) {
+    fn latest_version(&self, world: &StoreRt) -> u64 {
+        self.source
+            .inspect(world, self.home, self.coll, CollectionState::version)
+            .unwrap_or(0)
+    }
+
+    fn learn_homes(&mut self, world: &StoreRt) {
+        let homes = &mut self.homes;
+        self.source.inspect(world, self.home, self.coll, |coll| {
             for mv in coll.log() {
                 for m in &mv.members {
-                    self.homes.insert(m.elem, m.home);
+                    homes.insert(m.elem, m.home);
                 }
             }
-        }
+        });
     }
 
-    fn sample_accessible(&self, world: &StoreWorld, evidence: &StepEvidence) -> SetValue {
+    fn sample_accessible(&self, world: &StoreRt, evidence: &StepEvidence) -> SetValue {
         if evidence.membership_unreachable {
             return SetValue::empty();
         }
-        let topo = world.topology();
         let mut acc: SetValue = self
             .homes
             .iter()
-            .filter(|&(_, &h)| topo.reachable(self.client_node, h))
+            .filter(|&(_, &h)| world.reachable(self.client_node, h))
             .map(|(&e, _)| ElemId(e.0))
             .collect();
         for e in &evidence.confirmed_reachable {
@@ -212,7 +233,7 @@ impl RunObserver {
 
     /// Feeds all primary-log states in `(seen, upto]` to the recorder as
     /// mutation states, returning the members at `upto`.
-    fn sync_to(&mut self, world: &StoreWorld, upto: u64) -> Vec<MemberEntry> {
+    fn sync_to(&mut self, world: &StoreRt, upto: u64) -> Vec<MemberEntry> {
         self.learn_homes(world);
         let mut members = Vec::new();
         let from = self.seen_version;
@@ -245,7 +266,7 @@ impl RunObserver {
     /// Marks the start of an invocation: mutations already applied at this
     /// instant must precede the invocation's linearization point. Iterator
     /// implementations call this on entry to `next`.
-    pub fn mark_invocation_start(&mut self, world: &StoreWorld) {
+    pub fn mark_invocation_start(&mut self, world: &StoreRt) {
         let latest = self.latest_version(world);
         if latest > self.window_floor {
             self.window_floor = latest;
@@ -257,7 +278,7 @@ impl RunObserver {
     /// # Panics
     ///
     /// Panics if called after [`RunObserver::finish`].
-    pub fn record_step(&mut self, world: &StoreWorld, outcome: Outcome, evidence: &StepEvidence) {
+    pub fn record_step(&mut self, world: &StoreRt, outcome: Outcome, evidence: &StepEvidence) {
         assert!(self.finished.is_none(), "observer already finished");
         let claimed = evidence
             .members_version
@@ -310,7 +331,7 @@ impl RunObserver {
     }
 
     /// Ends observation, returning the recorded computation.
-    pub fn finish(mut self, world: &StoreWorld) -> Computation {
+    pub fn finish(mut self, world: &StoreRt) -> Computation {
         let latest = self.latest_version(world);
         if self.initialized && latest > self.seen_version {
             self.sync_to(world, latest);
@@ -330,6 +351,7 @@ mod tests {
     use weakset_sim::topology::Topology;
     use weakset_sim::world::WorldConfig;
     use weakset_spec::checker::{check_computation, Figure};
+    use weakset_store::prelude::StoreWorld;
     use weakset_store::prelude::{CollectionRef, StoreClient};
 
     fn setup() -> (StoreWorld, NodeId, NodeId, CollectionRef, StoreClient) {

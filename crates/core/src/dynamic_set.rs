@@ -14,9 +14,7 @@ use std::collections::BTreeSet;
 use weakset_sim::node::NodeId;
 use weakset_store::collection::MemberEntry;
 use weakset_store::object::ObjectId;
-use weakset_store::prelude::{
-    CollectionRef, Query, ReadPolicy, StoreClient, StoreError, StoreWorld,
-};
+use weakset_store::prelude::{CollectionRef, Query, ReadPolicy, StoreClient, StoreError, StoreRt};
 
 /// A dynamic set: optimistic iteration with parallel prefetch and partial
 /// results.
@@ -34,7 +32,7 @@ impl DynamicSet {
     /// evaluate `query` locally; unreachable nodes are skipped and their
     /// objects are simply absent (partial results).
     pub fn open_query(
-        world: &mut StoreWorld,
+        world: &mut StoreRt,
         client: &StoreClient,
         nodes: &[NodeId],
         query: &Query,
@@ -64,7 +62,7 @@ impl DynamicSet {
     /// of several directories' memberships gathered by a recursive
     /// traversal).
     pub fn over_members(
-        world: &StoreWorld,
+        world: &StoreRt,
         client: &StoreClient,
         members: Vec<MemberEntry>,
         cfg: PrefetchConfig,
@@ -86,7 +84,7 @@ impl DynamicSet {
     ///
     /// [`StoreError`] when the membership cannot be read under `policy`.
     pub fn open_collection(
-        world: &mut StoreWorld,
+        world: &mut StoreRt,
         client: &StoreClient,
         cref: &CollectionRef,
         policy: ReadPolicy,
@@ -136,7 +134,7 @@ impl DynamicSet {
     /// Returns [`IterStep::Blocked`] when only unreachable members remain
     /// (call [`DynamicSet::retry_pending`] later), and [`IterStep::Done`]
     /// when every discovered member has been yielded.
-    pub fn next(&mut self, world: &mut StoreWorld) -> IterStep {
+    pub fn next(&mut self, world: &mut StoreRt) -> IterStep {
         loop {
             match self.engine.next_ready(world) {
                 PrefetchStep::Ready(rec) => {
@@ -164,7 +162,7 @@ impl DynamicSet {
     /// arrives. Returns the records plus the final step.
     pub fn drain_available(
         &mut self,
-        world: &mut StoreWorld,
+        world: &mut StoreRt,
     ) -> (Vec<weakset_store::object::ObjectRecord>, IterStep) {
         let mut out = Vec::new();
         loop {
@@ -185,6 +183,7 @@ mod tests {
     use weakset_sim::world::WorldConfig;
     use weakset_store::object::ObjectRecord;
     use weakset_store::prelude::StoreServer;
+    use weakset_store::prelude::StoreWorld;
 
     fn setup(n: usize) -> (StoreWorld, StoreClient, Vec<NodeId>) {
         let mut t = Topology::new();

@@ -13,7 +13,7 @@ use weakset_sim::node::NodeId;
 use weakset_spec::prelude::Computation;
 use weakset_store::collection::MemberEntry;
 use weakset_store::object::{ObjectId, ObjectRecord};
-use weakset_store::prelude::{CollectionRef, StoreClient, StoreWorld};
+use weakset_store::prelude::{CollectionRef, StoreClient, StoreRt};
 
 /// A weak set: a distributed collection plus the client operating on it.
 ///
@@ -67,12 +67,7 @@ impl WeakSet {
     ///
     /// [`Failure::Store`] when the object cannot be stored or the primary
     /// refuses/misses the membership update.
-    pub fn add(
-        &self,
-        world: &mut StoreWorld,
-        rec: ObjectRecord,
-        home: NodeId,
-    ) -> Result<(), Failure> {
+    pub fn add(&self, world: &mut StoreRt, rec: ObjectRecord, home: NodeId) -> Result<(), Failure> {
         let elem = rec.id;
         self.client.put_object(world, home, rec)?;
         self.client
@@ -86,7 +81,7 @@ impl WeakSet {
     /// # Errors
     ///
     /// [`Failure::Store`] when the primary is unreachable or locked.
-    pub fn remove(&self, world: &mut StoreWorld, elem: ObjectId) -> Result<(), Failure> {
+    pub fn remove(&self, world: &mut StoreRt, elem: ObjectId) -> Result<(), Failure> {
         self.client.remove_member(world, &self.cref, elem)?;
         Ok(())
     }
@@ -97,7 +92,7 @@ impl WeakSet {
     /// # Errors
     ///
     /// [`Failure::MembershipUnavailable`] when membership cannot be read.
-    pub fn size(&self, world: &mut StoreWorld) -> Result<usize, Failure> {
+    pub fn size(&self, world: &mut StoreRt) -> Result<usize, Failure> {
         self.client
             .read_members(world, &self.cref, self.config.read_policy)
             .map(|r| r.entries.len())
@@ -109,7 +104,7 @@ impl WeakSet {
     /// # Errors
     ///
     /// [`Failure::MembershipUnavailable`] when membership cannot be read.
-    pub fn contains(&self, world: &mut StoreWorld, elem: ObjectId) -> Result<bool, Failure> {
+    pub fn contains(&self, world: &mut StoreRt, elem: ObjectId) -> Result<bool, Failure> {
         self.client
             .read_members(world, &self.cref, self.config.read_policy)
             .map(|r| r.entries.iter().any(|m| m.elem == elem))
@@ -157,7 +152,7 @@ impl WeakSet {
     /// returning everything yielded plus the terminal step.
     pub fn collect(
         &self,
-        world: &mut StoreWorld,
+        world: &mut StoreRt,
         semantics: Semantics,
     ) -> (Vec<ObjectRecord>, IterStep) {
         let mut it = self.elements(semantics);
@@ -216,7 +211,7 @@ impl Elements {
     /// invocations parent under that root (or under whatever span is
     /// already open — the sharded fan-out case), so every store read
     /// and RPC the step performs joins one cross-node span tree.
-    pub fn next(&mut self, world: &mut StoreWorld) -> IterStep {
+    pub fn next(&mut self, world: &mut StoreRt) -> IterStep {
         let started = world.now();
         let fig = self.semantics().figure().key();
         let kind = match fig {
@@ -227,9 +222,9 @@ impl Elements {
             _ => "iter.invocation",
         };
         let span = if world.current_ctx().is_some() {
-            world.span_enter(kind, String::new)
+            world.span_enter(kind, &String::new)
         } else {
-            world.span_enter_under(self.trace_root(), kind, String::new)
+            world.span_enter_under(self.trace_root(), kind, &String::new)
         };
         if self.trace_root().is_none() {
             self.set_trace_root(world.current_ctx());
@@ -240,7 +235,7 @@ impl Elements {
             Elements::Optimistic(it) => it.next(world),
             Elements::Locked(it) => it.next(world),
         };
-        world.trace_event("iter.outcome", || match &step {
+        world.trace_event("iter.outcome", &|| match &step {
             IterStep::Yielded(rec) => format!("{fig} yielded elem={}", rec.id),
             IterStep::Done => format!("{fig} returned"),
             IterStep::Failed(f) => format!("{fig} failed: {f}"),
@@ -291,7 +286,7 @@ impl Elements {
 
     /// Finishes observation and returns the recorded computation, if an
     /// observer was attached.
-    pub fn take_computation(&mut self, world: &StoreWorld) -> Option<Computation> {
+    pub fn take_computation(&mut self, world: &StoreRt) -> Option<Computation> {
         match self {
             Elements::Snapshot(it) => it.take_computation(world),
             Elements::GrowOnly(it) => it.take_computation(world),
@@ -342,6 +337,7 @@ mod tests {
     use weakset_spec::checker::check_computation;
     use weakset_store::object::CollectionId;
     use weakset_store::prelude::StoreServer;
+    use weakset_store::prelude::StoreWorld;
 
     fn setup(n: usize) -> (StoreWorld, WeakSet, Vec<NodeId>) {
         let mut t = Topology::new();

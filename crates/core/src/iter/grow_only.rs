@@ -8,7 +8,7 @@ use std::collections::BTreeSet;
 use weakset_spec::prelude::Computation;
 use weakset_store::collection::MemberEntry;
 use weakset_store::object::ObjectId;
-use weakset_store::prelude::{CollectionRef, StoreClient, StoreWorld};
+use weakset_store::prelude::{CollectionRef, StoreClient, StoreRt};
 
 /// The grow-only `elements` iterator.
 ///
@@ -58,7 +58,7 @@ impl GrowElements {
         self.guard_held
     }
 
-    fn release_guard(&mut self, world: &mut StoreWorld) {
+    fn release_guard(&mut self, world: &mut StoreRt) {
         if self.guard_held {
             // Best effort: an unreachable primary leaks the guard until
             // the client reconnects, like §3.1's lock hazard.
@@ -73,7 +73,7 @@ impl GrowElements {
     }
 
     /// Finishes observation (if any) and returns the recorded computation.
-    pub fn take_computation(&mut self, world: &StoreWorld) -> Option<Computation> {
+    pub fn take_computation(&mut self, world: &StoreRt) -> Option<Computation> {
         self.observer.take_computation(world)
     }
 
@@ -100,7 +100,7 @@ impl GrowElements {
     }
 
     /// One invocation against the current membership.
-    pub fn next(&mut self, world: &mut StoreWorld) -> IterStep {
+    pub fn next(&mut self, world: &mut StoreRt) -> IterStep {
         if self.terminated {
             return IterStep::Done;
         }
@@ -201,6 +201,7 @@ mod tests {
     use weakset_spec::checker::{check_computation, Figure};
     use weakset_store::object::{CollectionId, ObjectRecord};
     use weakset_store::prelude::StoreServer;
+    use weakset_store::prelude::StoreWorld;
 
     fn setup(
         n: usize,

@@ -19,7 +19,7 @@ use weakset_spec::prelude::Outcome;
 use weakset_spec::value::ElemId;
 use weakset_store::collection::MemberEntry;
 use weakset_store::object::ObjectId;
-use weakset_store::prelude::{ReadPolicy, StoreClient, StoreWorld};
+use weakset_store::prelude::{ReadPolicy, StoreClient, StoreRt};
 
 /// The order in which unyielded members are attempted.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -89,7 +89,7 @@ pub(crate) fn cache_from(config: &IterConfig) -> Option<weakset_store::cache::Ob
 
 /// Orders fetch candidates per the configured [`FetchOrder`].
 pub(crate) fn order_candidates(
-    world: &StoreWorld,
+    world: &StoreRt,
     client_node: NodeId,
     candidates: &mut [MemberEntry],
     order: FetchOrder,
@@ -110,7 +110,7 @@ pub(crate) fn order_candidates(
 /// Returns the fetched record (if any) and the list of members proven
 /// unreachable along the way.
 pub(crate) fn fetch_first_reachable(
-    world: &mut StoreWorld,
+    world: &mut StoreRt,
     client: &StoreClient,
     candidates: &[MemberEntry],
     cache: &mut Option<weakset_store::cache::ObjectCache>,
@@ -136,7 +136,7 @@ pub(crate) fn fetch_first_reachable(
             Err(_) => {
                 // Attributed to the current invocation span, so a
                 // failure explanation can name the member and its home.
-                world.trace_event("iter.fetch.unreachable", || {
+                world.trace_event("iter.fetch.unreachable", &|| {
                     format!("elem={} home={}", m.elem, m.home)
                 });
                 unreachable.push(m.elem);
@@ -170,7 +170,7 @@ impl ObserverSlot {
 
     /// Marks the start of an invocation (see
     /// [`RunObserver::mark_invocation_start`]).
-    pub fn mark_start(&mut self, world: &StoreWorld) {
+    pub fn mark_start(&mut self, world: &StoreRt) {
         if let Some(obs) = &mut self.observer {
             obs.mark_invocation_start(world);
         }
@@ -178,7 +178,7 @@ impl ObserverSlot {
 
     pub fn record(
         &mut self,
-        world: &StoreWorld,
+        world: &StoreRt,
         step: &IterStep,
         evidence: &crate::conformance::StepEvidence,
     ) {
@@ -190,7 +190,7 @@ impl ObserverSlot {
     /// Finishes observation and returns the recorded computation.
     pub fn take_computation(
         &mut self,
-        world: &StoreWorld,
+        world: &StoreRt,
     ) -> Option<weakset_spec::prelude::Computation> {
         if let Some(obs) = self.observer.take() {
             self.computation = Some(obs.finish(world));
@@ -211,6 +211,7 @@ mod tests {
     use weakset_sim::latency::LatencyModel;
     use weakset_sim::topology::Topology;
     use weakset_sim::world::WorldConfig;
+    use weakset_store::prelude::StoreWorld;
 
     #[test]
     fn closest_first_orders_by_estimated_latency() {

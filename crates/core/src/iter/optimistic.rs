@@ -8,7 +8,7 @@ use std::collections::BTreeSet;
 use weakset_spec::prelude::Computation;
 use weakset_store::collection::MemberEntry;
 use weakset_store::object::ObjectId;
-use weakset_store::prelude::{CollectionRef, StoreClient, StoreWorld};
+use weakset_store::prelude::{CollectionRef, StoreClient, StoreRt};
 
 /// The optimistic `elements` iterator.
 ///
@@ -56,7 +56,7 @@ impl OptimisticElements {
     }
 
     /// Finishes observation (if any) and returns the recorded computation.
-    pub fn take_computation(&mut self, world: &StoreWorld) -> Option<Computation> {
+    pub fn take_computation(&mut self, world: &StoreRt) -> Option<Computation> {
         self.observer.take_computation(world)
     }
 
@@ -84,7 +84,7 @@ impl OptimisticElements {
 
     /// One invocation: yield, terminate, or — after exhausting this
     /// invocation's retry budget — block. Never fails.
-    pub fn next(&mut self, world: &mut StoreWorld) -> IterStep {
+    pub fn next(&mut self, world: &mut StoreRt) -> IterStep {
         if self.terminated {
             return IterStep::Done;
         }
@@ -156,7 +156,7 @@ impl OptimisticElements {
     /// Returns the records yielded and the final step.
     pub fn drain(
         &mut self,
-        world: &mut StoreWorld,
+        world: &mut StoreRt,
         max_blocks: usize,
         wait: weakset_sim::time::SimDuration,
     ) -> (Vec<weakset_store::object::ObjectRecord>, IterStep) {
@@ -195,6 +195,7 @@ mod tests {
     use weakset_spec::specs::fig6;
     use weakset_store::object::{CollectionId, ObjectRecord};
     use weakset_store::prelude::StoreServer;
+    use weakset_store::prelude::StoreWorld;
 
     fn setup(
         n: usize,

@@ -8,7 +8,7 @@ use std::collections::BTreeSet;
 use weakset_spec::prelude::Computation;
 use weakset_store::collection::MemberEntry;
 use weakset_store::object::ObjectId;
-use weakset_store::prelude::{CollectionRef, StoreClient, StoreWorld};
+use weakset_store::prelude::{CollectionRef, StoreClient, StoreRt};
 
 /// The snapshot `elements` iterator.
 ///
@@ -56,7 +56,7 @@ impl SnapshotElements {
     }
 
     /// Finishes observation (if any) and returns the recorded computation.
-    pub fn take_computation(&mut self, world: &StoreWorld) -> Option<Computation> {
+    pub fn take_computation(&mut self, world: &StoreRt) -> Option<Computation> {
         self.observer.take_computation(world)
     }
 
@@ -84,7 +84,7 @@ impl SnapshotElements {
 
     /// One invocation: yield an unyielded snapshot member, terminate, or
     /// fail. Calling again after termination returns [`IterStep::Done`].
-    pub fn next(&mut self, world: &mut StoreWorld) -> IterStep {
+    pub fn next(&mut self, world: &mut StoreRt) -> IterStep {
         if self.terminated {
             return IterStep::Done;
         }
@@ -170,6 +170,7 @@ mod tests {
     use weakset_spec::checker::{check_computation, Figure};
     use weakset_store::object::{CollectionId, ObjectRecord};
     use weakset_store::prelude::StoreServer;
+    use weakset_store::prelude::StoreWorld;
 
     fn setup(
         n_servers: usize,

@@ -16,7 +16,7 @@ use weakset_sim::world::ReplyToken;
 use weakset_store::collection::MemberEntry;
 use weakset_store::msg::StoreMsg;
 use weakset_store::object::ObjectRecord;
-use weakset_store::prelude::StoreWorld;
+use weakset_store::prelude::StoreRt;
 
 /// Prefetch tunables.
 #[derive(Clone, Debug, PartialEq)]
@@ -72,7 +72,7 @@ pub struct PrefetchEngine {
 impl PrefetchEngine {
     /// Creates an engine over the given members, ordered per the config.
     pub fn new(
-        world: &StoreWorld,
+        world: &StoreRt,
         client_node: NodeId,
         mut members: Vec<MemberEntry>,
         cfg: PrefetchConfig,
@@ -108,7 +108,7 @@ impl PrefetchEngine {
         self.inflight.len()
     }
 
-    fn top_up(&mut self, world: &mut StoreWorld) {
+    fn top_up(&mut self, world: &mut StoreRt) {
         while self.inflight.len() < self.cfg.window {
             let Some(entry) = self.queue.pop_front() else {
                 break;
@@ -126,13 +126,13 @@ impl PrefetchEngine {
         }
     }
 
-    fn drain_zombies(&mut self, world: &mut StoreWorld) {
+    fn drain_zombies(&mut self, world: &mut StoreRt) {
         self.zombies.retain(|&t| world.try_take_reply(t).is_none());
     }
 
     /// Blocks (in simulated time) until the next object arrives, a fetch
     /// resolves as unavailable, or everything drains.
-    pub fn next_ready(&mut self, world: &mut StoreWorld) -> PrefetchStep {
+    pub fn next_ready(&mut self, world: &mut StoreRt) -> PrefetchStep {
         loop {
             self.drain_zombies(world);
             self.top_up(world);

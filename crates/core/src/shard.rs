@@ -27,7 +27,7 @@ use weakset_sim::metrics::shard_key;
 use weakset_sim::node::NodeId;
 use weakset_spec::prelude::Computation;
 use weakset_store::object::{CollectionId, ObjectId, ObjectRecord};
-use weakset_store::prelude::{CollectionRef, StoreClient, StoreWorld};
+use weakset_store::prelude::{CollectionRef, StoreClient, StoreRt};
 
 /// Domain-separation salts so ring points and key hashes never share an
 /// input space.
@@ -191,7 +191,7 @@ impl ShardedWeakSet {
     /// [`Failure::Store`] when any shard's collection cannot be
     /// created.
     pub fn create(
-        world: &mut StoreWorld,
+        world: &mut StoreRt,
         base: CollectionId,
         client: StoreClient,
         groups: &[ShardGroup],
@@ -240,12 +240,7 @@ impl ShardedWeakSet {
     /// # Errors
     ///
     /// [`Failure::Store`] as for [`WeakSet::add`].
-    pub fn add(
-        &self,
-        world: &mut StoreWorld,
-        rec: ObjectRecord,
-        home: NodeId,
-    ) -> Result<(), Failure> {
+    pub fn add(&self, world: &mut StoreRt, rec: ObjectRecord, home: NodeId) -> Result<(), Failure> {
         let shard = self.shard_for(rec.id);
         self.shards[shard].add(world, rec, home)
     }
@@ -255,7 +250,7 @@ impl ShardedWeakSet {
     /// # Errors
     ///
     /// [`Failure::Store`] as for [`WeakSet::remove`].
-    pub fn remove(&self, world: &mut StoreWorld, elem: ObjectId) -> Result<(), Failure> {
+    pub fn remove(&self, world: &mut StoreRt, elem: ObjectId) -> Result<(), Failure> {
         let shard = self.shard_for(elem);
         self.shards[shard].remove(world, elem)
     }
@@ -267,7 +262,7 @@ impl ShardedWeakSet {
     ///
     /// [`Failure::MembershipUnavailable`] when that shard cannot be
     /// read.
-    pub fn contains(&self, world: &mut StoreWorld, elem: ObjectId) -> Result<bool, Failure> {
+    pub fn contains(&self, world: &mut StoreRt, elem: ObjectId) -> Result<bool, Failure> {
         let shard = self.shard_for(elem);
         self.shards[shard].contains(world, elem)
     }
@@ -279,7 +274,7 @@ impl ShardedWeakSet {
     ///
     /// [`Failure::MembershipUnavailable`] when any shard cannot be
     /// read under the configured policy.
-    pub fn size(&self, world: &mut StoreWorld) -> Result<usize, Failure> {
+    pub fn size(&self, world: &mut StoreRt) -> Result<usize, Failure> {
         let mut total = 0;
         let mut first_err = None;
         for r in self.read_all_batched(world) {
@@ -301,7 +296,7 @@ impl ShardedWeakSet {
     /// (`shard.<i>.queue.depth.max`).
     pub fn read_all_batched(
         &self,
-        world: &mut StoreWorld,
+        world: &mut StoreRt,
     ) -> Vec<Result<weakset_store::client::MembershipRead, weakset_store::client::StoreError>> {
         let policy = self.shards.first().map_or_else(
             || IterConfig::default().read_policy,
@@ -377,7 +372,7 @@ impl ShardedWeakSet {
     /// step, returning everything yielded plus the terminal step.
     pub fn collect(
         &self,
-        world: &mut StoreWorld,
+        world: &mut StoreRt,
         semantics: Semantics,
     ) -> (Vec<ObjectRecord>, IterStep) {
         let retry = self.shards.first().map_or_else(
@@ -440,8 +435,8 @@ impl ShardedElements {
     /// to the next shard on `Done`. Opens an `iter.sharded.invocation`
     /// causal span so every per-shard step (and its cross-group RPCs)
     /// joins a single trace rooted at the first fan-out invocation.
-    pub fn next(&mut self, world: &mut StoreWorld) -> IterStep {
-        let span = world.span_enter_under(self.trace, "iter.sharded.invocation", String::new);
+    pub fn next(&mut self, world: &mut StoreRt) -> IterStep {
+        let span = world.span_enter_under(self.trace, "iter.sharded.invocation", &String::new);
         if self.trace.is_none() {
             self.trace = world.current_ctx();
         }
@@ -461,7 +456,7 @@ impl ShardedElements {
     /// Finishes observation on every shard, returning each attached
     /// observer's computation in shard order (empty when opened
     /// unobserved).
-    pub fn take_computations(&mut self, world: &StoreWorld) -> Vec<Computation> {
+    pub fn take_computations(&mut self, world: &StoreRt) -> Vec<Computation> {
         self.iters
             .iter_mut()
             .filter_map(|it| it.take_computation(world))
@@ -480,6 +475,7 @@ mod tests {
     use weakset_sim::topology::Topology;
     use weakset_sim::world::WorldConfig;
     use weakset_spec::checker::check_computation;
+    use weakset_store::prelude::StoreWorld;
     use weakset_store::prelude::{ReadPolicy, StoreServer};
 
     /// `n_shards` groups of `group_size` servers each, plus a client.

@@ -14,7 +14,7 @@ use std::collections::BTreeSet;
 use weakset_spec::prelude::Computation;
 use weakset_store::collection::MemberEntry;
 use weakset_store::object::ObjectId;
-use weakset_store::prelude::{CollectionRef, StoreClient, StoreWorld};
+use weakset_store::prelude::{CollectionRef, StoreClient, StoreRt};
 
 /// A strongly-consistent `elements` iterator.
 ///
@@ -70,7 +70,7 @@ impl LockedElements {
     }
 
     /// Finishes observation (if any) and returns the recorded computation.
-    pub fn take_computation(&mut self, world: &StoreWorld) -> Option<Computation> {
+    pub fn take_computation(&mut self, world: &StoreRt) -> Option<Computation> {
         self.observer.take_computation(world)
     }
 
@@ -98,12 +98,12 @@ impl LockedElements {
 
     /// Releases the lock and terminates the run without consuming the
     /// remaining elements.
-    pub fn abort(&mut self, world: &mut StoreWorld) {
+    pub fn abort(&mut self, world: &mut StoreRt) {
         self.release(world);
         self.terminated = true;
     }
 
-    fn release(&mut self, world: &mut StoreWorld) {
+    fn release(&mut self, world: &mut StoreRt) {
         if self.lock_held {
             // Best effort: if the primary is unreachable the lock leaks
             // until the run's owner reconnects (§3.1's hazard).
@@ -113,7 +113,7 @@ impl LockedElements {
     }
 
     /// One invocation under the read lock.
-    pub fn next(&mut self, world: &mut StoreWorld) -> IterStep {
+    pub fn next(&mut self, world: &mut StoreRt) -> IterStep {
         if self.terminated {
             return IterStep::Done;
         }
@@ -214,6 +214,7 @@ mod tests {
     use weakset_spec::checker::{Checker, Figure};
     use weakset_spec::constraint::ConstraintKind;
     use weakset_store::object::{CollectionId, ObjectRecord};
+    use weakset_store::prelude::StoreWorld;
     use weakset_store::prelude::{StoreError, StoreServer};
 
     fn setup(

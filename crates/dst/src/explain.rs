@@ -1,7 +1,7 @@
 //! Conformance-failure explanations: walk the causal DAG backwards from
 //! a failed iterator invocation to the fault events that caused it.
 //!
-//! Every [`RunReport`](crate::run::RunReport) carries the run's full
+//! Every [`RunReport`] carries the run's full
 //! causal event stream. When a run fails — an iterator signalled
 //! `Failed`, or an oracle rejected the recorded computation — the DAG
 //! built from that stream holds the whole story: which invocation

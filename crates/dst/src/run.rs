@@ -194,15 +194,23 @@ fn apply_op(w: &mut StoreWorld, set: &TestSet, servers: &[NodeId], op: Op) {
 /// under test). For a sharded set: the union over the shard homes.
 fn ground_truth_members(w: &StoreWorld, s: &Scenario, set: &TestSet) -> Vec<u64> {
     let read_home = |home: NodeId, coll: CollectionId| -> Vec<u64> {
-        let state = match s.deployment {
-            Deployment::Plain | Deployment::Sharded { .. } => w
-                .service::<StoreServer>(home)
-                .and_then(|sv| sv.collection(coll)),
-            Deployment::Gossip { .. } => GossipNode::collection_history(w, home, coll),
-        };
-        state
-            .map(|c| c.snapshot().iter().map(|m| m.elem.0).collect())
-            .unwrap_or_default()
+        let mut out = Vec::new();
+        match s.deployment {
+            Deployment::Plain | Deployment::Sharded { .. } => {
+                if let Some(c) = w
+                    .service::<StoreServer>(home)
+                    .and_then(|sv| sv.collection(coll))
+                {
+                    out = c.snapshot().iter().map(|m| m.elem.0).collect();
+                }
+            }
+            Deployment::Gossip { .. } => {
+                GossipNode::visit_collection_history(w, home, coll, &mut |c| {
+                    out = c.snapshot().iter().map(|m| m.elem.0).collect();
+                });
+            }
+        }
+        out
     };
     match set {
         TestSet::One(ws) => read_home(ws.cref().home, ws.cref().id),
@@ -409,7 +417,7 @@ pub fn execute(s: &Scenario) -> RunReport {
         Deployment::Gossip { .. } => {
             TestElements::One(Box::new(set.single().elements_observed_via(
                 s.semantics,
-                HistorySource::new(GossipNode::collection_history),
+                HistorySource::new(GossipNode::visit_collection_history),
             )))
         }
     };

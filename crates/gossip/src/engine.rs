@@ -1,16 +1,20 @@
 //! The anti-entropy engine: periodic pairwise gossip rounds scheduled on
-//! the simulator's event loop.
+//! the runtime's timer queue.
 //!
-//! [`install`] spawns a self-rescheduling [`weakset_sim::world::Task`]
+//! [`install`] spawns a self-rescheduling [`weakset_runtime::RtTask`]
 //! that fires every [`GossipConfig::interval`]. Each round, every live
 //! replica picks [`GossipConfig::fanout`] random peers (deterministically,
-//! from the world's seeded RNG) and runs a digest-then-delta exchange in
+//! from the runtime's seeded RNG) and runs a digest-then-delta exchange in
 //! the configured [`GossipMode`]. Exchanges are plain RPCs on the store
 //! protocol, so partitions, crashes, and lossy links bite gossip exactly
 //! as they bite every other client: a failed exchange is counted and
 //! retried implicitly by the next round.
 //!
-//! Metrics recorded on the world: `gossip.rounds`, `gossip.exchanges`,
+//! Everything here runs against `&mut StoreRt` — the simulator and the
+//! threaded backend drive the same rounds, the same metrics, the same
+//! spans.
+//!
+//! Metrics recorded on the runtime: `gossip.rounds`, `gossip.exchanges`,
 //! `gossip.failures`, `gossip.novel_shipped`, `gossip.push_skipped`,
 //! `gossip.digest_bytes`, `gossip.delta_bytes` (wire cost of digests vs
 //! deltas), and convergence lag (`gossip.replica_stale_rounds` — one
@@ -18,13 +22,13 @@
 //! replicas — plus the `gossip.stale_replicas.max` high-water gauge).
 
 use crate::replica::GossipNode;
-use std::cell::Cell;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use weakset_runtime::prelude::*;
 use weakset_sim::node::NodeId;
 use weakset_sim::rng::SimRng;
 use weakset_sim::time::{SimDuration, SimTime};
-use weakset_sim::world::Task;
-use weakset_store::client::StoreWorld;
+use weakset_store::client::StoreRt;
 use weakset_store::collection::MemberEntry;
 use weakset_store::dotted::{MembershipDelta, VersionVector};
 use weakset_store::msg::StoreMsg;
@@ -72,22 +76,24 @@ impl Default for GossipConfig {
     }
 }
 
-/// Cancels an installed anti-entropy schedule.
+/// Cancels an installed anti-entropy schedule. `Send + Sync`: the
+/// threaded backend's driver thread can stop a schedule installed from
+/// another view.
 #[derive(Clone, Debug)]
 pub struct GossipHandle {
-    stop: Rc<Cell<bool>>,
+    stop: Arc<AtomicBool>,
 }
 
 impl GossipHandle {
     /// Stops the schedule: the next pending round exits without running
     /// or rescheduling.
     pub fn stop(&self) {
-        self.stop.set(true);
+        self.stop.store(true, Ordering::Relaxed);
     }
 
     /// True once [`GossipHandle::stop`] has been called.
     pub fn stopped(&self) -> bool {
-        self.stop.get()
+        self.stop.load(Ordering::Relaxed)
     }
 }
 
@@ -98,20 +104,20 @@ impl GossipHandle {
 /// until stopped, so call [`GossipHandle::stop`] before expecting
 /// [`weakset_sim::world::World::run_to_quiescence`] to terminate.
 pub fn install(
-    world: &mut StoreWorld,
+    world: &mut StoreRt,
     coll: CollectionId,
     replicas: Vec<NodeId>,
     config: GossipConfig,
 ) -> GossipHandle {
-    let stop = Rc::new(Cell::new(false));
+    let stop = Arc::new(AtomicBool::new(false));
     let round = Round {
         coll,
-        replicas: Rc::new(replicas),
+        replicas: Arc::new(replicas),
         config,
         rng: world.rng_for("gossip.engine"),
-        stop: Rc::clone(&stop),
+        stop: Arc::clone(&stop),
     };
-    world.spawn_in(config.interval, round);
+    world.spawn_in(config.interval, Box::new(round));
     GossipHandle { stop }
 }
 
@@ -124,7 +130,7 @@ pub fn install(
 /// Shard sub-collection ids are the caller's business (sharded weak
 /// sets derive them with `weakset::shard::shard_collection_id`).
 pub fn install_sharded(
-    world: &mut StoreWorld,
+    world: &mut StoreRt,
     shards: &[(CollectionId, Vec<NodeId>)],
     config: GossipConfig,
 ) -> Vec<GossipHandle> {
@@ -136,7 +142,7 @@ pub fn install_sharded(
 
 /// True when every shard's replica group has converged on its own
 /// sub-collection (see [`converged`]).
-pub fn converged_sharded(world: &StoreWorld, shards: &[(CollectionId, Vec<NodeId>)]) -> bool {
+pub fn converged_sharded(world: &StoreRt, shards: &[(CollectionId, Vec<NodeId>)]) -> bool {
     shards
         .iter()
         .all(|(coll, replicas)| converged(world, *coll, replicas))
@@ -145,7 +151,7 @@ pub fn converged_sharded(world: &StoreWorld, shards: &[(CollectionId, Vec<NodeId
 /// One immediate push-pull exchange between two replicas (no schedule) —
 /// deterministic pairwise sync for tests and targeted repair.
 pub fn sync_pair(
-    world: &mut StoreWorld,
+    world: &mut StoreRt,
     coll: CollectionId,
     a: NodeId,
     b: NodeId,
@@ -157,13 +163,17 @@ pub fn sync_pair(
 /// Omniscient convergence check: true when every replica's CRDT exists
 /// and reports the same membership and digest. (Test/experiment helper —
 /// a real deployment cannot observe this.)
-pub fn converged(world: &StoreWorld, coll: CollectionId, replicas: &[NodeId]) -> bool {
+pub fn converged(world: &StoreRt, coll: CollectionId, replicas: &[NodeId]) -> bool {
     let mut first: Option<(Vec<MemberEntry>, VersionVector)> = None;
     for &r in replicas {
-        let Some(crdt) = world.service::<GossipNode>(r).and_then(|g| g.crdt(coll)) else {
+        let Some(state) = world
+            .with_service(r, |g: &GossipNode| {
+                g.crdt(coll).map(|c| (c.elements(), c.digest()))
+            })
+            .flatten()
+        else {
             return false;
         };
-        let state = (crdt.elements(), crdt.digest());
         match &first {
             None => first = Some(state),
             Some(f) => {
@@ -177,33 +187,28 @@ pub fn converged(world: &StoreWorld, coll: CollectionId, replicas: &[NodeId]) ->
 }
 
 /// A replica's current CRDT membership, read omnisciently.
-pub fn elements_at(
-    world: &StoreWorld,
-    node: NodeId,
-    coll: CollectionId,
-) -> Option<Vec<MemberEntry>> {
+pub fn elements_at(world: &StoreRt, node: NodeId, coll: CollectionId) -> Option<Vec<MemberEntry>> {
     world
-        .service::<GossipNode>(node)
-        .and_then(|g| g.crdt(coll))
-        .map(|c| c.elements())
+        .with_service(node, |g: &GossipNode| g.crdt(coll).map(|c| c.elements()))
+        .flatten()
 }
 
 /// The self-rescheduling round task.
 struct Round {
     coll: CollectionId,
-    replicas: Rc<Vec<NodeId>>,
+    replicas: Arc<Vec<NodeId>>,
     config: GossipConfig,
     rng: SimRng,
-    stop: Rc<Cell<bool>>,
+    stop: Arc<AtomicBool>,
 }
 
-impl Task<StoreMsg> for Round {
+impl RtTask<StoreMsg> for Round {
     fn label(&self) -> &str {
         "gossip.round"
     }
 
-    fn run(mut self: Box<Self>, world: &mut StoreWorld) {
-        if self.stop.get() {
+    fn run(mut self: Box<Self>, world: &mut StoreRt) {
+        if self.stop.load(Ordering::Relaxed) {
             return;
         }
         if let Some(until) = self.config.until {
@@ -216,10 +221,10 @@ impl Task<StoreMsg> for Round {
         // causal stack, so this span roots a fresh per-round trace that
         // every exchange (and its RPCs) nests under.
         let coll = self.coll;
-        let round_span = world.span_enter("gossip.round", || coll.to_string());
+        let round_span = world.span_enter("gossip.round", &|| coll.to_string());
         let nodes: Vec<NodeId> = self.replicas.to_vec();
         for &origin in &nodes {
-            if !world.topology().is_up(origin) {
+            if !world.is_up(origin) {
                 continue;
             }
             let mut peers: Vec<NodeId> = nodes.iter().copied().filter(|&p| p != origin).collect();
@@ -239,18 +244,22 @@ impl Task<StoreMsg> for Round {
         record_convergence_lag(world, self.coll, &nodes);
         world.span_exit(round_span);
         let interval = self.config.interval;
-        world.spawn_in(interval, *self);
+        world.spawn_in(interval, self);
     }
 }
 
 /// After each round, counts replicas whose digest still trails the join
 /// of all live replicas' digests — the per-round convergence lag.
-fn record_convergence_lag(world: &mut StoreWorld, coll: CollectionId, replicas: &[NodeId]) {
-    let digests: Vec<VersionVector> = replicas
-        .iter()
-        .filter(|&&r| world.topology().is_up(r))
-        .filter_map(|&r| local_digest(world, r, coll))
-        .collect();
+fn record_convergence_lag(world: &mut StoreRt, coll: CollectionId, replicas: &[NodeId]) {
+    let mut digests: Vec<VersionVector> = Vec::new();
+    for &r in replicas {
+        if !world.is_up(r) {
+            continue;
+        }
+        if let Some(d) = local_digest(world, r, coll) {
+            digests.push(d);
+        }
+    }
     if digests.len() < 2 {
         return;
     }
@@ -266,7 +275,7 @@ fn record_convergence_lag(world: &mut StoreWorld, coll: CollectionId, replicas: 
 
 /// Runs one exchange initiated by `origin` towards `peer`.
 fn exchange(
-    world: &mut StoreWorld,
+    world: &mut StoreRt,
     coll: CollectionId,
     origin: NodeId,
     peer: NodeId,
@@ -274,7 +283,7 @@ fn exchange(
     timeout: SimDuration,
 ) {
     world.metrics_mut().incr("gossip.exchanges");
-    let span = world.span_enter("gossip.exchange", || format!("{origin}->{peer}"));
+    let span = world.span_enter("gossip.exchange", &|| format!("{origin}->{peer}"));
     match mode {
         GossipMode::Pull => {
             pull(world, coll, origin, peer, timeout);
@@ -298,7 +307,7 @@ fn exchange(
 /// Pull leg: ship our digest, join the peer's delta into local state.
 /// Returns the peer's version vector on success.
 fn pull(
-    world: &mut StoreWorld,
+    world: &mut StoreRt,
     coll: CollectionId,
     origin: NodeId,
     peer: NodeId,
@@ -328,7 +337,7 @@ fn pull(
 
 /// Push leg: ship the peer whatever its digest does not cover.
 fn push(
-    world: &mut StoreWorld,
+    world: &mut StoreRt,
     coll: CollectionId,
     origin: NodeId,
     peer: NodeId,
@@ -347,7 +356,7 @@ fn push(
 }
 
 fn fetch_digest(
-    world: &mut StoreWorld,
+    world: &mut StoreRt,
     coll: CollectionId,
     origin: NodeId,
     peer: NodeId,
@@ -366,37 +375,40 @@ fn fetch_digest(
     }
 }
 
-fn local_digest(world: &StoreWorld, node: NodeId, coll: CollectionId) -> Option<VersionVector> {
+fn local_digest(world: &StoreRt, node: NodeId, coll: CollectionId) -> Option<VersionVector> {
     world
-        .service::<GossipNode>(node)
-        .and_then(|g| g.crdt(coll))
-        .map(|c| c.digest())
+        .with_service(node, |g: &GossipNode| g.crdt(coll).map(|c| c.digest()))
+        .flatten()
 }
 
 /// The delta `node` would send a peer holding `digest`; `None` when the
 /// CRDT can prove the peer needs nothing.
 fn local_delta(
-    world: &StoreWorld,
+    world: &StoreRt,
     node: NodeId,
     coll: CollectionId,
     digest: &VersionVector,
 ) -> Option<MembershipDelta> {
-    let crdt = world.service::<GossipNode>(node)?.crdt(coll)?;
-    if crdt.nothing_for(digest) {
-        return None;
-    }
-    Some(crdt.delta_since(digest))
+    world
+        .with_service(node, |g: &GossipNode| {
+            let crdt = g.crdt(coll)?;
+            if crdt.nothing_for(digest) {
+                return None;
+            }
+            Some(crdt.delta_since(digest))
+        })
+        .flatten()
 }
 
-fn apply_local(world: &mut StoreWorld, node: NodeId, coll: CollectionId, delta: MembershipDelta) {
-    if let Some(g) = world.service_mut::<GossipNode>(node) {
+fn apply_local(world: &mut StoreRt, node: NodeId, coll: CollectionId, delta: MembershipDelta) {
+    world.with_service_mut(node, |g: &mut GossipNode| {
         // Route through the service's own handler so local joins and
         // remote pushes share one code path.
         g.apply(StoreMsg::GossipPush { coll, delta });
-    }
+    });
 }
 
-fn record_shipped(world: &mut StoreWorld, delta: &MembershipDelta) {
+fn record_shipped(world: &mut StoreRt, delta: &MembershipDelta) {
     let m = world.metrics_mut();
     m.add("gossip.novel_shipped", delta.novel.len() as u64);
     m.add("gossip.delta_bytes", delta.wire_size() as u64);
@@ -404,7 +416,7 @@ fn record_shipped(world: &mut StoreWorld, delta: &MembershipDelta) {
 
 /// Charges a version vector crossing the wire: one (node, counter) pair
 /// of two u64s per entry.
-fn record_digest(world: &mut StoreWorld, vv: &VersionVector) {
+fn record_digest(world: &mut StoreRt, vv: &VersionVector) {
     world
         .metrics_mut()
         .add("gossip.digest_bytes", 16 * vv.len() as u64);

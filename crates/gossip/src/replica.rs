@@ -15,6 +15,7 @@
 
 use crate::crdt::{GSet, ORSet};
 use std::collections::{BTreeSet, HashMap};
+use weakset_runtime::prelude::*;
 use weakset_sim::node::NodeId;
 use weakset_sim::world::{Service, ServiceCtx};
 use weakset_store::collection::MemberEntry;
@@ -202,19 +203,23 @@ impl GossipNode {
         self.handle_msg(msg)
     }
 
-    /// Omniscient accessor for the collection's primary-path state (the
+    /// Omniscient visitor for the collection's primary-path state (the
     /// version log that conformance checking replays), reaching through
-    /// the [`GossipNode`] wrapper on `node`. Wrap it in a
-    /// `HistorySource::new` closure to observe iterator runs over gossip
-    /// deployments.
-    pub fn collection_history(
-        world: &weakset_sim::world::World<StoreMsg>,
+    /// the [`GossipNode`] wrapper on `node`. Pass it straight to
+    /// `HistorySource::new` to observe iterator runs over gossip
+    /// deployments; `visit` is simply not called when the node hosts no
+    /// gossip service or no such collection.
+    pub fn visit_collection_history(
+        world: &weakset_store::client::StoreRt,
         node: NodeId,
         coll: CollectionId,
-    ) -> Option<&weakset_store::collection::CollectionState> {
-        world
-            .service::<GossipNode>(node)
-            .and_then(|g| g.inner().collection(coll))
+        visit: &mut dyn FnMut(&weakset_store::collection::CollectionState),
+    ) {
+        world.with_service(node, |g: &GossipNode| {
+            if let Some(state) = g.inner().collection(coll) {
+                visit(state);
+            }
+        });
     }
 
     fn member_of_inner(&self, coll: CollectionId, elem: ObjectId) -> bool {

@@ -76,7 +76,7 @@ fn add(w: &mut StoreWorld, client: &StoreClient, cref: &CollectionRef, id: u64, 
 /// The observer's omniscient history accessor for gossip deployments:
 /// reach through the [`GossipNode`] wrapper to the inner store's log.
 fn gossip_history() -> HistorySource {
-    HistorySource::new(GossipNode::collection_history)
+    HistorySource::new(GossipNode::visit_collection_history)
 }
 
 /// Converge all membership hosts, then stop gossiping.

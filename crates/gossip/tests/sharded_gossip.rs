@@ -116,7 +116,7 @@ fn sharded_leaderless_reads_survive_all_primaries_partitioned() {
     // And the fan-out optimistic iterator drains it, per-shard runs
     // conforming to Figure 6 against the gossip-wrapped history.
     let mut it = set.elements_observed_via(Semantics::Optimistic, |_| {
-        HistorySource::new(GossipNode::collection_history)
+        HistorySource::new(GossipNode::visit_collection_history)
     });
     let mut got = Vec::new();
     loop {

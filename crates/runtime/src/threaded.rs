@@ -1,0 +1,836 @@
+//! The real-clock backend: one OS thread per node, in-process mpsc
+//! mailboxes, wall time reported in [`SimTime`] microseconds.
+//!
+//! ## Shape
+//!
+//! A [`ThreadedRuntime`] value is a *view* onto a shared node fleet.
+//! [`ThreadedRuntime::add_node`] spawns a thread that drains that
+//! node's mailbox and runs its installed [`Service`] — exactly the
+//! handler type the simulator hosts, which is what makes server code
+//! portable. Cloning a view (for concurrent client load) shares the
+//! fleet but gives the clone its own completion channel, token space,
+//! timer heap, metrics, and span stack, so views never contend.
+//!
+//! ## Time and timers
+//!
+//! `now()` is `Instant::elapsed` since the runtime was created,
+//! truncated to microseconds, so metrics and conformance checks are
+//! unit-compatible with simulator runs. Deferred tasks
+//! ([`Spawner::spawn_in`]) live on the *view's* timer heap and fire
+//! only while that view is inside `sleep`, `rpc`, or `wait_any` — the
+//! threaded analogue of the simulator firing tasks while the client
+//! pumps the event loop.
+//!
+//! ## Shutdown
+//!
+//! Node threads never spin: they block on `recv_timeout` and re-check
+//! the fleet-wide stop flag every slice, so they exit within ~20ms of
+//! either [`ThreadedRuntime::shutdown`] or the last view being dropped
+//! (which disconnects every mailbox). `shutdown` polls with a hard
+//! deadline and reports the nodes that failed to stop instead of
+//! hanging the caller.
+
+use crate::traits::{Clock, Observe, RtMessage, RtTask, ServiceHost, Spawner, Transport};
+use std::any::Any;
+use std::cmp::Ordering as CmpOrdering;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+use weakset_sim::metrics::{EventSink, Metrics, SpanId, TraceContext};
+use weakset_sim::net::NetError;
+use weakset_sim::node::NodeId;
+use weakset_sim::rng::SimRng;
+use weakset_sim::time::{SimDuration, SimTime};
+use weakset_sim::world::{ReplyToken, Service, ServiceCtx};
+
+/// How long a node thread blocks on its mailbox before re-checking the
+/// stop flag. Bounds both shutdown latency and idle wakeup rate.
+const MAILBOX_SLICE: Duration = Duration::from_millis(20);
+
+/// How long a waiting client blocks on its completion channel per
+/// check of timers and deadlines.
+const WAIT_SLICE: Duration = Duration::from_millis(2);
+
+/// One request crossing a node's mailbox, with the channel its reply
+/// should come back on.
+struct Envelope<M> {
+    from: NodeId,
+    msg: M,
+    token: u64,
+    reply: Sender<(u64, Result<M, NetError>)>,
+}
+
+/// The per-node state a view needs to reach a node. The pieces a node's
+/// own thread needs (`up`, `slot`, the stop flag) are `Arc`-cloned into
+/// it at spawn time — the thread deliberately does NOT hold the
+/// [`Shared`] fleet, so dropping the last view drops every mailbox
+/// sender and the threads drain out on their own.
+struct NodeHandle<M> {
+    tx: Sender<Envelope<M>>,
+    up: Arc<AtomicBool>,
+    slot: Arc<Mutex<Option<Box<dyn Service<M> + Send>>>>,
+    join: Option<JoinHandle<()>>,
+    name: String,
+}
+
+/// Fleet state shared by every view.
+struct Shared<M> {
+    seed: u64,
+    start: Instant,
+    stop: Arc<AtomicBool>,
+    next_node: AtomicU32,
+    nodes: Mutex<HashMap<NodeId, NodeHandle<M>>>,
+    /// Symmetric blocked pairs, stored normalized `(min, max)`.
+    blocked: Mutex<HashSet<(NodeId, NodeId)>>,
+}
+
+/// A deferred task on a view's timer heap; earliest `(at, seq)` pops
+/// first.
+struct TimerEntry<M> {
+    at: SimTime,
+    seq: u64,
+    task: Box<dyn RtTask<M>>,
+}
+
+impl<M> PartialEq for TimerEntry<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<M> Eq for TimerEntry<M> {}
+
+impl<M> PartialOrd for TimerEntry<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<M> Ord for TimerEntry<M> {
+    fn cmp(&self, other: &Self) -> CmpOrdering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest due.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// The OS-thread execution environment. See the module docs for the
+/// view/fleet split.
+pub struct ThreadedRuntime<M: RtMessage> {
+    shared: Arc<Shared<M>>,
+    comp_tx: Sender<(u64, Result<M, NetError>)>,
+    comp_rx: Receiver<(u64, Result<M, NetError>)>,
+    completed: HashMap<u64, Result<M, NetError>>,
+    next_token: u64,
+    timers: BinaryHeap<TimerEntry<M>>,
+    timer_seq: u64,
+    metrics: Metrics,
+    events: EventSink,
+    ctx: Vec<TraceContext>,
+}
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// The body of one node's thread: drain the mailbox, run the installed
+/// service, reply. Holds only the `Arc` pieces it needs, never the
+/// fleet, so channel disconnection is a reliable exit signal.
+#[allow(clippy::too_many_arguments)]
+fn node_loop<M: RtMessage>(
+    rx: Receiver<Envelope<M>>,
+    stop: Arc<AtomicBool>,
+    up: Arc<AtomicBool>,
+    slot: Arc<Mutex<Option<Box<dyn Service<M> + Send>>>>,
+    seed: u64,
+    start: Instant,
+    node: NodeId,
+    name: String,
+) {
+    let mut rng = SimRng::for_label(seed, &format!("svc.{name}"));
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            break;
+        }
+        match rx.recv_timeout(MAILBOX_SLICE) {
+            Ok(env) => {
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                if !up.load(Ordering::Relaxed) {
+                    // A crashed node eats its mail; the caller times out,
+                    // matching the simulator's crashed-node behavior.
+                    continue;
+                }
+                let mut guard = lock(&slot);
+                if let Some(svc) = guard.as_mut() {
+                    let now = SimTime::from_micros(start.elapsed().as_micros() as u64);
+                    let mut ctx = ServiceCtx {
+                        now,
+                        node,
+                        rng: &mut rng,
+                    };
+                    let reply = svc.handle(&mut ctx, env.from, env.msg);
+                    // A dead receiver just means the requesting view is
+                    // gone; nothing to do with the reply.
+                    let _ = env.reply.send((env.token, Ok(reply)));
+                }
+                // No service installed yet: drop the request, the caller
+                // times out — same as the simulator's service-less node.
+            }
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+}
+
+impl<M: RtMessage> ThreadedRuntime<M> {
+    /// A fresh fleet with no nodes. `seed` labels the deterministic RNG
+    /// streams handed to services and clients (scheduling itself is
+    /// real-concurrent, so runs are *not* reproducible — use the
+    /// simulator for that).
+    pub fn new(seed: u64) -> Self {
+        let (comp_tx, comp_rx) = mpsc::channel();
+        ThreadedRuntime {
+            shared: Arc::new(Shared {
+                seed,
+                start: Instant::now(),
+                stop: Arc::new(AtomicBool::new(false)),
+                next_node: AtomicU32::new(0),
+                nodes: Mutex::new(HashMap::new()),
+                blocked: Mutex::new(HashSet::new()),
+            }),
+            comp_tx,
+            comp_rx,
+            completed: HashMap::new(),
+            next_token: 0,
+            timers: BinaryHeap::new(),
+            timer_seq: 0,
+            metrics: Metrics::new(),
+            events: EventSink::new(),
+            ctx: Vec::new(),
+        }
+    }
+
+    /// Adds a node and spawns its mailbox thread (with no service yet —
+    /// install one with [`ServiceHost::install_service`]). Client-only
+    /// nodes need this too: the transport refuses to send *from* an
+    /// unknown node.
+    pub fn add_node(&mut self, name: impl Into<String>) -> NodeId {
+        let name = name.into();
+        let node = NodeId(self.shared.next_node.fetch_add(1, Ordering::SeqCst));
+        let (tx, rx) = mpsc::channel();
+        let up = Arc::new(AtomicBool::new(true));
+        let slot: Arc<Mutex<Option<Box<dyn Service<M> + Send>>>> = Arc::new(Mutex::new(None));
+        let join = thread::Builder::new()
+            .name(format!("weakset-node-{name}"))
+            .spawn({
+                let stop = Arc::clone(&self.shared.stop);
+                let up = Arc::clone(&up);
+                let slot = Arc::clone(&slot);
+                let seed = self.shared.seed;
+                let start = self.shared.start;
+                let name = name.clone();
+                move || node_loop(rx, stop, up, slot, seed, start, node, name)
+            })
+            .expect("spawn node thread");
+        lock(&self.shared.nodes).insert(
+            node,
+            NodeHandle {
+                tx,
+                up,
+                slot,
+                join: Some(join),
+                name,
+            },
+        );
+        node
+    }
+
+    /// The node's registered name, when it exists.
+    pub fn node_name(&self, node: NodeId) -> Option<String> {
+        lock(&self.shared.nodes).get(&node).map(|h| h.name.clone())
+    }
+
+    /// Marks a node up or down. A down node eats incoming mail (callers
+    /// time out) and the transport fast-fails new requests to it.
+    pub fn set_node_up(&mut self, node: NodeId, up: bool) {
+        if let Some(h) = lock(&self.shared.nodes).get(&node) {
+            h.up.store(up, Ordering::SeqCst);
+        }
+    }
+
+    /// Crashes a node (alias for `set_node_up(node, false)`).
+    pub fn crash(&mut self, node: NodeId) {
+        self.set_node_up(node, false);
+    }
+
+    /// Blocks or restores the (symmetric) route between two nodes.
+    pub fn set_reachable(&mut self, a: NodeId, b: NodeId, ok: bool) {
+        let key = if a.0 <= b.0 { (a, b) } else { (b, a) };
+        let mut blocked = lock(&self.shared.blocked);
+        if ok {
+            blocked.remove(&key);
+        } else {
+            blocked.insert(key);
+        }
+    }
+
+    /// Stops every node thread, waiting up to `timeout`. Returns the
+    /// nodes that failed to exit in time (sorted), so a hung handler
+    /// fails the test instead of hanging it.
+    pub fn shutdown(&mut self, timeout: Duration) -> Result<(), Vec<NodeId>> {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        let deadline = Instant::now() + timeout;
+        loop {
+            let hung: Vec<NodeId> = {
+                let nodes = lock(&self.shared.nodes);
+                let mut hung: Vec<NodeId> = nodes
+                    .iter()
+                    .filter(|(_, h)| h.join.as_ref().is_some_and(|j| !j.is_finished()))
+                    .map(|(n, _)| *n)
+                    .collect();
+                hung.sort();
+                hung
+            };
+            if hung.is_empty() {
+                let mut nodes = lock(&self.shared.nodes);
+                for h in nodes.values_mut() {
+                    if let Some(j) = h.join.take() {
+                        let _ = j.join();
+                    }
+                }
+                return Ok(());
+            }
+            if Instant::now() >= deadline {
+                return Err(hung);
+            }
+            thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    /// The structured event sink (disabled by default).
+    pub fn events(&self) -> &EventSink {
+        &self.events
+    }
+
+    /// Mutable event sink (enable recording, drain events).
+    pub fn events_mut(&mut self) -> &mut EventSink {
+        &mut self.events
+    }
+
+    fn is_blocked(&self, a: NodeId, b: NodeId) -> bool {
+        let key = if a.0 <= b.0 { (a, b) } else { (b, a) };
+        lock(&self.shared.blocked).contains(&key)
+    }
+
+    /// Moves any newly-arrived completions into the completed map
+    /// without blocking.
+    fn drain_completions(&mut self) {
+        while let Ok((token, result)) = self.comp_rx.try_recv() {
+            self.completed.insert(token, result);
+        }
+    }
+
+    /// Fires every timer that is due as of the wall clock. Timers only
+    /// run here — i.e. while this view sleeps or waits — mirroring the
+    /// simulator firing tasks while the client pumps the event loop.
+    fn run_due_timers(&mut self) {
+        loop {
+            let due = self.timers.peek().is_some_and(|e| e.at <= Clock::now(self));
+            if !due {
+                break;
+            }
+            let entry = self.timers.pop().expect("peeked timer vanished");
+            entry.task.run(self);
+        }
+    }
+
+    /// Launches one envelope toward `to`'s mailbox. `Err` when the node
+    /// is unknown or its thread is gone.
+    fn post(&mut self, from: NodeId, to: NodeId, msg: M, token: u64) -> Result<(), NetError> {
+        let env = Envelope {
+            from,
+            msg,
+            token,
+            reply: self.comp_tx.clone(),
+        };
+        let nodes = lock(&self.shared.nodes);
+        match nodes.get(&to) {
+            Some(h) => h.tx.send(env).map_err(|_| NetError::NodeDown(to)),
+            None => Err(NetError::NodeDown(to)),
+        }
+    }
+
+    /// The wall-clock instant `t` maps to.
+    fn instant_at(&self, t: SimTime) -> Instant {
+        self.shared.start + Duration::from_micros(t.as_micros())
+    }
+
+    fn rpc_inner(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        msg: M,
+        timeout: SimDuration,
+    ) -> Result<M, NetError> {
+        if !self.is_up(from) {
+            return Err(NetError::NodeDown(from));
+        }
+        self.metrics.incr("rpc.sent");
+        let started = Instant::now();
+        if !self.reachable(from, to) {
+            let err = if self.is_up(to) {
+                NetError::Unreachable { from, to }
+            } else {
+                NetError::NodeDown(to)
+            };
+            self.metrics.incr("rpc.failed");
+            return Err(err);
+        }
+        let token = self.next_token;
+        self.next_token += 1;
+        if let Err(e) = self.post(from, to, msg, token) {
+            self.metrics.incr("rpc.failed");
+            return Err(e);
+        }
+        let deadline = started + Duration::from_micros(timeout.as_micros());
+        loop {
+            self.drain_completions();
+            if let Some(result) = self.completed.remove(&token) {
+                match &result {
+                    Ok(_) => {
+                        self.metrics.incr("rpc.ok");
+                        self.metrics
+                            .observe("rpc.latency", started.elapsed().as_micros() as u64);
+                    }
+                    Err(_) => self.metrics.incr("rpc.failed"),
+                }
+                return result;
+            }
+            self.run_due_timers();
+            let now = Instant::now();
+            if now >= deadline {
+                self.metrics.incr("rpc.failed");
+                return Err(NetError::Timeout);
+            }
+            match self.comp_rx.recv_timeout((deadline - now).min(WAIT_SLICE)) {
+                Ok((t, r)) => {
+                    self.completed.insert(t, r);
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => {
+                    // Our own sender is alive (self.comp_tx), so this
+                    // cannot happen; treat as a timeout slice.
+                }
+            }
+        }
+    }
+}
+
+impl<M: RtMessage> Clone for ThreadedRuntime<M> {
+    /// A new view on the same fleet: shared nodes and routes, private
+    /// completion channel, token space, timers, metrics, and spans.
+    fn clone(&self) -> Self {
+        let (comp_tx, comp_rx) = mpsc::channel();
+        ThreadedRuntime {
+            shared: Arc::clone(&self.shared),
+            comp_tx,
+            comp_rx,
+            completed: HashMap::new(),
+            next_token: 0,
+            timers: BinaryHeap::new(),
+            timer_seq: 0,
+            metrics: Metrics::new(),
+            events: EventSink::new(),
+            ctx: Vec::new(),
+        }
+    }
+}
+
+impl<M: RtMessage> Clock for ThreadedRuntime<M> {
+    fn now(&self) -> SimTime {
+        SimTime::from_micros(self.shared.start.elapsed().as_micros() as u64)
+    }
+
+    /// Sleeps wall time, firing due timers as they come up (so gossip
+    /// rounds progress while a client waits between retries).
+    fn sleep(&mut self, d: SimDuration) {
+        let deadline = Clock::now(self) + d;
+        loop {
+            self.run_due_timers();
+            let now = Clock::now(self);
+            if now >= deadline {
+                return;
+            }
+            let wake = match self.timers.peek() {
+                Some(e) if e.at < deadline => e.at,
+                _ => deadline,
+            };
+            let gap = wake.as_micros().saturating_sub(now.as_micros());
+            thread::sleep(Duration::from_micros(gap.max(1)));
+        }
+    }
+
+    fn rng_for(&self, label: &str) -> SimRng {
+        SimRng::for_label(self.shared.seed, label)
+    }
+}
+
+impl<M: RtMessage> Observe for ThreadedRuntime<M> {
+    fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    fn metrics_mut(&mut self) -> &mut Metrics {
+        &mut self.metrics
+    }
+
+    fn span_enter(&mut self, kind: &str, detail: &dyn Fn() -> String) -> SpanId {
+        let parent = self.ctx.last().copied();
+        Observe::span_enter_under(self, parent, kind, detail)
+    }
+
+    fn span_enter_under(
+        &mut self,
+        parent: Option<TraceContext>,
+        kind: &str,
+        detail: &dyn Fn() -> String,
+    ) -> SpanId {
+        let at = Clock::now(self).as_micros();
+        let d = if self.events.is_enabled() {
+            detail()
+        } else {
+            String::new()
+        };
+        let ctx = self.events.begin_span(at, kind, &d, parent);
+        self.ctx.push(ctx);
+        ctx.span
+    }
+
+    fn span_exit(&mut self, id: SpanId) {
+        let top = self.ctx.pop();
+        debug_assert_eq!(top.map(|c| c.span), Some(id), "span_exit out of LIFO order");
+        let at = Clock::now(self).as_micros();
+        self.events.end_span(at, id);
+    }
+
+    fn current_ctx(&self) -> Option<TraceContext> {
+        self.ctx.last().copied()
+    }
+
+    fn trace_event(&mut self, kind: &str, detail: &dyn Fn() -> String) {
+        if self.events.is_enabled() {
+            let d = detail();
+            let at = Clock::now(self).as_micros();
+            let ctx = self.ctx.last().copied();
+            self.events.event_in(at, kind, &d, ctx);
+        }
+    }
+}
+
+impl<M: RtMessage> Transport<M> for ThreadedRuntime<M> {
+    fn rpc(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        msg: M,
+        timeout: SimDuration,
+    ) -> Result<M, NetError> {
+        let span = Observe::span_enter(self, "net.rpc", &|| format!("{from}->{to}"));
+        let result = self.rpc_inner(from, to, msg, timeout);
+        if let Err(e) = &result {
+            let err = *e;
+            Observe::trace_event(self, "net.rpc.failed", &|| format!("{from}->{to}: {err}"));
+        }
+        Observe::span_exit(self, span);
+        result
+    }
+
+    fn send(&mut self, from: NodeId, to: NodeId, msg: M) -> ReplyToken {
+        let token = self.next_token;
+        self.next_token += 1;
+        self.metrics.incr("rpc.sent");
+        if !self.is_up(from) {
+            self.completed.insert(token, Err(NetError::NodeDown(from)));
+            return ReplyToken::from_raw(token);
+        }
+        if !self.reachable(from, to) {
+            let err = if self.is_up(to) {
+                NetError::Unreachable { from, to }
+            } else {
+                NetError::NodeDown(to)
+            };
+            self.completed.insert(token, Err(err));
+            return ReplyToken::from_raw(token);
+        }
+        if let Err(e) = self.post(from, to, msg, token) {
+            self.completed.insert(token, Err(e));
+        }
+        ReplyToken::from_raw(token)
+    }
+
+    fn send_batch(&mut self, from: NodeId, to: NodeId, parts: Vec<M>) -> ReplyToken {
+        self.metrics.incr("net.batch.envelopes");
+        self.metrics.add("net.batch.parts", parts.len() as u64);
+        Transport::send(self, from, to, M::wrap_batch(parts))
+    }
+
+    fn try_take_reply(&mut self, token: ReplyToken) -> Option<Result<M, NetError>> {
+        self.drain_completions();
+        self.completed.remove(&token.raw())
+    }
+
+    fn wait_any(&mut self, tokens: &[ReplyToken], deadline: SimTime) -> Option<ReplyToken> {
+        let wall_deadline = self.instant_at(deadline);
+        loop {
+            self.drain_completions();
+            if let Some(&t) = tokens
+                .iter()
+                .find(|t| self.completed.contains_key(&t.raw()))
+            {
+                return Some(t);
+            }
+            self.run_due_timers();
+            let now = Instant::now();
+            if now >= wall_deadline {
+                return None;
+            }
+            if let Ok((t, r)) = self
+                .comp_rx
+                .recv_timeout((wall_deadline - now).min(WAIT_SLICE))
+            {
+                self.completed.insert(t, r);
+            }
+        }
+    }
+
+    /// No latency model on real threads: everything estimates to zero,
+    /// and closest-first candidate ordering falls back to its
+    /// deterministic element-id tie-break.
+    fn estimate_latency(&self, _a: NodeId, _b: NodeId) -> SimDuration {
+        SimDuration::ZERO
+    }
+}
+
+impl<M: RtMessage> ServiceHost<M> for ThreadedRuntime<M> {
+    fn install_service(&mut self, node: NodeId, svc: Box<dyn Service<M> + Send>) {
+        let nodes = lock(&self.shared.nodes);
+        let h = nodes
+            .get(&node)
+            .unwrap_or_else(|| panic!("install_service on unknown node {node:?}; add_node first"));
+        *lock(&h.slot) = Some(svc);
+    }
+
+    fn with_service_any(&self, node: NodeId, f: &mut dyn FnMut(&dyn Any)) -> bool {
+        let nodes = lock(&self.shared.nodes);
+        let Some(h) = nodes.get(&node) else {
+            return false;
+        };
+        let guard = lock(&h.slot);
+        match guard.as_ref() {
+            Some(svc) => {
+                f(svc.as_ref() as &dyn Any);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn with_service_any_mut(&mut self, node: NodeId, f: &mut dyn FnMut(&mut dyn Any)) -> bool {
+        let nodes = lock(&self.shared.nodes);
+        let Some(h) = nodes.get(&node) else {
+            return false;
+        };
+        let mut guard = lock(&h.slot);
+        match guard.as_mut() {
+            Some(svc) => {
+                f(svc.as_mut() as &mut dyn Any);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn is_up(&self, node: NodeId) -> bool {
+        lock(&self.shared.nodes)
+            .get(&node)
+            .is_some_and(|h| h.up.load(Ordering::SeqCst))
+    }
+
+    fn reachable(&self, from: NodeId, to: NodeId) -> bool {
+        self.is_up(from) && self.is_up(to) && !self.is_blocked(from, to)
+    }
+}
+
+impl<M: RtMessage> Spawner<M> for ThreadedRuntime<M> {
+    fn spawn_in(&mut self, d: SimDuration, task: Box<dyn RtTask<M>>) {
+        let at = Clock::now(self) + d;
+        let seq = self.timer_seq;
+        self.timer_seq += 1;
+        self.timers.push(TimerEntry { at, seq, task });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::{Runtime, RuntimeExt, TaskFn};
+    use weakset_sim::net::BatchEnvelope;
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum Msg {
+        Val(u64),
+        Batch(Vec<Msg>),
+    }
+
+    impl BatchEnvelope for Msg {
+        fn wrap_batch(parts: Vec<Self>) -> Self {
+            Msg::Batch(parts)
+        }
+        fn unwrap_batch(self) -> Result<Vec<Self>, Self> {
+            match self {
+                Msg::Batch(parts) => Ok(parts),
+                other => Err(other),
+            }
+        }
+    }
+
+    struct Inc {
+        hits: u64,
+    }
+
+    impl Service<Msg> for Inc {
+        fn handle(&mut self, _ctx: &mut ServiceCtx<'_>, _from: NodeId, msg: Msg) -> Msg {
+            self.hits += 1;
+            match msg {
+                Msg::Val(n) => Msg::Val(n + 1),
+                Msg::Batch(parts) => Msg::Batch(
+                    parts
+                        .into_iter()
+                        .map(|m| match m {
+                            Msg::Val(n) => Msg::Val(n + 1),
+                            other => other,
+                        })
+                        .collect(),
+                ),
+            }
+        }
+    }
+
+    fn fleet() -> (ThreadedRuntime<Msg>, NodeId, NodeId) {
+        let mut rt = ThreadedRuntime::new(7);
+        let client = rt.add_node("client");
+        let server = rt.add_node("server");
+        rt.install_service(server, Box::new(Inc { hits: 0 }));
+        (rt, client, server)
+    }
+
+    #[test]
+    fn rpc_round_trip() {
+        let (mut rt, c, s) = fleet();
+        let reply = Transport::rpc(&mut rt, c, s, Msg::Val(41), SimDuration::from_secs(5));
+        assert_eq!(reply, Ok(Msg::Val(42)));
+        assert_eq!(rt.metrics.counter("rpc.ok"), 1);
+        assert!(rt.shutdown(Duration::from_secs(2)).is_ok());
+    }
+
+    #[test]
+    fn rpc_to_down_node_fast_fails() {
+        let (mut rt, c, s) = fleet();
+        rt.crash(s);
+        let reply = Transport::rpc(&mut rt, c, s, Msg::Val(1), SimDuration::from_secs(5));
+        assert_eq!(reply, Err(NetError::NodeDown(s)));
+        rt.set_node_up(s, true);
+        let reply = Transport::rpc(&mut rt, c, s, Msg::Val(1), SimDuration::from_secs(5));
+        assert_eq!(reply, Ok(Msg::Val(2)));
+        assert!(rt.shutdown(Duration::from_secs(2)).is_ok());
+    }
+
+    #[test]
+    fn blocked_route_is_unreachable() {
+        let (mut rt, c, s) = fleet();
+        rt.set_reachable(c, s, false);
+        let reply = Transport::rpc(&mut rt, c, s, Msg::Val(1), SimDuration::from_secs(5));
+        assert_eq!(reply, Err(NetError::Unreachable { from: c, to: s }));
+        rt.set_reachable(c, s, true);
+        assert!(ServiceHost::reachable(&rt, c, s));
+        assert!(rt.shutdown(Duration::from_secs(2)).is_ok());
+    }
+
+    #[test]
+    fn serviceless_node_times_out() {
+        let mut rt: ThreadedRuntime<Msg> = ThreadedRuntime::new(1);
+        let c = rt.add_node("c");
+        let empty = rt.add_node("empty");
+        let reply = Transport::rpc(&mut rt, c, empty, Msg::Val(1), SimDuration::from_millis(80));
+        assert_eq!(reply, Err(NetError::Timeout));
+        assert!(rt.shutdown(Duration::from_secs(2)).is_ok());
+    }
+
+    #[test]
+    fn async_send_batch_and_wait_any() {
+        let (mut rt, c, s) = fleet();
+        let token = Transport::send_batch(&mut rt, c, s, vec![Msg::Val(1), Msg::Val(2)]);
+        let deadline = Clock::now(&rt) + SimDuration::from_secs(5);
+        let done = Transport::wait_any(&mut rt, &[token], deadline);
+        assert_eq!(done, Some(token));
+        let reply = Transport::try_take_reply(&mut rt, token).expect("reply present");
+        assert_eq!(
+            reply.unwrap().unwrap_batch().unwrap(),
+            vec![Msg::Val(2), Msg::Val(3)]
+        );
+        assert!(rt.shutdown(Duration::from_secs(2)).is_ok());
+    }
+
+    #[test]
+    fn timers_fire_during_sleep() {
+        let (mut rt, _c, s) = fleet();
+        {
+            let dynrt: &mut dyn Runtime<Msg> = &mut rt;
+            dynrt.spawn_in(
+                SimDuration::from_millis(5),
+                Box::new(TaskFn(move |rt: &mut (dyn Runtime<Msg> + 'static)| {
+                    rt.with_service_mut(s, |svc: &mut Inc| svc.hits = 99);
+                })),
+            );
+            dynrt.sleep(SimDuration::from_millis(30));
+        }
+        assert_eq!(rt.with_service(s, |svc: &Inc| svc.hits), Some(99));
+        assert!(rt.shutdown(Duration::from_secs(2)).is_ok());
+    }
+
+    #[test]
+    fn cloned_views_share_the_fleet_but_not_tokens() {
+        let (rt, c, s) = fleet();
+        let mut handles = Vec::new();
+        for i in 0..4u64 {
+            let mut view = rt.clone();
+            handles.push(thread::spawn(move || {
+                Transport::rpc(&mut view, c, s, Msg::Val(i), SimDuration::from_secs(5))
+            }));
+        }
+        let mut got: Vec<u64> = handles
+            .into_iter()
+            .map(|h| match h.join().unwrap() {
+                Ok(Msg::Val(n)) => n,
+                other => panic!("unexpected reply {other:?}"),
+            })
+            .collect();
+        got.sort();
+        assert_eq!(got, vec![1, 2, 3, 4]);
+        let mut rt = rt;
+        assert_eq!(rt.with_service(s, |svc: &Inc| svc.hits), Some(4));
+        assert!(rt.shutdown(Duration::from_secs(2)).is_ok());
+    }
+
+    #[test]
+    fn shutdown_reports_rather_than_hangs() {
+        let (mut rt, _c, _s) = fleet();
+        assert_eq!(rt.shutdown(Duration::from_secs(2)), Ok(()));
+        // Idempotent: already-stopped fleets stay stopped.
+        assert_eq!(rt.shutdown(Duration::from_millis(50)), Ok(()));
+    }
+}

@@ -91,6 +91,14 @@ impl<M: Clone + fmt::Debug + BatchEnvelope + 'static> BatchBuffer<M> {
             })
             .collect()
     }
+
+    /// Takes every queued request, grouped per destination in `NodeId`
+    /// order, without sending anything. Runtime-agnostic callers drain
+    /// the buffer and launch one envelope per group through whichever
+    /// transport they run on (`weakset-runtime`'s `Transport::send_batch`).
+    pub fn drain(&mut self) -> Vec<(NodeId, Vec<M>)> {
+        std::mem::take(&mut self.pending).into_iter().collect()
+    }
 }
 
 /// Why a remote operation failed.

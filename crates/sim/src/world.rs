@@ -37,6 +37,19 @@ use std::collections::HashMap;
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct ReplyToken(u64);
 
+impl ReplyToken {
+    /// Builds a token from a raw id. Alternative runtime backends (see
+    /// `weakset-runtime`) mint their own tokens with this.
+    pub const fn from_raw(raw: u64) -> Self {
+        ReplyToken(raw)
+    }
+
+    /// The raw id behind this token.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
 /// A message handler installed on a node.
 ///
 /// Handlers are local: they mutate their own state and return a reply. They
@@ -336,6 +349,19 @@ impl<M: Clone + std::fmt::Debug + 'static> World<M> {
         self.services
             .get_mut(&node)
             .and_then(|s| (s.as_mut() as &mut dyn Any).downcast_mut::<T>())
+    }
+
+    /// Borrows the service on `node` untyped, for runtime-agnostic
+    /// inspection (the `weakset-runtime` trait boundary downcasts it).
+    pub fn service_dyn(&self, node: NodeId) -> Option<&dyn Any> {
+        self.services.get(&node).map(|s| s.as_ref() as &dyn Any)
+    }
+
+    /// Mutable untyped borrow of the service on `node`.
+    pub fn service_dyn_mut(&mut self, node: NodeId) -> Option<&mut dyn Any> {
+        self.services
+            .get_mut(&node)
+            .map(|s| s.as_mut() as &mut dyn Any)
     }
 
     /// Schedules a task at an absolute time.

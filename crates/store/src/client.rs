@@ -8,6 +8,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
+use weakset_runtime::prelude::*;
 use weakset_sim::net::{BatchBuffer, BatchEnvelope, NetError};
 use weakset_sim::node::NodeId;
 use weakset_sim::time::SimDuration;
@@ -15,6 +16,11 @@ use weakset_sim::world::{ReplyToken, World};
 
 /// The world type every store deployment runs in.
 pub type StoreWorld = World<StoreMsg>;
+
+/// The execution environment every store client runs against: either
+/// the simulator ([`StoreWorld`] coerces to it) or the threaded
+/// backend (`weakset_runtime::threaded::ThreadedRuntime<StoreMsg>`).
+pub type StoreRt = dyn Runtime<StoreMsg>;
 
 /// Why a store operation failed.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -185,12 +191,7 @@ impl StoreClient {
         self.timeout
     }
 
-    fn call(
-        &self,
-        world: &mut StoreWorld,
-        to: NodeId,
-        msg: StoreMsg,
-    ) -> Result<StoreMsg, StoreError> {
+    fn call(&self, world: &mut StoreRt, to: NodeId, msg: StoreMsg) -> Result<StoreMsg, StoreError> {
         let mut attempt = 0;
         loop {
             match world.rpc(self.node, to, msg.clone(), self.timeout) {
@@ -208,7 +209,7 @@ impl StoreClient {
     /// [`StoreError::Net`] on communication failure.
     pub fn put_object(
         &self,
-        world: &mut StoreWorld,
+        world: &mut StoreRt,
         home: NodeId,
         rec: ObjectRecord,
     ) -> Result<(), StoreError> {
@@ -226,7 +227,7 @@ impl StoreClient {
     /// [`StoreError::NotFound`] when the node does not hold the object.
     pub fn fetch_object(
         &self,
-        world: &mut StoreWorld,
+        world: &mut StoreRt,
         home: NodeId,
         id: ObjectId,
     ) -> Result<ObjectRecord, StoreError> {
@@ -238,7 +239,7 @@ impl StoreClient {
             .call(world, home, StoreMsg::GetObject(id))
             .inspect_err(|e| {
                 let msg = e.to_string();
-                world.trace_event("store.fetch.failed", || {
+                world.trace_event("store.fetch.failed", &|| {
                     format!("object={id} home={home}: {msg}")
                 });
             })?;
@@ -265,7 +266,7 @@ impl StoreClient {
     /// [`StoreError::Net`] on communication failure.
     pub fn delete_object(
         &self,
-        world: &mut StoreWorld,
+        world: &mut StoreRt,
         home: NodeId,
         id: ObjectId,
     ) -> Result<(), StoreError> {
@@ -282,7 +283,7 @@ impl StoreClient {
     /// [`StoreError::Net`] on communication failure.
     pub fn query_node(
         &self,
-        world: &mut StoreWorld,
+        world: &mut StoreRt,
         node: NodeId,
         query: &Query,
     ) -> Result<Vec<ObjectId>, StoreError> {
@@ -299,7 +300,7 @@ impl StoreClient {
     /// [`StoreError::Net`] if any replica cannot be created.
     pub fn create_collection(
         &self,
-        world: &mut StoreWorld,
+        world: &mut StoreRt,
         cref: &CollectionRef,
     ) -> Result<(), StoreError> {
         for node in cref.all_nodes() {
@@ -320,7 +321,7 @@ impl StoreClient {
     /// [`StoreError::Locked`] when a reader holds the lock.
     pub fn add_member(
         &self,
-        world: &mut StoreWorld,
+        world: &mut StoreRt,
         cref: &CollectionRef,
         entry: MemberEntry,
     ) -> Result<u64, StoreError> {
@@ -338,7 +339,7 @@ impl StoreClient {
     /// As for [`StoreClient::add_member`].
     pub fn remove_member(
         &self,
-        world: &mut StoreWorld,
+        world: &mut StoreRt,
         cref: &CollectionRef,
         elem: ObjectId,
     ) -> Result<u64, StoreError> {
@@ -351,7 +352,7 @@ impl StoreClient {
 
     fn mutate_primary_then_sync(
         &self,
-        world: &mut StoreWorld,
+        world: &mut StoreRt,
         cref: &CollectionRef,
         msg: StoreMsg,
     ) -> Result<u64, StoreError> {
@@ -401,7 +402,7 @@ impl StoreClient {
     /// majority.
     pub fn read_members(
         &self,
-        world: &mut StoreWorld,
+        world: &mut StoreRt,
         cref: &CollectionRef,
         policy: ReadPolicy,
     ) -> Result<MembershipRead, StoreError> {
@@ -412,11 +413,11 @@ impl StoreClient {
             ReadPolicy::Quorum => "store.read.quorum",
             ReadPolicy::Leaderless => "store.read.leaderless",
         };
-        let span = world.span_enter(span_kind, || cref.id.to_string());
+        let span = world.span_enter(span_kind, &|| cref.id.to_string());
         let result = self.read_members_inner(world, cref, policy);
         if let Err(e) = &result {
             let msg = e.to_string();
-            world.trace_event("store.read.failed", || {
+            world.trace_event("store.read.failed", &|| {
                 format!("{} {}: {}", policy.label(), cref.id, msg)
             });
         }
@@ -434,7 +435,7 @@ impl StoreClient {
 
     fn read_members_inner(
         &self,
-        world: &mut StoreWorld,
+        world: &mut StoreRt,
         cref: &CollectionRef,
         policy: ReadPolicy,
     ) -> Result<MembershipRead, StoreError> {
@@ -518,13 +519,13 @@ impl StoreClient {
     /// as a per-shard failure and the caller decides.
     pub fn read_members_batched(
         &self,
-        world: &mut StoreWorld,
+        world: &mut StoreRt,
         shards: &[CollectionRef],
         policy: ReadPolicy,
     ) -> Vec<Result<MembershipRead, StoreError>> {
         let started = world.now();
         let n_shards = shards.len();
-        let span = world.span_enter("store.read.batched", || {
+        let span = world.span_enter("store.read.batched", &|| {
             format!("{} shards, {}", n_shards, policy.label())
         });
         // Which nodes each shard contacts under this policy.
@@ -549,7 +550,15 @@ impl StoreClient {
         world
             .metrics_mut()
             .add("store.read.batched.contacts", buf.pending_parts() as u64);
-        let launched = buf.flush(world);
+        let launched: Vec<(NodeId, ReplyToken, usize)> = buf
+            .drain()
+            .into_iter()
+            .map(|(to, parts)| {
+                let n = parts.len();
+                let token = world.send_batch(self.node, to, parts);
+                (to, token, n)
+            })
+            .collect();
         let deadline = world.now() + self.timeout;
         let mut outstanding: Vec<ReplyToken> = launched.iter().map(|&(_, t, _)| t).collect();
         while !outstanding.is_empty() {
@@ -598,7 +607,7 @@ impl StoreClient {
         for (shard, r) in shards.iter().zip(&results) {
             if let Err(e) = r {
                 let msg = e.to_string();
-                world.trace_event("store.read.failed", || {
+                world.trace_event("store.read.failed", &|| {
                     format!("batched {} {}: {}", policy.label(), shard.id, msg)
                 });
             }
@@ -623,7 +632,7 @@ impl StoreClient {
     /// Folds one shard's per-replica reads into a single result under
     /// `policy`, mirroring the aggregation in `read_members_inner`.
     fn aggregate_reads(
-        world: &StoreWorld,
+        world: &StoreRt,
         client: NodeId,
         policy: ReadPolicy,
         mut per_node: Vec<(NodeId, Result<MembershipRead, StoreError>)>,
@@ -691,7 +700,7 @@ impl StoreClient {
 
     fn list_one(
         &self,
-        world: &mut StoreWorld,
+        world: &mut StoreRt,
         node: NodeId,
         coll: CollectionId,
     ) -> Result<MembershipRead, StoreError> {
@@ -710,7 +719,7 @@ impl StoreClient {
     /// [`StoreError::Net`] on communication failure.
     pub fn acquire_read_lock(
         &self,
-        world: &mut StoreWorld,
+        world: &mut StoreRt,
         cref: &CollectionRef,
     ) -> Result<(), StoreError> {
         match self.call(
@@ -735,7 +744,7 @@ impl StoreClient {
     /// [`StoreError::Net`] on communication failure.
     pub fn acquire_grow_guard(
         &self,
-        world: &mut StoreWorld,
+        world: &mut StoreRt,
         cref: &CollectionRef,
     ) -> Result<(), StoreError> {
         match self.call(
@@ -760,7 +769,7 @@ impl StoreClient {
     /// [`StoreError::Net`] on communication failure.
     pub fn release_grow_guard(
         &self,
-        world: &mut StoreWorld,
+        world: &mut StoreRt,
         cref: &CollectionRef,
     ) -> Result<(), StoreError> {
         match self.call(
@@ -783,7 +792,7 @@ impl StoreClient {
     /// [`StoreError::Net`] on communication failure.
     pub fn release_read_lock(
         &self,
-        world: &mut StoreWorld,
+        world: &mut StoreRt,
         cref: &CollectionRef,
     ) -> Result<(), StoreError> {
         match self.call(

@@ -64,7 +64,7 @@ pub mod server;
 pub mod prelude {
     pub use crate::cache::ObjectCache;
     pub use crate::client::{
-        CollectionRef, MembershipRead, ReadPolicy, StoreClient, StoreError, StoreWorld,
+        CollectionRef, MembershipRead, ReadPolicy, StoreClient, StoreError, StoreRt, StoreWorld,
     };
     pub use crate::collection::{CollectionState, MemberEntry, MembershipVersion};
     pub use crate::dotted::{Dot, DottedEntry, MembershipDelta, VersionVector};

@@ -108,13 +108,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut it =
         OptimisticElements::new(client.clone(), readings.clone(), IterConfig::leaderless());
     it.observe(
-        RunObserver::new(readings.id, readings.home, client.node()).with_history_source(
-            HistorySource::new(|world, home, coll| {
-                world
-                    .service::<GossipNode>(home)
-                    .and_then(|g| g.inner().collection(coll))
-            }),
-        ),
+        RunObserver::new(readings.id, readings.home, client.node())
+            .with_history_source(HistorySource::new(GossipNode::visit_collection_history)),
     );
     loop {
         match it.next(&mut world) {

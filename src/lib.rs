@@ -10,7 +10,7 @@ pub use weakset;
 pub use weakset_fs;
 pub use weakset_gossip;
 pub use weakset_obs;
-pub use weakset_rt;
+pub use weakset_runtime;
 pub use weakset_sim;
 pub use weakset_spec;
 pub use weakset_store;
@@ -21,6 +21,7 @@ pub mod prelude {
     pub use weakset_fs::prelude::*;
     pub use weakset_gossip::prelude::*;
     pub use weakset_obs::prelude::*;
+    pub use weakset_runtime::prelude::*;
     pub use weakset_sim::prelude::*;
     pub use weakset_spec::prelude::*;
     pub use weakset_store::prelude::*;

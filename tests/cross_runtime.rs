@@ -1,155 +1,347 @@
-//! Cross-runtime validation: the deterministic simulator and the real
-//! OS-thread runtime must agree about the semantics — every recorded
-//! run, in either substrate, satisfies the same figures.
+//! Cross-backend parity: the deterministic simulator and the OS-thread
+//! runtime must agree about weak-set semantics — the *same* client,
+//! iterator, and conformance-checking code runs against both through
+//! `&mut StoreRt`, and every recorded run satisfies the same figures.
+//!
+//! Each scenario scripts an identical sequence of mutations and one
+//! observed iteration, then compares what the two backends produced:
+//! the yielded elements, the final membership under the read policy,
+//! and the per-figure conformance verdicts. The grid covers all four
+//! figure semantics crossed with the three read policies.
 
+use std::time::Duration;
 use weak_sets::prelude::*;
-use weakset_rt::prelude::*;
 
-/// Runs comparable scenarios in both runtimes and checks the same spec.
-#[test]
-fn snapshot_semantics_agree_across_runtimes() {
-    // Simulator side.
-    let mut topo = Topology::new();
-    let cn = topo.add_node("client", 0);
-    let s = topo.add_node("server", 1);
-    let mut world = StoreWorld::new(
-        WorldConfig::seeded(1),
-        topo,
-        LatencyModel::Constant(SimDuration::from_millis(2)),
-    );
-    world.install_service(s, Box::new(StoreServer::new()));
-    let client = StoreClient::new(cn, SimDuration::from_millis(100));
-    let cref = CollectionRef::unreplicated(CollectionId(1), s);
-    client.create_collection(&mut world, &cref).unwrap();
-    let set = WeakSet::new(client, cref);
-    for i in 1..=6u64 {
+const COLL: CollectionId = CollectionId(7);
+const SEED: u64 = 42;
+
+/// What one scripted scenario produced, in backend-independent form.
+#[derive(Debug, PartialEq)]
+struct ScenarioOutcome {
+    yielded: Vec<u64>,
+    membership: Vec<u64>,
+    verdicts: Vec<(Figure, bool)>,
+}
+
+/// The scripted scenario, generic over the backend: create a collection
+/// replicated across three servers, add five elements, remove one, run
+/// one observed iteration, then read the final membership.
+fn drive(
+    rt: &mut StoreRt,
+    servers: &[NodeId],
+    client_node: NodeId,
+    semantics: Semantics,
+    policy: ReadPolicy,
+) -> ScenarioOutcome {
+    let client = StoreClient::new(client_node, SimDuration::from_millis(500));
+    let cref = CollectionRef {
+        id: COLL,
+        home: servers[0],
+        replicas: servers[1..].to_vec(),
+    };
+    client.create_collection(rt, &cref).unwrap();
+
+    let set = WeakSet::new(client.clone(), cref.clone()).with_config(IterConfig {
+        read_policy: policy,
+        ..IterConfig::default()
+    });
+    for i in 1..=5u64 {
+        let home = servers[(i as usize - 1) % servers.len()];
         set.add(
-            &mut world,
+            rt,
             ObjectRecord::new(ObjectId(i), format!("o{i}"), &b"x"[..]),
-            s,
+            home,
         )
         .unwrap();
     }
-    let mut it = set.elements_observed(Semantics::Snapshot);
+    set.remove(rt, ObjectId(2)).unwrap();
+
+    let mut it = set.elements_observed(semantics);
+    let mut yielded = Vec::new();
+    let mut blocked = 0usize;
     loop {
-        match it.next(&mut world) {
-            IterStep::Yielded(_) => {}
+        match it.next(rt) {
+            IterStep::Yielded(rec) => {
+                blocked = 0;
+                yielded.push(rec.id.0);
+            }
             IterStep::Done => break,
-            other => panic!("{other:?}"),
+            IterStep::Blocked => {
+                blocked += 1;
+                assert!(blocked < 100, "iterator stuck with all nodes up");
+                rt.sleep(SimDuration::from_millis(5));
+            }
+            IterStep::Failed(e) => panic!("iteration failed with all nodes up: {e:?}"),
         }
     }
-    let sim_comp = it.take_computation(&world).unwrap();
+    yielded.sort_unstable();
 
-    // Thread side.
-    let srv = SetServer::spawn(ServerConfig {
-        seed: 1,
-        max_delay_us: 10,
-    });
-    let c = srv.client();
-    for i in 1..=6u64 {
-        c.add(i).unwrap();
-    }
-    let mut tit = ThreadedElements::new(srv.client(), RtSemantics::Snapshot);
-    tit.observe(ThreadObserver::new(srv.log(), srv.unreachable_table()));
-    loop {
-        match tit.next().unwrap() {
-            RtStep::Yielded(_) => {}
-            RtStep::Done => break,
-            other => panic!("{other:?}"),
-        }
-    }
-    let rt_comp = tit.take_computation().unwrap();
-    srv.shutdown();
+    let comp = it.take_computation(rt).expect("observer was attached");
+    let verdicts = Figure::ALL
+        .iter()
+        .map(|&f| (f, check_computation(f, &comp).is_ok()))
+        .collect();
 
-    for comp in [&sim_comp, &rt_comp] {
-        check_computation(Figure::Fig1, comp).assert_ok();
-        check_computation(Figure::Fig3, comp).assert_ok();
-        check_computation(Figure::Fig4, comp).assert_ok();
-        assert_eq!(comp.runs[0].yielded_set().len(), 6);
+    let mut membership: Vec<u64> = client
+        .read_members(rt, &cref, policy)
+        .unwrap()
+        .entries
+        .iter()
+        .map(|m| m.elem.0)
+        .collect();
+    membership.sort_unstable();
+
+    ScenarioOutcome {
+        yielded,
+        membership,
+        verdicts,
     }
 }
 
+/// Runs the scenario on the simulator.
+fn run_sim(semantics: Semantics, policy: ReadPolicy) -> ScenarioOutcome {
+    let mut t = Topology::new();
+    let cn = t.add_node("client", 0);
+    let servers: Vec<NodeId> = t.add_servers("s", 3);
+    let mut w = StoreWorld::new(
+        WorldConfig::seeded(SEED),
+        t,
+        LatencyModel::Constant(SimDuration::from_millis(1)),
+    );
+    for &s in &servers {
+        w.install_service(s, Box::new(StoreServer::new()));
+    }
+    drive(&mut w, &servers, cn, semantics, policy)
+}
+
+/// Runs the scenario on real OS threads, then shuts the fleet down
+/// under a deadline so a hung node fails the test instead of hanging it.
+fn run_threaded(semantics: Semantics, policy: ReadPolicy) -> ScenarioOutcome {
+    let mut rt = ThreadedRuntime::<StoreMsg>::new(SEED);
+    let cn = rt.add_node("client");
+    let servers: Vec<NodeId> = (0..3).map(|i| rt.add_node(format!("s{i}"))).collect();
+    for &s in &servers {
+        rt.install_service(s, Box::new(StoreServer::new()));
+    }
+    let out = drive(&mut rt, &servers, cn, semantics, policy);
+    rt.shutdown(Duration::from_secs(10))
+        .expect("no node thread should hang at shutdown");
+    out
+}
+
+/// The full grid: four figure semantics × three read policies, each
+/// scripted identically on both backends, must agree element-for-element
+/// and verdict-for-verdict.
 #[test]
-fn optimistic_blocking_agrees_across_runtimes() {
-    // Simulator: one unreachable element blocks the run.
-    let mut topo = Topology::new();
-    let cn = topo.add_node("client", 0);
-    let s0 = topo.add_node("s0", 1);
-    let s1 = topo.add_node("s1", 2);
-    let mut world = StoreWorld::new(
+fn backends_agree_across_semantics_and_policies() {
+    for semantics in [
+        Semantics::Snapshot,
+        Semantics::GrowOnly,
+        Semantics::Optimistic,
+        Semantics::Locked,
+    ] {
+        for policy in [
+            ReadPolicy::Primary,
+            ReadPolicy::Quorum,
+            ReadPolicy::Leaderless,
+        ] {
+            let sim = run_sim(semantics, policy);
+            let threaded = run_threaded(semantics, policy);
+            assert_eq!(
+                sim, threaded,
+                "backends disagree for {semantics:?} under {policy:?}"
+            );
+            assert_eq!(
+                sim.membership,
+                vec![1, 3, 4, 5],
+                "scripted membership for {semantics:?}/{policy:?}"
+            );
+            assert_eq!(sim.yielded, vec![1, 3, 4, 5]);
+        }
+    }
+}
+
+/// The old cross-runtime blocking story, now through one code path: an
+/// unreachable member blocks an optimistic run on either backend, and
+/// healing the route lets both finish with a Figure 6-conformant record.
+#[test]
+fn optimistic_blocking_agrees_across_backends() {
+    fn setup_set(rt: &mut StoreRt, cn: NodeId, s0: NodeId, s1: NodeId) -> WeakSet {
+        let client = StoreClient::new(cn, SimDuration::from_millis(100));
+        let cref = CollectionRef::unreplicated(CollectionId(1), s0);
+        client.create_collection(rt, &cref).unwrap();
+        let set = WeakSet::new(client, cref).with_config(IterConfig {
+            block_attempts: 2,
+            retry_interval: SimDuration::from_millis(2),
+            ..IterConfig::default()
+        });
+        set.add(rt, ObjectRecord::new(ObjectId(1), "a", &b""[..]), s0)
+            .unwrap();
+        set.add(rt, ObjectRecord::new(ObjectId(2), "b", &b""[..]), s1)
+            .unwrap();
+        set
+    }
+
+    // Simulator: partition the second home away, then heal.
+    let mut t = Topology::new();
+    let cn = t.add_node("client", 0);
+    let s0 = t.add_node("s0", 1);
+    let s1 = t.add_node("s1", 2);
+    let mut w = StoreWorld::new(
         WorldConfig::seeded(2),
-        topo,
+        t,
         LatencyModel::Constant(SimDuration::from_millis(2)),
     );
-    world.install_service(s0, Box::new(StoreServer::new()));
-    world.install_service(s1, Box::new(StoreServer::new()));
-    let client = StoreClient::new(cn, SimDuration::from_millis(100));
-    let cref = CollectionRef::unreplicated(CollectionId(1), s0);
-    client.create_collection(&mut world, &cref).unwrap();
-    let set = WeakSet::new(client, cref);
-    set.add(
-        &mut world,
-        ObjectRecord::new(ObjectId(1), "a", &b""[..]),
-        s0,
-    )
-    .unwrap();
-    set.add(
-        &mut world,
-        ObjectRecord::new(ObjectId(2), "b", &b""[..]),
-        s1,
-    )
-    .unwrap();
-    world.topology_mut().partition(&[s1]);
+    w.install_service(s0, Box::new(StoreServer::new()));
+    w.install_service(s1, Box::new(StoreServer::new()));
+    let set = setup_set(&mut w, cn, s0, s1);
+    w.topology_mut().partition(&[s1]);
     let mut it = set.elements_observed(Semantics::Optimistic);
-    assert!(matches!(it.next(&mut world), IterStep::Yielded(_)));
-    assert_eq!(it.next(&mut world), IterStep::Blocked);
-    world.topology_mut().heal_partition();
-    assert!(matches!(it.next(&mut world), IterStep::Yielded(_)));
-    assert_eq!(it.next(&mut world), IterStep::Done);
-    let sim_comp = it.take_computation(&world).unwrap();
+    assert!(matches!(it.next(&mut w), IterStep::Yielded(_)));
+    assert_eq!(it.next(&mut w), IterStep::Blocked);
+    w.topology_mut().heal_partition();
+    assert!(matches!(it.next(&mut w), IterStep::Yielded(_)));
+    assert_eq!(it.next(&mut w), IterStep::Done);
+    let sim_comp = it.take_computation(&w).unwrap();
 
-    // Threads: same story via the reachability fault table.
-    let srv = SetServer::spawn(ServerConfig::default());
-    let c = srv.client();
-    c.add(1).unwrap();
-    c.add(2).unwrap();
-    c.set_reachable(2, false).unwrap();
-    let mut tit = ThreadedElements::new(srv.client(), RtSemantics::Optimistic);
-    tit.observe(ThreadObserver::new(srv.log(), srv.unreachable_table()));
-    tit.block_attempts = 2;
-    tit.retry_interval = std::time::Duration::from_micros(20);
-    assert_eq!(tit.next().unwrap(), RtStep::Yielded(1));
-    assert_eq!(tit.next().unwrap(), RtStep::Blocked);
-    c.set_reachable(2, true).unwrap();
-    assert_eq!(tit.next().unwrap(), RtStep::Yielded(2));
-    assert_eq!(tit.next().unwrap(), RtStep::Done);
-    let rt_comp = tit.take_computation().unwrap();
-    srv.shutdown();
+    // Threads: same story via the fleet's reachability fault table.
+    let mut rt = ThreadedRuntime::<StoreMsg>::new(2);
+    let tcn = rt.add_node("client");
+    let ts0 = rt.add_node("s0");
+    let ts1 = rt.add_node("s1");
+    rt.install_service(ts0, Box::new(StoreServer::new()));
+    rt.install_service(ts1, Box::new(StoreServer::new()));
+    let set = setup_set(&mut rt, tcn, ts0, ts1);
+    rt.set_reachable(tcn, ts1, false);
+    let mut it = set.elements_observed(Semantics::Optimistic);
+    assert!(matches!(it.next(&mut rt), IterStep::Yielded(_)));
+    assert_eq!(it.next(&mut rt), IterStep::Blocked);
+    rt.set_reachable(tcn, ts1, true);
+    assert!(matches!(it.next(&mut rt), IterStep::Yielded(_)));
+    assert_eq!(it.next(&mut rt), IterStep::Done);
+    let rt_comp = it.take_computation(&rt).unwrap();
+    rt.shutdown(Duration::from_secs(10))
+        .expect("no node thread should hang at shutdown");
 
     for comp in [&sim_comp, &rt_comp] {
         check_computation(Figure::Fig6, comp).assert_ok();
-        // Both runs block exactly once.
-        let blocks = comp.runs[0]
-            .invocations
-            .iter()
-            .filter(|i| i.outcome == Outcome::Blocked)
-            .count();
-        assert_eq!(blocks, 1);
+        assert_eq!(comp.runs[0].yielded_set().len(), 2);
     }
 }
 
+/// Anti-entropy rounds — the gossip engine's self-rescheduling task —
+/// run on the threaded backend's timer queue and converge real replica
+/// threads, exactly as they do on the simulator's event loop.
 #[test]
-fn adversarial_thread_interleavings_conform_like_scripted_sim_runs() {
-    // The sim gives one deterministic interleaving; the thread runtime
-    // explores whatever the OS produces. Both must satisfy Figure 6.
-    for seed in 0..3 {
-        let result = run_scenario(&Scenario {
-            semantics: RtSemantics::Optimistic,
-            profile: MutatorProfile::Churn,
-            inject_faults: true,
-            seed,
-            ..Default::default()
-        });
-        check_computation(Figure::Fig6, &result.computation).assert_ok();
+fn gossip_anti_entropy_converges_on_threads() {
+    let mut rt = ThreadedRuntime::<StoreMsg>::new(7);
+    let cn = rt.add_node("client");
+    let servers: Vec<NodeId> = (0..3).map(|i| rt.add_node(format!("g{i}"))).collect();
+    for &s in &servers {
+        rt.install_service(s, Box::new(GossipNode::new(s)));
     }
+    let client = StoreClient::new(cn, SimDuration::from_millis(500));
+    let cref = CollectionRef {
+        id: COLL,
+        home: servers[0],
+        replicas: servers[1..].to_vec(),
+    };
+    client.create_collection(&mut rt, &cref).unwrap();
+    for i in 1..=5u64 {
+        client
+            .add_member(
+                &mut rt,
+                &cref,
+                MemberEntry {
+                    elem: ObjectId(i),
+                    home: cref.home,
+                },
+            )
+            .unwrap();
+    }
+
+    let handle = engine::install(
+        &mut rt,
+        COLL,
+        cref.all_nodes(),
+        GossipConfig {
+            interval: SimDuration::from_millis(5),
+            ..GossipConfig::default()
+        },
+    );
+    let mut converged = false;
+    for _ in 0..200 {
+        rt.sleep(SimDuration::from_millis(10));
+        if engine::converged(&rt, COLL, &cref.all_nodes()) {
+            converged = true;
+            break;
+        }
+    }
+    handle.stop();
+    assert!(converged, "replicas never converged under threaded gossip");
+    for &r in &cref.all_nodes() {
+        let mut ids: Vec<u64> = engine::elements_at(&rt, r, COLL)
+            .unwrap()
+            .iter()
+            .map(|m| m.elem.0)
+            .collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![1, 2, 3, 4, 5], "replica {r:?} membership");
+    }
+    assert!(rt.metrics().counter("gossip.rounds") > 0);
+    rt.shutdown(Duration::from_secs(10))
+        .expect("no node thread should hang at shutdown");
+}
+
+/// The sharded set's batched quorum fan-out — send_batch plus wait_any
+/// over reply tokens — works against real mailboxes and threads.
+#[test]
+fn sharded_quorum_fanout_runs_on_threads() {
+    let mut rt = ThreadedRuntime::<StoreMsg>::new(9);
+    let cn = rt.add_node("client");
+    let servers: Vec<NodeId> = (0..3).map(|i| rt.add_node(format!("s{i}"))).collect();
+    for &s in &servers {
+        rt.install_service(s, Box::new(StoreServer::new()));
+    }
+    let client = StoreClient::new(cn, SimDuration::from_millis(500));
+    let groups: Vec<ShardGroup> = servers
+        .iter()
+        .map(|&h| ShardGroup {
+            home: h,
+            replicas: servers.iter().copied().filter(|&r| r != h).collect(),
+        })
+        .collect();
+    let set = ShardedWeakSet::create(
+        &mut rt,
+        CollectionId(100),
+        client,
+        &groups,
+        IterConfig {
+            read_policy: ReadPolicy::Quorum,
+            ..IterConfig::default()
+        },
+    )
+    .unwrap();
+    for i in 1..=9u64 {
+        set.add(
+            &mut rt,
+            ObjectRecord::new(ObjectId(i), format!("o{i}"), &b"x"[..]),
+            servers[(i % 3) as usize],
+        )
+        .unwrap();
+    }
+
+    let mut it = set.elements_observed(Semantics::Snapshot);
+    let mut yielded = Vec::new();
+    loop {
+        match it.next(&mut rt) {
+            IterStep::Yielded(rec) => yielded.push(rec.id.0),
+            IterStep::Done => break,
+            other => panic!("sharded iteration hit {other:?} with all nodes up"),
+        }
+    }
+    yielded.sort_unstable();
+    assert_eq!(yielded, (1..=9).collect::<Vec<u64>>());
+    rt.shutdown(Duration::from_secs(10))
+        .expect("no node thread should hang at shutdown");
 }

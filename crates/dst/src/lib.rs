@@ -18,6 +18,12 @@
 //! happens-before DAG from the failed invocation back to the fault that
 //! caused it.
 //!
+//! The bridge to reality is [`replay`]: record a scenario running on
+//! the *threaded* runtime (capturing every observable source of
+//! nondeterminism at the `Runtime` boundary), then re-drive the exact
+//! interleaving through the simulator, where the same oracles, shrinker
+//! (over the *recording*), and causal explainer apply.
+//!
 //! The `weakset-dst` binary is the CI gate:
 //!
 //! ```text
@@ -30,6 +36,7 @@
 pub mod explain;
 pub mod gen;
 pub mod oracle;
+pub mod replay;
 pub mod repro;
 pub mod run;
 pub mod scenario;
@@ -40,6 +47,10 @@ pub mod prelude {
     pub use crate::explain::explain;
     pub use crate::gen::{generate, generate_sharded, mix};
     pub use crate::oracle::{check, spec_for};
+    pub use crate::replay::{
+        load_recording, rec_path, record_scenario, replay_recording, shrink_recording,
+        write_recording, RecordedRun, ReplayReport,
+    };
     pub use crate::repro::{artifact_path, load, replay, write_artifact};
     pub use crate::run::{execute, RunReport, COLL};
     pub use crate::scenario::{Chaos, Deployment, FaultSpec, Op, Scenario};

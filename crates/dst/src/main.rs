@@ -14,8 +14,24 @@
 //! `--seed-from-env` reads the base seed from `$DST_SEED` (decimal, or
 //! any string — non-numeric values are hashed), so CI can vary coverage
 //! per run while every failure stays replayable from the printed seed.
+//!
+//! Two further modes bridge to the real runtime:
+//!
+//! ```text
+//! weakset-dst --record SEED [--out DIR]   # threaded run → dst/rec-SEED.ron
+//! weakset-dst --replay PATH [--out DIR]   # recording → sim + oracles
+//! ```
+//!
+//! `--record` generates seed `SEED`'s scenario (forced to the plain
+//! deployment), runs it on the *threaded* runtime with a recorder
+//! attached, writes the recording, then immediately replays it twice to
+//! certify determinism and agreement with the live run. `--replay`
+//! loads a previously captured recording (e.g. from a production
+//! incident) and re-drives it through the simulator: oracle violations
+//! shrink (over the recording) and ship with a causal post-mortem, and
+//! any log/sim divergence fails the run loudly.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use weakset_dst::prelude::*;
 
 fn hash_str(s: &str) -> u64 {
@@ -32,6 +48,8 @@ struct Args {
     seed: u64,
     out: PathBuf,
     sharded: bool,
+    record: Option<u64>,
+    replay: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -39,6 +57,8 @@ fn parse_args() -> Result<Args, String> {
     let mut seed = 1u64;
     let mut out = PathBuf::from("dst");
     let mut sharded = false;
+    let mut record = None;
+    let mut replay = None;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         let mut value = |name: &str| argv.next().ok_or(format!("{name} needs a value"));
@@ -59,21 +79,179 @@ fn parse_args() -> Result<Args, String> {
             }
             "--out" => out = PathBuf::from(value("--out")?),
             "--sharded" => sharded = true,
+            "--record" => {
+                record = Some(
+                    value("--record")?
+                        .parse()
+                        .map_err(|e| format!("--record: {e}"))?,
+                );
+            }
+            "--replay" => replay = Some(PathBuf::from(value("--replay")?)),
             "--help" | "-h" => {
                 return Err(
-                    "usage: weakset-dst [--iters N] [--seed S | --seed-from-env] [--out DIR] [--sharded]"
+                    "usage: weakset-dst [--iters N] [--seed S | --seed-from-env] [--out DIR] [--sharded]\n       weakset-dst --record SEED [--out DIR]\n       weakset-dst --replay PATH [--out DIR]"
                         .into(),
                 );
             }
             other => return Err(format!("unknown argument '{other}'")),
         }
     }
+    if record.is_some() && replay.is_some() {
+        return Err("--record and --replay are mutually exclusive".into());
+    }
     Ok(Args {
         iters,
         seed,
         out,
         sharded,
+        record,
+        replay,
     })
+}
+
+/// Replays `rec` twice, prints both verdicts, and ships the failure
+/// pipeline (shrink-the-recording, explain, perfetto trace) when the
+/// oracles object. Returns the process exit code: divergence or
+/// nondeterminism is an infrastructure failure (1); a reproduced oracle
+/// violation is a *successful* repro (0) unless `violations_fail`.
+fn run_replay(rec: &weakset_runtime::record::Recording, out: &Path, violations_fail: bool) -> i32 {
+    let a = match replay_recording(rec) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("replay failed: {e}");
+            return 1;
+        }
+    };
+    let b = match replay_recording(rec) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("second replay failed: {e}");
+            return 1;
+        }
+    };
+
+    let mut code = 0;
+    if a.report.trace_hash != b.report.trace_hash {
+        eprintln!(
+            "NONDETERMINISTIC REPLAY: trace hashes {:016x} vs {:016x}",
+            a.report.trace_hash, b.report.trace_hash
+        );
+        code = 1;
+    }
+    if !a.divergences.is_empty() {
+        eprintln!("replay diverged from the recording:");
+        for d in &a.divergences {
+            eprintln!("  - {d}");
+        }
+        code = 1;
+    }
+    println!(
+        "replay: seed {} trace {:016x}, {} step(s), yielded {:?}, membership {:?}",
+        rec.seed, a.report.trace_hash, a.report.steps, a.report.yielded, a.membership
+    );
+
+    if !a.report.violations.is_empty() {
+        eprintln!(
+            "replay reproduced {} violation(s): {}",
+            a.report.violations.len(),
+            a.report.violations.join("; ")
+        );
+        let (small, execs) = shrink_recording(rec);
+        eprintln!(
+            "  recording shrunk in {execs} replay(s): {} -> {} log entries",
+            rec.entries.len(),
+            small.entries.len()
+        );
+        let min_path = out.join(format!("rec-{}-min.ron", rec.seed));
+        if std::fs::create_dir_all(out)
+            .and_then(|()| std::fs::write(&min_path, small.to_ron()))
+            .is_ok()
+        {
+            eprintln!("  shrunk recording: {}", min_path.display());
+        }
+        if let Ok(min) = replay_recording(&small) {
+            if let Some(text) = explain(&min.report) {
+                eprintln!("{text}");
+                let explain_path = out.join(format!("explain-rec-{}.txt", rec.seed));
+                if std::fs::write(&explain_path, &text).is_ok() {
+                    eprintln!("  explanation: {}", explain_path.display());
+                }
+                let trace_path = out.join(format!("trace-rec-{}.json", rec.seed));
+                let trace = weakset_sim::metrics::chrome_trace(&min.report.events);
+                if std::fs::write(&trace_path, trace).is_ok() {
+                    eprintln!("  perfetto trace: {}", trace_path.display());
+                }
+            }
+        }
+        if violations_fail {
+            code = 1;
+        }
+    }
+    code
+}
+
+/// `--record SEED`: one threaded run, recorded, written, then replayed
+/// twice and compared against the live outcome.
+fn run_record(seed: u64, out: &Path) -> i32 {
+    let mut scenario = generate(seed);
+    scenario.deployment = Deployment::Plain; // replay v1 drives Plain only
+    let live = match record_scenario(&scenario) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("record failed: {e}");
+            return 1;
+        }
+    };
+    let path = match write_recording(out, &live.recording) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("could not write recording: {e}");
+            return 1;
+        }
+    };
+    println!(
+        "recorded: seed {seed}, {} entries{} -> {}",
+        live.recording.entries.len(),
+        if live.recording.truncated {
+            " (truncated)"
+        } else {
+            ""
+        },
+        path.display()
+    );
+    println!(
+        "live: {} step(s), yielded {:?}, membership {:?}, {} violation(s)",
+        live.report.steps,
+        live.report.yielded,
+        live.membership,
+        live.report.violations.len()
+    );
+
+    // Live violations (oracle objections to the real run) are exactly
+    // what recording is for — reproduce them under the sim. Only
+    // divergence/nondeterminism fails the record gate.
+    let mut code = run_replay(&live.recording, out, false);
+    if !live.recording.truncated {
+        let a = replay_recording(&live.recording);
+        if let Ok(a) = a {
+            if a.report.yielded != live.report.yielded
+                || a.membership != live.membership
+                || a.report.violations != live.report.violations
+            {
+                eprintln!(
+                    "REPLAY DISAGREES with the live run:\n  live   yielded {:?} membership {:?} violations {:?}\n  replay yielded {:?} membership {:?} violations {:?}",
+                    live.report.yielded,
+                    live.membership,
+                    live.report.violations,
+                    a.report.yielded,
+                    a.membership,
+                    a.report.violations
+                );
+                code = 1;
+            }
+        }
+    }
+    code
 }
 
 fn main() {
@@ -84,6 +262,20 @@ fn main() {
             std::process::exit(2);
         }
     };
+
+    if let Some(seed) = args.record {
+        std::process::exit(run_record(seed, &args.out));
+    }
+    if let Some(path) = &args.replay {
+        let rec = match load_recording(path) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("could not load recording: {e}");
+                std::process::exit(2);
+            }
+        };
+        std::process::exit(run_replay(&rec, &args.out, false));
+    }
 
     let mut combined: u64 = 0;
     let mut failures = 0u64;

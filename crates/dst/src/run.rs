@@ -549,7 +549,10 @@ pub fn execute(s: &Scenario) -> RunReport {
 /// [`Chaos::PhantomYield`]: forge a yield of an element that was never a
 /// member into the last recorded run. Every figure rejects it, so the
 /// violation pipeline (shrink, artifact, replay) always has work.
-fn inject_phantom_yield(computation: Option<&mut Computation>, violations: &mut Vec<String>) {
+pub(crate) fn inject_phantom_yield(
+    computation: Option<&mut Computation>,
+    violations: &mut Vec<String>,
+) {
     let forged = computation.and_then(|comp| {
         let idx = comp.states.len().checked_sub(1)?;
         let run = comp.runs.last_mut()?;

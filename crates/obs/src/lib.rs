@@ -54,6 +54,7 @@ pub mod export;
 pub mod json;
 pub mod latency;
 pub mod registry;
+pub mod replay;
 pub mod shard;
 pub mod sink;
 pub mod snapshot;

@@ -37,10 +37,12 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod record;
 pub mod sim_impl;
 pub mod threaded;
 pub mod traits;
 
+pub use record::{RecEntry, RecEvent, RecOutcome, Recorder, Recording};
 pub use traits::{
     Clock, Observe, RtMessage, RtTask, Runtime, RuntimeExt, ServiceHost, Spawner, TaskFn, Transport,
 };
@@ -48,6 +50,10 @@ pub use traits::{
 /// One-stop imports: every boundary trait, so `world.now()` etc. resolve
 /// on `&mut dyn Runtime<M>` receivers.
 pub mod prelude {
+    // `Recorder` stays out of the prelude: the spec crate's computation
+    // recorder owns that name in glob-import contexts. Reach the
+    // boundary recorder as `weakset_runtime::Recorder`.
+    pub use crate::record::{RecEvent, RecOutcome, Recording};
     pub use crate::threaded::ThreadedRuntime;
     pub use crate::traits::{
         Clock, Observe, RtMessage, RtTask, Runtime, RuntimeExt, ServiceHost, Spawner, TaskFn,

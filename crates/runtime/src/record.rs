@@ -1,0 +1,1127 @@
+//! Recording the observable nondeterminism of a real-runtime run.
+//!
+//! The threaded backend is deliberately *not* reproducible: scheduling
+//! is real OS concurrency. What a client observes of that
+//! nondeterminism, though, crosses a narrow boundary — the [`crate::traits`]
+//! methods. A [`Recorder`] hooked into
+//! [`crate::threaded::ThreadedRuntime`] captures every boundary crossing
+//! as a [`RecEntry`]: message departure order and payload hashes, rpc
+//! outcomes with their observed stall times (the clock reads that
+//! matter), async completion order (`wait_any` winners), timer-fire
+//! order, spawn and reachability transitions. The resulting
+//! [`Recording`] is a compact, schema-versioned log that `weakset-dst`
+//! can replay through the deterministic simulator, pinning delivery to
+//! the recorded interleaving and substituting the recorded failures —
+//! which puts a real run in front of the conformance oracles, the
+//! shrinker, and explain mode.
+//!
+//! Payloads are hashed ([`hash_debug`], FNV-1a over the `Debug`
+//! rendering), not stored: replay re-executes the client against real
+//! services, so it only needs to *verify* payloads, and a hash keeps
+//! artifacts small and free of message-type serializers. Clock reads
+//! are captured as per-event timestamps (`at_us`) plus observed stall
+//! durations (`elapsed_us`) rather than as a stream of `now()` samples.
+
+use std::fmt;
+use std::sync::{Arc, Mutex};
+use weakset_sim::time::SimTime;
+
+/// Artifact schema version; bump on any breaking change to the log
+/// grammar (mirrors the repro-artifact convention in `weakset-dst`).
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// FNV-1a over a value's `Debug` rendering, without allocating the
+/// rendering. Stable across backends because message `Debug` output
+/// depends only on message content (node ids match when nodes are
+/// created in the same order).
+pub fn hash_debug<T: fmt::Debug>(v: &T) -> u64 {
+    struct Fnv(u64);
+    impl fmt::Write for Fnv {
+        fn write_str(&mut self, s: &str) -> fmt::Result {
+            for b in s.bytes() {
+                self.0 ^= b as u64;
+                self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            Ok(())
+        }
+    }
+    let mut h = Fnv(0xcbf2_9ce4_8422_2325);
+    let _ = fmt::write(&mut h, format_args!("{v:?}"));
+    h.0
+}
+
+/// How a recorded rpc ended, payloads hashed. Mirrors
+/// [`weakset_sim::net::NetError`] with raw node ids so the log is
+/// self-contained.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecOutcome {
+    /// The rpc returned a reply hashing to `reply_hash`.
+    Ok {
+        /// [`hash_debug`] of the reply message.
+        reply_hash: u64,
+    },
+    /// The rpc failed with `NodeDown(node)`.
+    NodeDown {
+        /// Raw id of the down node.
+        node: u32,
+    },
+    /// The rpc failed with `Unreachable { from, to }`.
+    Unreachable {
+        /// Raw id of the calling node.
+        from: u32,
+        /// Raw id of the unreachable node.
+        to: u32,
+    },
+    /// The rpc timed out.
+    Timeout,
+}
+
+impl RecOutcome {
+    /// Classifies a transport result into its recorded form.
+    pub fn of<M: fmt::Debug>(r: &Result<M, weakset_sim::net::NetError>) -> Self {
+        use weakset_sim::net::NetError;
+        match r {
+            Result::Ok(reply) => RecOutcome::Ok {
+                reply_hash: hash_debug(reply),
+            },
+            Err(NetError::NodeDown(n)) => RecOutcome::NodeDown { node: n.0 },
+            Err(NetError::Unreachable { from, to }) => RecOutcome::Unreachable {
+                from: from.0,
+                to: to.0,
+            },
+            Err(NetError::Timeout) => RecOutcome::Timeout,
+        }
+    }
+
+    /// The error this outcome stands for, or `None` for `Ok`.
+    pub fn to_net_error(self) -> Option<weakset_sim::net::NetError> {
+        use weakset_sim::net::NetError;
+        use weakset_sim::node::NodeId;
+        match self {
+            RecOutcome::Ok { .. } => None,
+            RecOutcome::NodeDown { node } => Some(NetError::NodeDown(NodeId(node))),
+            RecOutcome::Unreachable { from, to } => Some(NetError::Unreachable {
+                from: NodeId(from),
+                to: NodeId(to),
+            }),
+            RecOutcome::Timeout => Some(NetError::Timeout),
+        }
+    }
+}
+
+/// One observable boundary crossing. Node ids are raw `NodeId.0`
+/// values; node creation order is part of the log ([`RecEvent::AddNode`]),
+/// so a replayer reconstructing the fleet in order gets identical ids.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RecEvent {
+    /// A node joined the fleet (in id order).
+    AddNode {
+        /// The node's registered name.
+        name: String,
+    },
+    /// A service was installed on `node`.
+    InstallService {
+        /// Raw node id.
+        node: u32,
+    },
+    /// A driver-emitted alignment marker: everything until the next
+    /// `Region` belongs to the activity `label` names. Replay re-syncs
+    /// on these, and the shrinker drops whole regions at a time.
+    Region {
+        /// The activity label (e.g. `setup.3.1`, `inv.12`).
+        label: String,
+    },
+    /// A synchronous rpc and its observed outcome.
+    Rpc {
+        /// Raw id of the calling node.
+        from: u32,
+        /// Raw id of the target node.
+        to: u32,
+        /// [`hash_debug`] of the request message.
+        req_hash: u64,
+        /// How it ended.
+        outcome: RecOutcome,
+        /// Observed wall-clock stall, in microseconds — the clock read
+        /// replay substitutes when the outcome is a failure.
+        elapsed_us: u64,
+    },
+    /// An async send (including batched envelopes) and the token the
+    /// caller got back.
+    Send {
+        /// Raw id of the calling node.
+        from: u32,
+        /// Raw id of the target node.
+        to: u32,
+        /// [`hash_debug`] of the message as sent (batches hash as their
+        /// wrapped envelope).
+        req_hash: u64,
+        /// The raw reply token minted for the caller.
+        token: u64,
+    },
+    /// A completed async reply was collected (informational; replay
+    /// derives availability from pinned `WaitAny` winners).
+    TookReply {
+        /// The raw token collected.
+        token: u64,
+        /// How the reply ended.
+        outcome: RecOutcome,
+    },
+    /// A `wait_any` returned: the winning raw token, or `None` on
+    /// deadline.
+    WaitAny {
+        /// The completed token, if any.
+        winner: Option<u64>,
+        /// Observed wall-clock stall, in microseconds.
+        elapsed_us: u64,
+    },
+    /// The client slept (informational).
+    Sleep {
+        /// Requested duration, in microseconds.
+        us: u64,
+    },
+    /// A deferred task was scheduled (informational).
+    SpawnIn {
+        /// Delay until it is due, in microseconds.
+        delay_us: u64,
+        /// The task's label.
+        label: String,
+    },
+    /// A due timer fired, in fire order.
+    TimerFired {
+        /// The fired task's label.
+        label: String,
+    },
+    /// The route between two nodes was blocked or restored.
+    SetReachable {
+        /// One endpoint (raw id).
+        a: u32,
+        /// The other endpoint (raw id).
+        b: u32,
+        /// `true` restores the route, `false` blocks it.
+        ok: bool,
+    },
+    /// A node was marked up or down.
+    SetNodeUp {
+        /// Raw node id.
+        node: u32,
+        /// The new liveness.
+        up: bool,
+    },
+}
+
+/// One timestamped log entry.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RecEntry {
+    /// Backend clock at the crossing, in microseconds since the run
+    /// started.
+    pub at_us: u64,
+    /// What crossed the boundary.
+    pub ev: RecEvent,
+}
+
+/// A complete, self-contained recording of one real-runtime run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Recording {
+    /// Log grammar version ([`SCHEMA_VERSION`]).
+    pub schema_version: u64,
+    /// The run seed (RNG streams derive from it on both backends).
+    pub seed: u64,
+    /// Whether shutdown reported hung nodes: the log is a valid prefix,
+    /// not a complete run.
+    pub truncated: bool,
+    /// Node names in creation (= id) order.
+    pub nodes: Vec<String>,
+    /// The embedded workload description (a `weakset-dst` scenario in
+    /// its RON text form) that drove the run; replay re-drives it.
+    pub workload: String,
+    /// The boundary-event log, in observation order.
+    pub entries: Vec<RecEntry>,
+}
+
+struct RecInner {
+    seed: u64,
+    truncated: bool,
+    nodes: Vec<String>,
+    workload: String,
+    entries: Vec<RecEntry>,
+}
+
+/// A cloneable handle appending to one shared log. Clones share the
+/// log (a view cloned for another thread keeps recording into the same
+/// recording); a `Mutex` serializes appends, so concurrent views record
+/// in observation order.
+#[derive(Clone)]
+pub struct Recorder {
+    inner: Arc<Mutex<RecInner>>,
+}
+
+impl Recorder {
+    /// An empty recording for a run seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        Recorder {
+            inner: Arc::new(Mutex::new(RecInner {
+                seed,
+                truncated: false,
+                nodes: Vec::new(),
+                workload: String::new(),
+                entries: Vec::new(),
+            })),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, RecInner> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Embeds the workload description (scenario RON) that drives the
+    /// run, so the artifact replays without out-of-band context.
+    pub fn set_workload(&self, ron: impl Into<String>) {
+        self.lock().workload = ron.into();
+    }
+
+    /// Appends one boundary event observed at `at`.
+    pub fn note(&self, at: SimTime, ev: RecEvent) {
+        self.lock().entries.push(RecEntry {
+            at_us: at.as_micros(),
+            ev,
+        });
+    }
+
+    /// Records a node joining the fleet (name order = id order).
+    pub fn note_add_node(&self, at: SimTime, name: &str) {
+        let mut g = self.lock();
+        g.nodes.push(name.to_string());
+        g.entries.push(RecEntry {
+            at_us: at.as_micros(),
+            ev: RecEvent::AddNode {
+                name: name.to_string(),
+            },
+        });
+    }
+
+    /// Emits an alignment marker (see [`RecEvent::Region`]).
+    pub fn region(&self, at: SimTime, label: &str) {
+        self.note(
+            at,
+            RecEvent::Region {
+                label: label.to_string(),
+            },
+        );
+    }
+
+    /// Marks the log as a shutdown-truncated prefix.
+    pub fn mark_truncated(&self) {
+        self.lock().truncated = true;
+    }
+
+    /// Number of entries recorded so far.
+    pub fn len(&self) -> usize {
+        self.lock().entries.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshots the recording (the recorder keeps accumulating).
+    pub fn finish(&self) -> Recording {
+        let g = self.lock();
+        Recording {
+            schema_version: SCHEMA_VERSION,
+            seed: g.seed,
+            truncated: g.truncated,
+            nodes: g.nodes.clone(),
+            workload: g.workload.clone(),
+            entries: g.entries.clone(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Serialization (RON-like, hand-rolled — same dialect as weakset-dst
+// scenario artifacts, extended with quoted strings)
+// ---------------------------------------------------------------------
+
+fn push_str_lit(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            other => out.push(other),
+        }
+    }
+    out.push('"');
+}
+
+fn push_outcome(out: &mut String, o: &RecOutcome) {
+    match *o {
+        RecOutcome::Ok { reply_hash } => out.push_str(&format!("Ok(reply_hash: {reply_hash})")),
+        RecOutcome::NodeDown { node } => out.push_str(&format!("NodeDown(node: {node})")),
+        RecOutcome::Unreachable { from, to } => {
+            out.push_str(&format!("Unreachable(from: {from}, to: {to})"));
+        }
+        RecOutcome::Timeout => out.push_str("Timeout"),
+    }
+}
+
+fn push_event(out: &mut String, ev: &RecEvent) {
+    match ev {
+        RecEvent::AddNode { name } => {
+            out.push_str("AddNode(name: ");
+            push_str_lit(out, name);
+            out.push(')');
+        }
+        RecEvent::InstallService { node } => {
+            out.push_str(&format!("InstallService(node: {node})"));
+        }
+        RecEvent::Region { label } => {
+            out.push_str("Region(label: ");
+            push_str_lit(out, label);
+            out.push(')');
+        }
+        RecEvent::Rpc {
+            from,
+            to,
+            req_hash,
+            outcome,
+            elapsed_us,
+        } => {
+            out.push_str(&format!(
+                "Rpc(from: {from}, to: {to}, req_hash: {req_hash}, outcome: "
+            ));
+            push_outcome(out, outcome);
+            out.push_str(&format!(", elapsed_us: {elapsed_us})"));
+        }
+        RecEvent::Send {
+            from,
+            to,
+            req_hash,
+            token,
+        } => {
+            out.push_str(&format!(
+                "Send(from: {from}, to: {to}, req_hash: {req_hash}, token: {token})"
+            ));
+        }
+        RecEvent::TookReply { token, outcome } => {
+            out.push_str(&format!("TookReply(token: {token}, outcome: "));
+            push_outcome(out, outcome);
+            out.push(')');
+        }
+        RecEvent::WaitAny { winner, elapsed_us } => {
+            match winner {
+                Some(t) => out.push_str(&format!("WaitAny(winner: Some({t})")),
+                None => out.push_str("WaitAny(winner: None"),
+            }
+            out.push_str(&format!(", elapsed_us: {elapsed_us})"));
+        }
+        RecEvent::Sleep { us } => out.push_str(&format!("Sleep(us: {us})")),
+        RecEvent::SpawnIn { delay_us, label } => {
+            out.push_str(&format!("SpawnIn(delay_us: {delay_us}, label: "));
+            push_str_lit(out, label);
+            out.push(')');
+        }
+        RecEvent::TimerFired { label } => {
+            out.push_str("TimerFired(label: ");
+            push_str_lit(out, label);
+            out.push(')');
+        }
+        RecEvent::SetReachable { a, b, ok } => {
+            out.push_str(&format!("SetReachable(a: {a}, b: {b}, ok: {ok})"));
+        }
+        RecEvent::SetNodeUp { node, up } => {
+            out.push_str(&format!("SetNodeUp(node: {node}, up: {up})"));
+        }
+    }
+}
+
+impl Recording {
+    /// Renders the recording in its artifact text form.
+    pub fn to_ron(&self) -> String {
+        let mut s = String::new();
+        s.push_str("Recording(\n");
+        s.push_str(&format!("    schema_version: {},\n", self.schema_version));
+        s.push_str(&format!("    seed: {},\n", self.seed));
+        s.push_str(&format!("    truncated: {},\n", self.truncated));
+        s.push_str("    nodes: [");
+        for (i, n) in self.nodes.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            push_str_lit(&mut s, n);
+        }
+        s.push_str("],\n    workload: ");
+        push_str_lit(&mut s, &self.workload);
+        s.push_str(",\n    entries: [\n");
+        for e in &self.entries {
+            s.push_str(&format!("        (at_us: {}, ev: ", e.at_us));
+            push_event(&mut s, &e.ev);
+            s.push_str("),\n");
+        }
+        s.push_str("    ],\n)\n");
+        s
+    }
+
+    /// Parses the artifact text form (fields in [`Recording::to_ron`]
+    /// order; `// ...` comments are ignored).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first syntax problem,
+    /// including an unsupported `schema_version`.
+    pub fn from_ron(text: &str) -> Result<Recording, String> {
+        let tokens = tokenize(text)?;
+        let mut p = Parser { tokens, pos: 0 };
+        let r = p.recording()?;
+        p.expect_end()?;
+        Ok(r)
+    }
+}
+
+#[derive(Clone, Debug, PartialEq)]
+enum Tok {
+    Ident(String),
+    Num(u64),
+    Str(String),
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Comma,
+    Colon,
+}
+
+fn tokenize(text: &str) -> Result<Vec<Tok>, String> {
+    let mut out = Vec::new();
+    let mut chars = text.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                chars.next();
+            }
+            '/' => {
+                chars.next();
+                if chars.peek() == Some(&'/') {
+                    for nc in chars.by_ref() {
+                        if nc == '\n' {
+                            break;
+                        }
+                    }
+                } else {
+                    return Err("stray '/'".into());
+                }
+            }
+            '"' => {
+                chars.next();
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        Some('"') => break,
+                        Some('\\') => match chars.next() {
+                            Some('"') => s.push('"'),
+                            Some('\\') => s.push('\\'),
+                            Some('n') => s.push('\n'),
+                            Some('t') => s.push('\t'),
+                            Some('r') => s.push('\r'),
+                            other => return Err(format!("bad escape {other:?}")),
+                        },
+                        Some(other) => s.push(other),
+                        None => return Err("unterminated string".into()),
+                    }
+                }
+                out.push(Tok::Str(s));
+            }
+            '(' => {
+                chars.next();
+                out.push(Tok::LParen);
+            }
+            ')' => {
+                chars.next();
+                out.push(Tok::RParen);
+            }
+            '[' => {
+                chars.next();
+                out.push(Tok::LBracket);
+            }
+            ']' => {
+                chars.next();
+                out.push(Tok::RBracket);
+            }
+            ',' => {
+                chars.next();
+                out.push(Tok::Comma);
+            }
+            ':' => {
+                chars.next();
+                out.push(Tok::Colon);
+            }
+            '0'..='9' => {
+                let mut n: u64 = 0;
+                while let Some(&d) = chars.peek() {
+                    if let Some(v) = d.to_digit(10) {
+                        n = n
+                            .checked_mul(10)
+                            .and_then(|n| n.checked_add(v as u64))
+                            .ok_or("number overflows u64")?;
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Tok::Num(n));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut id = String::new();
+                while let Some(&a) = chars.peek() {
+                    if a.is_ascii_alphanumeric() || a == '_' {
+                        id.push(a);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Tok::Ident(id));
+            }
+            other => return Err(format!("unexpected character {other:?}")),
+        }
+    }
+    Ok(out)
+}
+
+struct Parser {
+    tokens: Vec<Tok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn next(&mut self) -> Result<Tok, String> {
+        let t = self
+            .tokens
+            .get(self.pos)
+            .cloned()
+            .ok_or("unexpected end of input")?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos)
+    }
+
+    fn expect(&mut self, want: Tok) -> Result<(), String> {
+        let got = self.next()?;
+        if got == want {
+            Ok(())
+        } else {
+            Err(format!("expected {want:?}, got {got:?}"))
+        }
+    }
+
+    fn expect_end(&mut self) -> Result<(), String> {
+        if self.pos == self.tokens.len() {
+            Ok(())
+        } else {
+            Err(format!("trailing input at token {}", self.pos))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, String> {
+        match self.next()? {
+            Tok::Ident(s) => Ok(s),
+            other => Err(format!("expected identifier, got {other:?}")),
+        }
+    }
+
+    fn num(&mut self) -> Result<u64, String> {
+        match self.next()? {
+            Tok::Num(n) => Ok(n),
+            other => Err(format!("expected number, got {other:?}")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        match self.next()? {
+            Tok::Str(s) => Ok(s),
+            other => Err(format!("expected string, got {other:?}")),
+        }
+    }
+
+    fn keyword(&mut self, want: &str) -> Result<(), String> {
+        let got = self.ident()?;
+        if got == want {
+            Ok(())
+        } else {
+            Err(format!("expected field '{want}', got '{got}'"))
+        }
+    }
+
+    /// `name: <num>` followed by a comma.
+    fn num_field(&mut self, name: &str) -> Result<u64, String> {
+        self.keyword(name)?;
+        self.expect(Tok::Colon)?;
+        let n = self.num()?;
+        self.expect(Tok::Comma)?;
+        Ok(n)
+    }
+
+    /// `name: <num>` without the trailing comma (closing-paren position).
+    fn num_key(&mut self, name: &str) -> Result<u64, String> {
+        self.keyword(name)?;
+        self.expect(Tok::Colon)?;
+        self.num()
+    }
+
+    fn bool_value(&mut self) -> Result<bool, String> {
+        match self.ident()?.as_str() {
+            "true" => Ok(true),
+            "false" => Ok(false),
+            other => Err(format!("expected bool, got '{other}'")),
+        }
+    }
+
+    fn comma_sep<T>(
+        &mut self,
+        mut item: impl FnMut(&mut Self) -> Result<T, String>,
+    ) -> Result<Vec<T>, String> {
+        self.expect(Tok::LBracket)?;
+        let mut out = Vec::new();
+        while self.peek() != Some(&Tok::RBracket) {
+            out.push(item(self)?);
+            if self.peek() == Some(&Tok::Comma) {
+                self.next()?;
+            }
+        }
+        self.expect(Tok::RBracket)?;
+        Ok(out)
+    }
+
+    fn outcome(&mut self) -> Result<RecOutcome, String> {
+        match self.ident()?.as_str() {
+            "Ok" => {
+                self.expect(Tok::LParen)?;
+                let reply_hash = self.num_key("reply_hash")?;
+                self.expect(Tok::RParen)?;
+                Ok(RecOutcome::Ok { reply_hash })
+            }
+            "NodeDown" => {
+                self.expect(Tok::LParen)?;
+                let node = self.num_key("node")? as u32;
+                self.expect(Tok::RParen)?;
+                Ok(RecOutcome::NodeDown { node })
+            }
+            "Unreachable" => {
+                self.expect(Tok::LParen)?;
+                let from = self.num_field("from")? as u32;
+                let to = self.num_key("to")? as u32;
+                self.expect(Tok::RParen)?;
+                Ok(RecOutcome::Unreachable { from, to })
+            }
+            "Timeout" => Ok(RecOutcome::Timeout),
+            other => Err(format!("unknown outcome '{other}'")),
+        }
+    }
+
+    fn event(&mut self) -> Result<RecEvent, String> {
+        let tag = self.ident()?;
+        match tag.as_str() {
+            "AddNode" => {
+                self.expect(Tok::LParen)?;
+                self.keyword("name")?;
+                self.expect(Tok::Colon)?;
+                let name = self.string()?;
+                self.expect(Tok::RParen)?;
+                Ok(RecEvent::AddNode { name })
+            }
+            "InstallService" => {
+                self.expect(Tok::LParen)?;
+                let node = self.num_key("node")? as u32;
+                self.expect(Tok::RParen)?;
+                Ok(RecEvent::InstallService { node })
+            }
+            "Region" => {
+                self.expect(Tok::LParen)?;
+                self.keyword("label")?;
+                self.expect(Tok::Colon)?;
+                let label = self.string()?;
+                self.expect(Tok::RParen)?;
+                Ok(RecEvent::Region { label })
+            }
+            "Rpc" => {
+                self.expect(Tok::LParen)?;
+                let from = self.num_field("from")? as u32;
+                let to = self.num_field("to")? as u32;
+                let req_hash = self.num_field("req_hash")?;
+                self.keyword("outcome")?;
+                self.expect(Tok::Colon)?;
+                let outcome = self.outcome()?;
+                self.expect(Tok::Comma)?;
+                let elapsed_us = self.num_key("elapsed_us")?;
+                self.expect(Tok::RParen)?;
+                Ok(RecEvent::Rpc {
+                    from,
+                    to,
+                    req_hash,
+                    outcome,
+                    elapsed_us,
+                })
+            }
+            "Send" => {
+                self.expect(Tok::LParen)?;
+                let from = self.num_field("from")? as u32;
+                let to = self.num_field("to")? as u32;
+                let req_hash = self.num_field("req_hash")?;
+                let token = self.num_key("token")?;
+                self.expect(Tok::RParen)?;
+                Ok(RecEvent::Send {
+                    from,
+                    to,
+                    req_hash,
+                    token,
+                })
+            }
+            "TookReply" => {
+                self.expect(Tok::LParen)?;
+                let token = self.num_field("token")?;
+                self.keyword("outcome")?;
+                self.expect(Tok::Colon)?;
+                let outcome = self.outcome()?;
+                self.expect(Tok::RParen)?;
+                Ok(RecEvent::TookReply { token, outcome })
+            }
+            "WaitAny" => {
+                self.expect(Tok::LParen)?;
+                self.keyword("winner")?;
+                self.expect(Tok::Colon)?;
+                let winner = match self.ident()?.as_str() {
+                    "Some" => {
+                        self.expect(Tok::LParen)?;
+                        let t = self.num()?;
+                        self.expect(Tok::RParen)?;
+                        Some(t)
+                    }
+                    "None" => None,
+                    other => return Err(format!("expected Some/None, got '{other}'")),
+                };
+                self.expect(Tok::Comma)?;
+                let elapsed_us = self.num_key("elapsed_us")?;
+                self.expect(Tok::RParen)?;
+                Ok(RecEvent::WaitAny { winner, elapsed_us })
+            }
+            "Sleep" => {
+                self.expect(Tok::LParen)?;
+                let us = self.num_key("us")?;
+                self.expect(Tok::RParen)?;
+                Ok(RecEvent::Sleep { us })
+            }
+            "SpawnIn" => {
+                self.expect(Tok::LParen)?;
+                let delay_us = self.num_field("delay_us")?;
+                self.keyword("label")?;
+                self.expect(Tok::Colon)?;
+                let label = self.string()?;
+                self.expect(Tok::RParen)?;
+                Ok(RecEvent::SpawnIn { delay_us, label })
+            }
+            "TimerFired" => {
+                self.expect(Tok::LParen)?;
+                self.keyword("label")?;
+                self.expect(Tok::Colon)?;
+                let label = self.string()?;
+                self.expect(Tok::RParen)?;
+                Ok(RecEvent::TimerFired { label })
+            }
+            "SetReachable" => {
+                self.expect(Tok::LParen)?;
+                let a = self.num_field("a")? as u32;
+                let b = self.num_field("b")? as u32;
+                self.keyword("ok")?;
+                self.expect(Tok::Colon)?;
+                let ok = self.bool_value()?;
+                self.expect(Tok::RParen)?;
+                Ok(RecEvent::SetReachable { a, b, ok })
+            }
+            "SetNodeUp" => {
+                self.expect(Tok::LParen)?;
+                let node = self.num_field("node")? as u32;
+                self.keyword("up")?;
+                self.expect(Tok::Colon)?;
+                let up = self.bool_value()?;
+                self.expect(Tok::RParen)?;
+                Ok(RecEvent::SetNodeUp { node, up })
+            }
+            other => Err(format!("unknown event '{other}'")),
+        }
+    }
+
+    fn recording(&mut self) -> Result<Recording, String> {
+        self.keyword("Recording")?;
+        self.expect(Tok::LParen)?;
+        let schema_version = self.num_field("schema_version")?;
+        if schema_version != SCHEMA_VERSION {
+            return Err(format!(
+                "unsupported schema_version {schema_version} (this build reads {SCHEMA_VERSION})"
+            ));
+        }
+        let seed = self.num_field("seed")?;
+        self.keyword("truncated")?;
+        self.expect(Tok::Colon)?;
+        let truncated = self.bool_value()?;
+        self.expect(Tok::Comma)?;
+        self.keyword("nodes")?;
+        self.expect(Tok::Colon)?;
+        let nodes = self.comma_sep(Parser::string)?;
+        self.expect(Tok::Comma)?;
+        self.keyword("workload")?;
+        self.expect(Tok::Colon)?;
+        let workload = self.string()?;
+        self.expect(Tok::Comma)?;
+        self.keyword("entries")?;
+        self.expect(Tok::Colon)?;
+        let entries = self.comma_sep(|p| {
+            p.expect(Tok::LParen)?;
+            let at_us = p.num_field("at_us")?;
+            p.keyword("ev")?;
+            p.expect(Tok::Colon)?;
+            let ev = p.event()?;
+            p.expect(Tok::RParen)?;
+            Ok(RecEntry { at_us, ev })
+        })?;
+        self.expect(Tok::Comma)?;
+        self.expect(Tok::RParen)?;
+        Ok(Recording {
+            schema_version,
+            seed,
+            truncated,
+            nodes,
+            workload,
+            entries,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Recording {
+        Recording {
+            schema_version: SCHEMA_VERSION,
+            seed: 42,
+            truncated: true,
+            nodes: vec!["client".into(), "s0".into()],
+            workload: "Scenario(\n    seed: 1,\n)\n".into(),
+            entries: vec![
+                RecEntry {
+                    at_us: 0,
+                    ev: RecEvent::AddNode {
+                        name: "client".into(),
+                    },
+                },
+                RecEntry {
+                    at_us: 3,
+                    ev: RecEvent::InstallService { node: 1 },
+                },
+                RecEntry {
+                    at_us: 5,
+                    ev: RecEvent::Region {
+                        label: "setup.1.0".into(),
+                    },
+                },
+                RecEntry {
+                    at_us: 9,
+                    ev: RecEvent::Rpc {
+                        from: 0,
+                        to: 1,
+                        req_hash: u64::MAX,
+                        outcome: RecOutcome::Ok { reply_hash: 7 },
+                        elapsed_us: 1200,
+                    },
+                },
+                RecEntry {
+                    at_us: 11,
+                    ev: RecEvent::Rpc {
+                        from: 0,
+                        to: 1,
+                        req_hash: 1,
+                        outcome: RecOutcome::Unreachable { from: 0, to: 1 },
+                        elapsed_us: 80,
+                    },
+                },
+                RecEntry {
+                    at_us: 12,
+                    ev: RecEvent::Send {
+                        from: 0,
+                        to: 1,
+                        req_hash: 2,
+                        token: 5,
+                    },
+                },
+                RecEntry {
+                    at_us: 13,
+                    ev: RecEvent::WaitAny {
+                        winner: Some(5),
+                        elapsed_us: 900,
+                    },
+                },
+                RecEntry {
+                    at_us: 14,
+                    ev: RecEvent::TookReply {
+                        token: 5,
+                        outcome: RecOutcome::Timeout,
+                    },
+                },
+                RecEntry {
+                    at_us: 15,
+                    ev: RecEvent::WaitAny {
+                        winner: None,
+                        elapsed_us: 5000,
+                    },
+                },
+                RecEntry {
+                    at_us: 16,
+                    ev: RecEvent::Sleep { us: 5000 },
+                },
+                RecEntry {
+                    at_us: 17,
+                    ev: RecEvent::SpawnIn {
+                        delay_us: 100,
+                        label: "gossip.round".into(),
+                    },
+                },
+                RecEntry {
+                    at_us: 18,
+                    ev: RecEvent::TimerFired {
+                        label: "gossip.round".into(),
+                    },
+                },
+                RecEntry {
+                    at_us: 19,
+                    ev: RecEvent::SetReachable {
+                        a: 0,
+                        b: 1,
+                        ok: false,
+                    },
+                },
+                RecEntry {
+                    at_us: 20,
+                    ev: RecEvent::SetNodeUp { node: 1, up: false },
+                },
+                RecEntry {
+                    at_us: 21,
+                    ev: RecEvent::Rpc {
+                        from: 0,
+                        to: 1,
+                        req_hash: 3,
+                        outcome: RecOutcome::NodeDown { node: 1 },
+                        elapsed_us: 10,
+                    },
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn round_trips() {
+        let r = sample();
+        let text = r.to_ron();
+        let back = Recording::from_ron(&text).unwrap();
+        assert_eq!(r, back);
+    }
+
+    #[test]
+    fn round_trips_empty() {
+        let r = Recording {
+            nodes: Vec::new(),
+            workload: String::new(),
+            entries: Vec::new(),
+            truncated: false,
+            ..sample()
+        };
+        assert_eq!(Recording::from_ron(&r.to_ron()).unwrap(), r);
+    }
+
+    #[test]
+    fn comments_and_escapes_survive() {
+        let mut text = String::from("// recording artifact\n");
+        let r = Recording {
+            nodes: vec!["we\"ird\\name\n".into()],
+            ..sample()
+        };
+        text.push_str(&r.to_ron());
+        assert_eq!(Recording::from_ron(&text).unwrap(), r);
+    }
+
+    #[test]
+    fn rejects_future_schema_and_garbage() {
+        let bumped = sample().to_ron().replace(
+            &format!("schema_version: {SCHEMA_VERSION}"),
+            "schema_version: 999",
+        );
+        let err = Recording::from_ron(&bumped).unwrap_err();
+        assert!(err.contains("schema_version"), "{err}");
+        assert!(Recording::from_ron("").is_err());
+        assert!(Recording::from_ron("Recording(seed: nope)").is_err());
+    }
+
+    #[test]
+    fn recorder_accumulates_and_snapshots() {
+        let rec = Recorder::new(9);
+        assert!(rec.is_empty());
+        rec.note_add_node(SimTime::from_micros(1), "client");
+        rec.region(SimTime::from_micros(2), "start");
+        rec.set_workload("Scenario()");
+        let view = rec.clone();
+        view.note(SimTime::from_micros(3), RecEvent::Sleep { us: 10 });
+        let snap = rec.finish();
+        assert_eq!(snap.seed, 9);
+        assert!(!snap.truncated);
+        assert_eq!(snap.nodes, vec!["client".to_string()]);
+        assert_eq!(snap.entries.len(), 3);
+        rec.mark_truncated();
+        assert!(rec.finish().truncated);
+        assert_eq!(rec.len(), 3);
+    }
+
+    #[test]
+    fn debug_hashes_are_stable_and_content_sensitive() {
+        #[derive(Debug)]
+        #[allow(dead_code)] // fields are read through the derived Debug
+        struct P(u64, &'static str);
+        assert_eq!(hash_debug(&P(1, "a")), hash_debug(&P(1, "a")));
+        assert_ne!(hash_debug(&P(1, "a")), hash_debug(&P(2, "a")));
+        assert_ne!(hash_debug(&P(1, "a")), hash_debug(&P(1, "b")));
+    }
+
+    #[test]
+    fn outcomes_map_to_net_errors() {
+        use weakset_sim::net::NetError;
+        use weakset_sim::node::NodeId;
+        let ok: Result<u64, NetError> = Ok(7);
+        assert!(matches!(RecOutcome::of(&ok), RecOutcome::Ok { .. }));
+        assert_eq!(RecOutcome::of(&ok).to_net_error(), None);
+        let down: Result<u64, NetError> = Err(NetError::NodeDown(NodeId(3)));
+        assert_eq!(
+            RecOutcome::of(&down).to_net_error(),
+            Some(NetError::NodeDown(NodeId(3)))
+        );
+        let un: Result<u64, NetError> = Err(NetError::Unreachable {
+            from: NodeId(0),
+            to: NodeId(2),
+        });
+        assert_eq!(
+            RecOutcome::of(&un).to_net_error(),
+            Some(NetError::Unreachable {
+                from: NodeId(0),
+                to: NodeId(2)
+            })
+        );
+        let t: Result<u64, NetError> = Err(NetError::Timeout);
+        assert_eq!(RecOutcome::of(&t).to_net_error(), Some(NetError::Timeout));
+    }
+}

@@ -30,6 +30,7 @@
 //! deadline and reports the nodes that failed to stop instead of
 //! hanging the caller.
 
+use crate::record::{hash_debug, RecEvent, RecOutcome, Recorder};
 use crate::traits::{Clock, Observe, RtMessage, RtTask, ServiceHost, Spawner, Transport};
 use std::any::Any;
 use std::cmp::Ordering as CmpOrdering;
@@ -129,6 +130,7 @@ pub struct ThreadedRuntime<M: RtMessage> {
     metrics: Metrics,
     events: EventSink,
     ctx: Vec<TraceContext>,
+    recorder: Option<Recorder>,
 }
 
 fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
@@ -211,6 +213,28 @@ impl<M: RtMessage> ThreadedRuntime<M> {
             metrics: Metrics::new(),
             events: EventSink::new(),
             ctx: Vec::new(),
+            recorder: None,
+        }
+    }
+
+    /// Hooks a [`Recorder`] into this view: from now on every boundary
+    /// crossing (rpcs, sends, waits, timer fires, reachability and
+    /// liveness transitions) is appended to the shared log. Views cloned
+    /// *after* this call inherit the same recorder; a shutdown that
+    /// reports hung nodes marks the recording truncated.
+    pub fn attach_recorder(&mut self, rec: Recorder) {
+        self.recorder = Some(rec);
+    }
+
+    /// The attached recorder, when one is hooked in.
+    pub fn recorder(&self) -> Option<&Recorder> {
+        self.recorder.as_ref()
+    }
+
+    /// Appends one event when a recorder is attached.
+    fn note(&self, ev: RecEvent) {
+        if let Some(rec) = &self.recorder {
+            rec.note(Clock::now(self), ev);
         }
     }
 
@@ -243,9 +267,12 @@ impl<M: RtMessage> ThreadedRuntime<M> {
                 up,
                 slot,
                 join: Some(join),
-                name,
+                name: name.clone(),
             },
         );
+        if let Some(rec) = &self.recorder {
+            rec.note_add_node(Clock::now(self), &name);
+        }
         node
     }
 
@@ -260,6 +287,7 @@ impl<M: RtMessage> ThreadedRuntime<M> {
         if let Some(h) = lock(&self.shared.nodes).get(&node) {
             h.up.store(up, Ordering::SeqCst);
         }
+        self.note(RecEvent::SetNodeUp { node: node.0, up });
     }
 
     /// Crashes a node (alias for `set_node_up(node, false)`).
@@ -270,12 +298,15 @@ impl<M: RtMessage> ThreadedRuntime<M> {
     /// Blocks or restores the (symmetric) route between two nodes.
     pub fn set_reachable(&mut self, a: NodeId, b: NodeId, ok: bool) {
         let key = if a.0 <= b.0 { (a, b) } else { (b, a) };
-        let mut blocked = lock(&self.shared.blocked);
-        if ok {
-            blocked.remove(&key);
-        } else {
-            blocked.insert(key);
+        {
+            let mut blocked = lock(&self.shared.blocked);
+            if ok {
+                blocked.remove(&key);
+            } else {
+                blocked.insert(key);
+            }
         }
+        self.note(RecEvent::SetReachable { a: a.0, b: b.0, ok });
     }
 
     /// Stops every node thread, waiting up to `timeout`. Returns the
@@ -305,6 +336,9 @@ impl<M: RtMessage> ThreadedRuntime<M> {
                 return Ok(());
             }
             if Instant::now() >= deadline {
+                if let Some(rec) = &self.recorder {
+                    rec.mark_truncated();
+                }
                 return Err(hung);
             }
             thread::sleep(Duration::from_millis(5));
@@ -344,6 +378,11 @@ impl<M: RtMessage> ThreadedRuntime<M> {
                 break;
             }
             let entry = self.timers.pop().expect("peeked timer vanished");
+            if self.recorder.is_some() {
+                self.note(RecEvent::TimerFired {
+                    label: entry.task.label().to_string(),
+                });
+            }
             entry.task.run(self);
         }
     }
@@ -446,6 +485,7 @@ impl<M: RtMessage> Clone for ThreadedRuntime<M> {
             metrics: Metrics::new(),
             events: EventSink::new(),
             ctx: Vec::new(),
+            recorder: self.recorder.clone(),
         }
     }
 }
@@ -458,6 +498,7 @@ impl<M: RtMessage> Clock for ThreadedRuntime<M> {
     /// Sleeps wall time, firing due timers as they come up (so gossip
     /// rounds progress while a client waits between retries).
     fn sleep(&mut self, d: SimDuration) {
+        self.note(RecEvent::Sleep { us: d.as_micros() });
         let deadline = Clock::now(self) + d;
         loop {
             self.run_due_timers();
@@ -540,7 +581,18 @@ impl<M: RtMessage> Transport<M> for ThreadedRuntime<M> {
         timeout: SimDuration,
     ) -> Result<M, NetError> {
         let span = Observe::span_enter(self, "net.rpc", &|| format!("{from}->{to}"));
+        let req_hash = self.recorder.as_ref().map(|_| hash_debug(&msg));
+        let started = Instant::now();
         let result = self.rpc_inner(from, to, msg, timeout);
+        if let Some(req_hash) = req_hash {
+            self.note(RecEvent::Rpc {
+                from: from.0,
+                to: to.0,
+                req_hash,
+                outcome: RecOutcome::of(&result),
+                elapsed_us: started.elapsed().as_micros() as u64,
+            });
+        }
         if let Err(e) = &result {
             let err = *e;
             Observe::trace_event(self, "net.rpc.failed", &|| format!("{from}->{to}: {err}"));
@@ -550,24 +602,29 @@ impl<M: RtMessage> Transport<M> for ThreadedRuntime<M> {
     }
 
     fn send(&mut self, from: NodeId, to: NodeId, msg: M) -> ReplyToken {
+        let req_hash = self.recorder.as_ref().map(|_| hash_debug(&msg));
         let token = self.next_token;
         self.next_token += 1;
         self.metrics.incr("rpc.sent");
         if !self.is_up(from) {
             self.completed.insert(token, Err(NetError::NodeDown(from)));
-            return ReplyToken::from_raw(token);
-        }
-        if !self.reachable(from, to) {
+        } else if !self.reachable(from, to) {
             let err = if self.is_up(to) {
                 NetError::Unreachable { from, to }
             } else {
                 NetError::NodeDown(to)
             };
             self.completed.insert(token, Err(err));
-            return ReplyToken::from_raw(token);
-        }
-        if let Err(e) = self.post(from, to, msg, token) {
+        } else if let Err(e) = self.post(from, to, msg, token) {
             self.completed.insert(token, Err(e));
+        }
+        if let Some(req_hash) = req_hash {
+            self.note(RecEvent::Send {
+                from: from.0,
+                to: to.0,
+                req_hash,
+                token,
+            });
         }
         ReplyToken::from_raw(token)
     }
@@ -580,10 +637,40 @@ impl<M: RtMessage> Transport<M> for ThreadedRuntime<M> {
 
     fn try_take_reply(&mut self, token: ReplyToken) -> Option<Result<M, NetError>> {
         self.drain_completions();
-        self.completed.remove(&token.raw())
+        let taken = self.completed.remove(&token.raw());
+        if let Some(result) = &taken {
+            if self.recorder.is_some() {
+                self.note(RecEvent::TookReply {
+                    token: token.raw(),
+                    outcome: RecOutcome::of(result),
+                });
+            }
+        }
+        taken
     }
 
     fn wait_any(&mut self, tokens: &[ReplyToken], deadline: SimTime) -> Option<ReplyToken> {
+        let started = Instant::now();
+        let winner = self.wait_any_inner(tokens, deadline);
+        if self.recorder.is_some() {
+            self.note(RecEvent::WaitAny {
+                winner: winner.map(ReplyToken::raw),
+                elapsed_us: started.elapsed().as_micros() as u64,
+            });
+        }
+        winner
+    }
+
+    /// No latency model on real threads: everything estimates to zero,
+    /// and closest-first candidate ordering falls back to its
+    /// deterministic element-id tie-break.
+    fn estimate_latency(&self, _a: NodeId, _b: NodeId) -> SimDuration {
+        SimDuration::ZERO
+    }
+}
+
+impl<M: RtMessage> ThreadedRuntime<M> {
+    fn wait_any_inner(&mut self, tokens: &[ReplyToken], deadline: SimTime) -> Option<ReplyToken> {
         let wall_deadline = self.instant_at(deadline);
         loop {
             self.drain_completions();
@@ -606,22 +693,18 @@ impl<M: RtMessage> Transport<M> for ThreadedRuntime<M> {
             }
         }
     }
-
-    /// No latency model on real threads: everything estimates to zero,
-    /// and closest-first candidate ordering falls back to its
-    /// deterministic element-id tie-break.
-    fn estimate_latency(&self, _a: NodeId, _b: NodeId) -> SimDuration {
-        SimDuration::ZERO
-    }
 }
 
 impl<M: RtMessage> ServiceHost<M> for ThreadedRuntime<M> {
     fn install_service(&mut self, node: NodeId, svc: Box<dyn Service<M> + Send>) {
-        let nodes = lock(&self.shared.nodes);
-        let h = nodes
-            .get(&node)
-            .unwrap_or_else(|| panic!("install_service on unknown node {node:?}; add_node first"));
-        *lock(&h.slot) = Some(svc);
+        {
+            let nodes = lock(&self.shared.nodes);
+            let h = nodes.get(&node).unwrap_or_else(|| {
+                panic!("install_service on unknown node {node:?}; add_node first")
+            });
+            *lock(&h.slot) = Some(svc);
+        }
+        self.note(RecEvent::InstallService { node: node.0 });
     }
 
     fn with_service_any(&self, node: NodeId, f: &mut dyn FnMut(&dyn Any)) -> bool {
@@ -667,6 +750,12 @@ impl<M: RtMessage> ServiceHost<M> for ThreadedRuntime<M> {
 
 impl<M: RtMessage> Spawner<M> for ThreadedRuntime<M> {
     fn spawn_in(&mut self, d: SimDuration, task: Box<dyn RtTask<M>>) {
+        if self.recorder.is_some() {
+            self.note(RecEvent::SpawnIn {
+                delay_us: d.as_micros(),
+                label: task.label().to_string(),
+            });
+        }
         let at = Clock::now(self) + d;
         let seq = self.timer_seq;
         self.timer_seq += 1;
@@ -832,5 +921,113 @@ mod tests {
         assert_eq!(rt.shutdown(Duration::from_secs(2)), Ok(()));
         // Idempotent: already-stopped fleets stay stopped.
         assert_eq!(rt.shutdown(Duration::from_millis(50)), Ok(()));
+    }
+
+    /// A handler that wedges long enough to outlive a short shutdown
+    /// deadline.
+    struct Wedge;
+
+    impl Service<Msg> for Wedge {
+        fn handle(&mut self, _ctx: &mut ServiceCtx<'_>, _from: NodeId, msg: Msg) -> Msg {
+            thread::sleep(Duration::from_secs(2));
+            msg
+        }
+    }
+
+    #[test]
+    fn shutdown_names_the_wedged_node_and_truncates_the_recording() {
+        let mut rt: ThreadedRuntime<Msg> = ThreadedRuntime::new(3);
+        rt.attach_recorder(Recorder::new(3));
+        let c = rt.add_node("client");
+        let wedged = rt.add_node("wedged");
+        rt.install_service(wedged, Box::new(Wedge));
+        let _token = Transport::send(&mut rt, c, wedged, Msg::Val(1));
+        // Let the node thread pick the envelope up and enter the handler.
+        thread::sleep(Duration::from_millis(100));
+        let hung = rt
+            .shutdown(Duration::from_millis(200))
+            .expect_err("wedged handler must be reported, not waited out");
+        assert_eq!(hung, vec![wedged]);
+        assert_eq!(rt.node_name(wedged).as_deref(), Some("wedged"));
+        let rec = rt.recorder().expect("recorder attached").finish();
+        assert!(rec.truncated, "failed shutdown must truncate the recording");
+        // The completed prefix is still there: both nodes and the send.
+        assert_eq!(rec.nodes, vec!["client".to_string(), "wedged".to_string()]);
+        assert!(rec
+            .entries
+            .iter()
+            .any(|e| matches!(&e.ev, RecEvent::Send { from: 0, to: 1, .. })));
+        // Once the wedged handler finishes, the fleet drains normally.
+        assert!(rt.shutdown(Duration::from_secs(5)).is_ok());
+    }
+
+    #[test]
+    fn recorder_captures_the_boundary_crossings() {
+        let mut rt: ThreadedRuntime<Msg> = ThreadedRuntime::new(11);
+        rt.attach_recorder(Recorder::new(11));
+        let c = rt.add_node("client");
+        let s = rt.add_node("server");
+        rt.install_service(s, Box::new(Inc { hits: 0 }));
+        let ok = Transport::rpc(&mut rt, c, s, Msg::Val(1), SimDuration::from_secs(5));
+        assert_eq!(ok, Ok(Msg::Val(2)));
+        rt.set_reachable(c, s, false);
+        let un = Transport::rpc(&mut rt, c, s, Msg::Val(1), SimDuration::from_secs(5));
+        assert_eq!(un, Err(NetError::Unreachable { from: c, to: s }));
+        rt.set_reachable(c, s, true);
+        let token = Transport::send(&mut rt, c, s, Msg::Val(5));
+        let deadline = Clock::now(&rt) + SimDuration::from_secs(5);
+        assert_eq!(
+            Transport::wait_any(&mut rt, &[token], deadline),
+            Some(token)
+        );
+        let reply = Transport::try_take_reply(&mut rt, token).expect("completed");
+        assert_eq!(reply, Ok(Msg::Val(6)));
+        assert!(rt.shutdown(Duration::from_secs(2)).is_ok());
+
+        let rec = rt.recorder().unwrap().finish();
+        assert!(!rec.truncated);
+        assert_eq!(rec.nodes, vec!["client".to_string(), "server".to_string()]);
+        let evs: Vec<&RecEvent> = rec.entries.iter().map(|e| &e.ev).collect();
+        // Same request payload → same recorded hash, success then failure.
+        let rpc_hashes: Vec<(u64, bool)> = evs
+            .iter()
+            .filter_map(|e| match e {
+                RecEvent::Rpc {
+                    req_hash, outcome, ..
+                } => Some((*req_hash, matches!(outcome, RecOutcome::Ok { .. }))),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(rpc_hashes.len(), 2);
+        assert_eq!(rpc_hashes[0].0, rpc_hashes[1].0);
+        assert!(rpc_hashes[0].1 && !rpc_hashes[1].1);
+        assert!(evs.iter().any(|e| matches!(
+            e,
+            RecEvent::SetReachable {
+                a: 0,
+                b: 1,
+                ok: false
+            }
+        )));
+        let sent_token = evs
+            .iter()
+            .find_map(|e| match e {
+                RecEvent::Send { token, .. } => Some(*token),
+                _ => None,
+            })
+            .expect("send recorded");
+        assert!(evs
+            .iter()
+            .any(|e| matches!(e, RecEvent::WaitAny { winner: Some(w), .. } if *w == sent_token)));
+        assert!(
+            evs.iter()
+                .any(|e| matches!(e, RecEvent::TookReply { token, .. } if *token == sent_token)),
+            "collected reply recorded"
+        );
+        // The artifact form survives a round trip.
+        assert_eq!(
+            crate::record::Recording::from_ron(&rec.to_ron()).unwrap(),
+            rec
+        );
     }
 }

@@ -345,3 +345,101 @@ fn sharded_quorum_fanout_runs_on_threads() {
     rt.shutdown(Duration::from_secs(10))
         .expect("no node thread should hang at shutdown");
 }
+
+/// The record→replay round trip across the same semantics × policy grid
+/// as the direct parity test: each cell runs live on OS threads with a
+/// recorder attached, then replays through the simulator, and the
+/// replayed run must reproduce the live yields, membership, and
+/// per-figure conformance verdicts — divergence-free.
+#[test]
+fn recorded_threaded_runs_replay_to_identical_verdicts() {
+    use weakset_dst::prelude::{
+        record_scenario, replay_recording, Chaos, Deployment, Op, Scenario,
+    };
+
+    fn verdicts(comp: &Computation) -> Vec<(Figure, bool)> {
+        Figure::ALL
+            .iter()
+            .map(|&f| (f, check_computation(f, comp).is_ok()))
+            .collect()
+    }
+
+    for (si, semantics) in [
+        Semantics::Snapshot,
+        Semantics::GrowOnly,
+        Semantics::Optimistic,
+        Semantics::Locked,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        for (pi, policy) in [
+            ReadPolicy::Primary,
+            ReadPolicy::Quorum,
+            ReadPolicy::Leaderless,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let scenario = Scenario {
+                seed: SEED + (si * 3 + pi) as u64,
+                servers: 3,
+                deployment: Deployment::Plain,
+                semantics,
+                read_policy: policy,
+                guard_growth: false,
+                fetch_order: FetchOrder::IdOrder,
+                think_ms: 1,
+                budget: 16,
+                start_ms: 10,
+                setup: (1..=5u64).map(|i| (i, (i as usize - 1) % 3)).collect(),
+                ops: vec![Op::Remove { at_ms: 0, elem: 2 }],
+                faults: vec![],
+                chaos: Chaos::None,
+            };
+
+            let live = record_scenario(&scenario)
+                .unwrap_or_else(|e| panic!("record {semantics:?}/{policy:?}: {e}"));
+            assert!(
+                live.report.violations.is_empty(),
+                "live {semantics:?}/{policy:?}: {:?}",
+                live.report.violations
+            );
+            let replayed = replay_recording(&live.recording)
+                .unwrap_or_else(|e| panic!("replay {semantics:?}/{policy:?}: {e}"));
+            assert_eq!(
+                replayed.divergences,
+                Vec::<String>::new(),
+                "replay diverged for {semantics:?}/{policy:?}"
+            );
+
+            let mut live_yielded = live.report.yielded.clone();
+            let mut replay_yielded = replayed.report.yielded.clone();
+            live_yielded.sort_unstable();
+            replay_yielded.sort_unstable();
+            assert_eq!(
+                replay_yielded, live_yielded,
+                "yields disagree for {semantics:?}/{policy:?}"
+            );
+            assert_eq!(
+                replayed.membership, live.membership,
+                "membership disagrees for {semantics:?}/{policy:?}"
+            );
+            assert_eq!(live_yielded, vec![1, 3, 4, 5]);
+            assert_eq!(live.membership, vec![1, 3, 4, 5]);
+
+            assert_eq!(live.report.computations.len(), 1);
+            assert_eq!(replayed.report.computations.len(), 1);
+            assert_eq!(
+                verdicts(&replayed.report.computations[0]),
+                verdicts(&live.report.computations[0]),
+                "figure verdicts disagree for {semantics:?}/{policy:?}"
+            );
+            assert!(
+                replayed.report.violations.is_empty(),
+                "replay {semantics:?}/{policy:?}: {:?}",
+                replayed.report.violations
+            );
+        }
+    }
+}

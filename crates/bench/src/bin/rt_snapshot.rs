@@ -33,6 +33,7 @@ fn policy_label(p: ReadPolicy) -> &'static str {
         ReadPolicy::Any => "any",
         ReadPolicy::Quorum => "quorum",
         ReadPolicy::Leaderless => "leaderless",
+        ReadPolicy::CausalSession => "causal_session",
     }
 }
 

@@ -28,8 +28,8 @@ use weakset_store::object::{CollectionId, ObjectId, ObjectRecord};
 use weakset_store::prelude::{CollectionRef, ReadPolicy, StoreClient, StoreWorld};
 
 /// Every snapshot scenario id, in emission order.
-pub const SCENARIOS: [&str; 12] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "fuzz",
+pub const SCENARIOS: [&str; 13] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "fuzz",
 ];
 
 /// The seed every checked-in baseline was produced with.
@@ -57,6 +57,7 @@ pub fn build(id: &str, seed: u64) -> ObsSnapshot {
         "e9" => e9_locking(seed),
         "e10" => e10_gossip(seed),
         "e11" => e11_sharded(seed),
+        "e12" => e12_session(seed),
         "fuzz" => fuzz(seed),
         other => panic!("unknown snapshot scenario {other:?} (expected one of {SCENARIOS:?})"),
     }
@@ -444,6 +445,128 @@ fn e11_sharded(seed: u64) -> ObsSnapshot {
         .with_objective("batch_envelopes", envelopes, Direction::LowerIsBetter)
 }
 
+/// E12 — causal-session reads: wait latency vs staleness. Three gossip
+/// replicas; a session client keeps adding members (secondaries lag —
+/// no anti-entropy yet) while the primary is repeatedly partitioned
+/// away at read time. A plain `Leaderless` union read serves whatever
+/// the laggard secondaries hold (stale); the `CausalSession` read
+/// parks until the partition heals and never misses a session write.
+/// After anti-entropy converges the replicas, the same partitioned
+/// read is served by the secondaries instantly — the wait cost decays
+/// to zero as convergence catches up. Gated: the session must stay
+/// perfectly fresh (a zero baseline, so *any* stale session read fails
+/// the compare gate) and its wait latency must not regress.
+fn e12_session(seed: u64) -> ObsSnapshot {
+    const ROUNDS: u64 = 4;
+    let mut topo = Topology::new();
+    let client_node = topo.add_node("client", 0);
+    let servers: Vec<_> = topo.add_servers("replica-", 3);
+    let mut config = WorldConfig::seeded(seed);
+    config.trace = false;
+    let mut world = StoreWorld::new(config, topo, LatencyModel::Constant(ms(3)));
+    world.events_mut().set_enabled(true);
+    for &s in &servers {
+        world.install_service(s, Box::new(GossipNode::new(s)));
+    }
+    let session = StoreClient::new(client_node, ms(200)).with_session();
+    let plain = StoreClient::new(client_node, ms(200));
+    let cref = CollectionRef {
+        id: CollectionId(1),
+        home: servers[0],
+        replicas: servers[1..].to_vec(),
+    };
+    session
+        .create_collection(&mut world, &cref)
+        .expect("healthy world at setup");
+    let set = WeakSet::new(session.clone(), cref.clone());
+    let mut expected: Vec<u64> = Vec::new();
+    let note_read = |world: &mut StoreWorld,
+                     label: &str,
+                     entries: &[weakset_store::collection::MemberEntry],
+                     expected: &[u64]| {
+        let missing = expected
+            .iter()
+            .filter(|e| !entries.iter().any(|m| m.elem.0 == **e))
+            .count() as u64;
+        if missing > 0 {
+            world.metrics_mut().incr(&format!("e12.read.{label}.stale"));
+            world
+                .metrics_mut()
+                .add(&format!("e12.read.{label}.missing"), missing);
+        } else {
+            world.metrics_mut().incr(&format!("e12.read.{label}.fresh"));
+        }
+    };
+
+    // Phase 1: the secondaries lag (anti-entropy not running yet) and
+    // the primary vanishes right when the client reads.
+    for r in 0..ROUNDS {
+        set.add(
+            &mut world,
+            ObjectRecord::new(ObjectId(r + 1), format!("obj-{r}"), vec![b'x'; 64]),
+            servers[0],
+        )
+        .expect("healthy world between partitions");
+        expected.push(r + 1);
+        world.topology_mut().partition(&[servers[0]]);
+        if let Ok(read) = plain.read_members(&mut world, &cref, ReadPolicy::Leaderless) {
+            note_read(&mut world, "leaderless", &read.entries, &expected);
+        }
+        world.spawn_in(ms(20), |w: &mut StoreWorld| {
+            w.topology_mut().heal_partition();
+        });
+        let read = session
+            .read_members(&mut world, &cref, ReadPolicy::CausalSession)
+            .expect("session read completes once the partition heals");
+        note_read(&mut world, "session", &read.entries, &expected);
+        world.run_to_quiescence();
+    }
+
+    // Phase 2: let anti-entropy converge the replicas, then partition
+    // the primary again — both reads are fresh now, and the session
+    // read is served by the secondaries with no wait at all.
+    let until = world.now() + ms(400);
+    engine::install(
+        &mut world,
+        cref.id,
+        cref.all_nodes(),
+        GossipConfig {
+            interval: ms(10),
+            fanout: 1,
+            until: Some(until),
+            ..GossipConfig::default()
+        },
+    );
+    world.run_to_quiescence();
+    let converged = engine::converged(&world, cref.id, &cref.all_nodes());
+    world
+        .metrics_mut()
+        .gauge_set("gossip.converged", u64::from(converged));
+    world.topology_mut().partition(&[servers[0]]);
+    if let Ok(read) = plain.read_members(&mut world, &cref, ReadPolicy::Leaderless) {
+        note_read(&mut world, "leaderless", &read.entries, &expected);
+    }
+    let read = session
+        .read_members(&mut world, &cref, ReadPolicy::CausalSession)
+        .expect("converged secondaries satisfy the session");
+    note_read(&mut world, "session", &read.entries, &expected);
+    world.topology_mut().heal_partition();
+    world.run_to_quiescence();
+
+    let snap = snapshot_with_trace(&mut world, "e12", seed);
+    let wait_p50 = snap
+        .latencies
+        .get(weakset_obs::session::READ_WAIT_US)
+        .map(|s| s.p50_us as f64)
+        .unwrap_or(0.0);
+    let stale = counter(&snap, "e12.read.session.stale");
+    let fresh = counter(&snap, "e12.read.session.fresh");
+    with_common_objectives(snap)
+        .with_objective("session_stale_reads", stale, Direction::LowerIsBetter)
+        .with_objective("session_fresh_reads", fresh, Direction::HigherIsBetter)
+        .with_objective("session_wait_p50_us", wait_p50, Direction::LowerIsBetter)
+}
+
 /// `fuzz` — DST throughput: a fixed batch of generated scenarios plus
 /// one forced-violation shrink. Throughput is expressed in simulated
 /// time (steps per simulated second), so the snapshot stays
@@ -539,5 +662,34 @@ mod tests {
         assert_eq!(snap.gauges.get("gossip.converged"), Some(&1));
         assert!(counter(&snap, "gossip.delta_bytes") > 0.0);
         assert!(counter(&snap, "gossip.digest_bytes") > 0.0);
+    }
+
+    #[test]
+    fn session_scenario_contrasts_staleness_with_wait_cost() {
+        let snap = build("e12", 13);
+        // The sessionless leaderless reads see the laggard secondaries
+        // at least once, while the session client never misses its own
+        // writes and pays for that with parked wait time.
+        assert!(
+            counter(&snap, "e12.read.leaderless.stale") > 0.0,
+            "leaderless baseline never went stale — the contrast is gone"
+        );
+        let stale = snap
+            .objectives
+            .get("session_stale_reads")
+            .expect("objective present")
+            .value;
+        assert_eq!(stale, 0.0, "session read missed its own write");
+        assert!(counter(&snap, "e12.read.session.fresh") > 0.0);
+        let wait = snap
+            .objectives
+            .get("session_wait_p50_us")
+            .expect("objective present")
+            .value;
+        assert!(
+            wait > 0.0,
+            "session reads never waited — partition had no effect"
+        );
+        assert_eq!(snap.gauges.get("gossip.converged"), Some(&1));
     }
 }

@@ -258,6 +258,128 @@ pub fn generate_sharded(seed: u64) -> Scenario {
     }
 }
 
+/// Generates a [`ReadPolicy::CausalSession`] scenario for `seed`. Pure,
+/// and a separate entry point like [`generate_sharded`], so every
+/// existing seed stream is untouched.
+///
+/// The causal envelope differs from the plain/gossip ones in exactly the
+/// way the session token changes the soundness argument:
+///
+/// - **Gossip** adds no longer need the 40 ms anti-entropy margin before
+///   iteration starts — reads may race convergence lag, because the
+///   session token is what keeps them from time-travelling. That racing
+///   window is the point of the leg.
+/// - Faults never overlap a mutation's commit window (plain scenarios
+///   carry ops or faults, never both; gossip ops land ≥ 10 ms before the
+///   first fault can fire). The oracle's session floor is read from the
+///   primaries, so a mutation whose *reply* a fault eats would commit
+///   without entering the session — and the floor would over-demand.
+pub fn generate_causal(seed: u64) -> Scenario {
+    let mut rng = SimRng::for_label(seed, "dst.gen.causal");
+    if rng.chance(0.5) {
+        causal_gossip(seed, &mut rng)
+    } else {
+        causal_plain(seed, &mut rng)
+    }
+}
+
+fn causal_plain(seed: u64, rng: &mut SimRng) -> Scenario {
+    let servers = rng.range_u64(2, 5) as usize;
+    let semantics = Semantics::ALL[rng.index(Semantics::ALL.len())];
+    let start_ms = rng.range_u64(10, 31);
+    let setup = gen_setup(rng, servers, 6);
+
+    // Ops or faults, never both: every mutation's reply must reach the
+    // session (see [`generate_causal`]).
+    let mut ops = Vec::new();
+    let mut faults = Vec::new();
+    if rng.chance(0.5) {
+        let n_ops = rng.range_u64(1, 6);
+        let mut victims: Vec<u64> = setup.iter().map(|&(e, _)| e).collect();
+        let mut next_id = 100;
+        for _ in 0..n_ops {
+            let at_ms = rng.range_u64(2, 111);
+            if victims.len() > 1 && rng.chance(0.4) {
+                let v = victims.remove(rng.index(victims.len()));
+                ops.push(Op::Remove { at_ms, elem: v });
+            } else {
+                ops.push(Op::Add {
+                    at_ms,
+                    elem: next_id,
+                    home: rng.index(servers),
+                });
+                next_id += 1;
+            }
+        }
+        ops.sort_by_key(Op::at_ms);
+    } else {
+        faults = gen_faults(rng, servers, 3, 5, 101);
+    }
+
+    Scenario {
+        seed,
+        servers,
+        deployment: Deployment::Plain,
+        semantics,
+        read_policy: ReadPolicy::CausalSession,
+        guard_growth: semantics == Semantics::GrowOnly
+            && ops.iter().any(|o| matches!(o, Op::Remove { .. })),
+        fetch_order: pick_fetch_order(rng),
+        think_ms: rng.range_u64(1, 5),
+        budget: rng.range_u64(24, 41) as usize,
+        start_ms,
+        setup,
+        ops,
+        faults,
+        chaos: Chaos::None,
+    }
+}
+
+fn causal_gossip(seed: u64, rng: &mut SimRng) -> Scenario {
+    let servers = rng.range_u64(3, 5) as usize;
+    let semantics = [
+        Semantics::Snapshot,
+        Semantics::GrowOnly,
+        Semantics::Optimistic,
+    ][rng.index(3)];
+    // Iteration starts hot on the heels of the last add — anti-entropy
+    // (5 ms rounds) may not have converged a single replica yet. The
+    // session token, not a convergence margin, is what keeps the union
+    // reads sound.
+    let start_ms = rng.range_u64(20, 41);
+    let setup = gen_setup(rng, servers, 5);
+    let n_ops = rng.range_u64(0, 5);
+    let mut ops: Vec<Op> = (0..n_ops)
+        .map(|i| Op::Add {
+            at_ms: rng.range_u64(2, start_ms.saturating_sub(11)),
+            elem: 100 + i,
+            home: rng.index(servers),
+        })
+        .collect();
+    ops.sort_by_key(Op::at_ms);
+    // First fault fires ≥ 10 ms after the last possible add commit.
+    let faults = gen_faults(rng, servers, 2, start_ms + 5, start_ms + 51);
+
+    Scenario {
+        seed,
+        servers,
+        deployment: Deployment::Gossip {
+            grow_only: rng.chance(0.5),
+        },
+        semantics,
+        read_policy: ReadPolicy::CausalSession,
+        guard_growth: false,
+        fetch_order: pick_fetch_order(rng),
+        think_ms: rng.range_u64(1, 5),
+        budget: rng.range_u64(24, 41) as usize,
+        start_ms,
+        setup,
+        ops,
+        faults,
+        chaos: Chaos::None,
+    }
+}
+
 fn gen_gossip(seed: u64, rng: &mut SimRng) -> Scenario {
     let servers = rng.range_u64(3, 5) as usize;
     let semantics = [
@@ -409,6 +531,45 @@ mod tests {
             assert!(removals < s.setup.len().max(1));
             if s.semantics == Semantics::GrowOnly && removals > 0 {
                 assert!(s.guard_growth);
+            }
+        }
+    }
+
+    #[test]
+    fn causal_generation_is_deterministic_and_stays_in_the_envelope() {
+        for i in 0..200 {
+            let seed = mix(17, i);
+            let s = generate_causal(seed);
+            assert_eq!(s, generate_causal(seed), "seed {seed}");
+            assert_eq!(s.read_policy, ReadPolicy::CausalSession);
+            assert!(!s.setup.is_empty());
+            assert_eq!(s.chaos, Chaos::None);
+            match s.deployment {
+                Deployment::Plain => {
+                    // Ops or faults, never both: the oracle floor assumes
+                    // every mutation's reply reached the session.
+                    assert!(s.ops.is_empty() || s.faults.is_empty());
+                }
+                Deployment::Gossip { .. } => {
+                    assert_ne!(s.semantics, Semantics::Locked);
+                    for op in &s.ops {
+                        assert!(matches!(op, Op::Add { .. }));
+                        // Commits well before the first fault can fire,
+                        // but with no convergence margin before start.
+                        assert!(op.at_ms() + 11 < s.start_ms);
+                    }
+                    for f in &s.faults {
+                        let at = match f {
+                            FaultSpec::Outage { at_ms, .. }
+                            | FaultSpec::Partition { at_ms, .. }
+                            | FaultSpec::Flap { at_ms, .. } => *at_ms,
+                        };
+                        assert!(at >= s.start_ms + 5);
+                    }
+                }
+                Deployment::Sharded { .. } => {
+                    panic!("generate_causal() never produces sharded deployments")
+                }
             }
         }
     }

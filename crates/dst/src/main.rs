@@ -4,12 +4,21 @@
 //! Perfetto-loadable trace of the shrunk run (`trace-<seed>.json`).
 //!
 //! ```text
-//! weakset-dst [--iters N] [--seed S | --seed-from-env] [--out DIR] [--sharded]
+//! weakset-dst [--iters N] [--seed S | --seed-from-env] [--out DIR]
+//!             [--sharded | --policies causal-session]
 //! ```
 //!
 //! `--sharded` draws every scenario from the sharded-deployment
 //! generator (hash-ring routing, batched membership reads, fan-out
 //! iteration) instead of the plain/gossip mix.
+//!
+//! `--policies causal-session` draws from the causal-session generator:
+//! every scenario reads with `ReadPolicy::CausalSession` over plain and
+//! gossip deployments (including gossip iteration racing anti-entropy
+//! lag), and the oracle additionally enforces the session floor through
+//! the visibility checker. Failures ship a `vis-<seed>.txt`
+//! counterexample (the violated axioms plus the recorded computations)
+//! next to the usual repro artifact.
 //!
 //! `--seed-from-env` reads the base seed from `$DST_SEED` (decimal, or
 //! any string — non-numeric values are hashed), so CI can vary coverage
@@ -48,6 +57,7 @@ struct Args {
     seed: u64,
     out: PathBuf,
     sharded: bool,
+    causal: bool,
     record: Option<u64>,
     replay: Option<PathBuf>,
 }
@@ -57,6 +67,7 @@ fn parse_args() -> Result<Args, String> {
     let mut seed = 1u64;
     let mut out = PathBuf::from("dst");
     let mut sharded = false;
+    let mut causal = false;
     let mut record = None;
     let mut replay = None;
     let mut argv = std::env::args().skip(1);
@@ -79,6 +90,10 @@ fn parse_args() -> Result<Args, String> {
             }
             "--out" => out = PathBuf::from(value("--out")?),
             "--sharded" => sharded = true,
+            "--policies" => match value("--policies")?.as_str() {
+                "causal-session" => causal = true,
+                other => return Err(format!("--policies: unknown policy set '{other}'")),
+            },
             "--record" => {
                 record = Some(
                     value("--record")?
@@ -89,7 +104,7 @@ fn parse_args() -> Result<Args, String> {
             "--replay" => replay = Some(PathBuf::from(value("--replay")?)),
             "--help" | "-h" => {
                 return Err(
-                    "usage: weakset-dst [--iters N] [--seed S | --seed-from-env] [--out DIR] [--sharded]\n       weakset-dst --record SEED [--out DIR]\n       weakset-dst --replay PATH [--out DIR]"
+                    "usage: weakset-dst [--iters N] [--seed S | --seed-from-env] [--out DIR] [--sharded | --policies causal-session]\n       weakset-dst --record SEED [--out DIR]\n       weakset-dst --replay PATH [--out DIR]"
                         .into(),
                 );
             }
@@ -99,11 +114,15 @@ fn parse_args() -> Result<Args, String> {
     if record.is_some() && replay.is_some() {
         return Err("--record and --replay are mutually exclusive".into());
     }
+    if sharded && causal {
+        return Err("--sharded and --policies causal-session are mutually exclusive".into());
+    }
     Ok(Args {
         iters,
         seed,
         out,
         sharded,
+        causal,
         record,
         replay,
     })
@@ -138,12 +157,19 @@ fn run_replay(rec: &weakset_runtime::record::Recording, out: &Path, violations_f
         );
         code = 1;
     }
-    if !a.divergences.is_empty() {
-        eprintln!("replay diverged from the recording:");
-        for d in &a.divergences {
-            eprintln!("  - {d}");
+    // Both replays must track the log: a divergence only the second one
+    // hits is just as much an infrastructure failure as one in the first.
+    for (label, divs) in [("first", &a.divergences), ("second", &b.divergences)] {
+        if !divs.is_empty() {
+            eprintln!(
+                "replay diverged from the recording ({label} replay, {} divergence(s)):",
+                divs.len()
+            );
+            for d in divs {
+                eprintln!("  - {d}");
+            }
+            code = 1;
         }
-        code = 1;
     }
     println!(
         "replay: seed {} trace {:016x}, {} step(s), yielded {:?}, membership {:?}",
@@ -282,6 +308,8 @@ fn main() {
     for i in 0..args.iters {
         let scenario = if args.sharded {
             generate_sharded(mix(args.seed, i))
+        } else if args.causal {
+            generate_causal(mix(args.seed, i))
         } else {
             generate(mix(args.seed, i))
         };
@@ -308,6 +336,30 @@ fn main() {
         match write_artifact(&args.out, &small, &small_report.violations) {
             Ok(path) => eprintln!("  repro artifact: {}", path.display()),
             Err(e) => eprintln!("  could not write repro artifact: {e}"),
+        }
+        if args.causal {
+            // Visibility-checker counterexample: the axiom set the run
+            // was judged against, what it violated, and the recorded
+            // computation(s) — enough to re-judge the run by hand.
+            let mut vis = String::new();
+            vis.push_str(&format!(
+                "scenario seed {}\naxioms: {:?}\n",
+                small.seed,
+                axioms_for(&small)
+            ));
+            vis.push_str("violations:\n");
+            for v in &small_report.violations {
+                vis.push_str(&format!("  - {v}\n"));
+            }
+            for (ci, comp) in small_report.computations.iter().enumerate() {
+                vis.push_str(&format!("computation {ci}: {comp:?}\n"));
+            }
+            let vis_path = args.out.join(format!("vis-{}.txt", small.seed));
+            if let Err(e) = std::fs::write(&vis_path, &vis) {
+                eprintln!("  could not write visibility counterexample: {e}");
+            } else {
+                eprintln!("  visibility counterexample: {}", vis_path.display());
+            }
         }
         // Explain mode: walk the shrunk run's causal DAG backwards and
         // ship the post-mortem (plus a Perfetto-loadable trace of the

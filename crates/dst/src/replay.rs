@@ -387,6 +387,9 @@ fn membership_readable_threaded(
             all.iter().filter(|&&n| live(n)).count() * 2 > all.len()
         }
         ReadPolicy::Any | ReadPolicy::Leaderless => cref.all_nodes().iter().any(|&n| live(n)),
+        // Conservative, mirroring the simulator driver: a live home
+        // always satisfies the session floor.
+        ReadPolicy::CausalSession => live(cref.home),
     }
 }
 

@@ -28,7 +28,7 @@ use weakset_sim::node::NodeId;
 use weakset_sim::time::{SimDuration, SimTime};
 use weakset_sim::topology::Topology;
 use weakset_sim::world::WorldConfig;
-use weakset_spec::prelude::{Computation, ElemId, Invocation, Outcome};
+use weakset_spec::prelude::{Computation, ElemId, Invocation, Outcome, SetValue};
 use weakset_store::object::{CollectionId, ObjectId, ObjectRecord};
 use weakset_store::prelude::{CollectionRef, ReadPolicy, StoreClient, StoreServer, StoreWorld};
 
@@ -240,6 +240,49 @@ fn membership_readable(
             all.iter().filter(|&&n| live(n)).count() * 2 > all.len()
         }
         ReadPolicy::Any | ReadPolicy::Leaderless => cref.all_nodes().iter().any(|&n| live(n)),
+        // Conservative: the generator serializes every mutation at the
+        // home node, so a live home always dominates the session floor.
+        // A laggard-only view may or may not satisfy it — wait it out.
+        ReadPolicy::CausalSession => live(cref.home),
+    }
+}
+
+/// The causal-session floors the oracle will demand of each recorded
+/// run, one per shard computation (a single entry otherwise): the
+/// elements the session had committed at run start, read omnisciently
+/// from the shard primaries, minus anything the workload ever tries to
+/// remove (a concurrent removal legitimately hides the element). The
+/// iterator must yield everything else before claiming the set drained —
+/// that is read-your-writes, machine-checked.
+fn session_floors(w: &StoreWorld, s: &Scenario, set: &TestSet) -> Vec<SetValue> {
+    let removed: std::collections::BTreeSet<u64> = s
+        .ops
+        .iter()
+        .filter_map(|op| match op {
+            Op::Remove { elem, .. } => Some(*elem),
+            _ => None,
+        })
+        .collect();
+    let floor_of = |members: Vec<u64>| -> SetValue {
+        members
+            .into_iter()
+            .filter(|e| !removed.contains(e))
+            .map(ElemId)
+            .collect()
+    };
+    match set {
+        TestSet::One(_) => vec![floor_of(ground_truth_members(w, s, set))],
+        TestSet::Sharded(ss) => (0..ss.shard_count())
+            .map(|i| {
+                let cref = ss.shard(i).cref();
+                let members = w
+                    .service::<StoreServer>(cref.home)
+                    .and_then(|sv| sv.collection(cref.id))
+                    .map(|c| c.snapshot().iter().map(|m| m.elem.0).collect())
+                    .unwrap_or_default();
+                floor_of(members)
+            })
+            .collect(),
     }
 }
 
@@ -335,7 +378,13 @@ pub fn execute(s: &Scenario) -> RunReport {
             }
         }
     }
-    let client = StoreClient::new(cn, ms(50));
+    let mut client = StoreClient::new(cn, ms(50));
+    if s.read_policy == ReadPolicy::CausalSession {
+        // One shared session token across the client, every shard clone,
+        // and the iterator: its writes become the floors the oracle
+        // enforces below.
+        client = client.with_session();
+    }
     let config = IterConfig {
         read_policy: s.read_policy,
         fetch_order: s.fetch_order,
@@ -410,6 +459,13 @@ pub fn execute(s: &Scenario) -> RunReport {
     if w.now() < at_start {
         w.run_until(at_start);
     }
+    // Snapshot the session's committed writes at run start; the oracle
+    // demands them back from every terminated run.
+    let floors: Vec<SetValue> = if s.read_policy == ReadPolicy::CausalSession {
+        session_floors(&w, s, &set)
+    } else {
+        Vec::new()
+    };
 
     // The observed iterator under test.
     let mut it: TestElements = match s.deployment {
@@ -512,8 +568,10 @@ pub fn execute(s: &Scenario) -> RunReport {
         violations.push("observer produced no computation".into());
     }
     let sharded = computations.len() > 1;
+    let empty_floor = SetValue::empty();
     for (i, comp) in computations.iter().enumerate() {
-        for v in oracle::check(s, comp) {
+        let floor = floors.get(i).unwrap_or(&empty_floor);
+        for v in oracle::check_with_session(s, comp, floor) {
             violations.push(if sharded {
                 format!("shard {i}: {v}")
             } else {
@@ -725,6 +783,62 @@ mod tests {
         let mut got = report.yielded.clone();
         got.sort_unstable();
         assert_eq!(got, vec![1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn quiet_causal_runs_conform_for_every_semantics() {
+        for sem in Semantics::ALL {
+            let s = Scenario {
+                read_policy: ReadPolicy::CausalSession,
+                ..quiet(sem)
+            };
+            let report = execute(&s);
+            assert!(
+                report.violations.is_empty(),
+                "{sem}: {:?}",
+                report.violations
+            );
+            let mut got = report.yielded.clone();
+            got.sort_unstable();
+            assert_eq!(got, vec![1, 2, 3], "{sem}");
+        }
+    }
+
+    #[test]
+    fn causal_phantom_yield_chaos_is_always_caught() {
+        for sem in Semantics::ALL {
+            let sabotaged = Scenario {
+                read_policy: ReadPolicy::CausalSession,
+                chaos: Chaos::PhantomYield,
+                ..quiet(sem)
+            };
+            let report = execute(&sabotaged);
+            assert!(
+                !report.violations.is_empty(),
+                "{sem}: sabotage went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn generated_causal_scenarios_conform_and_replay() {
+        // The acceptance property in miniature: across generated causal
+        // scenarios — including gossip deployments iterating mid-lag —
+        // the session client never misses one of its own committed
+        // inserts, and the runs replay to the same hash.
+        for i in 0..8 {
+            let s = crate::gen::generate_causal(mix(31, i));
+            let a = execute(&s);
+            assert!(
+                a.violations.is_empty(),
+                "seed {}: {:?}",
+                s.seed,
+                a.violations
+            );
+            let b = execute(&s);
+            assert_eq!(a.trace_hash, b.trace_hash, "seed {}", s.seed);
+            assert_eq!(a.yielded, b.yielded);
+        }
     }
 
     #[test]

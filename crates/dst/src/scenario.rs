@@ -206,6 +206,7 @@ fn policy_name(p: ReadPolicy) -> &'static str {
         ReadPolicy::Any => "Any",
         ReadPolicy::Quorum => "Quorum",
         ReadPolicy::Leaderless => "Leaderless",
+        ReadPolicy::CausalSession => "CausalSession",
     }
 }
 
@@ -566,6 +567,7 @@ impl Parser {
             "Any" => ReadPolicy::Any,
             "Quorum" => ReadPolicy::Quorum,
             "Leaderless" => ReadPolicy::Leaderless,
+            "CausalSession" => ReadPolicy::CausalSession,
             other => return Err(format!("unknown read policy '{other}'")),
         };
         let guard_growth = self.bool_field("guard_growth")?;
@@ -831,6 +833,17 @@ mod tests {
             assert!(text.contains(needle));
             assert_eq!(Scenario::from_ron(&text).unwrap(), s);
         }
+    }
+
+    #[test]
+    fn causal_session_policy_round_trips() {
+        let s = Scenario {
+            read_policy: ReadPolicy::CausalSession,
+            ..sample()
+        };
+        let text = s.to_ron();
+        assert!(text.contains("read_policy: CausalSession"));
+        assert_eq!(Scenario::from_ron(&text).unwrap(), s);
     }
 
     #[test]

@@ -310,6 +310,67 @@ impl GossipNode {
                 }
                 reply
             }
+            // Session-gated requests. Scalar version totals are NOT a
+            // sound causality floor for gossip replicas (two replicas
+            // can cover disjoint dot sets with equal totals), so the
+            // gate is dot-level: the replica must dominate the clock
+            // the session has observed. Replies carry the replica's
+            // digest so the client learns dot-level dependencies.
+            StoreMsg::WithSession { session, inner } => match *inner {
+                StoreMsg::ListMembers(coll) => match self.replicas.get(&coll) {
+                    Some(crdt) => {
+                        let digest = crdt.digest();
+                        let floor_clock = session.clock(coll);
+                        let clock_ok = floor_clock.is_none_or(|c| digest.dominates(c));
+                        let total_ok = digest.total() >= session.floor(coll);
+                        if clock_ok && total_ok {
+                            StoreMsg::SessionStamped {
+                                clock: digest.clone(),
+                                inner: Box::new(StoreMsg::Members {
+                                    version: digest.total(),
+                                    entries: crdt.elements(),
+                                }),
+                            }
+                        } else {
+                            StoreMsg::SessionBehind {
+                                coll,
+                                have: digest.total(),
+                                need: session
+                                    .floor(coll)
+                                    .max(floor_clock.map_or(0, VersionVector::total)),
+                            }
+                        }
+                    }
+                    // No CRDT replica here: the wrapped plain server's
+                    // scalar gate (sound for primary-serialized state)
+                    // takes over.
+                    None => self.inner.apply(StoreMsg::WithSession {
+                        session,
+                        inner: Box::new(StoreMsg::ListMembers(coll)),
+                    }),
+                },
+                // Mutations pass through the gossip-aware interception,
+                // then the reply is stamped with the post-mutation
+                // digest — the dot this session must later find.
+                other => {
+                    let target = match &other {
+                        StoreMsg::AddMember { coll, .. } | StoreMsg::RemoveMember { coll, .. } => {
+                            Some(*coll)
+                        }
+                        _ => None,
+                    };
+                    let reply = self.handle_msg(other);
+                    match target.and_then(|c| self.replicas.get(&c)) {
+                        Some(crdt) if matches!(reply, StoreMsg::Members { .. }) => {
+                            StoreMsg::SessionStamped {
+                                clock: crdt.digest(),
+                                inner: Box::new(reply),
+                            }
+                        }
+                        _ => reply,
+                    }
+                }
+            },
             // Batched parts must re-enter HERE, not the wrapped server,
             // so CRDT-backed reads stay CRDT-backed inside envelopes.
             StoreMsg::Batch(parts) => {
@@ -479,6 +540,72 @@ mod tests {
             }),
             StoreMsg::NoSuchCollection(CollectionId(9))
         );
+    }
+
+    #[test]
+    fn session_gate_is_dot_level_not_total() {
+        use weakset_store::session::SessionToken;
+        // Two replicas each with one local add: equal digest totals,
+        // disjoint dots. A scalar floor cannot tell them apart; the
+        // dot-level gate must.
+        let (mut a, c) = node_with_coll(GossipSemantics::GrowShrink);
+        let mut b = GossipNode::new(n(2));
+        b.create_replica(c, GossipSemantics::GrowShrink);
+        a.apply(StoreMsg::AddMember {
+            coll: c,
+            entry: e(1),
+        });
+        b.apply(StoreMsg::AddMember {
+            coll: c,
+            entry: e(2),
+        });
+        let mut tok = SessionToken::new();
+        tok.observe_clock(c, &a.crdt(c).unwrap().digest());
+        tok.observe_version(c, 1);
+        // b's total equals the session floor, but b never saw a's dot.
+        let reply = b.apply(StoreMsg::WithSession {
+            session: tok.clone(),
+            inner: Box::new(StoreMsg::ListMembers(c)),
+        });
+        assert_eq!(
+            reply,
+            StoreMsg::SessionBehind {
+                coll: c,
+                have: 1,
+                need: 1
+            }
+        );
+        // a itself satisfies the session and stamps its digest.
+        match a.apply(StoreMsg::WithSession {
+            session: tok,
+            inner: Box::new(StoreMsg::ListMembers(c)),
+        }) {
+            StoreMsg::SessionStamped { clock, inner } => {
+                assert_eq!(clock, a.crdt(c).unwrap().digest());
+                assert!(matches!(*inner, StoreMsg::Members { version: 1, .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn session_wrapped_mutations_get_stamped() {
+        use weakset_store::session::SessionToken;
+        let (mut g, c) = node_with_coll(GossipSemantics::GrowShrink);
+        let reply = g.apply(StoreMsg::WithSession {
+            session: SessionToken::new(),
+            inner: Box::new(StoreMsg::AddMember {
+                coll: c,
+                entry: e(1),
+            }),
+        });
+        match reply {
+            StoreMsg::SessionStamped { clock, inner } => {
+                assert_eq!(clock.total(), 1, "post-mutation digest");
+                assert!(matches!(*inner, StoreMsg::Members { version: 1, .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

@@ -55,6 +55,7 @@ pub mod json;
 pub mod latency;
 pub mod registry;
 pub mod replay;
+pub mod session;
 pub mod shard;
 pub mod sink;
 pub mod snapshot;

@@ -1,0 +1,53 @@
+//! Well-known metric names for causal-session reads.
+//!
+//! A `ReadPolicy::CausalSession` membership read carries the client's
+//! session token and may *wait* (for a laggard replica to apply the
+//! session's dependencies) or *redirect* (union a different replica set
+//! than it first contacted) before answering. Those detours are the
+//! price of read-your-writes on leaderless deployments, so they get
+//! their own instrumentation surface; the names live here (rather than
+//! as string literals in `weakset-store`) so dashboards, snapshot
+//! baselines, and tests agree on the spelling.
+
+/// Counter: replica replies rejected because the replica had not yet
+/// applied the session's dependencies (`SessionBehind`).
+pub const READ_BEHIND: &str = "session.read.behind";
+
+/// Counter: session reads that were answered by redirecting — merging
+/// replies from replicas other than (or in addition to) the ones that
+/// reported themselves behind.
+pub const READ_REDIRECT: &str = "session.read.redirect";
+
+/// Latency: simulated time a session read spent parked waiting for some
+/// replica to catch up to the session floor, in microseconds.
+pub const READ_WAIT_US: &str = "session.read.wait.us";
+
+/// Counter: session reads that exhausted their deadline with every
+/// reachable replica still behind the session floor.
+pub const READ_GAVE_UP: &str = "session.read.gave_up";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MetricsRegistry;
+
+    #[test]
+    fn names_are_distinct_and_namespaced() {
+        let all = [READ_BEHIND, READ_REDIRECT, READ_WAIT_US, READ_GAVE_UP];
+        for (i, a) in all.iter().enumerate() {
+            assert!(a.starts_with("session."), "{a} must be namespaced");
+            for b in &all[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn usable_as_registry_keys() {
+        let mut m = MetricsRegistry::new();
+        m.incr(READ_BEHIND);
+        m.observe(READ_WAIT_US, 125);
+        assert_eq!(m.counter(READ_BEHIND), 1);
+        assert!(m.latency(READ_WAIT_US).is_some());
+    }
+}

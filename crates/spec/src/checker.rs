@@ -4,7 +4,7 @@
 use crate::constraint::{ConstraintKind, ConstraintViolation};
 use crate::specs::{self, EnsuresCtx, EnsuresError, Strictness};
 use crate::state::{Computation, IterRun, Outcome};
-use crate::value::SetValue;
+use crate::value::{ElemId, SetValue};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -122,6 +122,24 @@ pub enum Violation {
         /// What is wrong.
         detail: String,
     },
+    /// §3.4 visibility soundness: an element was yielded that was never a
+    /// member of the set in any state within the run's span (reported by
+    /// [`crate::visibility::check_execution`]).
+    PhantomYield {
+        /// Index of the run within the computation.
+        run: usize,
+        /// The phantom element.
+        elem: ElemId,
+    },
+    /// A causal-session axiom failed: the run terminated normally while
+    /// session dependencies were never made visible (reported by
+    /// [`crate::visibility::check_execution`]).
+    SessionHidden {
+        /// Index of the run within the computation.
+        run: usize,
+        /// Session-floor elements the run never yielded.
+        missing: SetValue,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -138,6 +156,18 @@ impl fmt::Display for Violation {
             }
             Violation::Malformed { run, detail } => {
                 write!(f, "run {run} malformed: {detail}")
+            }
+            Violation::PhantomYield { run, elem } => {
+                write!(
+                    f,
+                    "run {run}: yielded {elem}, which was never a member during the run"
+                )
+            }
+            Violation::SessionHidden { run, missing } => {
+                write!(
+                    f,
+                    "run {run}: terminated without yielding session dependencies {missing}"
+                )
             }
         }
     }

@@ -52,6 +52,7 @@ pub mod specs;
 pub mod state;
 pub mod taxonomy;
 pub mod value;
+pub mod visibility;
 
 /// One-stop imports for specification users.
 pub mod prelude {
@@ -72,4 +73,5 @@ pub mod prelude {
     pub use crate::state::{Computation, Invocation, IterRun, Outcome, Recorder, State};
     pub use crate::taxonomy::{classify_run, paper_class, Consistency, Currency, QueryClass};
     pub use crate::value::{ElemId, SetValue};
+    pub use crate::visibility::{check_execution, AxiomSet, FailureMode, Vintage};
 }

@@ -1,13 +1,17 @@
 //! The repository client: typed operations over the message protocol.
 
 use crate::collection::MemberEntry;
+use crate::dotted::VersionVector;
 use crate::msg::StoreMsg;
 use crate::object::{CollectionId, ObjectId, ObjectRecord};
 use crate::query::Query;
+use crate::session::SessionToken;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
+use std::sync::{Arc, Mutex};
+use weakset_obs::session as session_names;
 use weakset_runtime::prelude::*;
 use weakset_sim::net::{BatchBuffer, BatchEnvelope, NetError};
 use weakset_sim::node::NodeId;
@@ -43,6 +47,14 @@ pub enum StoreError {
     /// The server answered with something the protocol does not allow
     /// here.
     Protocol,
+    /// Every reachable replica is behind the session's dependency floor
+    /// ([`ReadPolicy::CausalSession`]) and the wait deadline expired.
+    SessionBehind {
+        /// The best version any contacted replica had.
+        have: u64,
+        /// The session's required floor.
+        need: u64,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -56,6 +68,9 @@ impl fmt::Display for StoreError {
                 write!(f, "quorum not reached: {got} of {need} replies")
             }
             StoreError::Protocol => write!(f, "unexpected protocol reply"),
+            StoreError::SessionBehind { have, need } => {
+                write!(f, "replicas behind session floor: have {have}, need {need}")
+            }
         }
     }
 }
@@ -72,7 +87,10 @@ impl StoreError {
     /// True when the error is the paper's "failure" exception (a
     /// communication failure), as opposed to a logical error.
     pub fn is_failure(&self) -> bool {
-        matches!(self, StoreError::Net(_) | StoreError::NoQuorum { .. })
+        matches!(
+            self,
+            StoreError::Net(_) | StoreError::NoQuorum { .. } | StoreError::SessionBehind { .. }
+        )
     }
 }
 
@@ -126,6 +144,15 @@ pub enum ReadPolicy {
     /// (`weakset-gossip`): membership is then a join-semilattice, so the
     /// union of replica states is itself a valid weak-set read.
     Leaderless,
+    /// Leaderless union reads with *session guarantees*: every request
+    /// carries the client's [`SessionToken`] dependency vector, and a
+    /// replica that has not yet applied the session's dependencies
+    /// answers [`StoreMsg::SessionBehind`] instead of serving stale
+    /// data. The client redirects to other replicas and waits for
+    /// laggards, giving read-your-writes and monotonic reads even
+    /// without a primary. Requires a client built with
+    /// [`StoreClient::with_session`].
+    CausalSession,
 }
 
 impl ReadPolicy {
@@ -137,6 +164,7 @@ impl ReadPolicy {
             ReadPolicy::Any => "any",
             ReadPolicy::Quorum => "quorum",
             ReadPolicy::Leaderless => "leaderless",
+            ReadPolicy::CausalSession => "causal_session",
         }
     }
 }
@@ -158,6 +186,9 @@ pub struct StoreClient {
     timeout: SimDuration,
     lock_token: u64,
     retries: usize,
+    // Shared across clones: the iterator stack clones the client per
+    // run, and all clones must extend the same session.
+    session: Option<Arc<Mutex<SessionToken>>>,
 }
 
 impl StoreClient {
@@ -168,6 +199,37 @@ impl StoreClient {
             timeout,
             lock_token: node.0 as u64 + 1,
             retries: 0,
+            session: None,
+        }
+    }
+
+    /// Attaches a fresh causal session to this client: mutations and
+    /// [`ReadPolicy::CausalSession`] reads record their observed
+    /// versions in a shared [`SessionToken`], and session reads refuse
+    /// replies from replicas behind that token. Clones of the client
+    /// share the session.
+    #[must_use]
+    pub fn with_session(mut self) -> Self {
+        self.session = Some(Arc::new(Mutex::new(SessionToken::new())));
+        self
+    }
+
+    /// A copy of the current session token, if a session is attached.
+    pub fn session_token(&self) -> Option<SessionToken> {
+        self.session
+            .as_ref()
+            .map(|s| s.lock().expect("session lock poisoned").clone())
+    }
+
+    /// Folds an observed reply (scalar version and, for gossip replies,
+    /// a dot-level clock) into the session token, if any.
+    fn session_observe(&self, coll: CollectionId, version: u64, clock: Option<&VersionVector>) {
+        if let Some(session) = &self.session {
+            let mut tok = session.lock().expect("session lock poisoned");
+            tok.observe_version(coll, version);
+            if let Some(clock) = clock {
+                tok.observe_clock(coll, clock);
+            }
         }
     }
 
@@ -357,6 +419,16 @@ impl StoreClient {
         msg: StoreMsg,
     ) -> Result<u64, StoreError> {
         let started = world.now();
+        // With a session attached, the mutation rides in a WithSession
+        // wrapper so gossip replicas stamp the reply with their
+        // post-mutation digest — the dot this session must later see.
+        let msg = match self.session_token() {
+            Some(session) => StoreMsg::WithSession {
+                session,
+                inner: Box::new(msg),
+            },
+            None => msg,
+        };
         let primary = self.call(world, cref.home, msg);
         let elapsed = world.now().saturating_since(started).as_micros();
         let m = world.metrics_mut();
@@ -366,12 +438,21 @@ impl StoreClient {
         } else {
             "store.write.err"
         });
-        let (version, entries) = match primary? {
+        let mut clock = None;
+        let reply = match primary? {
+            StoreMsg::SessionStamped { clock: c, inner } => {
+                clock = Some(c);
+                *inner
+            }
+            other => other,
+        };
+        let (version, entries) = match reply {
             StoreMsg::Members { version, entries } => (version, entries),
             StoreMsg::Locked => return Err(StoreError::Locked),
             StoreMsg::NoSuchCollection(c) => return Err(StoreError::NoSuchCollection(c)),
             _ => return Err(StoreError::Protocol),
         };
+        self.session_observe(cref.id, version, clock.as_ref());
         for &replica in &cref.replicas {
             // Best effort: a stale replica is the paper's "one node may
             // have more up-to-date information than another".
@@ -412,6 +493,7 @@ impl StoreClient {
             ReadPolicy::Any => "store.read.any",
             ReadPolicy::Quorum => "store.read.quorum",
             ReadPolicy::Leaderless => "store.read.leaderless",
+            ReadPolicy::CausalSession => "store.read.causal_session",
         };
         let span = world.span_enter(span_kind, &|| cref.id.to_string());
         let result = self.read_members_inner(world, cref, policy);
@@ -502,6 +584,83 @@ impl StoreClient {
                     None => Err(last_err),
                 }
             }
+            ReadPolicy::CausalSession => self.read_causal_session(world, cref),
+        }
+    }
+
+    /// The [`ReadPolicy::CausalSession`] read loop: leaderless union
+    /// reads over every replica, but each request carries the session
+    /// token and replicas behind the session's dependency floor answer
+    /// [`StoreMsg::SessionBehind`]. Any satisfying replica suffices
+    /// (redirect); if *every* reachable replica is behind, the client
+    /// waits and retries until its timeout, then surfaces
+    /// [`StoreError::SessionBehind`] — blocking beats silently violating
+    /// read-your-writes.
+    fn read_causal_session(
+        &self,
+        world: &mut StoreRt,
+        cref: &CollectionRef,
+    ) -> Result<MembershipRead, StoreError> {
+        /// Delay between rounds while waiting for laggards to catch up.
+        const WAIT_STEP: SimDuration = SimDuration::from_millis(5);
+        let deadline = world.now() + self.timeout;
+        let started = world.now();
+        let mut nodes = cref.all_nodes();
+        nodes.sort_by_key(|&n| world.estimate_latency(self.node, n));
+        let mut waited = false;
+        loop {
+            let mut merged: Option<MembershipRead> = None;
+            let mut last_err = StoreError::Net(NetError::Timeout);
+            let mut behind: Option<(u64, u64)> = None;
+            for &node in &nodes {
+                match self.list_one_session(world, node, cref.id) {
+                    Ok(read) => match &mut merged {
+                        Some(m) => {
+                            m.version = m.version.max(read.version);
+                            m.entries.extend(read.entries);
+                        }
+                        None => merged = Some(read),
+                    },
+                    Err(StoreError::SessionBehind { have, need }) => {
+                        world.metrics_mut().incr(session_names::READ_BEHIND);
+                        behind = Some(match behind {
+                            Some((h, n)) => (h.max(have), n.max(need)),
+                            None => (have, need),
+                        });
+                    }
+                    Err(e) => last_err = e,
+                }
+            }
+            if let Some(mut m) = merged {
+                m.entries.sort_unstable();
+                m.entries.dedup();
+                if behind.is_some() {
+                    // Some replica was behind, but another satisfied the
+                    // session: the read was redirected, not blocked.
+                    world.metrics_mut().incr(session_names::READ_REDIRECT);
+                }
+                if waited {
+                    let us = world.now().saturating_since(started).as_micros();
+                    world.metrics_mut().observe(session_names::READ_WAIT_US, us);
+                }
+                return Ok(m);
+            }
+            let Some((have, need)) = behind else {
+                // Nothing was behind — the read failed for ordinary
+                // reasons (unreachable replicas, missing collection).
+                return Err(last_err);
+            };
+            if world.now() + WAIT_STEP > deadline {
+                let us = world.now().saturating_since(started).as_micros();
+                let m = world.metrics_mut();
+                m.observe(session_names::READ_WAIT_US, us);
+                m.incr(session_names::READ_GAVE_UP);
+                return Err(StoreError::SessionBehind { have, need });
+            }
+            // Every reachable replica is behind: wait for replication or
+            // anti-entropy to catch up, then retry the whole ring.
+            waited = true;
+            world.sleep(WAIT_STEP);
         }
     }
 
@@ -544,7 +703,19 @@ impl StoreClient {
         for (i, shard) in shards.iter().enumerate() {
             for &node in &contacts[i] {
                 slots.entry(node).or_default().push(i);
-                buf.push(node, StoreMsg::ListMembers(shard.id));
+                let part = StoreMsg::ListMembers(shard.id);
+                // Session reads gate every part individually: a stale
+                // replica answers SessionBehind for exactly the shards
+                // it lags on.
+                let part = if policy == ReadPolicy::CausalSession {
+                    StoreMsg::WithSession {
+                        session: self.session_token().unwrap_or_default(),
+                        inner: Box::new(part),
+                    }
+                } else {
+                    part
+                };
+                buf.push(node, part);
             }
         }
         world
@@ -583,9 +754,22 @@ impl StoreClient {
             match outcome {
                 Ok(replies) => {
                     for (&i, part) in idxs.iter().zip(replies) {
+                        let mut clock = None;
+                        let part = match part {
+                            StoreMsg::SessionStamped { clock: c, inner } => {
+                                clock = Some(c);
+                                *inner
+                            }
+                            other => other,
+                        };
                         let read = match part {
                             StoreMsg::Members { version, entries } => {
+                                self.session_observe(shards[i].id, version, clock.as_ref());
                                 Ok(MembershipRead { version, entries })
+                            }
+                            StoreMsg::SessionBehind { have, need, .. } => {
+                                world.metrics_mut().incr(session_names::READ_BEHIND);
+                                Err(StoreError::SessionBehind { have, need })
                             }
                             StoreMsg::NoSuchCollection(c) => Err(StoreError::NoSuchCollection(c)),
                             _ => Err(StoreError::Protocol),
@@ -600,10 +784,20 @@ impl StoreClient {
                 }
             }
         }
-        let results: Vec<Result<MembershipRead, StoreError>> = reads
+        let mut results: Vec<Result<MembershipRead, StoreError>> = reads
             .into_iter()
             .map(|per_node| Self::aggregate_reads(world, self.node, policy, per_node))
             .collect();
+        // Session reads do not give up after one round: a shard whose
+        // replicas were all behind falls back to the sequential
+        // wait/redirect loop, which retries until the timeout.
+        if policy == ReadPolicy::CausalSession {
+            for (shard, r) in shards.iter().zip(results.iter_mut()) {
+                if matches!(r, Err(StoreError::SessionBehind { .. })) {
+                    *r = self.read_causal_session(world, shard);
+                }
+            }
+        }
         for (shard, r) in shards.iter().zip(&results) {
             if let Err(e) = r {
                 let msg = e.to_string();
@@ -671,9 +865,10 @@ impl StoreClient {
                     Err(StoreError::NoQuorum { got, need })
                 }
             }
-            ReadPolicy::Leaderless => {
+            ReadPolicy::Leaderless | ReadPolicy::CausalSession => {
                 let mut merged: Option<MembershipRead> = None;
                 let mut last_err = StoreError::Net(NetError::Timeout);
+                let mut behind: Option<(u64, u64)> = None;
                 for (_, r) in per_node {
                     match r {
                         Ok(read) => match &mut merged {
@@ -683,6 +878,12 @@ impl StoreClient {
                             }
                             None => merged = Some(read),
                         },
+                        Err(StoreError::SessionBehind { have, need }) => {
+                            behind = Some(match behind {
+                                Some((h, n)) => (h.max(have), n.max(need)),
+                                None => (have, need),
+                            });
+                        }
                         Err(e) => last_err = e,
                     }
                 }
@@ -692,7 +893,12 @@ impl StoreClient {
                         m.entries.dedup();
                         Ok(m)
                     }
-                    None => Err(last_err),
+                    // Every replica behind beats a generic error: the
+                    // caller can wait and retry on SessionBehind.
+                    None => match behind {
+                        Some((have, need)) => Err(StoreError::SessionBehind { have, need }),
+                        None => Err(last_err),
+                    },
                 }
             }
         }
@@ -706,6 +912,42 @@ impl StoreClient {
     ) -> Result<MembershipRead, StoreError> {
         match self.call(world, node, StoreMsg::ListMembers(coll))? {
             StoreMsg::Members { version, entries } => Ok(MembershipRead { version, entries }),
+            StoreMsg::NoSuchCollection(c) => Err(StoreError::NoSuchCollection(c)),
+            _ => Err(StoreError::Protocol),
+        }
+    }
+
+    /// A session-gated `ListMembers` against one replica. Successful
+    /// replies (and their gossip clock stamps) are folded into the
+    /// session token; a behind replica surfaces as
+    /// [`StoreError::SessionBehind`].
+    fn list_one_session(
+        &self,
+        world: &mut StoreRt,
+        node: NodeId,
+        coll: CollectionId,
+    ) -> Result<MembershipRead, StoreError> {
+        let session = self.session_token().unwrap_or_default();
+        let msg = StoreMsg::WithSession {
+            session,
+            inner: Box::new(StoreMsg::ListMembers(coll)),
+        };
+        let mut clock = None;
+        let reply = match self.call(world, node, msg)? {
+            StoreMsg::SessionStamped { clock: c, inner } => {
+                clock = Some(c);
+                *inner
+            }
+            other => other,
+        };
+        match reply {
+            StoreMsg::Members { version, entries } => {
+                self.session_observe(coll, version, clock.as_ref());
+                Ok(MembershipRead { version, entries })
+            }
+            StoreMsg::SessionBehind { have, need, .. } => {
+                Err(StoreError::SessionBehind { have, need })
+            }
             StoreMsg::NoSuchCollection(c) => Err(StoreError::NoSuchCollection(c)),
             _ => Err(StoreError::Protocol),
         }
@@ -1161,6 +1403,139 @@ mod tests {
         let reads = cl.read_members_batched(&mut w, &shards, ReadPolicy::Primary);
         for r in reads {
             assert!(r.unwrap_err().is_failure());
+        }
+    }
+
+    #[test]
+    fn session_survives_primary_isolating_partition() {
+        let (mut w, c, s) = world_with(3);
+        let cl = StoreClient::new(c, SimDuration::from_millis(50)).with_session();
+        let cref = CollectionRef {
+            id: CollectionId(1),
+            home: s[0],
+            replicas: vec![s[1], s[2]],
+        };
+        cl.create_collection(&mut w, &cref).unwrap();
+        cl.add_member(&mut w, &cref, entry(1, s[0])).unwrap();
+        // s[2] misses the second add and goes stale at v1.
+        w.topology_mut().partition(&[s[2]]);
+        cl.add_member(&mut w, &cref, entry(2, s[0])).unwrap();
+        assert_eq!(cl.session_token().unwrap().floor(cref.id), 2);
+        w.topology_mut().heal_partition();
+        // Now the PRIMARY is cut off. Plain Any can serve the stale
+        // replica; a session read never does — the stale replica
+        // answers SessionBehind and the read redirects to s[1].
+        w.topology_mut().partition(&[s[0]]);
+        let read = cl
+            .read_members(&mut w, &cref, ReadPolicy::CausalSession)
+            .unwrap();
+        assert_eq!(read.version, 2, "read-your-writes despite lost primary");
+        assert_eq!(read.entries.len(), 2);
+        assert!(w.metrics().counter(session_names::READ_BEHIND) >= 1);
+        assert!(w.metrics().counter(session_names::READ_REDIRECT) >= 1);
+    }
+
+    #[test]
+    fn session_read_waits_for_laggard_to_catch_up() {
+        let (mut w, c, s) = world_with(2);
+        let cl = StoreClient::new(c, SimDuration::from_millis(100)).with_session();
+        let cref = CollectionRef {
+            id: CollectionId(1),
+            home: s[0],
+            replicas: vec![s[1]],
+        };
+        cl.create_collection(&mut w, &cref).unwrap();
+        cl.add_member(&mut w, &cref, entry(1, s[0])).unwrap();
+        // The replica misses the second add, then the primary vanishes:
+        // every reachable replica is now behind the session.
+        w.topology_mut().partition(&[s[1]]);
+        cl.add_member(&mut w, &cref, entry(2, s[0])).unwrap();
+        w.topology_mut().heal_partition();
+        w.topology_mut().partition(&[s[0]]);
+        // Replication catches the laggard up 20ms from now.
+        let replica = s[1];
+        let coll = cref.id;
+        let members = vec![entry(1, s[0]), entry(2, s[0])];
+        w.spawn_in(SimDuration::from_millis(20), move |w: &mut StoreWorld| {
+            w.with_service_mut::<StoreServer, _>(replica, |srv| {
+                srv.apply(StoreMsg::SyncMembers {
+                    coll,
+                    version: 2,
+                    members,
+                });
+            });
+        });
+        let read = cl
+            .read_members(&mut w, &cref, ReadPolicy::CausalSession)
+            .unwrap();
+        assert_eq!(read.version, 2, "the read blocked until catch-up");
+        assert_eq!(read.entries.len(), 2);
+        assert!(w.metrics().counter(session_names::READ_BEHIND) >= 1);
+        assert_eq!(w.metrics().counter(session_names::READ_GAVE_UP), 0);
+        assert!(w.metrics().latency(session_names::READ_WAIT_US).is_some());
+    }
+
+    #[test]
+    fn session_read_fails_rather_than_serving_stale() {
+        let (mut w, c, s) = world_with(2);
+        let cl = StoreClient::new(c, SimDuration::from_millis(30)).with_session();
+        let cref = CollectionRef {
+            id: CollectionId(1),
+            home: s[0],
+            replicas: vec![s[1]],
+        };
+        cl.create_collection(&mut w, &cref).unwrap();
+        cl.add_member(&mut w, &cref, entry(1, s[0])).unwrap();
+        w.topology_mut().partition(&[s[1]]);
+        cl.add_member(&mut w, &cref, entry(2, s[0])).unwrap();
+        w.topology_mut().heal_partition();
+        w.topology_mut().partition(&[s[0]]);
+        // No catch-up ever arrives: after the timeout the session read
+        // surfaces the paper's failure exception instead of stale data.
+        let err = cl
+            .read_members(&mut w, &cref, ReadPolicy::CausalSession)
+            .unwrap_err();
+        assert_eq!(err, StoreError::SessionBehind { have: 1, need: 2 });
+        assert!(err.is_failure());
+        assert!(w.metrics().counter(session_names::READ_GAVE_UP) >= 1);
+        // A plain Any read happily serves the stale replica — that gap
+        // is exactly what the session token closes.
+        let stale = cl.read_members(&mut w, &cref, ReadPolicy::Any).unwrap();
+        assert_eq!(stale.version, 1);
+    }
+
+    #[test]
+    fn batched_session_reads_stay_monotonic_across_shards() {
+        let (mut w, c, s) = world_with(3);
+        let cl = StoreClient::new(c, SimDuration::from_millis(50)).with_session();
+        let shards = sharded_fixture(&mut w, &cl, &s);
+        // Shard 1 gains a member that replica s[2] misses.
+        w.topology_mut().partition(&[s[2]]);
+        cl.add_member(&mut w, &shards[1], entry(99, s[0])).unwrap();
+        w.topology_mut().heal_partition();
+        assert_eq!(cl.session_token().unwrap().floor(shards[1].id), 3);
+        // The batched fan-out gates each shard part independently: the
+        // stale replica answers SessionBehind for shard 1 only, and the
+        // union from the fresh replicas satisfies the session.
+        let reads = cl.read_members_batched(&mut w, &shards, ReadPolicy::CausalSession);
+        for (i, r) in reads.iter().enumerate() {
+            let r = r.as_ref().unwrap();
+            let expect = if i == 1 { 3usize } else { 2 };
+            assert_eq!(r.version, expect as u64, "shard {i}");
+            assert_eq!(r.entries.len(), expect, "shard {i}");
+        }
+        assert!(w.metrics().counter(session_names::READ_BEHIND) >= 1);
+        // Sequential session reads see exactly the same memberships:
+        // the batched path is an optimisation, not a semantic change.
+        let sequential: Vec<_> = shards
+            .iter()
+            .map(|cref| {
+                cl.read_members(&mut w, cref, ReadPolicy::CausalSession)
+                    .unwrap()
+            })
+            .collect();
+        for (seq, bat) in sequential.iter().zip(&reads) {
+            assert_eq!(Ok(seq), bat.as_ref());
         }
     }
 }

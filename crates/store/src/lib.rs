@@ -59,6 +59,7 @@ pub mod object;
 pub mod placement;
 pub mod query;
 pub mod server;
+pub mod session;
 
 /// One-stop imports for store users.
 pub mod prelude {
@@ -73,4 +74,5 @@ pub mod prelude {
     pub use crate::placement::Placement;
     pub use crate::query::Query;
     pub use crate::server::StoreServer;
+    pub use crate::session::SessionToken;
 }

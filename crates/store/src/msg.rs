@@ -4,6 +4,7 @@ use crate::collection::MemberEntry;
 use crate::dotted::{MembershipDelta, VersionVector};
 use crate::object::{CollectionId, ObjectId, ObjectRecord};
 use crate::query::Query;
+use crate::session::SessionToken;
 use serde::{Deserialize, Serialize};
 
 /// Requests and replies exchanged with [`crate::server::StoreServer`]s.
@@ -103,6 +104,20 @@ pub enum StoreMsg {
         delta: MembershipDelta,
     },
 
+    // ---- causal sessions (see crate::session) ----
+    /// A request annotated with the client's session dependency vector
+    /// ([`crate::client::ReadPolicy::CausalSession`]). A replica that has
+    /// not yet applied the session's dependencies for the target
+    /// collection answers [`StoreMsg::SessionBehind`] instead of serving
+    /// stale data; otherwise it serves `inner` normally (gossip replicas
+    /// wrap the reply in [`StoreMsg::SessionStamped`]).
+    WithSession {
+        /// The client's observed dependencies.
+        session: SessionToken,
+        /// The request being gated.
+        inner: Box<StoreMsg>,
+    },
+
     // ---- batching (both directions) ----
     /// Several co-located requests coalesced into one wire-level
     /// envelope (`weakset_sim::net::BatchEnvelope`). A server answers
@@ -149,6 +164,26 @@ pub enum StoreMsg {
         /// The replying replica's delta against the requester's digest.
         delta: MembershipDelta,
     },
+    /// The replica has not applied the session's dependencies for this
+    /// collection yet (reply to [`StoreMsg::WithSession`]). The client
+    /// redirects to another replica or waits and retries.
+    SessionBehind {
+        /// The collection the session read targeted.
+        coll: CollectionId,
+        /// The replica's current version (scalar total for gossip).
+        have: u64,
+        /// The session's required floor (scalar total for gossip).
+        need: u64,
+    },
+    /// A reply from a gossip replica to a [`StoreMsg::WithSession`]
+    /// request, stamped with the replica's post-apply digest so the
+    /// client can fold dot-level clocks into its session token.
+    SessionStamped {
+        /// The replying replica's version vector for the collection.
+        clock: VersionVector,
+        /// The wrapped ordinary reply.
+        inner: Box<StoreMsg>,
+    },
 }
 
 impl StoreMsg {
@@ -184,6 +219,8 @@ impl StoreMsg {
             StoreMsg::Batch(parts) | StoreMsg::BatchReply(parts) => {
                 HEADER + parts.iter().map(StoreMsg::wire_size).sum::<usize>()
             }
+            StoreMsg::WithSession { session, inner } => session.wire_size() + inner.wire_size(),
+            StoreMsg::SessionStamped { clock, inner } => clock.len() * 16 + inner.wire_size(),
             _ => HEADER,
         }
     }

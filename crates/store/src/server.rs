@@ -164,6 +164,39 @@ impl StoreServer {
                 }
                 StoreMsg::Ack
             }
+            // A session-gated request: refuse to serve a membership read
+            // until this replica has applied the session's dependencies.
+            // Versions are primary-serialized and replica sync ships full
+            // snapshots, so `version >= floor` implies every dependency
+            // has been applied here.
+            StoreMsg::WithSession { session, inner } => match *inner {
+                StoreMsg::ListMembers(id) => {
+                    let need = session.floor(id);
+                    match self.collections.get(&id) {
+                        Some(c) if c.version() >= need => StoreMsg::Members {
+                            version: c.version(),
+                            entries: c.snapshot(),
+                        },
+                        Some(c) => StoreMsg::SessionBehind {
+                            coll: id,
+                            have: c.version(),
+                            need,
+                        },
+                        // A replica that never heard of the collection is
+                        // behind any non-trivial session.
+                        None if need > 0 => StoreMsg::SessionBehind {
+                            coll: id,
+                            have: 0,
+                            need,
+                        },
+                        None => StoreMsg::NoSuchCollection(id),
+                    }
+                }
+                // Mutations and everything else are primary-serialized
+                // already; the session learns the new version from the
+                // ordinary reply.
+                other => self.handle_msg(other),
+            },
             // A batch envelope: answer each part independently, in
             // request order.
             StoreMsg::Batch(parts) => {
@@ -185,7 +218,9 @@ impl StoreServer {
             | StoreMsg::BadRequest
             | StoreMsg::BatchReply(_)
             | StoreMsg::GossipDigest { .. }
-            | StoreMsg::GossipDelta { .. } => StoreMsg::BadRequest,
+            | StoreMsg::GossipDelta { .. }
+            | StoreMsg::SessionBehind { .. }
+            | StoreMsg::SessionStamped { .. } => StoreMsg::BadRequest,
         }
     }
 
@@ -432,6 +467,75 @@ mod tests {
         let mut s = StoreServer::new();
         assert_eq!(s.handle_msg(StoreMsg::Ack), StoreMsg::BadRequest);
         assert_eq!(s.handle_msg(StoreMsg::Locked), StoreMsg::BadRequest);
+    }
+
+    #[test]
+    fn session_gating_on_plain_replica() {
+        use crate::session::SessionToken;
+        let mut s = StoreServer::new();
+        let c = CollectionId(1);
+        s.handle_msg(StoreMsg::CreateCollection(c));
+        s.handle_msg(StoreMsg::AddMember {
+            coll: c,
+            entry: entry(1),
+        }); // version 1
+        let mut tok = SessionToken::new();
+        tok.observe_version(c, 3);
+        let gated = |tok: &SessionToken| StoreMsg::WithSession {
+            session: tok.clone(),
+            inner: Box::new(StoreMsg::ListMembers(c)),
+        };
+        assert_eq!(
+            s.handle_msg(gated(&tok)),
+            StoreMsg::SessionBehind {
+                coll: c,
+                have: 1,
+                need: 3
+            }
+        );
+        // Once the replica catches up, the same session read succeeds.
+        s.handle_msg(StoreMsg::SyncMembers {
+            coll: c,
+            version: 3,
+            members: vec![entry(1), entry(2)],
+        });
+        assert!(matches!(
+            s.handle_msg(gated(&tok)),
+            StoreMsg::Members { version: 3, .. }
+        ));
+        // An empty session is satisfied by anyone; a missing collection
+        // under a non-trivial session counts as "behind".
+        assert!(matches!(
+            s.handle_msg(StoreMsg::WithSession {
+                session: SessionToken::new(),
+                inner: Box::new(StoreMsg::ListMembers(CollectionId(9))),
+            }),
+            StoreMsg::NoSuchCollection(_)
+        ));
+        let mut other = SessionToken::new();
+        other.observe_version(CollectionId(9), 1);
+        assert_eq!(
+            s.handle_msg(StoreMsg::WithSession {
+                session: other,
+                inner: Box::new(StoreMsg::ListMembers(CollectionId(9))),
+            }),
+            StoreMsg::SessionBehind {
+                coll: CollectionId(9),
+                have: 0,
+                need: 1
+            }
+        );
+        // Non-read inner requests pass straight through.
+        assert!(matches!(
+            s.handle_msg(StoreMsg::WithSession {
+                session: tok,
+                inner: Box::new(StoreMsg::AddMember {
+                    coll: c,
+                    entry: entry(5)
+                }),
+            }),
+            StoreMsg::Members { .. }
+        ));
     }
 
     #[test]

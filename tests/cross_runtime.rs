@@ -33,7 +33,10 @@ fn drive(
     semantics: Semantics,
     policy: ReadPolicy,
 ) -> ScenarioOutcome {
-    let client = StoreClient::new(client_node, SimDuration::from_millis(500));
+    let mut client = StoreClient::new(client_node, SimDuration::from_millis(500));
+    if policy == ReadPolicy::CausalSession {
+        client = client.with_session();
+    }
     let cref = CollectionRef {
         id: COLL,
         home: servers[0],
@@ -158,6 +161,35 @@ fn backends_agree_across_semantics_and_policies() {
             );
             assert_eq!(sim.yielded, vec![1, 3, 4, 5]);
         }
+    }
+}
+
+/// Causal-session parity: the same scripted scenario, but every read
+/// and iteration carries the client's session token, so both backends
+/// must satisfy read-your-writes through the identical wait/redirect
+/// machinery — and still agree element-for-element with each other.
+#[test]
+fn causal_session_reads_agree_across_backends() {
+    for semantics in [
+        Semantics::Snapshot,
+        Semantics::GrowOnly,
+        Semantics::Optimistic,
+        Semantics::Locked,
+    ] {
+        let sim = run_sim(semantics, ReadPolicy::CausalSession);
+        let threaded = run_threaded(semantics, ReadPolicy::CausalSession);
+        assert_eq!(
+            sim, threaded,
+            "backends disagree for {semantics:?} under CausalSession"
+        );
+        // Read-your-writes: the session's own five adds minus its own
+        // remove, never a stale subset.
+        assert_eq!(
+            sim.membership,
+            vec![1, 3, 4, 5],
+            "session membership for {semantics:?}"
+        );
+        assert_eq!(sim.yielded, vec![1, 3, 4, 5]);
     }
 }
 

@@ -16,10 +16,13 @@ use crate::scenarios::{drive, populated_set, schedule_churn, wan, wan_with_model
 use weakset::prelude::*;
 use weakset::semantics::Semantics;
 use weakset_dst::prelude::{execute, generate, mix, shrink, Chaos};
-use weakset_gossip::prelude::{engine, GossipConfig, GossipNode};
+use weakset_gossip::prelude::{
+    engine, DigestMode, GossipConfig, GossipNode, GossipSemantics, MembershipCrdt, ORSet,
+};
 use weakset_obs::{
     critical_path, CausalDag, CriticalPath, Direction, MetricsRegistry, ObsEvent, ObsSnapshot,
 };
+use weakset_runtime::prelude::RuntimeExt;
 use weakset_sim::latency::LatencyModel;
 use weakset_sim::time::SimDuration;
 use weakset_sim::topology::Topology;
@@ -317,8 +320,77 @@ fn e9_locking(seed: u64) -> ObsSnapshot {
     with_yield_objective(snapshot_with_trace(&mut w.world, "e9", seed))
 }
 
+/// The `n` for E10's big-reconcile sub-phase: a million live dots in
+/// release (the headline anti-entropy-at-scale measurement), scaled down
+/// in debug so `cargo test` builds the scenario in seconds.
+const E10_BIG_N: u64 = if cfg!(debug_assertions) {
+    20_000
+} else {
+    1_000_000
+};
+
+/// E10 sub-phase: two replicas share an OR-Set of `n` dots but diverge
+/// by `k` fresh elements (half novel on each side), then reconcile with
+/// one push-pull exchange in `mode`, in an isolated two-node world.
+/// Returns the (digest, delta) bytes the exchange charged and whether it
+/// converged.
+fn big_reconcile(seed: u64, n: u64, k: u64, mode: DigestMode) -> (u64, u64, bool) {
+    let mut topo = Topology::new();
+    let _client = topo.add_node("client", 0);
+    let servers: Vec<_> = topo.add_servers("replica-", 2);
+    let mut config = WorldConfig::seeded(seed);
+    config.trace = false;
+    let mut world = StoreWorld::new(config, topo, LatencyModel::Constant(ms(3)));
+    for &s in &servers {
+        world.install_service(s, Box::new(GossipNode::new(s)));
+    }
+    let coll = CollectionId(1);
+    let mut base = ORSet::new();
+    for i in 1..=n {
+        base.add(
+            servers[0],
+            weakset_store::collection::MemberEntry {
+                elem: ObjectId(i),
+                home: servers[0],
+            },
+        );
+    }
+    let mut diverged_a = base.clone();
+    let mut diverged_b = base;
+    for i in 0..k / 2 {
+        diverged_a.add(
+            servers[0],
+            weakset_store::collection::MemberEntry {
+                elem: ObjectId(n + 1 + i),
+                home: servers[0],
+            },
+        );
+        diverged_b.add(
+            servers[1],
+            weakset_store::collection::MemberEntry {
+                elem: ObjectId(n + k + 1 + i),
+                home: servers[1],
+            },
+        );
+    }
+    for (node, set) in [(servers[0], diverged_a), (servers[1], diverged_b)] {
+        world.with_service_mut(node, |g: &mut GossipNode| {
+            g.create_replica(coll, GossipSemantics::GrowShrink);
+            *g.crdt_mut(coll).expect("replica just created") = MembershipCrdt::GrowShrink(set);
+        });
+    }
+    engine::sync_pair_with(&mut world, coll, servers[0], servers[1], mode, ms(200));
+    let digest = world.metrics().counter(weakset_obs::gossip::DIGEST_BYTES);
+    let delta = world.metrics().counter(weakset_obs::gossip::DELTA_BYTES);
+    let converged = engine::converged(&world, coll, &servers);
+    (digest, delta, converged)
+}
+
 /// E10 — anti-entropy gossip: replicas diverge behind a partition, then
-/// converge by digest-then-delta exchange. Objectives watch the wire.
+/// converge by digest-then-delta exchange. Objectives watch the wire —
+/// including the big-reconcile sub-phase, where a `k`-element divergence
+/// of an [`E10_BIG_N`]-dot OR-Set must cost `O(k log n)` bytes under
+/// `MerkleRange` where `Full` ships the whole live-dot list.
 fn e10_gossip(seed: u64) -> ObsSnapshot {
     let mut topo = Topology::new();
     let client_node = topo.add_node("client", 0);
@@ -375,12 +447,45 @@ fn e10_gossip(seed: u64) -> ObsSnapshot {
     world
         .metrics_mut()
         .gauge_set("gossip.converged", u64::from(converged));
+
+    // Big-reconcile sub-phase: both digest modes over the same
+    // divergence, folded into this snapshot's registry so the compare
+    // gate holds the O(k log n) claim at scale.
+    let big_k = 64u64;
+    let (full_digest, full_delta, full_conv) =
+        big_reconcile(seed, E10_BIG_N, big_k, DigestMode::Full);
+    let (mk_digest, mk_delta, mk_conv) =
+        big_reconcile(seed, E10_BIG_N, big_k, DigestMode::MerkleRange);
+    let m = world.metrics_mut();
+    m.add("e10.big.full.digest_bytes", full_digest);
+    m.add("e10.big.full.delta_bytes", full_delta);
+    m.add("e10.big.merkle.digest_bytes", mk_digest);
+    m.add("e10.big.merkle.delta_bytes", mk_delta);
+    m.gauge_set("e10.big.converged", u64::from(full_conv && mk_conv));
+
     let snap = snapshot_with_trace(&mut world, "e10", seed);
     let wire = counter(&snap, "gossip.digest_bytes") + counter(&snap, "gossip.delta_bytes");
     let stale = counter(&snap, "gossip.replica_stale_rounds");
+    let full_wire = (full_digest + full_delta) as f64;
+    let merkle_wire = (mk_digest + mk_delta) as f64;
     with_common_objectives(snap)
         .with_objective("gossip_wire_bytes", wire, Direction::LowerIsBetter)
         .with_objective("stale_replica_rounds", stale, Direction::LowerIsBetter)
+        .with_objective(
+            "gossip_digest_bytes_1m",
+            mk_digest as f64,
+            Direction::LowerIsBetter,
+        )
+        .with_objective(
+            "gossip_sync_bytes_1m",
+            merkle_wire,
+            Direction::LowerIsBetter,
+        )
+        .with_objective(
+            "merkle_advantage_1m",
+            full_wire / merkle_wire.max(1.0),
+            Direction::HigherIsBetter,
+        )
 }
 
 /// E11 — sharded batched reads: four shards co-located on one
@@ -662,6 +767,23 @@ mod tests {
         assert_eq!(snap.gauges.get("gossip.converged"), Some(&1));
         assert!(counter(&snap, "gossip.delta_bytes") > 0.0);
         assert!(counter(&snap, "gossip.digest_bytes") > 0.0);
+        // Big-reconcile sub-phase: both modes converged, and the
+        // Merkle-range descent beat shipping the full live-dot list.
+        // The gap is O(n / (k log n)), so the floor scales with
+        // E10_BIG_N: at the release million-dot size the descent wins by
+        // an order of magnitude; at the debug 20k size the per-range
+        // split constant eats most of it.
+        assert_eq!(snap.gauges.get("e10.big.converged"), Some(&1));
+        let advantage = snap
+            .objectives
+            .get("merkle_advantage_1m")
+            .expect("objective present")
+            .value;
+        let floor = if cfg!(debug_assertions) { 1.2 } else { 10.0 };
+        assert!(
+            advantage > floor,
+            "merkle reconciliation advantage too small: {advantage:.2}x (floor {floor}x)"
+        );
     }
 
     #[test]

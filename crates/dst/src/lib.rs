@@ -45,7 +45,7 @@ pub mod shrink;
 /// One-stop imports for fuzzer tests and harnesses.
 pub mod prelude {
     pub use crate::explain::explain;
-    pub use crate::gen::{generate, generate_causal, generate_sharded, mix};
+    pub use crate::gen::{generate, generate_causal, generate_merkle, generate_sharded, mix};
     pub use crate::oracle::{axioms_for, check, check_with_session, spec_for};
     pub use crate::replay::{
         load_recording, rec_path, record_scenario, replay_recording, shrink_recording,

@@ -5,12 +5,17 @@
 //!
 //! ```text
 //! weakset-dst [--iters N] [--seed S | --seed-from-env] [--out DIR]
-//!             [--sharded | --policies causal-session]
+//!             [--sharded | --policies causal-session | --digest-mode merkle]
 //! ```
 //!
 //! `--sharded` draws every scenario from the sharded-deployment
 //! generator (hash-ring routing, batched membership reads, fan-out
 //! iteration) instead of the plain/gossip mix.
+//!
+//! `--digest-mode merkle` draws every scenario from the merkle-gossip
+//! generator: gossip deployments that sample *both* digest modes, so
+//! half the runs reconcile by Merkle-range descent and half by the
+//! classic full-digest exchange, judged against the same figures.
 //!
 //! `--policies causal-session` draws from the causal-session generator:
 //! every scenario reads with `ReadPolicy::CausalSession` over plain and
@@ -58,6 +63,7 @@ struct Args {
     out: PathBuf,
     sharded: bool,
     causal: bool,
+    merkle: bool,
     record: Option<u64>,
     replay: Option<PathBuf>,
 }
@@ -68,6 +74,7 @@ fn parse_args() -> Result<Args, String> {
     let mut out = PathBuf::from("dst");
     let mut sharded = false;
     let mut causal = false;
+    let mut merkle = false;
     let mut record = None;
     let mut replay = None;
     let mut argv = std::env::args().skip(1);
@@ -94,6 +101,10 @@ fn parse_args() -> Result<Args, String> {
                 "causal-session" => causal = true,
                 other => return Err(format!("--policies: unknown policy set '{other}'")),
             },
+            "--digest-mode" => match value("--digest-mode")?.as_str() {
+                "merkle" => merkle = true,
+                other => return Err(format!("--digest-mode: unknown mode '{other}'")),
+            },
             "--record" => {
                 record = Some(
                     value("--record")?
@@ -104,7 +115,7 @@ fn parse_args() -> Result<Args, String> {
             "--replay" => replay = Some(PathBuf::from(value("--replay")?)),
             "--help" | "-h" => {
                 return Err(
-                    "usage: weakset-dst [--iters N] [--seed S | --seed-from-env] [--out DIR] [--sharded | --policies causal-session]\n       weakset-dst --record SEED [--out DIR]\n       weakset-dst --replay PATH [--out DIR]"
+                    "usage: weakset-dst [--iters N] [--seed S | --seed-from-env] [--out DIR] [--sharded | --policies causal-session | --digest-mode merkle]\n       weakset-dst --record SEED [--out DIR]\n       weakset-dst --replay PATH [--out DIR]"
                         .into(),
                 );
             }
@@ -114,8 +125,11 @@ fn parse_args() -> Result<Args, String> {
     if record.is_some() && replay.is_some() {
         return Err("--record and --replay are mutually exclusive".into());
     }
-    if sharded && causal {
-        return Err("--sharded and --policies causal-session are mutually exclusive".into());
+    if (sharded as u8) + (causal as u8) + (merkle as u8) > 1 {
+        return Err(
+            "--sharded, --policies causal-session, and --digest-mode merkle are mutually exclusive"
+                .into(),
+        );
     }
     Ok(Args {
         iters,
@@ -123,6 +137,7 @@ fn parse_args() -> Result<Args, String> {
         out,
         sharded,
         causal,
+        merkle,
         record,
         replay,
     })
@@ -310,6 +325,8 @@ fn main() {
             generate_sharded(mix(args.seed, i))
         } else if args.causal {
             generate_causal(mix(args.seed, i))
+        } else if args.merkle {
+            generate_merkle(mix(args.seed, i))
         } else {
             generate(mix(args.seed, i))
         };

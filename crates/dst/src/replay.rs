@@ -1675,7 +1675,10 @@ mod tests {
         let s = Scenario {
             seed: 1,
             servers: 2,
-            deployment: Deployment::Gossip { grow_only: false },
+            deployment: Deployment::Gossip {
+                grow_only: false,
+                merkle: false,
+            },
             semantics: Semantics::Snapshot,
             read_policy: ReadPolicy::Primary,
             guard_growth: false,

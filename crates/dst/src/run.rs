@@ -21,7 +21,7 @@ use weakset::prelude::{
     Elements, Failure, HistorySource, IterConfig, IterStep, Semantics, ShardGroup, ShardedElements,
     ShardedWeakSet, WeakSet,
 };
-use weakset_gossip::prelude::{engine, GossipConfig, GossipNode, GossipSemantics};
+use weakset_gossip::prelude::{engine, DigestMode, GossipConfig, GossipNode, GossipSemantics};
 use weakset_sim::fault::FaultPlan;
 use weakset_sim::latency::LatencyModel;
 use weakset_sim::node::NodeId;
@@ -364,7 +364,7 @@ pub fn execute(s: &Scenario) -> RunReport {
                 w.install_service(sv, Box::new(StoreServer::new()));
             }
         }
-        Deployment::Gossip { grow_only } => {
+        Deployment::Gossip { grow_only, .. } => {
             let gsem = if grow_only {
                 GossipSemantics::GrowOnly
             } else {
@@ -435,13 +435,18 @@ pub fn execute(s: &Scenario) -> RunReport {
     // Gossip deployments anti-entropy for the whole run.
     let handle = match s.deployment {
         Deployment::Plain | Deployment::Sharded { .. } => None,
-        Deployment::Gossip { .. } => Some(engine::install(
+        Deployment::Gossip { merkle, .. } => Some(engine::install(
             &mut w,
             COLL,
             set.single().cref().all_nodes(),
             GossipConfig {
                 interval: ms(5),
                 fanout: 2,
+                digest_mode: if merkle {
+                    DigestMode::MerkleRange
+                } else {
+                    DigestMode::Full
+                },
                 ..GossipConfig::default()
             },
         )),

@@ -25,6 +25,9 @@ pub enum Deployment {
     Gossip {
         /// Use the grow-only G-Set CRDT instead of the OR-Set.
         grow_only: bool,
+        /// Reconcile with the Merkle-range digest mode instead of full
+        /// version-vector digests.
+        merkle: bool,
     },
     /// A `ShardedWeakSet`: the servers split round-robin into `shards`
     /// replica groups, each owning one sub-collection; elements route by
@@ -226,10 +229,18 @@ impl Scenario {
         s.push_str(&format!("    servers: {},\n", self.servers));
         match self.deployment {
             Deployment::Plain => s.push_str("    deployment: Plain,\n"),
-            Deployment::Gossip { grow_only } => {
-                s.push_str(&format!(
-                    "    deployment: Gossip(grow_only: {grow_only}),\n"
-                ));
+            Deployment::Gossip { grow_only, merkle } => {
+                // `merkle: true` is appended only when set, so artifacts
+                // written before the field existed stay byte-identical.
+                if merkle {
+                    s.push_str(&format!(
+                        "    deployment: Gossip(grow_only: {grow_only}, merkle: true),\n"
+                    ));
+                } else {
+                    s.push_str(&format!(
+                        "    deployment: Gossip(grow_only: {grow_only}),\n"
+                    ));
+                }
             }
             Deployment::Sharded { shards } => {
                 s.push_str(&format!("    deployment: Sharded(shards: {shards}),\n"));
@@ -538,8 +549,16 @@ impl Parser {
                 self.keyword("grow_only")?;
                 self.expect(Tok::Colon)?;
                 let grow_only = self.bool_value()?;
+                let merkle = if self.peek() == Some(&Tok::Comma) {
+                    self.expect(Tok::Comma)?;
+                    self.keyword("merkle")?;
+                    self.expect(Tok::Colon)?;
+                    self.bool_value()?
+                } else {
+                    false
+                };
                 self.expect(Tok::RParen)?;
-                Deployment::Gossip { grow_only }
+                Deployment::Gossip { grow_only, merkle }
             }
             "Sharded" => {
                 self.expect(Tok::LParen)?;
@@ -742,7 +761,10 @@ mod tests {
         Scenario {
             seed: 42,
             servers: 3,
-            deployment: Deployment::Gossip { grow_only: false },
+            deployment: Deployment::Gossip {
+                grow_only: false,
+                merkle: false,
+            },
             semantics: Semantics::GrowOnly,
             read_policy: ReadPolicy::Leaderless,
             guard_growth: true,
@@ -814,6 +836,20 @@ mod tests {
         assert!(text.contains("deployment: Sharded(shards: 3)"));
         assert_eq!(Scenario::from_ron(&text).unwrap(), s);
         assert!(Scenario::from_ron(&text.replace("shards: 3", "shards: 0")).is_err());
+    }
+
+    #[test]
+    fn merkle_deployment_round_trips() {
+        let s = Scenario {
+            deployment: Deployment::Gossip {
+                grow_only: true,
+                merkle: true,
+            },
+            ..sample()
+        };
+        let text = s.to_ron();
+        assert!(text.contains("deployment: Gossip(grow_only: true, merkle: true)"));
+        assert_eq!(Scenario::from_ron(&text).unwrap(), s);
     }
 
     #[test]

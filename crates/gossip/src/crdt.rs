@@ -23,6 +23,7 @@ use weakset_sim::node::NodeId;
 use weakset_store::collection::MemberEntry;
 use weakset_store::dotted::{Dot, DottedEntry, MembershipDelta, VersionVector};
 use weakset_store::object::ObjectId;
+use weakset_store::wire::DeltaBatch;
 
 /// A grow-only membership set: dotted entries plus the vector of observed
 /// dots. The dot tags exist purely so digests can compress exchanges;
@@ -93,6 +94,25 @@ impl GSet {
     /// Number of live dots (not deduplicated values).
     pub fn dot_count(&self) -> usize {
         self.entries.len()
+    }
+
+    /// Every live entry with its dot, in dot order — the input to a
+    /// Merkle-range reconciliation tree.
+    pub fn dotted_entries(&self) -> Vec<DottedEntry> {
+        self.entries
+            .iter()
+            .map(|(&dot, &entry)| DottedEntry { dot, entry })
+            .collect()
+    }
+
+    /// Joins a Merkle-range [`DeltaBatch`] into this set. Grow-only sets
+    /// never remove, so the batch's `drop` list is ignored; novel entries
+    /// union in and vectors join, exactly like [`GSet::apply`].
+    pub fn apply_batch(&mut self, batch: &DeltaBatch) {
+        for de in &batch.novel {
+            self.entries.insert(de.dot, de.entry);
+        }
+        self.vv.join(&batch.vv);
     }
 }
 
@@ -201,6 +221,38 @@ impl ORSet {
     /// Number of live dots (not deduplicated values).
     pub fn dot_count(&self) -> usize {
         self.entries.len()
+    }
+
+    /// Every live entry with its dot, in dot order — the input to a
+    /// Merkle-range reconciliation tree.
+    pub fn dotted_entries(&self) -> Vec<DottedEntry> {
+        self.entries
+            .iter()
+            .map(|(&dot, &entry)| DottedEntry { dot, entry })
+            .collect()
+    }
+
+    /// Joins a Merkle-range [`DeltaBatch`] into this set. The same
+    /// observed-remove rules as [`ORSet::apply`], but against an explicit
+    /// drop list instead of a full live list:
+    ///
+    /// * a novel entry is adopted unless our vector already covers its
+    ///   dot (covered + locally absent = removed here; no resurrection);
+    /// * a dropped dot is deleted only when the sender's vector covers it
+    ///   (the sender *observed* the add and still says it is gone);
+    /// * vectors join pointwise.
+    pub fn apply_batch(&mut self, batch: &DeltaBatch) {
+        for de in &batch.novel {
+            if !self.vv.contains(de.dot) {
+                self.entries.insert(de.dot, de.entry);
+            }
+        }
+        for &dot in &batch.drop {
+            if batch.vv.contains(dot) {
+                self.entries.remove(&dot);
+            }
+        }
+        self.vv.join(&batch.vv);
     }
 }
 

@@ -14,25 +14,37 @@
 //! threaded backend drive the same rounds, the same metrics, the same
 //! spans.
 //!
-//! Metrics recorded on the runtime: `gossip.rounds`, `gossip.exchanges`,
-//! `gossip.failures`, `gossip.novel_shipped`, `gossip.push_skipped`,
-//! `gossip.digest_bytes`, `gossip.delta_bytes` (wire cost of digests vs
-//! deltas), and convergence lag (`gossip.replica_stale_rounds` — one
-//! per replica per round whose digest trails the join of all live
-//! replicas — plus the `gossip.stale_replicas.max` high-water gauge).
+//! [`GossipConfig::digest_mode`] selects how an exchange locates missing
+//! dots: [`DigestMode::Full`] is the classic digest-then-delta pair of
+//! RPCs, [`DigestMode::MerkleRange`] descends the [`crate::reconcile`]
+//! range tree so bytes scale with the symmetric difference instead of
+//! the set.
+//!
+//! Metrics recorded on the runtime (names in [`weakset_obs::gossip`]):
+//! `gossip.rounds`, `gossip.exchanges`, `gossip.failures`,
+//! `gossip.novel_shipped`, `gossip.push_skipped`, `gossip.range_rpcs`,
+//! `gossip.digest_bytes`, `gossip.delta_bytes` (encoded wire cost of
+//! digests vs deltas, comparable across both digest modes), and
+//! convergence lag (`gossip.replica_stale_rounds` — one per live replica
+//! per round whose digest trails the join of *all* replicas' digests,
+//! crashed included — plus the `gossip.stale_replicas.max` and
+//! `gossip.unreplicated_dots` high-water gauges).
 
+use crate::reconcile::{diff_leaf, removed_at, RangeDiff};
 use crate::replica::GossipNode;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use weakset_obs::gossip as names;
 use weakset_runtime::prelude::*;
 use weakset_sim::node::NodeId;
 use weakset_sim::rng::SimRng;
 use weakset_sim::time::{SimDuration, SimTime};
 use weakset_store::client::StoreRt;
 use weakset_store::collection::MemberEntry;
-use weakset_store::dotted::{MembershipDelta, VersionVector};
+use weakset_store::dotted::{Dot, DottedEntry, MembershipDelta, VersionVector};
 use weakset_store::msg::StoreMsg;
 use weakset_store::object::CollectionId;
+use weakset_store::wire::{self, DeltaBatch, RangeKey, RangeReply, RangeSummary};
 
 /// Epidemic exchange style for one round.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -48,6 +60,23 @@ pub enum GossipMode {
     PushPull,
 }
 
+/// How an exchange locates the dots a peer is missing.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DigestMode {
+    /// Classic digest-then-delta: ship the whole version vector, answer
+    /// with a delta carrying the sender's **full live-dot list** (that
+    /// is how removals propagate). `O(set)` bytes per exchange — optimal
+    /// for small sets, where one round trip beats any descent.
+    #[default]
+    Full,
+    /// Merkle-range reconciliation (see [`crate::reconcile`]): descend
+    /// mismatched hash ranges of the live-dot space, then exchange
+    /// [`DeltaBatch`]es containing only the located differences.
+    /// `O(diff · log set)` bytes over a few round trips — the only
+    /// affordable mode at 10^6 elements.
+    MerkleRange,
+}
+
 /// Tunables for the anti-entropy schedule.
 #[derive(Clone, Copy, Debug)]
 pub struct GossipConfig {
@@ -57,6 +86,8 @@ pub struct GossipConfig {
     pub interval: SimDuration,
     /// Exchange style.
     pub mode: GossipMode,
+    /// How exchanges locate missing dots.
+    pub digest_mode: DigestMode,
     /// Per-RPC timeout inside an exchange.
     pub rpc_timeout: SimDuration,
     /// Stop scheduling rounds after this simulated time (`None`: run
@@ -70,6 +101,7 @@ impl Default for GossipConfig {
             fanout: 1,
             interval: SimDuration::from_millis(25),
             mode: GossipMode::default(),
+            digest_mode: DigestMode::default(),
             rpc_timeout: SimDuration::from_millis(20),
             until: None,
         }
@@ -149,7 +181,8 @@ pub fn converged_sharded(world: &StoreRt, shards: &[(CollectionId, Vec<NodeId>)]
 }
 
 /// One immediate push-pull exchange between two replicas (no schedule) —
-/// deterministic pairwise sync for tests and targeted repair.
+/// deterministic pairwise sync for tests and targeted repair. Uses the
+/// classic [`DigestMode::Full`] exchange.
 pub fn sync_pair(
     world: &mut StoreRt,
     coll: CollectionId,
@@ -157,7 +190,36 @@ pub fn sync_pair(
     b: NodeId,
     rpc_timeout: SimDuration,
 ) {
-    exchange(world, coll, a, b, GossipMode::PushPull, rpc_timeout);
+    exchange(
+        world,
+        coll,
+        a,
+        b,
+        GossipMode::PushPull,
+        DigestMode::Full,
+        rpc_timeout,
+    );
+}
+
+/// [`sync_pair`] with an explicit digest mode: one immediate push-pull
+/// exchange, reconciling by Merkle-range descent when asked.
+pub fn sync_pair_with(
+    world: &mut StoreRt,
+    coll: CollectionId,
+    a: NodeId,
+    b: NodeId,
+    digest_mode: DigestMode,
+    rpc_timeout: SimDuration,
+) {
+    exchange(
+        world,
+        coll,
+        a,
+        b,
+        GossipMode::PushPull,
+        digest_mode,
+        rpc_timeout,
+    );
 }
 
 /// Omniscient convergence check: true when every replica's CRDT exists
@@ -216,7 +278,7 @@ impl RtTask<StoreMsg> for Round {
                 return;
             }
         }
-        world.metrics_mut().incr("gossip.rounds");
+        world.metrics_mut().incr(names::ROUNDS);
         // Each round is background work: the task dispatch cleared the
         // causal stack, so this span roots a fresh per-round trace that
         // every exchange (and its RPCs) nests under.
@@ -237,6 +299,7 @@ impl RtTask<StoreMsg> for Round {
                     origin,
                     peer,
                     self.config.mode,
+                    self.config.digest_mode,
                     self.config.rpc_timeout,
                 );
             }
@@ -248,29 +311,46 @@ impl RtTask<StoreMsg> for Round {
     }
 }
 
-/// After each round, counts replicas whose digest still trails the join
-/// of all live replicas' digests — the per-round convergence lag.
+/// After each round, counts live replicas whose digest still trails the
+/// join of **every** replica's digest — crashed ones included. A crashed
+/// replica holding dots no live replica has observed used to vanish from
+/// the join entirely, so the round read as fully converged while state
+/// sat unreplicated on a dead node; now those dots keep the live
+/// replicas counted stale and additionally surface as the
+/// `gossip.unreplicated_dots` gauge (dots that would be lost if the
+/// crashed holders never recovered).
 fn record_convergence_lag(world: &mut StoreRt, coll: CollectionId, replicas: &[NodeId]) {
-    let mut digests: Vec<VersionVector> = Vec::new();
+    let mut live: Vec<VersionVector> = Vec::new();
+    let mut down: Vec<VersionVector> = Vec::new();
     for &r in replicas {
-        if !world.is_up(r) {
-            continue;
-        }
         if let Some(d) = local_digest(world, r, coll) {
-            digests.push(d);
+            if world.is_up(r) {
+                live.push(d);
+            } else {
+                down.push(d);
+            }
         }
     }
-    if digests.len() < 2 {
+    if live.len() + down.len() < 2 {
         return;
     }
-    let mut joined = VersionVector::default();
-    for d in &digests {
-        joined.join(d);
+    let mut all_join = VersionVector::default();
+    let mut live_join = VersionVector::default();
+    for d in &live {
+        all_join.join(d);
+        live_join.join(d);
     }
-    let stale = digests.iter().filter(|d| !d.dominates(&joined)).count() as u64;
+    for d in &down {
+        all_join.join(d);
+    }
+    let stale = live.iter().filter(|d| !d.dominates(&all_join)).count() as u64;
     let m = world.metrics_mut();
-    m.add("gossip.replica_stale_rounds", stale);
-    m.gauge_max("gossip.stale_replicas.max", stale);
+    m.add(names::REPLICA_STALE_ROUNDS, stale);
+    m.gauge_max(names::STALE_REPLICAS_MAX, stale);
+    m.gauge_max(
+        names::UNREPLICATED_DOTS,
+        all_join.total() - live_join.total(),
+    );
 }
 
 /// Runs one exchange initiated by `origin` towards `peer`.
@@ -280,25 +360,34 @@ fn exchange(
     origin: NodeId,
     peer: NodeId,
     mode: GossipMode,
+    digest_mode: DigestMode,
     timeout: SimDuration,
 ) {
-    world.metrics_mut().incr("gossip.exchanges");
+    world.metrics_mut().incr(names::EXCHANGES);
     let span = world.span_enter("gossip.exchange", &|| format!("{origin}->{peer}"));
-    match mode {
-        GossipMode::Pull => {
-            pull(world, coll, origin, peer, timeout);
-        }
-        GossipMode::Push => {
-            if let Some(peer_digest) = fetch_digest(world, coll, origin, peer, timeout) {
-                push(world, coll, origin, peer, &peer_digest, timeout);
+    match digest_mode {
+        DigestMode::Full => match mode {
+            GossipMode::Pull => {
+                pull(world, coll, origin, peer, timeout);
             }
-        }
-        GossipMode::PushPull => {
-            // The pull reply carries the peer's full vector, which is
-            // exactly the digest the return push needs: two RPCs total.
-            if let Some(peer_vv) = pull(world, coll, origin, peer, timeout) {
-                push(world, coll, origin, peer, &peer_vv, timeout);
+            GossipMode::Push => {
+                if let Some(peer_digest) = fetch_digest(world, coll, origin, peer, timeout) {
+                    push(world, coll, origin, peer, &peer_digest, timeout);
+                }
             }
+            GossipMode::PushPull => {
+                // The pull reply carries the peer's full vector, which is
+                // exactly the digest the return push needs: two RPCs total.
+                if let Some(peer_vv) = pull(world, coll, origin, peer, timeout) {
+                    push(world, coll, origin, peer, &peer_vv, timeout);
+                }
+            }
+        },
+        // The descent itself is direction-agnostic (both sides' trees are
+        // compared range by range); GossipMode only selects which halves
+        // of the located difference move.
+        DigestMode::MerkleRange => {
+            merkle_exchange(world, coll, origin, peer, mode, timeout);
         }
     }
     world.span_exit(span);
@@ -327,9 +416,12 @@ fn pull(
             apply_local(world, origin, coll, delta);
             Some(peer_vv)
         }
-        Ok(_) => None,
+        Ok(other) => {
+            unexpected_reply(world, "pull", peer, &other);
+            None
+        }
         Err(_) => {
-            world.metrics_mut().incr("gossip.failures");
+            world.metrics_mut().incr(names::FAILURES);
             None
         }
     }
@@ -345,14 +437,181 @@ fn push(
     timeout: SimDuration,
 ) {
     let Some(delta) = local_delta(world, origin, coll, peer_digest) else {
-        world.metrics_mut().incr("gossip.push_skipped");
+        world.metrics_mut().incr(names::PUSH_SKIPPED);
         return;
     };
     record_shipped(world, &delta);
     match world.rpc(origin, peer, StoreMsg::GossipPush { coll, delta }, timeout) {
         Ok(_) => {}
-        Err(_) => world.metrics_mut().incr("gossip.failures"),
+        Err(_) => world.metrics_mut().incr(names::FAILURES),
     }
+}
+
+/// One Merkle-range exchange: descend mismatched ranges of the two
+/// replicas' live-dot trees, classify every one-sided dot as a missing
+/// add or a propagating removal using the digests, then move the halves
+/// [`GossipMode`] asks for — `Pull` applies the peer's half locally,
+/// `Push` ships ours, `PushPull` does both. Bytes are charged to the
+/// same counters as the `Full` path: summaries, match/split replies, and
+/// digests to `gossip.digest_bytes`; leaf enumerations and the final
+/// [`DeltaBatch`] to `gossip.delta_bytes`.
+fn merkle_exchange(
+    world: &mut StoreRt,
+    coll: CollectionId,
+    origin: NodeId,
+    peer: NodeId,
+    mode: GossipMode,
+    timeout: SimDuration,
+) -> Option<()> {
+    let (tree, my_vv) = world
+        .with_service(origin, |g: &GossipNode| {
+            g.crdt(coll).map(|c| (c.range_tree(), c.digest()))
+        })
+        .flatten()?;
+
+    // Descent: probe the frontier, fold leaves into the diff, keep only
+    // still-mismatching children. Depth grows by SPLIT_BITS per round,
+    // so the loop is bounded by 64 / SPLIT_BITS rounds.
+    let mut diff = RangeDiff::default();
+    let mut frontier = vec![tree.summary(RangeKey::ROOT)];
+    let mut peer_vv: Option<VersionVector> = None;
+    while !frontier.is_empty() {
+        let probe_bytes: usize = frontier.iter().map(RangeSummary::encoded_size).sum();
+        let m = world.metrics_mut();
+        m.incr(names::RANGE_RPCS);
+        m.add(names::DIGEST_BYTES, probe_bytes as u64);
+        let reply = world.rpc(
+            origin,
+            peer,
+            StoreMsg::GossipRangeReq {
+                coll,
+                ranges: frontier,
+            },
+            timeout,
+        );
+        let (digest, ranges) = match reply {
+            Ok(StoreMsg::GossipRangeResp { digest, ranges, .. }) => (digest, ranges),
+            Ok(other) => {
+                unexpected_reply(world, "merkle_probe", peer, &other);
+                return None;
+            }
+            Err(_) => {
+                world.metrics_mut().incr(names::FAILURES);
+                return None;
+            }
+        };
+        record_digest(world, &digest);
+        // Pin the peer vector from the FIRST response. Later responses
+        // read the peer's *live* replica, whose vector may have advanced
+        // past entries the descent will never revisit; shipping or
+        // joining such a vector would certify dots as seen-and-removed
+        // when their adds were simply never transferred — a permanent
+        // divergence, since `apply_batch` refuses novel entries whose
+        // dots the local vector already covers.
+        if peer_vv.is_none() {
+            peer_vv = Some(digest);
+        }
+        let mut next = Vec::new();
+        let mut reply_meta = 0usize;
+        let mut leaf_bytes = 0usize;
+        for r in &ranges {
+            match r {
+                RangeReply::Match(_) => reply_meta += r.encoded_size(),
+                RangeReply::Leaf { key, entries } => {
+                    leaf_bytes += r.encoded_size();
+                    diff_leaf(&tree, *key, entries, &mut diff);
+                }
+                RangeReply::Split(children) => {
+                    reply_meta += r.encoded_size();
+                    for child in children {
+                        let mine = tree.summary(child.key);
+                        if mine.count != child.count || mine.hash != child.hash {
+                            next.push(mine);
+                        }
+                    }
+                }
+            }
+        }
+        let m = world.metrics_mut();
+        m.add(names::DIGEST_BYTES, reply_meta as u64);
+        m.add(names::DELTA_BYTES, leaf_bytes as u64);
+        frontier = next;
+    }
+    let peer_vv = peer_vv?;
+
+    // Classify each one-sided dot: a digest that covers the dot has
+    // *observed* the add, so its absence from that side's live set means
+    // it was removed there — propagate the removal. Uncovered means the
+    // add simply has not arrived yet — ship the entry.
+    let mut novel_for_me: Vec<DottedEntry> = Vec::new();
+    let mut drop_for_peer: Vec<Dot> = Vec::new();
+    for e in &diff.peer_only {
+        if removed_at(&my_vv, e.dot) {
+            drop_for_peer.push(e.dot);
+        } else if peer_vv.contains(e.dot) {
+            // Entries the peer gained mid-descent (dots past its pinned
+            // vector) wait for the next round: applying them under the
+            // pinned vector would break the covers-all-entries
+            // invariant.
+            novel_for_me.push(*e);
+        }
+    }
+    let mut novel_for_peer: Vec<DottedEntry> = Vec::new();
+    let mut drop_for_me: Vec<Dot> = Vec::new();
+    for e in &diff.mine_only {
+        if removed_at(&peer_vv, e.dot) {
+            drop_for_me.push(e.dot);
+        } else {
+            novel_for_peer.push(*e);
+        }
+    }
+
+    if matches!(mode, GossipMode::Pull | GossipMode::PushPull) {
+        // Applying the peer's vector alongside its half also certifies
+        // the drops (apply_batch only honours covered dots) and joins
+        // the vectors, mirroring what a Full-mode pull learns.
+        let batch = DeltaBatch {
+            vv: peer_vv.clone(),
+            novel: novel_for_me,
+            drop: drop_for_me,
+        };
+        world.with_service_mut(origin, |g: &mut GossipNode| {
+            g.apply(StoreMsg::GossipDeltaBatch { coll, batch });
+        });
+    }
+
+    if matches!(mode, GossipMode::Push | GossipMode::PushPull) {
+        // Ship the join of the two vectors *the diff was computed
+        // against* — never a live re-read, which could cover dots added
+        // concurrently whose entries are in neither half of the diff
+        // (the peer would then refuse them forever as already-seen).
+        // The snapshot join still certifies our drops and hands the
+        // peer everything a Full-mode exchange would.
+        let mut vv_join = my_vv.clone();
+        vv_join.join(&peer_vv);
+        if novel_for_peer.is_empty() && drop_for_peer.is_empty() && peer_vv.dominates(&vv_join) {
+            world.metrics_mut().incr(names::PUSH_SKIPPED);
+        } else {
+            let batch = DeltaBatch {
+                vv: vv_join,
+                novel: novel_for_peer,
+                drop: drop_for_peer,
+            };
+            let m = world.metrics_mut();
+            m.add(names::NOVEL_SHIPPED, batch.novel.len() as u64);
+            m.add(names::DELTA_BYTES, batch.encoded_size() as u64);
+            match world.rpc(
+                origin,
+                peer,
+                StoreMsg::GossipDeltaBatch { coll, batch },
+                timeout,
+            ) {
+                Ok(_) => {}
+                Err(_) => world.metrics_mut().incr(names::FAILURES),
+            }
+        }
+    }
+    Some(())
 }
 
 fn fetch_digest(
@@ -367,12 +626,28 @@ fn fetch_digest(
             record_digest(world, &digest);
             Some(digest)
         }
-        Ok(_) => None,
+        Ok(other) => {
+            unexpected_reply(world, "fetch_digest", peer, &other);
+            None
+        }
         Err(_) => {
-            world.metrics_mut().incr("gossip.failures");
+            world.metrics_mut().incr(names::FAILURES);
             None
         }
     }
+}
+
+/// A peer answered an anti-entropy request with the wrong message type —
+/// usually a node that does not run a [`GossipNode`], or a collection it
+/// does not replicate. Dropping these silently made misconfigured
+/// deployments look healthy (the exchange just vanished, every round,
+/// forever); count them as failures and leave a trace breadcrumb naming
+/// the leg and the reply.
+fn unexpected_reply(world: &mut StoreRt, leg: &str, peer: NodeId, reply: &StoreMsg) {
+    world.metrics_mut().incr(names::FAILURES);
+    world.trace_event("gossip.unexpected_reply", &|| {
+        format!("{leg} from {peer}: {reply:?}")
+    });
 }
 
 fn local_digest(world: &StoreRt, node: NodeId, coll: CollectionId) -> Option<VersionVector> {
@@ -410,14 +685,17 @@ fn apply_local(world: &mut StoreRt, node: NodeId, coll: CollectionId, delta: Mem
 
 fn record_shipped(world: &mut StoreRt, delta: &MembershipDelta) {
     let m = world.metrics_mut();
-    m.add("gossip.novel_shipped", delta.novel.len() as u64);
-    m.add("gossip.delta_bytes", delta.wire_size() as u64);
+    m.add(names::NOVEL_SHIPPED, delta.novel.len() as u64);
+    m.add(names::DELTA_BYTES, wire::delta_encoded_size(delta) as u64);
 }
 
-/// Charges a version vector crossing the wire: one (node, counter) pair
-/// of two u64s per entry.
+/// Charges a version vector crossing the wire at its compact encoded
+/// size. The old flat `16 * len` both overcharged small vectors (varints
+/// are 1–3 bytes here, not 16) and ignored that OR-Set removal dots keep
+/// widening the vector — the two modes are only comparable when both are
+/// billed by the same `weakset_store::wire` encoding.
 fn record_digest(world: &mut StoreRt, vv: &VersionVector) {
     world
         .metrics_mut()
-        .add("gossip.digest_bytes", 16 * vv.len() as u64);
+        .add(names::DIGEST_BYTES, wire::vv_encoded_size(vv) as u64);
 }

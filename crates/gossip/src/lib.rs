@@ -26,6 +26,11 @@
 //!   [`weakset_sim`] event loop: configurable fan-out, interval, and
 //!   push/pull/push-pull mode, with digest-then-delta exchanges so only
 //!   missing dots cross the wire.
+//! * [`reconcile`] — Merkle-range reconciliation over the live-dot
+//!   space, selected by [`engine::DigestMode::MerkleRange`]: replicas
+//!   locate their symmetric difference by descending mismatched hash
+//!   ranges and exchange bytes proportional to the *difference*, which
+//!   is what keeps anti-entropy affordable at 10^6 elements.
 //!
 //! Combined with [`weakset_store::client::ReadPolicy::Leaderless`], a
 //! weak-set iterator can make progress from *any reachable converged
@@ -68,11 +73,13 @@
 
 pub mod crdt;
 pub mod engine;
+pub mod reconcile;
 pub mod replica;
 
 /// One-stop imports for gossip deployments.
 pub mod prelude {
     pub use crate::crdt::{GSet, ORSet};
-    pub use crate::engine::{self, GossipConfig, GossipHandle, GossipMode};
+    pub use crate::engine::{self, DigestMode, GossipConfig, GossipHandle, GossipMode};
+    pub use crate::reconcile::RangeTree;
     pub use crate::replica::{GossipNode, GossipSemantics, MembershipCrdt};
 }

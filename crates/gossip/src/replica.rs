@@ -14,6 +14,7 @@
 //! [`CollectionState`]: weakset_store::collection::CollectionState
 
 use crate::crdt::{GSet, ORSet};
+use crate::reconcile::RangeTree;
 use std::collections::{BTreeSet, HashMap};
 use weakset_runtime::prelude::*;
 use weakset_sim::node::NodeId;
@@ -23,6 +24,7 @@ use weakset_store::dotted::{Dot, MembershipDelta, VersionVector};
 use weakset_store::msg::StoreMsg;
 use weakset_store::object::{CollectionId, ObjectId};
 use weakset_store::server::StoreServer;
+use weakset_store::wire::DeltaBatch;
 
 /// Which of the paper's two membership specifications a replica enforces.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -121,6 +123,29 @@ impl MembershipCrdt {
         }
     }
 
+    /// Every live entry with its dot — the input to a Merkle-range
+    /// reconciliation tree.
+    pub fn dotted_entries(&self) -> Vec<weakset_store::dotted::DottedEntry> {
+        match self {
+            MembershipCrdt::GrowOnly(s) => s.dotted_entries(),
+            MembershipCrdt::GrowShrink(s) => s.dotted_entries(),
+        }
+    }
+
+    /// Joins a Merkle-range delta batch into this replica.
+    pub fn apply_batch(&mut self, batch: &DeltaBatch) {
+        match self {
+            MembershipCrdt::GrowOnly(s) => s.apply_batch(batch),
+            MembershipCrdt::GrowShrink(s) => s.apply_batch(batch),
+        }
+    }
+
+    /// The replica's [`RangeTree`] over its live dots, for answering or
+    /// driving a Merkle-range descent.
+    pub fn range_tree(&self) -> RangeTree {
+        RangeTree::from_entries(self.dotted_entries())
+    }
+
     /// True when a peer holding `digest` could learn nothing from us:
     /// the digest dominates ours. Sound for both flavours because every
     /// effective mutation — including OR-Set removals, via their removal
@@ -187,6 +212,12 @@ impl GossipNode {
         self.replicas.get(&coll)
     }
 
+    /// Mutable access to a collection's CRDT replica (bench/test
+    /// preloading of large sets without driving the full protocol).
+    pub fn crdt_mut(&mut self, coll: CollectionId) -> Option<&mut MembershipCrdt> {
+        self.replicas.get_mut(&coll)
+    }
+
     /// The wrapped plain store server.
     pub fn inner(&self) -> &StoreServer {
         &self.inner
@@ -247,6 +278,28 @@ impl GossipNode {
             StoreMsg::GossipPush { coll, delta } => match self.replicas.get_mut(&coll) {
                 Some(crdt) => {
                     crdt.apply(&delta);
+                    StoreMsg::GossipDigest {
+                        coll,
+                        digest: crdt.digest(),
+                    }
+                }
+                None => StoreMsg::NoSuchCollection(coll),
+            },
+            // One round of a Merkle-range descent: answer every probed
+            // range from a fresh snapshot of the live-dot tree, stamping
+            // the reply with our digest (the initiator needs it to tell
+            // removals from unseen adds).
+            StoreMsg::GossipRangeReq { coll, ranges } => match self.replicas.get(&coll) {
+                Some(crdt) => StoreMsg::GossipRangeResp {
+                    coll,
+                    digest: crdt.digest(),
+                    ranges: crdt.range_tree().respond(&ranges),
+                },
+                None => StoreMsg::NoSuchCollection(coll),
+            },
+            StoreMsg::GossipDeltaBatch { coll, batch } => match self.replicas.get_mut(&coll) {
+                Some(crdt) => {
+                    crdt.apply_batch(&batch);
                     StoreMsg::GossipDigest {
                         coll,
                         digest: crdt.digest(),

@@ -51,6 +51,7 @@
 
 pub mod causal;
 pub mod export;
+pub mod gossip;
 pub mod json;
 pub mod latency;
 pub mod registry;

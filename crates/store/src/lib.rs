@@ -24,6 +24,8 @@
 //! * [`query`] — predicate queries ("all Chinese restaurant menus").
 //! * [`cache`] — client-side TTL object cache.
 //! * [`placement`] — policies for placing new objects on nodes.
+//! * [`wire`] — compact encodings (varint + dot-list dedup) and the
+//!   Merkle-range reconciliation message payloads.
 //!
 //! ## Example
 //!
@@ -60,6 +62,7 @@ pub mod placement;
 pub mod query;
 pub mod server;
 pub mod session;
+pub mod wire;
 
 /// One-stop imports for store users.
 pub mod prelude {
@@ -75,4 +78,5 @@ pub mod prelude {
     pub use crate::query::Query;
     pub use crate::server::StoreServer;
     pub use crate::session::SessionToken;
+    pub use crate::wire::{DeltaBatch, RangeKey, RangeReply, RangeSummary};
 }

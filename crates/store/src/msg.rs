@@ -5,6 +5,7 @@ use crate::dotted::{MembershipDelta, VersionVector};
 use crate::object::{CollectionId, ObjectId, ObjectRecord};
 use crate::query::Query;
 use crate::session::SessionToken;
+use crate::wire::{self, DeltaBatch, RangeReply, RangeSummary};
 use serde::{Deserialize, Serialize};
 
 /// Requests and replies exchanged with [`crate::server::StoreServer`]s.
@@ -103,6 +104,27 @@ pub enum StoreMsg {
         /// The sender's delta.
         delta: MembershipDelta,
     },
+    /// Merkle-range reconciliation probe: "here are summaries of ranges
+    /// of my live-dot key space — tell me, per range, whether yours
+    /// matches, or descend/enumerate it" (see `weakset-gossip`'s
+    /// `reconcile` module). The reply is a [`StoreMsg::GossipRangeResp`];
+    /// plain [`crate::server::StoreServer`]s answer
+    /// [`StoreMsg::BadRequest`].
+    GossipRangeReq {
+        /// Target collection.
+        coll: CollectionId,
+        /// Summaries of the ranges the requester wants compared.
+        ranges: Vec<RangeSummary>,
+    },
+    /// Deliver the compressed outcome of a Merkle-range descent: the
+    /// entries the receiver is missing and the dots it should drop. The
+    /// reply is the receiver's post-apply [`StoreMsg::GossipDigest`].
+    GossipDeltaBatch {
+        /// Target collection.
+        coll: CollectionId,
+        /// The sender's batch.
+        batch: DeltaBatch,
+    },
 
     // ---- causal sessions (see crate::session) ----
     /// A request annotated with the client's session dependency vector
@@ -164,6 +186,17 @@ pub enum StoreMsg {
         /// The replying replica's delta against the requester's digest.
         delta: MembershipDelta,
     },
+    /// Per-range answers to a [`StoreMsg::GossipRangeReq`], in request
+    /// order, plus the replier's digest so one round can finish the
+    /// version-vector join even when every range matches.
+    GossipRangeResp {
+        /// The collection compared.
+        coll: CollectionId,
+        /// The replying replica's version vector.
+        digest: VersionVector,
+        /// One reply per requested range, in request order.
+        ranges: Vec<RangeReply>,
+    },
     /// The replica has not applied the session's dependencies for this
     /// collection yet (reply to [`StoreMsg::WithSession`]). The client
     /// redirects to another replica or waits and retries.
@@ -213,6 +246,15 @@ impl StoreMsg {
             StoreMsg::GossipPush { delta, .. } | StoreMsg::GossipDelta { delta, .. } => {
                 HEADER + delta.wire_size()
             }
+            StoreMsg::GossipRangeReq { ranges, .. } => {
+                HEADER + ranges.iter().map(RangeSummary::encoded_size).sum::<usize>()
+            }
+            StoreMsg::GossipRangeResp { digest, ranges, .. } => {
+                HEADER
+                    + wire::vv_encoded_size(digest)
+                    + ranges.iter().map(RangeReply::encoded_size).sum::<usize>()
+            }
+            StoreMsg::GossipDeltaBatch { batch, .. } => HEADER + batch.encoded_size(),
             // One shared header for the whole envelope; the parts keep
             // their own sizes. Batching therefore saves (parts - 1)
             // headers of wire bytes on top of the per-message latency.

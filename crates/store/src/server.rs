@@ -206,7 +206,9 @@ impl StoreServer {
             // gossip requests belong on `weakset-gossip` replica nodes.
             StoreMsg::GossipDigestReq(_)
             | StoreMsg::GossipDeltaReq { .. }
-            | StoreMsg::GossipPush { .. } => StoreMsg::BadRequest,
+            | StoreMsg::GossipPush { .. }
+            | StoreMsg::GossipRangeReq { .. }
+            | StoreMsg::GossipDeltaBatch { .. } => StoreMsg::BadRequest,
             // Reply variants arriving as requests are protocol errors.
             StoreMsg::Object(_)
             | StoreMsg::NotFound(_)
@@ -219,6 +221,7 @@ impl StoreServer {
             | StoreMsg::BatchReply(_)
             | StoreMsg::GossipDigest { .. }
             | StoreMsg::GossipDelta { .. }
+            | StoreMsg::GossipRangeResp { .. }
             | StoreMsg::SessionBehind { .. }
             | StoreMsg::SessionStamped { .. } => StoreMsg::BadRequest,
         }

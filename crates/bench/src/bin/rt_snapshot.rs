@@ -1,11 +1,20 @@
 //! Real-clock runtime benchmark: drives the threaded backend with
 //! concurrent client threads and emits `BENCH_rt.json` — membership-read
-//! throughput (ops/sec) and read-latency p99 per read policy.
+//! throughput (ops/sec) and read-latency p99 per read policy, plus
+//! per-node mailbox high-water marks.
 //!
 //! ```text
 //! cargo run --release -p weakset-bench --bin rt_snapshot
 //! cargo run --release -p weakset-bench --bin rt_snapshot -- --out target/bench --threads 4 --ops 2000
 //! ```
+//!
+//! This binary is also the telemetry plane's dogfood: every worker view
+//! publishes into a shared [`TelemetryHub`], a [`TelemetryServer`] is
+//! scraped *mid-run* for live p50/p99 (instead of waiting for the
+//! workers to join and merging their registries back), and the final
+//! numbers are read from `GET /snapshot.json` — the same bytes any
+//! external scraper would see. A [`Watchdog`] and [`FlightRecorder`]
+//! ride along so a wedged run leaves a Perfetto-loadable dump behind.
 //!
 //! Unlike the simulator snapshots (E1–E11), these numbers come from the
 //! wall clock on real OS threads and real mailboxes, so they vary with
@@ -15,7 +24,8 @@
 
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
-use weakset_obs::{Direction, MetricsRegistry};
+use weakset_obs::telemetry::{self, FlightRecorder, TelemetryHub, TelemetryServer, Watchdog};
+use weakset_obs::{http_get, parse_prometheus, Direction, ObsSnapshot};
 use weakset_runtime::prelude::*;
 use weakset_sim::node::NodeId;
 use weakset_sim::time::SimDuration;
@@ -35,6 +45,14 @@ fn policy_label(p: ReadPolicy) -> &'static str {
         ReadPolicy::Leaderless => "leaderless",
         ReadPolicy::CausalSession => "causal_session",
     }
+}
+
+/// One `GET /snapshot.json` against the live endpoint.
+fn scrape_snapshot(addr: std::net::SocketAddr) -> ObsSnapshot {
+    let (status, body) =
+        http_get(addr, "/snapshot.json", Duration::from_secs(2)).expect("scrape /snapshot.json");
+    assert_eq!(status, 200, "snapshot endpoint answered {status}");
+    ObsSnapshot::from_json(&body).expect("snapshot endpoint served canonical JSON")
 }
 
 fn main() {
@@ -74,10 +92,28 @@ fn main() {
             other => panic!("unknown argument {other:?}"),
         }
     }
+    std::fs::create_dir_all(&out).expect("create output directory");
+
+    // The telemetry plane: hub + black box + slow-op watchdog + scrape
+    // endpoint. Worker views inherit all of it through `rt.clone()`.
+    let hub = TelemetryHub::new();
+    let flight = FlightRecorder::new(2048).with_dump_path(out.join("flight-rt.json"));
+    let watchdog = Watchdog::spawn(
+        Duration::from_secs(5),
+        Duration::from_millis(250),
+        hub.clone(),
+        Some(flight.clone()),
+    );
+    let server =
+        TelemetryServer::serve("127.0.0.1:0", hub.clone(), "rt", seed).expect("bind endpoint");
+    println!("telemetry endpoint: http://{}/metrics", server.addr());
 
     // One fleet for the whole run: three store servers hosting a
     // replicated collection, pre-populated with MEMBERS elements.
     let mut rt = ThreadedRuntime::<StoreMsg>::new(seed);
+    rt.attach_telemetry(hub.clone(), Duration::from_millis(25));
+    rt.attach_flight_recorder(flight.clone());
+    rt.attach_watchdog(watchdog.clone());
     let servers: Vec<NodeId> = (0..3).map(|i| rt.add_node(format!("s{i}"))).collect();
     for &s in &servers {
         rt.install_service(s, Box::new(StoreServer::new()));
@@ -111,8 +147,7 @@ fn main() {
             .unwrap();
     }
 
-    let mut master = MetricsRegistry::new();
-    let mut snap = master.snapshot("rt", seed);
+    let mut objectives: Vec<(String, f64, Direction)> = Vec::new();
     for policy in [
         ReadPolicy::Primary,
         ReadPolicy::Quorum,
@@ -120,7 +155,9 @@ fn main() {
     ] {
         let label = policy_label(policy);
         // One client node (and thus one mailbox identity) per worker
-        // thread, each driving its own cloned runtime view.
+        // thread, each driving its own cloned runtime view. Views are
+        // consumed by their threads: results reach us only through the
+        // hub (publish on cadence, flush on drop).
         let worker_nodes: Vec<NodeId> = (0..threads)
             .map(|t| rt.add_node(format!("load.{label}.{t}")))
             .collect();
@@ -142,47 +179,96 @@ fn main() {
                         view.metrics_mut()
                             .observe(&metric, t0.elapsed().as_micros() as u64);
                     }
-                    view
                 })
             })
             .collect();
+
+        // Mid-run scrape: the workers are still hammering the fleet
+        // while we read live quantiles off the endpoint — the entire
+        // point of the telemetry plane.
+        std::thread::sleep(Duration::from_millis(120));
+        let (status, text) =
+            http_get(server.addr(), "/metrics", Duration::from_secs(2)).expect("scrape /metrics");
+        assert_eq!(status, 200, "metrics endpoint answered {status}");
+        let families = parse_prometheus(&text).expect("exposition parses");
+        let live = scrape_snapshot(server.addr());
+        match live.latencies.get(&format!("rt.read.{label}.us")) {
+            Some(s) => println!(
+                "{label:>10} (live): p50 {} us, p99 {} us after {} read(s), {} series scraped",
+                s.p50_us,
+                s.p99_us,
+                s.count,
+                families.len()
+            ),
+            None => println!(
+                "{label:>10} (live): no samples published yet, {} series scraped",
+                families.len()
+            ),
+        }
+
         for h in handles {
-            let view = h.join().expect("worker thread panicked");
-            master.merge(view.metrics());
+            h.join().expect("worker thread panicked");
         }
         let elapsed = started.elapsed().as_secs_f64();
         let total_ops = (threads * ops) as u64;
         let ops_per_sec = total_ops as f64 / elapsed.max(f64::EPSILON);
-        master.add(&format!("rt.read.{label}.ops"), total_ops);
-        let p99 = master
-            .latency_mut(&format!("rt.read.{label}.us"))
-            .p99()
-            .unwrap_or(0);
+        hub.with_shared(|m| m.add(&format!("rt.read.{label}.ops"), total_ops));
+        // Final per-policy quantiles come off the endpoint too — the
+        // workers' drop-flush makes their last samples visible.
+        let snap = scrape_snapshot(server.addr());
+        let p99 = snap
+            .latencies
+            .get(&format!("rt.read.{label}.us"))
+            .map_or(0, |s| s.p99_us);
         println!("{label:>10}: {ops_per_sec:>10.0} ops/sec, read p99 {p99} us");
-        snap = snap
-            .with_objective(
-                &format!("rt.{label}.ops_per_sec"),
-                ops_per_sec,
-                Direction::HigherIsBetter,
-            )
-            .with_objective(
-                &format!("rt.{label}.read_p99_us"),
-                p99 as f64,
-                Direction::LowerIsBetter,
-            );
+        objectives.push((
+            format!("rt.{label}.ops_per_sec"),
+            ops_per_sec,
+            Direction::HigherIsBetter,
+        ));
+        objectives.push((
+            format!("rt.{label}.read_p99_us"),
+            p99 as f64,
+            Direction::LowerIsBetter,
+        ));
     }
-    master.merge(rt.metrics());
+
+    // Report-only health tail: unclosed spans, watchdog trips, and the
+    // per-node mailbox high-water marks sampled by the live gauges.
+    let unclosed = rt.finish_spans();
+    objectives.push((
+        "rt.unclosed_spans".into(),
+        unclosed.len() as f64,
+        Direction::LowerIsBetter,
+    ));
+    objectives.push((
+        "rt.watchdog_slow_ops".into(),
+        watchdog.slow_ops() as f64,
+        Direction::LowerIsBetter,
+    ));
+    rt.flush_telemetry();
     if let Err(hung) = rt.shutdown(Duration::from_secs(10)) {
         eprintln!("warning: node threads still running at shutdown: {hung:?}");
     }
+    watchdog.stop();
 
-    // Re-freeze with the merged counters/latencies, keeping the
-    // objectives attached above.
-    let objectives = snap.objectives.clone();
-    let mut frozen = master.snapshot("rt", seed);
-    frozen.objectives = objectives;
+    // The checked-in snapshot is exactly what the endpoint serves,
+    // plus the objectives computed above.
+    let mut frozen = scrape_snapshot(server.addr());
+    for &server_node in &["s0", "s1", "s2"] {
+        for name in [
+            telemetry::mailbox_backlog_max(server_node),
+            telemetry::queue_depth_max(server_node),
+        ] {
+            let high_water = frozen.gauges.get(&name).copied().unwrap_or(0);
+            objectives.push((name, high_water as f64, Direction::LowerIsBetter));
+        }
+    }
+    for (name, value, direction) in objectives {
+        frozen = frozen.with_objective(&name, value, direction);
+    }
+    server.stop();
 
-    std::fs::create_dir_all(&out).expect("create output directory");
     let path = out.join(frozen.file_name());
     std::fs::write(&path, frozen.to_json()).expect("write snapshot");
     println!(

@@ -56,6 +56,7 @@ use std::path::{Path, PathBuf};
 use std::time::Duration;
 use weakset::prelude::{IterConfig, IterStep, Semantics, WeakSet};
 use weakset_obs::replay as names;
+use weakset_obs::FlightRecorder;
 use weakset_runtime::record::{hash_debug, RecEvent, RecOutcome, Recorder, Recording};
 use weakset_runtime::threaded::ThreadedRuntime;
 use weakset_runtime::traits::{
@@ -417,6 +418,12 @@ pub fn record_scenario(s: &Scenario) -> Result<RecordedRun, String> {
     rec.set_workload(s.to_ron());
     rt.attach_recorder(rec.clone());
     rt.events_mut().set_enabled(true);
+    // Black box for the live run: boundary crossings land in a bounded
+    // ring, dumped as a Perfetto-loadable trace only when something goes
+    // wrong (oracle violation here, hung shutdown inside the runtime).
+    let flight = FlightRecorder::new(4096)
+        .with_dump_path(std::env::temp_dir().join(format!("weakset-flight-{}.json", s.seed)));
+    rt.attach_flight_recorder(flight.clone());
 
     let cn = rt.add_node("client");
     let n = s.servers.max(1);
@@ -565,8 +572,22 @@ pub fn record_scenario(s: &Scenario) -> Result<RecordedRun, String> {
         violations.extend(oracle::check(s, comp));
     }
 
-    let at = rt.now().as_micros();
-    let _unclosed = rt.events_mut().finish(at);
+    // Report-only ledger: names any span a crashed or wedged activity
+    // left open, and counts them under `trace.unclosed_spans`.
+    let unclosed = rt.finish_spans();
+    if !unclosed.is_empty() {
+        eprintln!(
+            "record: {} span(s) left unclosed: {}",
+            unclosed.len(),
+            unclosed.join(", ")
+        );
+    }
+    if !violations.is_empty() && !flight.has_dumped() {
+        match flight.dump() {
+            Ok(path) => eprintln!("record: flight recorder dumped to {}", path.display()),
+            Err(e) => eprintln!("record: flight-recorder dump failed: {e}"),
+        }
+    }
     let events = rt.events_mut().take_events();
     let report = RunReport {
         seed: s.seed,

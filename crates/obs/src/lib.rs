@@ -26,7 +26,11 @@
 //! Everything here is deterministic given deterministic inputs: maps
 //! are ordered, serialization is canonical, and no wall-clock time is
 //! ever recorded — two runs with the same seed produce byte-identical
-//! snapshots.
+//! snapshots. The one deliberate exception is [`telemetry`], the live
+//! plane for the threaded (wall-clock) runtime: a scrape-able
+//! [`TelemetryHub`], Prometheus text exposition, a [`FlightRecorder`]
+//! black box, and a slow-op [`Watchdog`]. The simulator never
+//! constructs those types, so simulated runs stay byte-identical.
 //!
 //! ## Example
 //!
@@ -60,6 +64,7 @@ pub mod session;
 pub mod shard;
 pub mod sink;
 pub mod snapshot;
+pub mod telemetry;
 
 pub use causal::{
     category_of, critical_path, critical_path_of, CausalDag, CriticalPath, PathCategory, SpanNode,
@@ -72,6 +77,10 @@ pub use registry::MetricsRegistry;
 pub use shard::{per_shard_stats, shard_key, ShardStats};
 pub use sink::{EventSink, ObsEvent, SpanId};
 pub use snapshot::{Direction, Objective, ObsSnapshot};
+pub use telemetry::{
+    http_get, parse_prometheus, prometheus_text, FlightRecorder, HubPublisher, TelemetryHub,
+    TelemetryServer, Watchdog, WatchdogGuard,
+};
 
 /// One-stop imports for observability users.
 pub mod prelude {
@@ -86,4 +95,8 @@ pub mod prelude {
     pub use crate::shard::{per_shard_stats, shard_key, ShardStats};
     pub use crate::sink::{EventSink, ObsEvent, SpanId};
     pub use crate::snapshot::{Direction, Objective, ObsSnapshot};
+    pub use crate::telemetry::{
+        http_get, parse_prometheus, prometheus_text, FlightRecorder, HubPublisher, TelemetryHub,
+        TelemetryServer, Watchdog, WatchdogGuard,
+    };
 }

@@ -1,0 +1,1086 @@
+//! The live telemetry plane: a scrape-able view of a *running* system.
+//!
+//! Everything else in this crate is post-hoc — registries are merged at
+//! shutdown, snapshots are frozen at end of run, traces are exported
+//! after the fact. This module is the exception: it exists so the
+//! threaded runtime (real OS threads, wall clock) can be watched *while
+//! it runs*, which is what the paper's degraded-but-usable systems need
+//! in production. Four pieces:
+//!
+//! * [`TelemetryHub`] — a shared board that every runtime view
+//!   publishes its [`MetricsRegistry`] into on a cadence. Publishing
+//!   *replaces* the view's slot (never adds), so the merged reading is
+//!   exact up to one cadence of staleness per view and views stay
+//!   contention-free between publishes — bounded staleness instead of
+//!   per-op locking.
+//! * [`prometheus_text`] — renders a snapshot in the Prometheus text
+//!   exposition format (version 0.0.4): counters, gauges, and latency
+//!   summaries with `quantile` labels.
+//! * [`FlightRecorder`] — a fixed-size ring of the most recent
+//!   boundary events (rpc outcomes, sends, timer fires, fault
+//!   transitions). On trouble — watchdog trip, oracle failure, hung
+//!   shutdown — it is dumped as a Perfetto-loadable Chrome-trace file,
+//!   so the last moments before the incident are on disk.
+//! * [`Watchdog`] — a scanner thread over an in-flight-operation
+//!   table. Operations registered via [`Watchdog::guard`] that outlive
+//!   the deadline are flagged (`watchdog.slow_op`), recorded into the
+//!   flight ring, and trigger one flight-recorder dump.
+//!
+//! [`TelemetryServer`] ties them together: a `std::net::TcpListener`
+//! serving `GET /metrics` (Prometheus text) and `GET /snapshot.json`
+//! (the canonical [`ObsSnapshot`] JSON) from a hub, live, mid-run.
+//!
+//! Unlike the rest of the crate, this module reads the wall clock
+//! (`Instant`) — it is only ever wired into the threaded backend; the
+//! simulator never constructs these types, so simulator determinism is
+//! untouched.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use crate::json::Json;
+use crate::registry::MetricsRegistry;
+use crate::snapshot::ObsSnapshot;
+
+// ---------------------------------------------------------------------
+// Well-known metric names
+// ---------------------------------------------------------------------
+
+/// Counter: operations flagged by the slow-op watchdog (an operation is
+/// flagged at most once).
+pub const WATCHDOG_SLOW_OP: &str = "watchdog.slow_op";
+
+/// Counter: watchdog scan passes over the in-flight table.
+pub const WATCHDOG_SCANS: &str = "watchdog.scans";
+
+/// Counter: rpcs that failed because no route existed to a live peer —
+/// a partition, not a slow peer.
+pub const RPC_FAILED_UNREACHABLE: &str = "rpc.failed.unreachable";
+
+/// Counter: rpcs that failed by exhausting the caller's timeout — a
+/// slow or wedged peer, not a partition.
+pub const RPC_FAILED_TIMEOUT: &str = "rpc.failed.timeout";
+
+/// Counter: rpcs that failed because the node (local or remote) was
+/// down or its mailbox closed.
+pub const RPC_FAILED_CLOSED: &str = "rpc.failed.closed";
+
+/// Counter: spans still open when a threaded run's event ledger was
+/// finished — unbalanced instrumentation, surfaced instead of dropped.
+pub const UNCLOSED_SPANS: &str = "trace.unclosed_spans";
+
+/// Counter: HTTP requests answered by the scrape endpoint.
+pub const SCRAPES: &str = "telemetry.scrapes";
+
+/// Counter: registry publications into the hub (all views).
+pub const PUBLISHES: &str = "telemetry.publishes";
+
+/// Gauge name for a node's mailbox backlog: envelopes posted but not
+/// yet picked up by the node thread.
+pub fn mailbox_backlog(node: &str) -> String {
+    format!("rt.node.{node}.mailbox.backlog")
+}
+
+/// Gauge name for a node's queue depth: envelopes accepted but not yet
+/// replied to (backlog plus the request currently in the handler).
+pub fn queue_depth(node: &str) -> String {
+    format!("rt.node.{node}.queue.depth")
+}
+
+/// Gauge name for the high-water mark of [`mailbox_backlog`].
+pub fn mailbox_backlog_max(node: &str) -> String {
+    format!("rt.node.{node}.mailbox.backlog.max")
+}
+
+/// Gauge name for the high-water mark of [`queue_depth`].
+pub fn queue_depth_max(node: &str) -> String {
+    format!("rt.node.{node}.queue.depth.max")
+}
+
+/// Store-layer health counter spellings, centralized so dashboards and
+/// the store client agree (the store records these on both backends).
+pub mod store_health {
+    /// Counter: object fetches that returned the record.
+    pub const FETCH_OK: &str = "store.fetch.ok";
+    /// Counter: object fetches that failed on every candidate.
+    pub const FETCH_ERR: &str = "store.fetch.err";
+    /// Counter: writes acknowledged by the home node.
+    pub const WRITE_OK: &str = "store.write.ok";
+    /// Counter: writes that failed.
+    pub const WRITE_ERR: &str = "store.write.err";
+    /// Counter: best-effort replica sync messages launched.
+    pub const REPLICA_SYNC_SENT: &str = "store.replica_sync.sent";
+    /// Counter: replica sync messages that could not be launched.
+    pub const REPLICA_SYNC_FAILED: &str = "store.replica_sync.failed";
+}
+
+// ---------------------------------------------------------------------
+// Prometheus text exposition
+// ---------------------------------------------------------------------
+
+/// Maps a dotted metric name onto the Prometheus grammar
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`), prefixed `weakset_`.
+pub fn prometheus_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 8);
+    out.push_str("weakset_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Renders a frozen snapshot in the Prometheus text exposition format
+/// (version 0.0.4). Counters and gauges map directly; latency
+/// populations become summaries with `quantile="0.5"` / `"0.99"`
+/// sample lines plus `_count` and `_sum` (the sum is reconstructed as
+/// `mean × count` — the summary does not retain the exact total).
+pub fn prometheus_text(snap: &ObsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snap.counters {
+        let p = prometheus_name(name);
+        out.push_str(&format!("# HELP {p} weakset counter {name}\n"));
+        out.push_str(&format!("# TYPE {p} counter\n"));
+        out.push_str(&format!("{p} {value}\n"));
+    }
+    for (name, value) in &snap.gauges {
+        let p = prometheus_name(name);
+        out.push_str(&format!("# HELP {p} weakset gauge {name}\n"));
+        out.push_str(&format!("# TYPE {p} gauge\n"));
+        out.push_str(&format!("{p} {value}\n"));
+    }
+    for (name, s) in &snap.latencies {
+        let p = prometheus_name(name);
+        out.push_str(&format!(
+            "# HELP {p} weakset latency {name} (microseconds)\n"
+        ));
+        out.push_str(&format!("# TYPE {p} summary\n"));
+        out.push_str(&format!("{p}{{quantile=\"0.5\"}} {}\n", s.p50_us));
+        out.push_str(&format!("{p}{{quantile=\"0.99\"}} {}\n", s.p99_us));
+        out.push_str(&format!("{p}_sum {}\n", s.mean_us.saturating_mul(s.count)));
+        out.push_str(&format!("{p}_count {}\n", s.count));
+    }
+    out
+}
+
+/// Validates Prometheus text exposition and returns the samples as
+/// `(name-with-labels, value)` pairs. Used by the CI smoke test to
+/// assert the endpoint's output actually parses; strict about the line
+/// grammar so a formatting regression fails loudly.
+///
+/// # Errors
+///
+/// The offending line and why it does not parse.
+pub fn parse_prometheus(text: &str) -> Result<Vec<(String, f64)>, String> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (name, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("sample line without a value: {line:?}"))?;
+        let bare = name.split('{').next().unwrap_or(name);
+        let mut chars = bare.chars();
+        let head_ok = chars
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':');
+        if !head_ok || !chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':') {
+            return Err(format!("invalid metric name {bare:?} in line {line:?}"));
+        }
+        if name.contains('{') && !name.ends_with('}') {
+            return Err(format!("unterminated label set in line {line:?}"));
+        }
+        let v: f64 = value
+            .parse()
+            .map_err(|_| format!("unparseable value {value:?} in line {line:?}"))?;
+        out.push((name.to_string(), v));
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------
+// The hub
+// ---------------------------------------------------------------------
+
+#[derive(Default)]
+struct HubInner {
+    next_id: AtomicU64,
+    /// Last full registry published by each live view, by publisher id.
+    slots: Mutex<BTreeMap<u64, MetricsRegistry>>,
+    /// Counters owned by the plane itself (watchdog flags, scrape
+    /// counts) rather than any one view.
+    shared: Mutex<MetricsRegistry>,
+    /// Gauges sampled at merge time — atomic cells owned by the
+    /// runtime (mailbox backlogs, queue depths), read without any
+    /// publish round-trip.
+    live: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+}
+
+/// The shared board runtime views publish their metrics into.
+///
+/// Cloning is cheap (an `Arc`); all clones see the same board. Each
+/// view holds a [`HubPublisher`] and republishes its whole registry at
+/// its cadence — so [`TelemetryHub::merged`] is exact up to one
+/// cadence of staleness per view, and a crashed view's last publish
+/// remains visible instead of vanishing.
+#[derive(Clone, Default)]
+pub struct TelemetryHub {
+    inner: Arc<HubInner>,
+}
+
+impl TelemetryHub {
+    /// A hub with no publishers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a new publisher slot (one per runtime view).
+    pub fn register(&self, cadence: Duration) -> HubPublisher {
+        let id = self.inner.next_id.fetch_add(1, Ordering::SeqCst);
+        HubPublisher {
+            hub: self.clone(),
+            id,
+            cadence,
+            last: None,
+        }
+    }
+
+    /// Mutates the plane-owned shared registry (watchdog and server
+    /// counters live here).
+    pub fn with_shared(&self, f: impl FnOnce(&mut MetricsRegistry)) {
+        f(&mut lock(&self.inner.shared));
+    }
+
+    /// Registers a gauge cell sampled at merge time. Re-registering a
+    /// name replaces the cell.
+    pub fn register_live_gauge(&self, name: &str, cell: Arc<AtomicU64>) {
+        lock(&self.inner.live).insert(name.to_string(), cell);
+    }
+
+    /// Number of publisher slots handed out so far.
+    pub fn publishers(&self) -> u64 {
+        self.inner.next_id.load(Ordering::SeqCst)
+    }
+
+    /// Folds every published slot, the shared registry, and a sample of
+    /// every live gauge into one registry. This is what the scrape
+    /// endpoint freezes and serves.
+    pub fn merged(&self) -> MetricsRegistry {
+        let mut out = MetricsRegistry::new();
+        for reg in lock(&self.inner.slots).values() {
+            out.merge(reg);
+        }
+        out.merge(&lock(&self.inner.shared));
+        for (name, cell) in lock(&self.inner.live).iter() {
+            out.gauge_set(name, cell.load(Ordering::Relaxed));
+        }
+        out
+    }
+
+    /// [`TelemetryHub::merged`] frozen into a snapshot.
+    pub fn snapshot(&self, scenario: &str, seed: u64) -> ObsSnapshot {
+        self.merged().snapshot(scenario, seed)
+    }
+
+    fn publish(&self, id: u64, m: &MetricsRegistry) {
+        lock(&self.inner.slots).insert(id, m.clone());
+        lock(&self.inner.shared).incr(PUBLISHES);
+    }
+}
+
+/// One view's handle into the hub. Not `Clone`: every view must own its
+/// own slot, or two views would overwrite each other's readings.
+pub struct HubPublisher {
+    hub: TelemetryHub,
+    id: u64,
+    cadence: Duration,
+    last: Option<Instant>,
+}
+
+impl HubPublisher {
+    /// Publishes unconditionally, replacing this view's slot.
+    pub fn publish(&mut self, m: &MetricsRegistry) {
+        self.last = Some(Instant::now());
+        self.hub.publish(self.id, m);
+    }
+
+    /// Publishes only when at least one cadence has elapsed since the
+    /// last publish (a fresh publisher publishes immediately). Returns
+    /// whether it published — the per-call cost on the hot path is one
+    /// `Instant::now` and a comparison.
+    pub fn maybe_publish(&mut self, m: &MetricsRegistry) -> bool {
+        let due = match self.last {
+            None => true,
+            Some(last) => last.elapsed() >= self.cadence,
+        };
+        if due {
+            self.publish(m);
+        }
+        due
+    }
+
+    /// The hub this publisher feeds.
+    pub fn hub(&self) -> &TelemetryHub {
+        &self.hub
+    }
+
+    /// The publish cadence (the staleness bound this view adds).
+    pub fn cadence(&self) -> Duration {
+        self.cadence
+    }
+}
+
+// ---------------------------------------------------------------------
+// The flight recorder
+// ---------------------------------------------------------------------
+
+/// One entry in the flight ring: a boundary event with wall time (in
+/// microseconds since the runtime started) and the node or route it
+/// concerns.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FlightEntry {
+    /// Microseconds since the runtime started.
+    pub at_us: u64,
+    /// The node, route (`"client->s0"`), or subsystem concerned.
+    pub node: String,
+    /// Dotted event kind (`"rpc"`, `"fault"`, `"watchdog.slow_op"`…).
+    pub kind: String,
+    /// Free-form detail.
+    pub detail: String,
+}
+
+struct FlightInner {
+    cap: usize,
+    dropped: u64,
+    ring: VecDeque<FlightEntry>,
+    dump_path: Option<PathBuf>,
+    dumped: bool,
+}
+
+/// A fixed-size ring buffer of recent boundary events, shared by every
+/// view of a runtime (clones share the ring). When something goes
+/// wrong, [`FlightRecorder::dump`] writes the ring as a
+/// Perfetto-loadable Chrome-trace file — the black box that survives
+/// the crash.
+#[derive(Clone)]
+pub struct FlightRecorder {
+    inner: Arc<Mutex<FlightInner>>,
+}
+
+impl FlightRecorder {
+    /// A ring holding at most `capacity` entries; older entries are
+    /// evicted (and counted) as new ones arrive.
+    pub fn new(capacity: usize) -> Self {
+        FlightRecorder {
+            inner: Arc::new(Mutex::new(FlightInner {
+                cap: capacity.max(1),
+                dropped: 0,
+                ring: VecDeque::new(),
+                dump_path: None,
+                dumped: false,
+            })),
+        }
+    }
+
+    /// Configures where [`FlightRecorder::dump`] writes; builder-style.
+    pub fn with_dump_path(self, path: impl Into<PathBuf>) -> Self {
+        lock(&self.inner).dump_path = Some(path.into());
+        self
+    }
+
+    /// Appends one entry, evicting the oldest when full.
+    pub fn record(&self, at_us: u64, node: &str, kind: &str, detail: &str) {
+        let mut g = lock(&self.inner);
+        if g.ring.len() == g.cap {
+            g.ring.pop_front();
+            g.dropped += 1;
+        }
+        g.ring.push_back(FlightEntry {
+            at_us,
+            node: node.to_string(),
+            kind: kind.to_string(),
+            detail: detail.to_string(),
+        });
+    }
+
+    /// Entries currently in the ring, oldest first.
+    pub fn entries(&self) -> Vec<FlightEntry> {
+        lock(&self.inner).ring.iter().cloned().collect()
+    }
+
+    /// Number of entries currently held.
+    pub fn len(&self) -> usize {
+        lock(&self.inner).ring.len()
+    }
+
+    /// True when the ring holds nothing.
+    pub fn is_empty(&self) -> bool {
+        lock(&self.inner).ring.is_empty()
+    }
+
+    /// Entries evicted so far (how much history the ring has forgotten).
+    pub fn dropped(&self) -> u64 {
+        lock(&self.inner).dropped
+    }
+
+    /// Renders the ring as Chrome-trace JSON (Perfetto-loadable):
+    /// every entry is an instant event, tracks (`tid`) are one per node
+    /// name with `thread_name` metadata, all under `pid` 0.
+    pub fn to_chrome_trace(&self) -> String {
+        let g = lock(&self.inner);
+        // Stable track per node name, in order of first appearance.
+        let mut tids: BTreeMap<&str, u64> = BTreeMap::new();
+        for e in &g.ring {
+            let next = tids.len() as u64;
+            tids.entry(e.node.as_str()).or_insert(next);
+        }
+        let mut events: Vec<Json> = tids
+            .iter()
+            .map(|(node, tid)| {
+                Json::Obj(vec![
+                    ("name".into(), Json::Str("thread_name".into())),
+                    ("ph".into(), Json::Str("M".into())),
+                    ("pid".into(), Json::u64(0)),
+                    ("tid".into(), Json::u64(*tid)),
+                    (
+                        "args".into(),
+                        Json::Obj(vec![("name".into(), Json::Str((*node).into()))]),
+                    ),
+                ])
+            })
+            .collect();
+        for e in &g.ring {
+            events.push(Json::Obj(vec![
+                ("name".into(), Json::Str(e.kind.clone())),
+                ("cat".into(), Json::Str("flight".into())),
+                ("ph".into(), Json::Str("i".into())),
+                ("ts".into(), Json::u64(e.at_us)),
+                ("s".into(), Json::Str("t".into())),
+                ("pid".into(), Json::u64(0)),
+                ("tid".into(), Json::u64(tids[e.node.as_str()])),
+                (
+                    "args".into(),
+                    Json::Obj(vec![
+                        ("detail".into(), Json::Str(e.detail.clone())),
+                        ("node".into(), Json::Str(e.node.clone())),
+                    ]),
+                ),
+            ]));
+        }
+        Json::Obj(vec![
+            ("traceEvents".into(), Json::Arr(events)),
+            ("displayTimeUnit".into(), Json::Str("ms".into())),
+        ])
+        .to_pretty()
+    }
+
+    /// Writes the ring to `path` (parent directories created).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures.
+    pub fn dump_to(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(path, self.to_chrome_trace())
+    }
+
+    /// Writes the ring to the configured dump path and returns it.
+    /// Subsequent calls overwrite (the latest state wins).
+    ///
+    /// # Errors
+    ///
+    /// `NotFound` when no dump path was configured, otherwise
+    /// filesystem failures.
+    pub fn dump(&self) -> io::Result<PathBuf> {
+        let path = lock(&self.inner).dump_path.clone().ok_or_else(|| {
+            io::Error::new(io::ErrorKind::NotFound, "no flight-recorder dump path set")
+        })?;
+        self.dump_to(&path)?;
+        lock(&self.inner).dumped = true;
+        Ok(path)
+    }
+
+    /// Whether [`FlightRecorder::dump`] has succeeded at least once.
+    pub fn has_dumped(&self) -> bool {
+        lock(&self.inner).dumped
+    }
+}
+
+// ---------------------------------------------------------------------
+// The slow-op watchdog
+// ---------------------------------------------------------------------
+
+struct InflightOp {
+    label: String,
+    node: String,
+    started: Instant,
+    flagged: bool,
+}
+
+struct WatchdogInner {
+    deadline: Duration,
+    next_id: AtomicU64,
+    inflight: Mutex<BTreeMap<u64, InflightOp>>,
+    hub: TelemetryHub,
+    flight: Option<FlightRecorder>,
+    stop: AtomicBool,
+    slow_ops: AtomicU64,
+    join: Mutex<Option<JoinHandle<()>>>,
+}
+
+/// A scanner thread watching registered in-flight operations.
+///
+/// Wrap an operation in [`Watchdog::guard`]; if it is still running
+/// when the scanner finds it past the deadline, the op is flagged
+/// exactly once: `watchdog.slow_op` is bumped on the hub, the flag is
+/// recorded into the flight ring, and the flight recorder dumps (first
+/// trip only — later trips overwrite nothing that matters, the ring
+/// keeps rolling). Cloning shares the same watchdog.
+#[derive(Clone)]
+pub struct Watchdog {
+    inner: Arc<WatchdogInner>,
+}
+
+impl Watchdog {
+    /// Starts the scanner thread. `scan_every` bounds detection latency
+    /// (a slow op is flagged within one scan after its deadline).
+    pub fn spawn(
+        deadline: Duration,
+        scan_every: Duration,
+        hub: TelemetryHub,
+        flight: Option<FlightRecorder>,
+    ) -> Watchdog {
+        let inner = Arc::new(WatchdogInner {
+            deadline,
+            next_id: AtomicU64::new(0),
+            inflight: Mutex::new(BTreeMap::new()),
+            hub,
+            flight,
+            stop: AtomicBool::new(false),
+            slow_ops: AtomicU64::new(0),
+            join: Mutex::new(None),
+        });
+        let scanner = Arc::clone(&inner);
+        let join = thread::Builder::new()
+            .name("weakset-watchdog".into())
+            .spawn(move || {
+                while !scanner.stop.load(Ordering::Relaxed) {
+                    Watchdog::scan(&scanner);
+                    thread::sleep(scan_every);
+                }
+            })
+            .expect("spawn watchdog thread");
+        *lock(&inner.join) = Some(join);
+        Watchdog { inner }
+    }
+
+    fn scan(inner: &WatchdogInner) {
+        inner.hub.with_shared(|m| m.incr(WATCHDOG_SCANS));
+        let mut newly_slow: Vec<(String, String, Duration)> = Vec::new();
+        {
+            let mut inflight = lock(&inner.inflight);
+            for op in inflight.values_mut() {
+                let elapsed = op.started.elapsed();
+                if !op.flagged && elapsed > inner.deadline {
+                    op.flagged = true;
+                    newly_slow.push((op.label.clone(), op.node.clone(), elapsed));
+                }
+            }
+        }
+        if newly_slow.is_empty() {
+            return;
+        }
+        inner
+            .slow_ops
+            .fetch_add(newly_slow.len() as u64, Ordering::SeqCst);
+        inner
+            .hub
+            .with_shared(|m| m.add(WATCHDOG_SLOW_OP, newly_slow.len() as u64));
+        let first_trip = inner.slow_ops.load(Ordering::SeqCst) == newly_slow.len() as u64;
+        if let Some(flight) = &inner.flight {
+            for (label, node, elapsed) in &newly_slow {
+                flight.record(
+                    elapsed.as_micros() as u64,
+                    node,
+                    "watchdog.slow_op",
+                    &format!("{label} in flight for {}us", elapsed.as_micros()),
+                );
+            }
+            if first_trip {
+                if let Err(e) = flight.dump() {
+                    eprintln!("watchdog: flight-recorder dump failed: {e}");
+                }
+            }
+        }
+    }
+
+    /// Registers an operation; dropping the guard deregisters it. An op
+    /// that outlives the deadline while registered is flagged.
+    pub fn guard(&self, node: &str, label: &str) -> WatchdogGuard {
+        let id = self.inner.next_id.fetch_add(1, Ordering::SeqCst);
+        lock(&self.inner.inflight).insert(
+            id,
+            InflightOp {
+                label: label.to_string(),
+                node: node.to_string(),
+                started: Instant::now(),
+                flagged: false,
+            },
+        );
+        WatchdogGuard {
+            inner: Arc::clone(&self.inner),
+            id,
+        }
+    }
+
+    /// Operations flagged so far.
+    pub fn slow_ops(&self) -> u64 {
+        self.inner.slow_ops.load(Ordering::SeqCst)
+    }
+
+    /// The configured deadline.
+    pub fn deadline(&self) -> Duration {
+        self.inner.deadline
+    }
+
+    /// Stops and joins the scanner thread (idempotent; clones of this
+    /// watchdog keep answering [`Watchdog::slow_ops`] afterwards).
+    pub fn stop(&self) {
+        self.inner.stop.store(true, Ordering::SeqCst);
+        if let Some(join) = lock(&self.inner.join).take() {
+            let _ = join.join();
+        }
+    }
+}
+
+impl Drop for WatchdogInner {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(join) = lock(&self.join).take() {
+            let _ = join.join();
+        }
+    }
+}
+
+/// RAII registration of one in-flight operation (see
+/// [`Watchdog::guard`]).
+pub struct WatchdogGuard {
+    inner: Arc<WatchdogInner>,
+    id: u64,
+}
+
+impl Drop for WatchdogGuard {
+    fn drop(&mut self) {
+        lock(&self.inner.inflight).remove(&self.id);
+    }
+}
+
+// ---------------------------------------------------------------------
+// The scrape server
+// ---------------------------------------------------------------------
+
+/// A minimal HTTP/1.1 endpoint over `std::net::TcpListener` serving a
+/// [`TelemetryHub`] live:
+///
+/// * `GET /metrics` — Prometheus text exposition (version 0.0.4),
+/// * `GET /snapshot.json` — the canonical [`ObsSnapshot`] JSON,
+///
+/// each frozen from [`TelemetryHub::merged`] at request time. Dropping
+/// the server stops the accept thread.
+pub struct TelemetryServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    join: Option<JoinHandle<()>>,
+}
+
+impl TelemetryServer {
+    /// Binds `addr` (use `127.0.0.1:0` for an ephemeral port) and
+    /// starts the accept thread. `scenario`/`seed` tag the served
+    /// snapshots.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn serve(
+        addr: impl ToSocketAddrs,
+        hub: TelemetryHub,
+        scenario: &str,
+        seed: u64,
+    ) -> io::Result<TelemetryServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let scenario = scenario.to_string();
+        let join = thread::Builder::new()
+            .name("weakset-telemetry".into())
+            .spawn({
+                let stop = Arc::clone(&stop);
+                move || loop {
+                    if stop.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            hub.with_shared(|m| m.incr(SCRAPES));
+                            if let Err(e) = handle_request(stream, &hub, &scenario, seed) {
+                                eprintln!("telemetry: request failed: {e}");
+                            }
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            thread::sleep(Duration::from_millis(10));
+                        }
+                        Err(e) => {
+                            eprintln!("telemetry: accept failed, stopping: {e}");
+                            return;
+                        }
+                    }
+                }
+            })?;
+        Ok(TelemetryServer {
+            addr,
+            stop,
+            join: Some(join),
+        })
+    }
+
+    /// The bound address (resolves the ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept thread (also happens on drop).
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+impl Drop for TelemetryServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn handle_request(
+    mut stream: TcpStream,
+    hub: &TelemetryHub,
+    scenario: &str,
+    seed: u64,
+) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    // Read until the end of the request head (we never accept bodies).
+    let mut head = Vec::new();
+    let mut buf = [0u8; 512];
+    loop {
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            break;
+        }
+        head.extend_from_slice(&buf[..n]);
+        if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() > 8192 {
+            break;
+        }
+    }
+    let head = String::from_utf8_lossy(&head);
+    let mut parts = head.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let (status, content_type, body) = if method != "GET" {
+        (
+            "405 Method Not Allowed",
+            "text/plain",
+            String::from("GET only\n"),
+        )
+    } else {
+        match path {
+            "/metrics" => (
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                prometheus_text(&hub.snapshot(scenario, seed)),
+            ),
+            "/snapshot.json" => (
+                "200 OK",
+                "application/json; charset=utf-8",
+                hub.snapshot(scenario, seed).to_json(),
+            ),
+            _ => (
+                "404 Not Found",
+                "text/plain",
+                String::from("try /metrics or /snapshot.json\n"),
+            ),
+        }
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())
+}
+
+/// A tiny blocking HTTP GET against a telemetry endpoint — what the
+/// examples, the rt bench, and the CI smoke test use to scrape without
+/// needing `curl` in-process. Returns `(status_code, body)`.
+///
+/// # Errors
+///
+/// Connection/read failures, or a response without an HTTP status line.
+pub fn http_get(addr: SocketAddr, path: &str, timeout: Duration) -> io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect_timeout(&addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    stream.write_all(
+        format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n").as_bytes(),
+    )?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "no HTTP status line"))?;
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    Ok((status, body))
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prometheus_names_fit_the_grammar() {
+        assert_eq!(prometheus_name("rpc.sent"), "weakset_rpc_sent");
+        assert_eq!(
+            prometheus_name("rt.node.s0.queue.depth"),
+            "weakset_rt_node_s0_queue_depth"
+        );
+        assert_eq!(prometheus_name("a-b c"), "weakset_a_b_c");
+    }
+
+    #[test]
+    fn exposition_round_trips_through_the_parser() {
+        let mut m = MetricsRegistry::new();
+        m.add("rpc.sent", 12);
+        m.gauge_set("rt.node.s0.queue.depth", 3);
+        for us in [100, 200, 900] {
+            m.observe("rpc.latency", us);
+        }
+        let text = prometheus_text(&m.snapshot("t", 1));
+        let samples = parse_prometheus(&text).expect("own output parses");
+        assert!(samples
+            .iter()
+            .any(|(n, v)| n == "weakset_rpc_sent" && *v == 12.0));
+        assert!(samples
+            .iter()
+            .any(|(n, v)| n == "weakset_rpc_latency{quantile=\"0.5\"}" && *v == 200.0));
+        assert!(samples
+            .iter()
+            .any(|(n, v)| n == "weakset_rpc_latency_count" && *v == 3.0));
+        assert!(text.contains("# TYPE weakset_rpc_latency summary"));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_lines() {
+        assert!(parse_prometheus("weakset_ok 1\n").is_ok());
+        assert!(parse_prometheus("9starts_with_digit 1\n").is_err());
+        assert!(parse_prometheus("no_value\n").is_err());
+        assert!(parse_prometheus("name not-a-number\n").is_err());
+        assert!(parse_prometheus("bad{quantile=\"0.5\" 7\n").is_err());
+    }
+
+    #[test]
+    fn hub_publishes_replace_not_add() {
+        let hub = TelemetryHub::new();
+        let mut p = hub.register(Duration::ZERO);
+        let mut m = MetricsRegistry::new();
+        m.add("ops", 5);
+        p.publish(&m);
+        m.add("ops", 5);
+        p.publish(&m); // re-publish of the same view must not double-count
+        assert_eq!(hub.merged().counter("ops"), 10);
+
+        let mut p2 = hub.register(Duration::ZERO);
+        let mut m2 = MetricsRegistry::new();
+        m2.add("ops", 1);
+        p2.publish(&m2);
+        assert_eq!(hub.merged().counter("ops"), 11, "views merge");
+        assert_eq!(hub.publishers(), 2);
+    }
+
+    #[test]
+    fn hub_cadence_bounds_publish_rate() {
+        let hub = TelemetryHub::new();
+        let mut p = hub.register(Duration::from_secs(3600));
+        let m = MetricsRegistry::new();
+        assert!(p.maybe_publish(&m), "first publish is immediate");
+        assert!(!p.maybe_publish(&m), "second inside the cadence is skipped");
+        assert_eq!(hub.merged().counter(PUBLISHES), 1);
+    }
+
+    #[test]
+    fn hub_samples_live_gauges_at_merge_time() {
+        let hub = TelemetryHub::new();
+        let cell = Arc::new(AtomicU64::new(0));
+        hub.register_live_gauge(&queue_depth("s0"), Arc::clone(&cell));
+        cell.store(7, Ordering::SeqCst);
+        assert_eq!(hub.merged().gauge("rt.node.s0.queue.depth"), 7);
+        cell.store(2, Ordering::SeqCst);
+        assert_eq!(hub.merged().gauge("rt.node.s0.queue.depth"), 2);
+    }
+
+    #[test]
+    fn flight_ring_evicts_oldest_and_exports_perfetto() {
+        let fr = FlightRecorder::new(3);
+        for i in 0..5u64 {
+            fr.record(i, "client->s0", "rpc", &format!("call {i}"));
+        }
+        assert_eq!(fr.len(), 3);
+        assert_eq!(fr.dropped(), 2);
+        let entries = fr.entries();
+        assert_eq!(entries[0].at_us, 2, "oldest two evicted");
+        let json = fr.to_chrome_trace();
+        let parsed = Json::parse(&json).expect("perfetto dump parses");
+        let events = match parsed.get("traceEvents") {
+            Some(Json::Arr(a)) => a,
+            _ => panic!("missing traceEvents"),
+        };
+        // One thread_name metadata record plus three instants.
+        assert_eq!(events.len(), 4);
+        assert_eq!(events[0].get("ph").and_then(Json::as_str), Some("M"));
+        assert_eq!(events[1].get("ph").and_then(Json::as_str), Some("i"));
+    }
+
+    #[test]
+    fn flight_dump_requires_a_path_then_writes_it() {
+        let fr = FlightRecorder::new(8);
+        fr.record(1, "n", "k", "d");
+        assert_eq!(fr.dump().unwrap_err().kind(), io::ErrorKind::NotFound);
+        assert!(!fr.has_dumped());
+        let path = std::env::temp_dir().join("weakset-flight-test/flight.json");
+        let fr = fr.with_dump_path(&path);
+        let written = fr.dump().expect("dump with a configured path");
+        assert_eq!(written, path);
+        assert!(fr.has_dumped());
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(Json::parse(&text).is_ok());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn watchdog_flags_slow_ops_once_and_dumps_the_flight_ring() {
+        let hub = TelemetryHub::new();
+        let path =
+            std::env::temp_dir().join(format!("weakset-watchdog-test-{}.json", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let fr = FlightRecorder::new(32).with_dump_path(&path);
+        let wd = Watchdog::spawn(
+            Duration::from_millis(20),
+            Duration::from_millis(5),
+            hub.clone(),
+            Some(fr.clone()),
+        );
+        {
+            let _slow = wd.guard("client", "net.rpc client->s0");
+            let fast = wd.guard("client", "net.rpc client->s1");
+            drop(fast);
+            thread::sleep(Duration::from_millis(120));
+        }
+        wd.stop();
+        assert_eq!(wd.slow_ops(), 1, "only the op that outlived the deadline");
+        assert_eq!(hub.merged().counter(WATCHDOG_SLOW_OP), 1);
+        assert!(hub.merged().counter(WATCHDOG_SCANS) >= 1);
+        assert!(fr.has_dumped(), "first trip dumps the ring");
+        let text = std::fs::read_to_string(&path).expect("dump exists on disk");
+        assert!(text.contains("watchdog.slow_op"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn server_serves_metrics_and_snapshot_live() {
+        let hub = TelemetryHub::new();
+        let mut p = hub.register(Duration::ZERO);
+        let mut m = MetricsRegistry::new();
+        m.add("rpc.sent", 3);
+        m.observe("rpc.latency", 150);
+        p.publish(&m);
+        let server =
+            TelemetryServer::serve("127.0.0.1:0", hub.clone(), "live", 9).expect("bind ephemeral");
+        let addr = server.addr();
+
+        let (status, body) =
+            http_get(addr, "/metrics", Duration::from_secs(2)).expect("scrape /metrics");
+        assert_eq!(status, 200);
+        let samples = parse_prometheus(&body).expect("exposition parses");
+        assert!(samples
+            .iter()
+            .any(|(n, v)| n == "weakset_rpc_sent" && *v == 3.0));
+
+        // The endpoint is live: publish more, scrape again.
+        m.add("rpc.sent", 2);
+        p.publish(&m);
+        let (_, body) = http_get(addr, "/metrics", Duration::from_secs(2)).unwrap();
+        assert!(parse_prometheus(&body)
+            .unwrap()
+            .iter()
+            .any(|(n, v)| n == "weakset_rpc_sent" && *v == 5.0));
+
+        let (status, body) =
+            http_get(addr, "/snapshot.json", Duration::from_secs(2)).expect("scrape snapshot");
+        assert_eq!(status, 200);
+        let snap = ObsSnapshot::from_json(&body).expect("snapshot parses");
+        assert_eq!(snap.scenario, "live");
+        assert_eq!(snap.counters.get("rpc.sent"), Some(&5));
+        assert!(snap.counters.get(SCRAPES).copied().unwrap_or(0) >= 2);
+
+        let (status, _) = http_get(addr, "/nope", Duration::from_secs(2)).unwrap();
+        assert_eq!(status, 404);
+        server.stop();
+    }
+
+    #[test]
+    fn rpc_failure_names_are_distinct_and_namespaced() {
+        let all = [
+            RPC_FAILED_UNREACHABLE,
+            RPC_FAILED_TIMEOUT,
+            RPC_FAILED_CLOSED,
+        ];
+        for (i, a) in all.iter().enumerate() {
+            assert!(a.starts_with("rpc.failed."), "{a} must extend rpc.failed");
+            for b in &all[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+        assert!(WATCHDOG_SLOW_OP.starts_with("watchdog."));
+        assert!(UNCLOSED_SPANS.starts_with("trace."));
+        assert_eq!(mailbox_backlog("s0"), "rt.node.s0.mailbox.backlog");
+        assert_eq!(queue_depth_max("s1"), "rt.node.s1.queue.depth.max");
+    }
+}

@@ -29,17 +29,33 @@
 //! (which disconnects every mailbox). `shutdown` polls with a hard
 //! deadline and reports the nodes that failed to stop instead of
 //! hanging the caller.
+//!
+//! ## Live telemetry
+//!
+//! A running fleet is observable without touching the contention-free
+//! view design. [`ThreadedRuntime::attach_telemetry`] registers the
+//! view as a publisher on a shared [`TelemetryHub`]: on a configurable
+//! cadence (checked at the natural pump points — rpc completion,
+//! sleep, waits) the view re-publishes its whole private registry into
+//! its hub slot, so a scrape of the hub is exact up to one cadence of
+//! staleness per view and views still never share a metrics lock.
+//! Mailbox backlog and queue depth per node are lock-free atomic cells
+//! sampled by the hub at scrape time. An attached [`FlightRecorder`]
+//! keeps the last N boundary crossings (rpc outcomes, sends, timer
+//! fires, fault transitions) and is dumped on a hung shutdown; an
+//! attached [`Watchdog`] flags rpcs and waits that outlive a deadline.
 
 use crate::record::{hash_debug, RecEvent, RecOutcome, Recorder};
 use crate::traits::{Clock, Observe, RtMessage, RtTask, ServiceHost, Spawner, Transport};
 use std::any::Any;
 use std::cmp::Ordering as CmpOrdering;
 use std::collections::{BinaryHeap, HashMap, HashSet};
-use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
+use weakset_obs::telemetry::{self, FlightRecorder, HubPublisher, TelemetryHub, Watchdog};
 use weakset_sim::metrics::{EventSink, Metrics, SpanId, TraceContext};
 use weakset_sim::net::NetError;
 use weakset_sim::node::NodeId;
@@ -64,6 +80,70 @@ struct Envelope<M> {
     reply: Sender<(u64, Result<M, NetError>)>,
 }
 
+/// Lock-free mailbox occupancy cells, shared by the posting views and
+/// the node's own thread and sampled live by the telemetry hub.
+/// `backlog` counts envelopes posted but not yet picked up; `depth`
+/// counts envelopes posted but not yet finished (backlog plus the
+/// request currently inside the handler). The `*_max` cells are
+/// monotone high-water marks.
+#[derive(Clone, Default)]
+struct MailboxStats {
+    backlog: Arc<AtomicU64>,
+    backlog_max: Arc<AtomicU64>,
+    depth: Arc<AtomicU64>,
+    depth_max: Arc<AtomicU64>,
+}
+
+impl MailboxStats {
+    /// An envelope entered the mailbox.
+    fn posted(&self) {
+        let b = self.backlog.fetch_add(1, Ordering::Relaxed) + 1;
+        self.backlog_max.fetch_max(b, Ordering::Relaxed);
+        let d = self.depth.fetch_add(1, Ordering::Relaxed) + 1;
+        self.depth_max.fetch_max(d, Ordering::Relaxed);
+    }
+
+    /// The node thread picked an envelope up (it may still be handling).
+    fn picked_up(&self) {
+        saturating_dec(&self.backlog);
+    }
+
+    /// The envelope is fully disposed of (replied, eaten, or dropped).
+    fn finished(&self) {
+        saturating_dec(&self.depth);
+    }
+}
+
+/// Decrements without wrapping below zero (posts and drains race by
+/// design; a transient under-count must not underflow to u64::MAX).
+fn saturating_dec(cell: &AtomicU64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    while cur > 0 {
+        match cell.compare_exchange_weak(cur, cur - 1, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+/// Registers one node's mailbox cells as live hub gauges, sampled at
+/// scrape time (no publish round-trip, no lock on the node path).
+fn register_node_gauges(hub: &TelemetryHub, name: &str, stats: &MailboxStats) {
+    hub.register_live_gauge(
+        &telemetry::mailbox_backlog(name),
+        Arc::clone(&stats.backlog),
+    );
+    hub.register_live_gauge(
+        &telemetry::mailbox_backlog_max(name),
+        Arc::clone(&stats.backlog_max),
+    );
+    hub.register_live_gauge(&telemetry::queue_depth(name), Arc::clone(&stats.depth));
+    hub.register_live_gauge(
+        &telemetry::queue_depth_max(name),
+        Arc::clone(&stats.depth_max),
+    );
+}
+
 /// The per-node state a view needs to reach a node. The pieces a node's
 /// own thread needs (`up`, `slot`, the stop flag) are `Arc`-cloned into
 /// it at spawn time — the thread deliberately does NOT hold the
@@ -75,6 +155,7 @@ struct NodeHandle<M> {
     slot: Arc<Mutex<Option<Box<dyn Service<M> + Send>>>>,
     join: Option<JoinHandle<()>>,
     name: String,
+    stats: MailboxStats,
 }
 
 /// Fleet state shared by every view.
@@ -117,6 +198,13 @@ impl<M> Ord for TimerEntry<M> {
     }
 }
 
+/// One view's hookup to the live telemetry plane (see
+/// [`ThreadedRuntime::attach_telemetry`]).
+struct RtTelemetry {
+    publisher: HubPublisher,
+    hub: TelemetryHub,
+}
+
 /// The OS-thread execution environment. See the module docs for the
 /// view/fleet split.
 pub struct ThreadedRuntime<M: RtMessage> {
@@ -131,6 +219,9 @@ pub struct ThreadedRuntime<M: RtMessage> {
     events: EventSink,
     ctx: Vec<TraceContext>,
     recorder: Option<Recorder>,
+    telemetry: Option<RtTelemetry>,
+    flight: Option<FlightRecorder>,
+    watchdog: Option<Watchdog>,
 }
 
 fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
@@ -150,6 +241,7 @@ fn node_loop<M: RtMessage>(
     start: Instant,
     node: NodeId,
     name: String,
+    stats: MailboxStats,
 ) {
     let mut rng = SimRng::for_label(seed, &format!("svc.{name}"));
     loop {
@@ -158,12 +250,15 @@ fn node_loop<M: RtMessage>(
         }
         match rx.recv_timeout(MAILBOX_SLICE) {
             Ok(env) => {
+                stats.picked_up();
                 if stop.load(Ordering::Relaxed) {
+                    stats.finished();
                     break;
                 }
                 if !up.load(Ordering::Relaxed) {
                     // A crashed node eats its mail; the caller times out,
                     // matching the simulator's crashed-node behavior.
+                    stats.finished();
                     continue;
                 }
                 let mut guard = lock(&slot);
@@ -175,12 +270,18 @@ fn node_loop<M: RtMessage>(
                         rng: &mut rng,
                     };
                     let reply = svc.handle(&mut ctx, env.from, env.msg);
+                    // Decrement before replying: a caller that sees the
+                    // reply must not still see the op in the queue.
+                    stats.finished();
                     // A dead receiver just means the requesting view is
                     // gone; nothing to do with the reply.
                     let _ = env.reply.send((env.token, Ok(reply)));
+                } else {
+                    // No service installed yet: drop the request, the
+                    // caller times out — same as the simulator's
+                    // service-less node.
+                    stats.finished();
                 }
-                // No service installed yet: drop the request, the caller
-                // times out — same as the simulator's service-less node.
             }
             Err(RecvTimeoutError::Timeout) => continue,
             Err(RecvTimeoutError::Disconnected) => break,
@@ -214,6 +315,9 @@ impl<M: RtMessage> ThreadedRuntime<M> {
             events: EventSink::new(),
             ctx: Vec::new(),
             recorder: None,
+            telemetry: None,
+            flight: None,
+            watchdog: None,
         }
     }
 
@@ -238,6 +342,132 @@ impl<M: RtMessage> ThreadedRuntime<M> {
         }
     }
 
+    /// Hooks this view into a live [`TelemetryHub`]: the view becomes a
+    /// publisher and re-publishes its private registry into its hub
+    /// slot whenever at least `cadence` has elapsed, checked at the
+    /// natural pump points (rpc completion, sleep, waits). Scrapes of
+    /// the hub therefore lag each view by at most one cadence — the
+    /// bounded-staleness trade that keeps views lock-free between
+    /// publishes. Every node's mailbox-backlog and queue-depth cells
+    /// (current and high-water) are registered as live gauges, sampled
+    /// at scrape time with no publish round-trip. Views cloned *after*
+    /// this call inherit the hub with their own publisher slot.
+    pub fn attach_telemetry(&mut self, hub: TelemetryHub, cadence: Duration) {
+        for h in lock(&self.shared.nodes).values() {
+            register_node_gauges(&hub, &h.name, &h.stats);
+        }
+        self.telemetry = Some(RtTelemetry {
+            publisher: hub.register(cadence),
+            hub,
+        });
+    }
+
+    /// The hub this view publishes into, when telemetry is attached.
+    pub fn telemetry_hub(&self) -> Option<&TelemetryHub> {
+        self.telemetry.as_ref().map(|t| &t.hub)
+    }
+
+    /// Hooks a [`FlightRecorder`] into this view: every boundary
+    /// crossing (rpc outcomes, sends, timer fires, liveness and
+    /// reachability transitions) is appended to the shared ring, and a
+    /// shutdown that reports hung nodes dumps it. Clones made after
+    /// this call share the ring.
+    pub fn attach_flight_recorder(&mut self, flight: FlightRecorder) {
+        self.flight = Some(flight);
+    }
+
+    /// The attached flight recorder, when one is hooked in.
+    pub fn flight_recorder(&self) -> Option<&FlightRecorder> {
+        self.flight.as_ref()
+    }
+
+    /// Hooks a slow-op [`Watchdog`] into this view: rpcs and waits are
+    /// registered as in-flight ops, so ones that outlive the watchdog's
+    /// deadline are flagged (`watchdog.slow_op`) while still running.
+    /// Clones made after this call share the watchdog.
+    pub fn attach_watchdog(&mut self, watchdog: Watchdog) {
+        self.watchdog = Some(watchdog);
+    }
+
+    /// Appends one flight-ring entry when a recorder is attached.
+    fn flight_note(&self, node: &str, kind: &str, detail: &str) {
+        if let Some(fl) = &self.flight {
+            fl.record(Clock::now(self).as_micros(), node, kind, detail);
+        }
+    }
+
+    /// Publishes this view's registry into the hub if its cadence is
+    /// due. Costs one `Instant::now` when telemetry is attached,
+    /// nothing otherwise.
+    fn maybe_publish_telemetry(&mut self) {
+        if let Some(t) = &mut self.telemetry {
+            t.publisher.maybe_publish(&self.metrics);
+        }
+    }
+
+    /// Publishes this view's registry unconditionally (shutdown, drop,
+    /// and end-of-worker flushes — the readings must not be one cadence
+    /// stale when the view stops existing).
+    pub fn flush_telemetry(&mut self) {
+        if let Some(t) = &mut self.telemetry {
+            t.publisher.publish(&self.metrics);
+        }
+    }
+
+    /// Closes every span still open on this view's sink (the
+    /// [`EventSink::finish`] unclosed ledger), returning their names.
+    /// Each unclosed span is logged with its kind, detail, and this
+    /// view's owning thread, and counted into `trace.unclosed_spans` —
+    /// report-only: unbalanced instrumentation is surfaced, never
+    /// swallowed, but does not fail the run.
+    pub fn finish_spans(&mut self) -> Vec<String> {
+        let at = Clock::now(self).as_micros();
+        let unclosed = self.events.finish(at);
+        if unclosed.is_empty() {
+            return Vec::new();
+        }
+        let names: Vec<String> = unclosed
+            .iter()
+            .map(|id| {
+                self.events
+                    .events()
+                    .iter()
+                    .find(|e| {
+                        e.span == Some(*id) && e.kind != "span.end" && e.kind != "span.unclosed"
+                    })
+                    .map(|e| {
+                        if e.detail.is_empty() {
+                            e.kind.clone()
+                        } else {
+                            format!("{} ({})", e.kind, e.detail)
+                        }
+                    })
+                    .unwrap_or_else(|| id.to_string())
+            })
+            .collect();
+        self.metrics
+            .add(telemetry::UNCLOSED_SPANS, names.len() as u64);
+        let owner = thread::current().name().unwrap_or("?").to_string();
+        for name in &names {
+            eprintln!("unclosed span at shutdown on {owner}: {name}");
+        }
+        self.flush_telemetry();
+        names
+    }
+
+    /// Splits rpc failures by cause on top of the total: a live
+    /// dashboard must distinguish a partition (`unreachable`) from a
+    /// slow peer (`timeout`) from a dead one (`closed`).
+    fn note_rpc_failed(&mut self, err: &NetError) {
+        self.metrics.incr("rpc.failed");
+        let cause = match err {
+            NetError::Unreachable { .. } => telemetry::RPC_FAILED_UNREACHABLE,
+            NetError::Timeout => telemetry::RPC_FAILED_TIMEOUT,
+            NetError::NodeDown(_) => telemetry::RPC_FAILED_CLOSED,
+        };
+        self.metrics.incr(cause);
+    }
+
     /// Adds a node and spawns its mailbox thread (with no service yet —
     /// install one with [`ServiceHost::install_service`]). Client-only
     /// nodes need this too: the transport refuses to send *from* an
@@ -248,6 +478,7 @@ impl<M: RtMessage> ThreadedRuntime<M> {
         let (tx, rx) = mpsc::channel();
         let up = Arc::new(AtomicBool::new(true));
         let slot: Arc<Mutex<Option<Box<dyn Service<M> + Send>>>> = Arc::new(Mutex::new(None));
+        let stats = MailboxStats::default();
         let join = thread::Builder::new()
             .name(format!("weakset-node-{name}"))
             .spawn({
@@ -257,9 +488,13 @@ impl<M: RtMessage> ThreadedRuntime<M> {
                 let seed = self.shared.seed;
                 let start = self.shared.start;
                 let name = name.clone();
-                move || node_loop(rx, stop, up, slot, seed, start, node, name)
+                let stats = stats.clone();
+                move || node_loop(rx, stop, up, slot, seed, start, node, name, stats)
             })
             .expect("spawn node thread");
+        if let Some(t) = &self.telemetry {
+            register_node_gauges(&t.hub, &name, &stats);
+        }
         lock(&self.shared.nodes).insert(
             node,
             NodeHandle {
@@ -268,6 +503,7 @@ impl<M: RtMessage> ThreadedRuntime<M> {
                 slot,
                 join: Some(join),
                 name: name.clone(),
+                stats,
             },
         );
         if let Some(rec) = &self.recorder {
@@ -284,10 +520,13 @@ impl<M: RtMessage> ThreadedRuntime<M> {
     /// Marks a node up or down. A down node eats incoming mail (callers
     /// time out) and the transport fast-fails new requests to it.
     pub fn set_node_up(&mut self, node: NodeId, up: bool) {
+        let mut name = node.to_string();
         if let Some(h) = lock(&self.shared.nodes).get(&node) {
             h.up.store(up, Ordering::SeqCst);
+            name.clone_from(&h.name);
         }
         self.note(RecEvent::SetNodeUp { node: node.0, up });
+        self.flight_note(&name, "fault", if up { "node up" } else { "node down" });
     }
 
     /// Crashes a node (alias for `set_node_up(node, false)`).
@@ -307,6 +546,15 @@ impl<M: RtMessage> ThreadedRuntime<M> {
             }
         }
         self.note(RecEvent::SetReachable { a: a.0, b: b.0, ok });
+        self.flight_note(
+            &format!("{a}<->{b}"),
+            "fault",
+            if ok {
+                "route restored"
+            } else {
+                "route blocked"
+            },
+        );
     }
 
     /// Stops every node thread, waiting up to `timeout`. Returns the
@@ -333,12 +581,34 @@ impl<M: RtMessage> ThreadedRuntime<M> {
                         let _ = j.join();
                     }
                 }
+                drop(nodes);
+                self.flush_telemetry();
                 return Ok(());
             }
             if Instant::now() >= deadline {
                 if let Some(rec) = &self.recorder {
                     rec.mark_truncated();
                 }
+                // The black box survives the hang: name every wedged
+                // node in the flight ring, then dump it.
+                for node in &hung {
+                    let name = self.node_name(*node).unwrap_or_else(|| node.to_string());
+                    self.flight_note(
+                        &name,
+                        "shutdown.hung",
+                        &format!("did not stop within {timeout:?}"),
+                    );
+                }
+                if let Some(fl) = &self.flight {
+                    match fl.dump() {
+                        Ok(path) => eprintln!(
+                            "hung shutdown: flight recorder dumped to {}",
+                            path.display()
+                        ),
+                        Err(e) => eprintln!("hung shutdown: flight-recorder dump failed: {e}"),
+                    }
+                }
+                self.flush_telemetry();
                 return Err(hung);
             }
             thread::sleep(Duration::from_millis(5));
@@ -383,6 +653,9 @@ impl<M: RtMessage> ThreadedRuntime<M> {
                     label: entry.task.label().to_string(),
                 });
             }
+            if self.flight.is_some() {
+                self.flight_note("timers", "timer.fired", entry.task.label());
+            }
             entry.task.run(self);
         }
     }
@@ -398,7 +671,21 @@ impl<M: RtMessage> ThreadedRuntime<M> {
         };
         let nodes = lock(&self.shared.nodes);
         match nodes.get(&to) {
-            Some(h) => h.tx.send(env).map_err(|_| NetError::NodeDown(to)),
+            Some(h) => {
+                // Count BEFORE sending: the node thread decrements on
+                // pickup, and a decrement racing ahead of its increment
+                // would no-op at zero and leave a phantom +1 behind.
+                h.stats.posted();
+                match h.tx.send(env) {
+                    Ok(()) => Ok(()),
+                    Err(_) => {
+                        // The envelope never entered the mailbox.
+                        h.stats.picked_up();
+                        h.stats.finished();
+                        Err(NetError::NodeDown(to))
+                    }
+                }
+            }
             None => Err(NetError::NodeDown(to)),
         }
     }
@@ -426,13 +713,13 @@ impl<M: RtMessage> ThreadedRuntime<M> {
             } else {
                 NetError::NodeDown(to)
             };
-            self.metrics.incr("rpc.failed");
+            self.note_rpc_failed(&err);
             return Err(err);
         }
         let token = self.next_token;
         self.next_token += 1;
         if let Err(e) = self.post(from, to, msg, token) {
-            self.metrics.incr("rpc.failed");
+            self.note_rpc_failed(&e);
             return Err(e);
         }
         let deadline = started + Duration::from_micros(timeout.as_micros());
@@ -445,14 +732,17 @@ impl<M: RtMessage> ThreadedRuntime<M> {
                         self.metrics
                             .observe("rpc.latency", started.elapsed().as_micros() as u64);
                     }
-                    Err(_) => self.metrics.incr("rpc.failed"),
+                    Err(e) => {
+                        let e = *e;
+                        self.note_rpc_failed(&e);
+                    }
                 }
                 return result;
             }
             self.run_due_timers();
             let now = Instant::now();
             if now >= deadline {
-                self.metrics.incr("rpc.failed");
+                self.note_rpc_failed(&NetError::Timeout);
                 return Err(NetError::Timeout);
             }
             match self.comp_rx.recv_timeout((deadline - now).min(WAIT_SLICE)) {
@@ -486,7 +776,24 @@ impl<M: RtMessage> Clone for ThreadedRuntime<M> {
             events: EventSink::new(),
             ctx: Vec::new(),
             recorder: self.recorder.clone(),
+            // Same hub, own publisher slot: the clone's readings merge
+            // with — never overwrite — this view's.
+            telemetry: self.telemetry.as_ref().map(|t| RtTelemetry {
+                publisher: t.hub.register(t.publisher.cadence()),
+                hub: t.hub.clone(),
+            }),
+            flight: self.flight.clone(),
+            watchdog: self.watchdog.clone(),
         }
+    }
+}
+
+impl<M: RtMessage> Drop for ThreadedRuntime<M> {
+    /// A dying view's readings must reach the hub: worker views flush
+    /// on drop, so the merged picture never silently loses a view that
+    /// exited between cadences.
+    fn drop(&mut self) {
+        self.flush_telemetry();
     }
 }
 
@@ -502,6 +809,7 @@ impl<M: RtMessage> Clock for ThreadedRuntime<M> {
         let deadline = Clock::now(self) + d;
         loop {
             self.run_due_timers();
+            self.maybe_publish_telemetry();
             let now = Clock::now(self);
             if now >= deadline {
                 return;
@@ -583,7 +891,14 @@ impl<M: RtMessage> Transport<M> for ThreadedRuntime<M> {
         let span = Observe::span_enter(self, "net.rpc", &|| format!("{from}->{to}"));
         let req_hash = self.recorder.as_ref().map(|_| hash_debug(&msg));
         let started = Instant::now();
+        // The guard holds only an Arc into the watchdog; registered for
+        // exactly as long as the rpc is actually in flight.
+        let wd_guard = self
+            .watchdog
+            .as_ref()
+            .map(|w| w.guard(&from.to_string(), &format!("net.rpc {from}->{to}")));
         let result = self.rpc_inner(from, to, msg, timeout);
+        drop(wd_guard);
         if let Some(req_hash) = req_hash {
             self.note(RecEvent::Rpc {
                 from: from.0,
@@ -593,11 +908,19 @@ impl<M: RtMessage> Transport<M> for ThreadedRuntime<M> {
                 elapsed_us: started.elapsed().as_micros() as u64,
             });
         }
+        if self.flight.is_some() {
+            let detail = match &result {
+                Ok(_) => format!("ok in {}us", started.elapsed().as_micros()),
+                Err(e) => format!("{e} after {}us", started.elapsed().as_micros()),
+            };
+            self.flight_note(&format!("{from}->{to}"), "rpc", &detail);
+        }
         if let Err(e) = &result {
             let err = *e;
             Observe::trace_event(self, "net.rpc.failed", &|| format!("{from}->{to}: {err}"));
         }
         Observe::span_exit(self, span);
+        self.maybe_publish_telemetry();
         result
     }
 
@@ -626,6 +949,7 @@ impl<M: RtMessage> Transport<M> for ThreadedRuntime<M> {
                 token,
             });
         }
+        self.flight_note(&format!("{from}->{to}"), "send", &format!("token {token}"));
         ReplyToken::from_raw(token)
     }
 
@@ -645,19 +969,26 @@ impl<M: RtMessage> Transport<M> for ThreadedRuntime<M> {
                     outcome: RecOutcome::of(result),
                 });
             }
+            self.maybe_publish_telemetry();
         }
         taken
     }
 
     fn wait_any(&mut self, tokens: &[ReplyToken], deadline: SimTime) -> Option<ReplyToken> {
         let started = Instant::now();
+        let wd_guard = self
+            .watchdog
+            .as_ref()
+            .map(|w| w.guard("view", &format!("net.wait_any {} tokens", tokens.len())));
         let winner = self.wait_any_inner(tokens, deadline);
+        drop(wd_guard);
         if self.recorder.is_some() {
             self.note(RecEvent::WaitAny {
                 winner: winner.map(ReplyToken::raw),
                 elapsed_us: started.elapsed().as_micros() as u64,
             });
         }
+        self.maybe_publish_telemetry();
         winner
     }
 
@@ -959,6 +1290,163 @@ mod tests {
             .any(|e| matches!(&e.ev, RecEvent::Send { from: 0, to: 1, .. })));
         // Once the wedged handler finishes, the fleet drains normally.
         assert!(rt.shutdown(Duration::from_secs(5)).is_ok());
+    }
+
+    #[test]
+    fn telemetry_hub_is_scrapeable_mid_run() {
+        let hub = TelemetryHub::new();
+        let mut rt: ThreadedRuntime<Msg> = ThreadedRuntime::new(5);
+        rt.attach_telemetry(hub.clone(), Duration::ZERO);
+        let c = rt.add_node("client");
+        let s = rt.add_node("server");
+        rt.install_service(s, Box::new(Inc { hits: 0 }));
+        for i in 0..3 {
+            let reply = Transport::rpc(&mut rt, c, s, Msg::Val(i), SimDuration::from_secs(5));
+            assert!(reply.is_ok());
+        }
+        // Scraped BEFORE shutdown: the whole point of the hub.
+        let merged = hub.merged();
+        assert_eq!(merged.counter("rpc.sent"), 3);
+        assert_eq!(merged.counter("rpc.ok"), 3);
+        let lat = merged
+            .latency("rpc.latency")
+            .expect("live latency population");
+        assert_eq!(lat.len(), 3);
+        // The server handled requests, so its queue-depth high-water
+        // mark (a live gauge, sampled at merge time) must have moved.
+        assert!(merged.gauge("rt.node.server.queue.depth.max") >= 1);
+        assert_eq!(merged.gauge("rt.node.server.queue.depth"), 0, "all drained");
+        assert!(rt.shutdown(Duration::from_secs(2)).is_ok());
+    }
+
+    #[test]
+    fn rpc_failures_are_split_by_cause() {
+        let mut rt: ThreadedRuntime<Msg> = ThreadedRuntime::new(9);
+        let c = rt.add_node("client");
+        let s = rt.add_node("server");
+        rt.install_service(s, Box::new(Inc { hits: 0 }));
+        let empty = rt.add_node("empty");
+
+        rt.set_reachable(c, s, false);
+        let un = Transport::rpc(&mut rt, c, s, Msg::Val(1), SimDuration::from_secs(5));
+        assert!(matches!(un, Err(NetError::Unreachable { .. })));
+        rt.set_reachable(c, s, true);
+
+        rt.crash(s);
+        let down = Transport::rpc(&mut rt, c, s, Msg::Val(1), SimDuration::from_secs(5));
+        assert_eq!(down, Err(NetError::NodeDown(s)));
+        rt.set_node_up(s, true);
+
+        let to = Transport::rpc(&mut rt, c, empty, Msg::Val(1), SimDuration::from_millis(60));
+        assert_eq!(to, Err(NetError::Timeout));
+
+        assert_eq!(rt.metrics.counter(telemetry::RPC_FAILED_UNREACHABLE), 1);
+        assert_eq!(rt.metrics.counter(telemetry::RPC_FAILED_CLOSED), 1);
+        assert_eq!(rt.metrics.counter(telemetry::RPC_FAILED_TIMEOUT), 1);
+        // The bare counter stays the total, so existing dashboards and
+        // the cross-backend parity suite see unchanged semantics.
+        assert_eq!(rt.metrics.counter("rpc.failed"), 3);
+        assert!(rt.shutdown(Duration::from_secs(2)).is_ok());
+    }
+
+    #[test]
+    fn watchdog_flags_a_wedged_rpc_and_dumps_the_flight_ring() {
+        let hub = TelemetryHub::new();
+        let dump =
+            std::env::temp_dir().join(format!("weakset-rt-watchdog-{}.json", std::process::id()));
+        let _ = std::fs::remove_file(&dump);
+        let flight = FlightRecorder::new(64).with_dump_path(&dump);
+        let wd = Watchdog::spawn(
+            Duration::from_millis(40),
+            Duration::from_millis(10),
+            hub.clone(),
+            Some(flight.clone()),
+        );
+        let mut rt: ThreadedRuntime<Msg> = ThreadedRuntime::new(13);
+        rt.attach_telemetry(hub.clone(), Duration::ZERO);
+        rt.attach_flight_recorder(flight.clone());
+        rt.attach_watchdog(wd.clone());
+        let c = rt.add_node("client");
+        let w = rt.add_node("wedged");
+        rt.install_service(w, Box::new(Wedge));
+        // The handler sleeps 2s; the rpc gives up after 300ms; the
+        // watchdog flags it in flight after ~40ms.
+        let reply = Transport::rpc(&mut rt, c, w, Msg::Val(1), SimDuration::from_millis(300));
+        assert_eq!(reply, Err(NetError::Timeout));
+        wd.stop();
+        assert!(wd.slow_ops() >= 1, "rpc outlived the watchdog deadline");
+        assert!(hub.merged().counter(telemetry::WATCHDOG_SLOW_OP) >= 1);
+        assert!(flight.has_dumped(), "first trip dumps the black box");
+        let text = std::fs::read_to_string(&dump).expect("perfetto dump on disk");
+        assert!(text.contains("watchdog.slow_op"));
+        assert!(text.contains("traceEvents"));
+        let _ = std::fs::remove_file(&dump);
+        // The wedged handler finishes within 2s; drain the fleet fully.
+        assert!(rt.shutdown(Duration::from_secs(5)).is_ok());
+    }
+
+    #[test]
+    fn hung_shutdown_dumps_the_flight_ring() {
+        let dump =
+            std::env::temp_dir().join(format!("weakset-rt-hungdump-{}.json", std::process::id()));
+        let _ = std::fs::remove_file(&dump);
+        let mut rt: ThreadedRuntime<Msg> = ThreadedRuntime::new(17);
+        rt.attach_flight_recorder(FlightRecorder::new(32).with_dump_path(&dump));
+        let c = rt.add_node("client");
+        let w = rt.add_node("wedged");
+        rt.install_service(w, Box::new(Wedge));
+        let _token = Transport::send(&mut rt, c, w, Msg::Val(1));
+        thread::sleep(Duration::from_millis(100));
+        let hung = rt
+            .shutdown(Duration::from_millis(200))
+            .expect_err("wedged handler must be reported");
+        assert_eq!(hung, vec![w]);
+        let text = std::fs::read_to_string(&dump).expect("hung shutdown leaves a dump");
+        assert!(text.contains("shutdown.hung"));
+        assert!(text.contains("wedged"));
+        let _ = std::fs::remove_file(&dump);
+        assert!(rt.shutdown(Duration::from_secs(5)).is_ok());
+    }
+
+    #[test]
+    fn finish_spans_surfaces_the_unclosed_ledger() {
+        let mut rt: ThreadedRuntime<Msg> = ThreadedRuntime::new(21);
+        *rt.events_mut() = EventSink::enabled();
+        let _open = Observe::span_enter(&mut rt, "rt.read", &|| "leaked by test".to_string());
+        let names = rt.finish_spans();
+        assert_eq!(names, vec!["rt.read (leaked by test)".to_string()]);
+        assert_eq!(rt.metrics.counter(telemetry::UNCLOSED_SPANS), 1);
+        // Balanced instrumentation reports nothing.
+        let mut clean: ThreadedRuntime<Msg> = ThreadedRuntime::new(22);
+        *clean.events_mut() = EventSink::enabled();
+        let span = Observe::span_enter(&mut clean, "rt.read", &|| String::new());
+        Observe::span_exit(&mut clean, span);
+        assert!(clean.finish_spans().is_empty());
+        assert_eq!(clean.metrics.counter(telemetry::UNCLOSED_SPANS), 0);
+    }
+
+    #[test]
+    fn dropped_worker_views_flush_into_the_hub() {
+        let hub = TelemetryHub::new();
+        let mut rt: ThreadedRuntime<Msg> = ThreadedRuntime::new(23);
+        // A one-hour cadence: only the worker's very first publish (and
+        // the drop-flush) can reach the hub.
+        rt.attach_telemetry(hub.clone(), Duration::from_secs(3600));
+        let c = rt.add_node("client");
+        let s = rt.add_node("server");
+        rt.install_service(s, Box::new(Inc { hits: 0 }));
+        {
+            let mut worker = rt.clone();
+            for i in 0..3 {
+                let reply =
+                    Transport::rpc(&mut worker, c, s, Msg::Val(i), SimDuration::from_secs(5));
+                assert!(reply.is_ok());
+            }
+            // The cadence gate let only the first rpc through.
+            assert_eq!(hub.merged().counter("rpc.ok"), 1);
+        } // worker dropped here — its final readings must survive it
+        assert_eq!(hub.merged().counter("rpc.ok"), 3);
+        assert!(rt.shutdown(Duration::from_secs(2)).is_ok());
     }
 
     #[test]

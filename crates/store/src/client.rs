@@ -12,6 +12,7 @@ use std::error::Error;
 use std::fmt;
 use std::sync::{Arc, Mutex};
 use weakset_obs::session as session_names;
+use weakset_obs::telemetry::store_health;
 use weakset_runtime::prelude::*;
 use weakset_sim::net::{BatchBuffer, BatchEnvelope, NetError};
 use weakset_sim::node::NodeId;
@@ -314,9 +315,9 @@ impl StoreClient {
         let m = world.metrics_mut();
         m.observe("store.fetch.us", elapsed);
         m.incr(if result.is_ok() {
-            "store.fetch.ok"
+            store_health::FETCH_OK
         } else {
-            "store.fetch.err"
+            store_health::FETCH_ERR
         });
         result
     }
@@ -434,9 +435,9 @@ impl StoreClient {
         let m = world.metrics_mut();
         m.observe("store.write.us", elapsed);
         m.incr(if primary.is_ok() {
-            "store.write.ok"
+            store_health::WRITE_OK
         } else {
-            "store.write.err"
+            store_health::WRITE_ERR
         });
         let mut clock = None;
         let reply = match primary? {
@@ -466,9 +467,9 @@ impl StoreClient {
                 },
             );
             world.metrics_mut().incr(if synced.is_ok() {
-                "store.replica_sync.sent"
+                store_health::REPLICA_SYNC_SENT
             } else {
-                "store.replica_sync.failed"
+                store_health::REPLICA_SYNC_FAILED
             });
         }
         Ok(version)

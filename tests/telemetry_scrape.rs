@@ -1,0 +1,126 @@
+//! End-to-end scrape of the live telemetry plane: a threaded store
+//! fleet under load, a `TelemetryServer` on an ephemeral port, and a
+//! plain HTTP client asserting the exposition is real Prometheus text
+//! with the runtime's counter families in it.
+//!
+//! This is also the CI smoke test for the endpoint (the
+//! `runtime-backend` job runs exactly this test with a hard timeout).
+
+use std::time::Duration;
+use weak_sets::prelude::*;
+use weakset_obs::telemetry::{TelemetryHub, TelemetryServer};
+use weakset_obs::{http_get, parse_prometheus, ObsSnapshot};
+
+const TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Builds a three-server fleet with telemetry attached, runs `reads`
+/// membership reads, and returns the runtime plus the live endpoint.
+fn fleet_under_load(reads: usize) -> (StoreRtOwned, TelemetryServer) {
+    let mut rt = ThreadedRuntime::<StoreMsg>::new(7);
+    let hub = TelemetryHub::new();
+    rt.attach_telemetry(hub.clone(), Duration::from_millis(5));
+    let server = TelemetryServer::serve("127.0.0.1:0", hub, "scrape-test", 7).expect("bind");
+
+    let client_node = rt.add_node("client");
+    let servers: Vec<NodeId> = (0..3).map(|i| rt.add_node(format!("s{i}"))).collect();
+    for &s in &servers {
+        rt.install_service(s, Box::new(StoreServer::new()));
+    }
+    let client = StoreClient::new(client_node, SimDuration::from_millis(200));
+    let cref = CollectionRef {
+        id: CollectionId(1),
+        home: servers[0],
+        replicas: servers[1..].to_vec(),
+    };
+    client.create_collection(&mut rt, &cref).expect("create");
+    for i in 1..=8u64 {
+        let home = servers[(i % 3) as usize];
+        client
+            .put_object(
+                &mut rt,
+                home,
+                ObjectRecord::new(ObjectId(i), format!("o{i}"), &b"x"[..]),
+            )
+            .expect("put");
+        client
+            .add_member(
+                &mut rt,
+                &cref,
+                MemberEntry {
+                    elem: ObjectId(i),
+                    home,
+                },
+            )
+            .expect("add");
+    }
+    for _ in 0..reads {
+        client
+            .read_members(&mut rt, &cref, ReadPolicy::Quorum)
+            .expect("read against a healthy fleet");
+    }
+    rt.flush_telemetry();
+    (rt, server)
+}
+
+type StoreRtOwned = ThreadedRuntime<StoreMsg>;
+
+#[test]
+fn metrics_endpoint_serves_parseable_prometheus_with_rpc_families() {
+    let (mut rt, server) = fleet_under_load(20);
+
+    let (status, text) = http_get(server.addr(), "/metrics", TIMEOUT).expect("scrape");
+    assert_eq!(status, 200);
+    let series = parse_prometheus(&text).expect("every line fits the exposition grammar");
+
+    // The runtime's rpc counters must be there, under the weakset_
+    // namespace, with the values a live scraper would act on.
+    let value = |name: &str| {
+        series
+            .iter()
+            .find(|(n, _)| n == name)
+            .unwrap_or_else(|| panic!("family {name} missing from:\n{text}"))
+            .1
+    };
+    assert!(value("weakset_rpc_sent") >= 20.0, "20 reads happened");
+    assert_eq!(value("weakset_rpc_sent"), value("weakset_rpc_ok"));
+    // Live read-latency quantiles are served mid-run.
+    assert!(
+        text.lines()
+            .any(|l| l.starts_with("weakset_rpc_latency{quantile=\"0.99\"}")),
+        "p99 series missing from:\n{text}"
+    );
+
+    rt.shutdown(Duration::from_secs(5)).expect("clean shutdown");
+}
+
+#[test]
+fn snapshot_endpoint_round_trips_canonical_json() {
+    let (mut rt, server) = fleet_under_load(5);
+
+    let (status, body) = http_get(server.addr(), "/snapshot.json", TIMEOUT).expect("scrape");
+    assert_eq!(status, 200);
+    let snap = ObsSnapshot::from_json(&body).expect("canonical snapshot JSON");
+    assert_eq!(snap.scenario, "scrape-test");
+    assert_eq!(snap.seed, 7);
+    assert!(snap.counters.get("rpc.sent").copied().unwrap_or(0) >= 5);
+    assert_eq!(
+        snap.to_json(),
+        body,
+        "serving and re-freezing agree byte-for-byte"
+    );
+
+    rt.shutdown(Duration::from_secs(5)).expect("clean shutdown");
+}
+
+#[test]
+fn unknown_paths_get_a_404_without_wedging_the_server() {
+    let (mut rt, server) = fleet_under_load(1);
+
+    let (status, _) = http_get(server.addr(), "/nope", TIMEOUT).expect("scrape");
+    assert_eq!(status, 404);
+    // The accept loop keeps serving after an unknown path.
+    let (status, _) = http_get(server.addr(), "/metrics", TIMEOUT).expect("scrape");
+    assert_eq!(status, 200);
+
+    rt.shutdown(Duration::from_secs(5)).expect("clean shutdown");
+}
